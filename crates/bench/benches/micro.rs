@@ -1,0 +1,207 @@
+//! Criterion microbenchmarks of Digest's hot kernels.
+//!
+//! These are not paper experiments (those live in `src/bin/exp_*`); they
+//! measure the per-operation costs a deployment would care about: one
+//! Metropolis step, one two-stage tuple sample, one LM polynomial fit,
+//! one repeated-sampling combine, one extrapolator prediction, TVD, and
+//! one workload tick.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use digest_db::{P2PDatabase, Schema, Tuple};
+use digest_net::topology;
+use digest_sampling::{uniform_weight, MetropolisWalk, SamplingConfig, SamplingOperator};
+use digest_stats::repeated::combined_estimate;
+use digest_stats::{
+    total_variation_distance, DiscreteDistribution, Extrapolator, ExtrapolatorConfig, Polynomial,
+};
+use digest_workload::{TemperatureConfig, TemperatureWorkload, Workload};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn bench_metropolis_step(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let g = topology::barabasi_albert(1000, 2, &mut rng).unwrap();
+    let w = uniform_weight();
+    let origin = g.nodes().next().unwrap();
+    c.bench_function("metropolis_step", |b| {
+        let mut walk = MetropolisWalk::new(&g, origin).unwrap();
+        b.iter(|| {
+            black_box(walk.step(&g, &w, &mut rng).unwrap());
+        });
+    });
+}
+
+fn bench_sample_tuple(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let g = topology::barabasi_albert(500, 2, &mut rng).unwrap();
+    let mut db = P2PDatabase::new(Schema::single("a"));
+    for v in g.nodes() {
+        db.register_node(v);
+        for j in 0..10 {
+            db.insert(v, Tuple::single(f64::from(j))).unwrap();
+        }
+    }
+    let origin = g.nodes().next().unwrap();
+    let mut op = SamplingOperator::new(SamplingConfig::recommended(500)).unwrap();
+    c.bench_function("two_stage_sample_tuple", |b| {
+        b.iter(|| black_box(op.sample_tuple(&g, &db, origin, &mut rng).unwrap()));
+    });
+}
+
+fn bench_lm_polynomial_fit(c: &mut Criterion) {
+    let ts: Vec<f64> = (0..12).map(|i| 1000.0 + i as f64).collect();
+    let ys: Vec<f64> = ts
+        .iter()
+        .map(|t| 3.0 + 0.5 * t - 0.01 * t * t + (t * 0.3).sin())
+        .collect();
+    c.bench_function("lm_polynomial_fit_deg2", |b| {
+        b.iter(|| {
+            black_box(Polynomial::fit_levenberg_marquardt(black_box(1011.0), &ts, &ys, 2).unwrap())
+        });
+    });
+}
+
+fn bench_combined_estimate(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    use rand::Rng;
+    let prev: Vec<f64> = (0..100).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let cur: Vec<f64> = prev.iter().map(|p| 0.9 * p + 0.1).collect();
+    let fresh: Vec<f64> = (0..50).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    c.bench_function("rpt_combined_estimate_150", |b| {
+        b.iter(|| black_box(combined_estimate(&fresh, &prev, &cur, 0.0).unwrap()));
+    });
+}
+
+fn bench_extrapolator_predict(c: &mut Criterion) {
+    let mut e = Extrapolator::new(ExtrapolatorConfig::pred(3)).unwrap();
+    for t in 0..8 {
+        e.observe(t as f64, 50.0 + 0.3 * t as f64 + (t as f64 * 0.5).sin());
+    }
+    c.bench_function("pred3_predict", |b| {
+        b.iter(|| black_box(e.predict(black_box(4.0)).unwrap()));
+    });
+}
+
+fn bench_tvd(c: &mut Criterion) {
+    let a =
+        DiscreteDistribution::from_weights(&(1..=1000).map(f64::from).collect::<Vec<_>>()).unwrap();
+    let bd = DiscreteDistribution::uniform(1000).unwrap();
+    c.bench_function("tvd_1000", |b| {
+        b.iter(|| black_box(total_variation_distance(&a, &bd).unwrap()));
+    });
+}
+
+fn bench_workload_tick(c: &mut Criterion) {
+    c.bench_function("temperature_tick_2000_units", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        b.iter_batched(
+            || TemperatureWorkload::new(TemperatureConfig::reduced(2000, 10, 20, 100)),
+            |mut w| {
+                w.advance(&mut rng);
+                black_box(w.current_tick())
+            },
+            BatchSize::LargeInput,
+        );
+    });
+}
+
+fn bench_predicate_eval(c: &mut Criterion) {
+    use digest_db::Predicate;
+    let schema = Schema::new(["cpu", "memory", "storage"]);
+    let pred = Predicate::parse(
+        "not (cpu < 2 and memory > 64) or storage + memory >= 128",
+        &schema,
+    )
+    .unwrap();
+    let t = Tuple::new(vec![4.0, 32.0, 100.0]);
+    c.bench_function("predicate_eval", |b| {
+        b.iter(|| black_box(pred.eval(black_box(&t)).unwrap()));
+    });
+}
+
+fn bench_statement_parse(c: &mut Criterion) {
+    use digest_core::ContinuousQuery;
+    let schema = Schema::new(["cpu", "memory", "storage"]);
+    let text = "SELECT SUM(memory + storage) FROM resources \
+                WHERE cpu >= 2 and memory > 4 \
+                WITH delta=1000, epsilon=500, p=0.9";
+    c.bench_function("statement_parse", |b| {
+        b.iter(|| black_box(ContinuousQuery::parse(black_box(text), &schema).unwrap()));
+    });
+}
+
+fn bench_quantile_interval(c: &mut Criterion) {
+    use digest_stats::quantile_interval;
+    let sorted: Vec<f64> = (0..1_000).map(f64::from).collect();
+    c.bench_function("quantile_interval_1000", |b| {
+        b.iter(|| black_box(quantile_interval(black_box(&sorted), 0.5, 0.95).unwrap()));
+    });
+}
+
+fn bench_push_engines_tick(c: &mut Criterion) {
+    use digest_core::baselines::{FilterConfig, FilterEngine, PushAllEngine};
+    use digest_core::{ContinuousQuery, Precision, QuerySystem, TickContext};
+    use digest_db::Expr;
+    use digest_net::NodeId;
+
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let g = topology::mesh(10, 20, false).unwrap();
+    let mut db = P2PDatabase::new(Schema::single("a"));
+    for v in g.nodes() {
+        db.register_node(v);
+        for j in 0..10 {
+            db.insert(v, Tuple::single(f64::from(j))).unwrap();
+        }
+    }
+    let query = ContinuousQuery::avg(
+        Expr::first_attr(db.schema()),
+        Precision::new(1.0, 0.5, 0.95).unwrap(),
+    );
+
+    let mut push_all = PushAllEngine::new(query.clone());
+    c.bench_function("push_all_tick_2000_tuples", |b| {
+        let mut tick = 0u64;
+        b.iter(|| {
+            let ctx = TickContext {
+                tick,
+                graph: &g,
+                db: &db,
+                origin: NodeId(0),
+            };
+            tick += 1;
+            black_box(push_all.on_tick(&ctx, &mut rng).unwrap())
+        });
+    });
+
+    let mut filter = FilterEngine::new(query, FilterConfig::default()).unwrap();
+    c.bench_function("filter_engine_tick_2000_tuples", |b| {
+        let mut tick = 0u64;
+        b.iter(|| {
+            let ctx = TickContext {
+                tick,
+                graph: &g,
+                db: &db,
+                origin: NodeId(0),
+            };
+            tick += 1;
+            black_box(filter.on_tick(&ctx, &mut rng).unwrap())
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_metropolis_step,
+    bench_sample_tuple,
+    bench_lm_polynomial_fit,
+    bench_combined_estimate,
+    bench_extrapolator_predict,
+    bench_tvd,
+    bench_workload_tick,
+    bench_predicate_eval,
+    bench_statement_parse,
+    bench_quantile_interval,
+    bench_push_engines_tick
+);
+criterion_main!(benches);

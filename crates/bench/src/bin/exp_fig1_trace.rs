@@ -1,0 +1,87 @@
+//! Figure 1 reproduction: exact result `X[t]` vs the fixed-precision
+//! approximate result `X̂[t]`.
+//!
+//! Runs Digest (`PRED3+RPT`) over the TEMPERATURE workload and prints the
+//! two curves, marking the update occasions `t_uᵢ`. The approximate curve
+//! holds its value between updates and re-aligns on every δ-crossing —
+//! the staircase of the paper's Figure 1.
+
+use digest_bench::{banner, engine_for, run_full, temperature, write_json, Scale};
+use digest_core::{EstimatorKind, SchedulerKind};
+use digest_workload::Workload;
+use serde_json::json;
+
+fn main() {
+    let scale = Scale::from_args();
+    banner(
+        "FIGURE 1",
+        "Exact X[t] vs approximate X̂[t] with (δ, ε, p)",
+        scale,
+    );
+
+    let mut w = temperature(scale, 0);
+    let sigma = w.sigma_ref();
+    let (delta, epsilon, p) = (sigma, 0.25 * sigma, 0.95);
+    println!("query: SELECT AVG(temperature) FROM R  [δ={delta:.1}, ε={epsilon:.1}, p={p}]");
+
+    let mut engine = engine_for(
+        &w,
+        SchedulerKind::Pred(3),
+        EstimatorKind::Repeated,
+        delta,
+        epsilon,
+        p,
+    )
+    .expect("valid engine");
+    let report = run_full(&mut w, &mut engine, delta, epsilon, 7).expect("run succeeds");
+
+    let horizon = match scale {
+        Scale::Full => 160,
+        Scale::Quick => 120,
+    };
+    println!();
+    println!(
+        "{:>5} {:>10} {:>10} {:>8} {:>7}",
+        "tick", "X[t]", "X̂[t]", "snapshot", "update"
+    );
+    for r in report.records.iter().take(horizon) {
+        println!(
+            "{:>5} {:>10.3} {:>10.3} {:>8} {:>7}",
+            r.tick,
+            r.exact,
+            r.estimate,
+            if r.snapshot { "*" } else { "" },
+            if r.updated { "U" } else { "" },
+        );
+    }
+    println!();
+    println!(
+        "summary: snapshots={} updates={} max_snapshot_err={:.3} (ε={epsilon:.2}) \
+         ε-violations={:.3} δ-violations={:.3}",
+        report.total_snapshots(),
+        report.total_updates(),
+        report.max_snapshot_error(),
+        report.confidence_violation_rate(),
+        report.resolution_violation_rate()
+    );
+
+    let series: Vec<_> = report
+        .records
+        .iter()
+        .map(|r| {
+            json!({"t": r.tick, "exact": r.exact, "estimate": r.estimate,
+                        "snapshot": r.snapshot, "updated": r.updated})
+        })
+        .collect();
+    write_json(
+        "fig1_trace",
+        scale,
+        &json!({
+            "delta": delta, "epsilon": epsilon, "p": p,
+            "snapshots": report.total_snapshots(),
+            "confidence_violation_rate": report.confidence_violation_rate(),
+            "resolution_violation_rate": report.resolution_violation_rate(),
+            "series": series,
+        }),
+    );
+}

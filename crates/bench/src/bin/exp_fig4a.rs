@@ -1,0 +1,75 @@
+//! Figure 4-a reproduction: effect of the extrapolation algorithm.
+//!
+//! TEMPERATURE dataset, fixed confidence (`ε = 2, p = 0.95`), sweeping the
+//! resolution `δ/σ̂ ∈ {0.25 … 2}`. For each δ we count the snapshot
+//! queries executed by `ALL` and by `PRED-k, k = 1..4`. Expected shape
+//! (paper): near-`ALL` at small δ, then a steep drop — ≈ 75 % fewer
+//! snapshots at `δ/σ̂ = 1`.
+
+use digest_bench::{banner, engine_for, run_full, temperature, write_json, Scale};
+use digest_core::{EstimatorKind, SchedulerKind};
+use digest_workload::Workload;
+use serde_json::json;
+
+fn main() {
+    let scale = Scale::from_args();
+    banner(
+        "FIGURE 4-a",
+        "Snapshot queries vs δ/σ̂ (ALL vs PRED-k), TEMPERATURE",
+        scale,
+    );
+
+    let ratios = [0.25, 0.5, 0.75, 1.0, 1.5, 2.0];
+    let schedulers: Vec<(String, SchedulerKind)> =
+        std::iter::once(("ALL".to_owned(), SchedulerKind::All))
+            .chain((1..=4).map(|k| (format!("PRED{k}"), SchedulerKind::Pred(k))))
+            .collect();
+
+    let probe = temperature(scale, 0);
+    let sigma = probe.sigma_ref();
+    let epsilon = 2.0;
+    let p = 0.95;
+    drop(probe);
+
+    println!();
+    print!("{:>8}", "δ/σ̂");
+    for (name, _) in &schedulers {
+        print!(" {name:>8}");
+    }
+    println!("   (snapshot queries; δ-violation rate in parens)");
+
+    let mut results = Vec::new();
+    for &ratio in &ratios {
+        let delta = ratio * sigma;
+        print!("{ratio:>8.2}");
+        let mut row = serde_json::Map::new();
+        row.insert("delta_over_sigma".into(), json!(ratio));
+        for (name, kind) in &schedulers {
+            let mut w = temperature(scale, 0);
+            let mut engine = engine_for(&w, *kind, EstimatorKind::Repeated, delta, epsilon, p)
+                .expect("valid engine");
+            let report = run_full(&mut w, &mut engine, delta, epsilon, 11).expect("run");
+            print!(" {:>8}", report.total_snapshots());
+            row.insert(
+                name.clone(),
+                json!({
+                    "snapshots": report.total_snapshots(),
+                    "resolution_violation_rate": report.resolution_violation_rate(),
+                }),
+            );
+        }
+        println!();
+        results.push(serde_json::Value::Object(row));
+    }
+
+    println!();
+    println!(
+        "shape check: at δ/σ̂ = 1 the PRED schedulers should run far fewer \
+         snapshots than ALL (paper: ~75% fewer)."
+    );
+    write_json(
+        "fig4a",
+        scale,
+        &json!({ "epsilon": epsilon, "p": p, "sigma": sigma, "rows": results }),
+    );
+}

@@ -1,0 +1,204 @@
+//! Theorem 4 / §VI-B3 reproduction: mixing behaviour of the sampling
+//! operator.
+//!
+//! 1. Exact TVD curves and measured mixing times `τ(0.01)` on power-law
+//!    (Barabási–Albert) overlays of growing size — Theorem 4 predicts
+//!    poly-logarithmic growth, so `τ(γ)/log²N` should stay roughly flat
+//!    while `τ(γ)/N` collapses.
+//! 2. Spectral gaps (Theorem 3) for the same graphs.
+//! 3. The measured message cost per sample on the two paper-scale
+//!    overlays (530-node mesh, 820-node power-law), next to the paper's
+//!    65 / 43 messages.
+
+use digest_bench::{banner, write_json, Scale};
+use digest_db::{P2PDatabase, Schema, Tuple};
+use digest_net::{topology, Graph, NodeId};
+use digest_sampling::{mixing, uniform_weight, NodeWeight, SamplingConfig, SamplingOperator};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde_json::json;
+
+fn worst_start_index(g: &Graph) -> usize {
+    // A minimum-degree node is the slowest to mix from.
+    let nodes: Vec<NodeId> = g.nodes().collect();
+    nodes
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, &v)| g.degree(v))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+fn mixing_tau(g: &Graph, gamma: f64, max_steps: usize) -> (Option<usize>, f64) {
+    let w = uniform_weight();
+    let (p, _, target) = mixing::transition_matrix(g, &w).expect("valid transition matrix");
+    let start = worst_start_index(g);
+    let curve = mixing::tvd_curve(&p, &target, start, max_steps).expect("curve");
+    let tau = curve.iter().position(|&d| d <= gamma);
+    let diag = mixing::spectral_diagnostics(&p, &target, 300).expect("diagnostics");
+    (tau, diag.eigengap)
+}
+
+fn msgs_per_sample(g: &Graph, per_node_tuples: usize, seed: u64, config: SamplingConfig) -> f64 {
+    let mut db = P2PDatabase::new(Schema::single("a"));
+    for v in g.nodes() {
+        db.register_node(v);
+        for j in 0..per_node_tuples {
+            db.insert(v, Tuple::single(j as f64)).expect("registered");
+        }
+    }
+    let mut op = SamplingOperator::new(config).expect("valid config");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let origin = g.nodes().next().expect("non-empty");
+    let samples = 400;
+    for _ in 0..samples {
+        op.sample_tuple(g, &db, origin, &mut rng).expect("sample");
+    }
+    op.total_messages() as f64 / f64::from(samples)
+}
+
+/// Prints heuristic-vs-calibrated walk configuration for a topology.
+fn calibration_row(name: &str, g: &Graph, w: &impl NodeWeight) -> serde_json::Value {
+    let heuristic = SamplingConfig::recommended(g.node_count());
+    let diag = mixing::sparse_spectral_diagnostics(g, w, 300).expect("diagnostics");
+    let calibrated = SamplingConfig::calibrated(g, w, 0.05).expect("calibrated");
+    println!(
+        "{name:>10} ({:>4} nodes): eigengap {:.4}  heuristic walk {:>4}  Theorem-3 walk {:>5}",
+        g.node_count(),
+        diag.eigengap,
+        heuristic.walk_length,
+        calibrated.walk_length,
+    );
+    json!({
+        "topology": name,
+        "nodes": g.node_count(),
+        "eigengap": diag.eigengap,
+        "heuristic_walk": heuristic.walk_length,
+        "calibrated_walk": calibrated.walk_length,
+    })
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    banner(
+        "MIXING",
+        "Theorem 4: mixing time growth + messages per sample",
+        scale,
+    );
+
+    let sizes: &[usize] = match scale {
+        Scale::Full => &[64, 128, 256, 512, 1024],
+        Scale::Quick => &[64, 128, 256],
+    };
+    let gamma = 0.01;
+
+    println!();
+    println!(
+        "{:>6} {:>9} {:>12} {:>12} {:>10}",
+        "N", "τ(0.01)", "τ/ln²N", "τ/N", "eigengap"
+    );
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        let g = topology::barabasi_albert(n, 2, &mut rng).expect("BA graph");
+        let (tau, gap) = mixing_tau(&g, gamma, 4000);
+        let tau = tau.unwrap_or(usize::MAX);
+        let ln2 = (n as f64).ln().powi(2);
+        println!(
+            "{n:>6} {tau:>9} {:>12.3} {:>12.4} {gap:>10.4}",
+            tau as f64 / ln2,
+            tau as f64 / n as f64
+        );
+        rows.push(json!({
+            "n": n, "tau": tau, "tau_over_ln2N": tau as f64 / ln2,
+            "tau_over_N": tau as f64 / n as f64, "eigengap": gap,
+        }));
+    }
+    println!();
+    println!(
+        "shape check: τ/ln²N stays roughly flat while τ/N shrinks → \
+         poly-logarithmic mixing (Theorem 4)."
+    );
+
+    // Messages per sample on the two paper overlays.
+    println!();
+    println!("--- Messages per sample (paper: 65 mesh / 43 power-law) ---");
+    let (mesh_g, mesh_tuples) = match scale {
+        Scale::Full => (topology::mesh(10, 53, false).expect("mesh"), 15),
+        Scale::Quick => (topology::mesh(10, 20, false).expect("mesh"), 10),
+    };
+    let mesh_cost = msgs_per_sample(
+        &mesh_g,
+        mesh_tuples,
+        7,
+        SamplingConfig::recommended(mesh_g.node_count()),
+    );
+    let pl_g = {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        match scale {
+            Scale::Full => topology::barabasi_albert(820, 2, &mut rng).expect("BA"),
+            Scale::Quick => topology::barabasi_albert(200, 2, &mut rng).expect("BA"),
+        }
+    };
+    let pl_cost = msgs_per_sample(&pl_g, 2, 8, SamplingConfig::recommended(pl_g.node_count()));
+    println!(
+        "mesh      ({:>4} nodes): {mesh_cost:>6.1} msgs/sample",
+        mesh_g.node_count()
+    );
+    println!(
+        "power-law ({:>4} nodes): {pl_cost:>6.1} msgs/sample",
+        pl_g.node_count()
+    );
+
+    // Large-N extension: the dense TVD machinery caps out around 10³
+    // nodes, but the matrix-free spectral gap scales to overlay sizes the
+    // paper's setting actually cares about. The Theorem-3 bound
+    // θ⁻¹(ln p_min⁻¹ + ln γ⁻¹) then upper-bounds τ(γ); its poly-log
+    // growth in N is Theorem 4 at scale.
+    if matches!(scale, Scale::Full) {
+        println!();
+        println!("--- Large-N sweep (matrix-free eigengap, Theorem-3 τ bound) ---");
+        println!(
+            "{:>7} {:>10} {:>12} {:>14}",
+            "N", "eigengap", "τ bound", "bound/ln²N"
+        );
+        let w = uniform_weight();
+        for &n in &[1024usize, 2048, 4096, 8192] {
+            let mut rng = ChaCha8Rng::seed_from_u64(99);
+            let g = topology::barabasi_albert(n, 2, &mut rng).expect("BA graph");
+            let diag = mixing::sparse_spectral_diagnostics(&g, &w, 300).expect("diagnostics");
+            let bound = mixing::calibrated_walk_length(&g, &w, gamma).expect("bound");
+            let ln2 = (n as f64).ln().powi(2);
+            println!(
+                "{n:>7} {:>10.4} {bound:>12} {:>14.1}",
+                diag.eigengap,
+                bound as f64 / ln2
+            );
+        }
+    }
+
+    // Heuristic vs Theorem-3-calibrated walk lengths: the matrix-free
+    // spectral gap tells each deployment how long a guarantee-grade fresh
+    // walk must be on *its* topology (persistent pooled walks amortise it).
+    println!();
+    println!("--- Walk-length calibration (Theorem 3, γ = 0.05) ---");
+    let w = uniform_weight();
+    let calib = vec![
+        calibration_row("mesh", &mesh_g, &w),
+        calibration_row("power-law", &pl_g, &w),
+    ];
+
+    write_json(
+        "mixing",
+        scale,
+        &json!({
+            "gamma": gamma,
+            "rows": rows,
+            "msgs_per_sample": {
+                "mesh": { "nodes": mesh_g.node_count(), "measured": mesh_cost, "paper": 65.0 },
+                "power_law": { "nodes": pl_g.node_count(), "measured": pl_cost, "paper": 43.0 },
+            },
+            "calibration": calib,
+        }),
+    );
+}

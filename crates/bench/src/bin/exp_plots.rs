@@ -1,0 +1,261 @@
+//! Renders the experiment JSON artefacts in `results/` into SVG figures —
+//! the visual counterparts of the paper's Figures 4-a, 4-b, 5-a, 5-b and
+//! the mixing sweep. Run the `exp_*` binaries first (any scale), then:
+//!
+//! ```bash
+//! cargo run --release -p digest-bench --bin exp_plots -- --scale full
+//! ```
+
+use digest_bench::plot::{ChartKind, Plot, Series};
+use digest_bench::{banner, Scale};
+use serde_json::Value;
+use std::path::PathBuf;
+
+fn load(name: &str, scale: Scale) -> Option<Value> {
+    let path = PathBuf::from(format!("results/{name}_{}.json", scale.label()));
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| eprintln!("skipping {name}: cannot read {}: {e}", path.display()))
+        .ok()?;
+    serde_json::from_str(&text)
+        .map_err(|e| eprintln!("skipping {name}: bad JSON: {e}"))
+        .ok()
+}
+
+fn save(plot: &Plot, series: &[Series], name: &str, scale: Scale) {
+    let path = PathBuf::from(format!("results/{name}_{}.svg", scale.label()));
+    match plot.write_svg(&path, series) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+    }
+}
+
+fn f(v: &Value) -> f64 {
+    v.as_f64().unwrap_or(f64::NAN)
+}
+
+fn plot_fig4a(scale: Scale) {
+    let Some(data) = load("fig4a", scale) else {
+        return;
+    };
+    let rows = data["rows"].as_array().cloned().unwrap_or_default();
+    let mut series = Vec::new();
+    for name in ["ALL", "PRED1", "PRED2", "PRED3", "PRED4"] {
+        let points: Vec<(f64, f64)> = rows
+            .iter()
+            .map(|r| (f(&r["delta_over_sigma"]), f(&r[name]["snapshots"])))
+            .collect();
+        series.push(Series::new(name, points));
+    }
+    let plot = Plot {
+        title: "Figure 4-a: snapshot queries vs δ/σ̂ (TEMPERATURE)".into(),
+        xlabel: "δ/σ̂".into(),
+        ylabel: "snapshot queries".into(),
+        log_y: false,
+        kind: ChartKind::Lines,
+        categories: vec![],
+    };
+    save(&plot, &series, "fig4a", scale);
+}
+
+fn plot_fig4b(scale: Scale) {
+    let Some(data) = load("fig4b", scale) else {
+        return;
+    };
+    for ds in ["temperature", "memory"] {
+        let rows = data[ds]["rows"].as_array().cloned().unwrap_or_default();
+        let series = vec![
+            Series::new(
+                "INDEP",
+                rows.iter()
+                    .map(|r| (f(&r["eps_over_sigma"]), f(&r["indep_samples_per_snapshot"])))
+                    .collect(),
+            ),
+            Series::new(
+                "RPT",
+                rows.iter()
+                    .map(|r| (f(&r["eps_over_sigma"]), f(&r["rpt_samples_per_snapshot"])))
+                    .collect(),
+            ),
+        ];
+        let plot = Plot {
+            title: format!(
+                "Figure 4-b: samples per snapshot vs ε/σ̂ ({})",
+                ds.to_uppercase()
+            ),
+            xlabel: "ε/σ̂".into(),
+            ylabel: "samples per snapshot".into(),
+            log_y: false,
+            kind: ChartKind::Lines,
+            categories: vec![],
+        };
+        save(&plot, &series, &format!("fig4b_{ds}"), scale);
+    }
+}
+
+fn plot_fig5a(scale: Scale) {
+    let Some(data) = load("fig5a", scale) else {
+        return;
+    };
+    let combos = ["ALL+INDEP", "ALL+RPT", "PRED3+INDEP", "PRED3+RPT"];
+    let mut series = Vec::new();
+    for (di, ds) in ["temperature", "memory"].iter().enumerate() {
+        let rows = data[*ds].as_array().cloned().unwrap_or_default();
+        let points: Vec<(f64, f64)> = combos
+            .iter()
+            .enumerate()
+            .filter_map(|(ci, combo)| {
+                rows.iter()
+                    .find(|r| r["combo"] == *combo)
+                    .map(|r| (ci as f64, f(&r["total_samples"])))
+            })
+            .collect();
+        series.push(Series::new(ds.to_uppercase(), points));
+        let _ = di;
+    }
+    let plot = Plot {
+        title: "Figure 5-a: total samples per continuous query".into(),
+        xlabel: "scheduler × estimator".into(),
+        ylabel: "total samples (log)".into(),
+        log_y: true,
+        kind: ChartKind::Bars,
+        categories: combos.iter().map(|s| (*s).to_owned()).collect(),
+    };
+    save(&plot, &series, "fig5a", scale);
+}
+
+fn plot_fig5b(scale: Scale) {
+    let Some(data) = load("fig5b", scale) else {
+        return;
+    };
+    let systems = ["ALL+ALL", "ALL+FILTER", "ALL+INDEP", "PRED3+RPT"];
+    let mut series = Vec::new();
+    for ds in ["temperature", "memory"] {
+        let rows = data[ds].as_array().cloned().unwrap_or_default();
+        let points: Vec<(f64, f64)> = systems
+            .iter()
+            .enumerate()
+            .filter_map(|(si, system)| {
+                rows.iter()
+                    .find(|r| r["system"] == *system)
+                    .map(|r| (si as f64, f(&r["messages"])))
+            })
+            .collect();
+        series.push(Series::new(ds.to_uppercase(), points));
+    }
+    let plot = Plot {
+        title: "Figure 5-b: total communication cost".into(),
+        xlabel: "system".into(),
+        ylabel: "messages (log)".into(),
+        log_y: true,
+        kind: ChartKind::Bars,
+        categories: systems.iter().map(|s| (*s).to_owned()).collect(),
+    };
+    save(&plot, &series, "fig5b", scale);
+}
+
+fn plot_mixing(scale: Scale) {
+    let Some(data) = load("mixing", scale) else {
+        return;
+    };
+    let rows = data["rows"].as_array().cloned().unwrap_or_default();
+    let series = vec![
+        Series::new(
+            "τ(0.01)",
+            rows.iter().map(|r| (f(&r["n"]), f(&r["tau"]))).collect(),
+        ),
+        Series::new(
+            "τ / ln²N × 10",
+            rows.iter()
+                .map(|r| (f(&r["n"]), 10.0 * f(&r["tau_over_ln2N"])))
+                .collect(),
+        ),
+    ];
+    let plot = Plot {
+        title: "Theorem 4: mixing time growth on power-law overlays".into(),
+        xlabel: "network size N".into(),
+        ylabel: "steps".into(),
+        log_y: false,
+        kind: ChartKind::Lines,
+        categories: vec![],
+    };
+    save(&plot, &series, "mixing", scale);
+}
+
+fn plot_eq11(scale: Scale) {
+    let Some(data) = load("eq11_variance", scale) else {
+        return;
+    };
+    let rows = data["rows"].as_array().cloned().unwrap_or_default();
+    let series = vec![
+        Series::new(
+            "empirical",
+            rows.iter()
+                .map(|r| (f(&r["rho"]), f(&r["empirical_variance"])))
+                .collect(),
+        ),
+        Series::new(
+            "Eq. 8 @ g_opt",
+            rows.iter()
+                .map(|r| (f(&r["rho"]), f(&r["eq8_variance"])))
+                .collect(),
+        ),
+        Series::new(
+            "independent σ²/n",
+            rows.iter().map(|r| (f(&r["rho"]), 0.01)).collect(),
+        ),
+    ];
+    let plot = Plot {
+        title: "Eqs. 8–11: combined-estimator variance vs ρ (n = 100)".into(),
+        xlabel: "ρ".into(),
+        ylabel: "estimator variance".into(),
+        log_y: false,
+        kind: ChartKind::Lines,
+        categories: vec![],
+    };
+    save(&plot, &series, "eq11_variance", scale);
+}
+
+fn plot_fig1(scale: Scale) {
+    let Some(data) = load("fig1_trace", scale) else {
+        return;
+    };
+    let rows = data["series"].as_array().cloned().unwrap_or_default();
+    let horizon = 160.min(rows.len());
+    let series = vec![
+        Series::new(
+            "exact X[t]",
+            rows[..horizon]
+                .iter()
+                .map(|r| (f(&r["t"]), f(&r["exact"])))
+                .collect(),
+        ),
+        Series::new(
+            "approximate X̂[t]",
+            rows[..horizon]
+                .iter()
+                .map(|r| (f(&r["t"]), f(&r["estimate"])))
+                .collect(),
+        ),
+    ];
+    let plot = Plot {
+        title: "Figure 1: exact vs fixed-precision approximate result".into(),
+        xlabel: "tick (12 h)".into(),
+        ylabel: "AVG(temperature) °F".into(),
+        log_y: false,
+        kind: ChartKind::Lines,
+        categories: vec![],
+    };
+    save(&plot, &series, "fig1_trace", scale);
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    banner("PLOTS", "Rendering results/*.json into SVG figures", scale);
+    plot_fig1(scale);
+    plot_fig4a(scale);
+    plot_fig4b(scale);
+    plot_fig5a(scale);
+    plot_fig5b(scale);
+    plot_mixing(scale);
+    plot_eq11(scale);
+}

@@ -1,0 +1,460 @@
+//! Minimal self-contained SVG charts for the experiment figures.
+//!
+//! The paper's artefacts are figures; this module lets the harness emit
+//! them as actual images (`results/*.svg`) with zero plotting
+//! dependencies: hand-rolled line and grouped-bar charts with linear or
+//! log₁₀ y-axes, nice tick selection, and a legend.
+
+use std::fmt::Write as _;
+
+/// One plotted series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points in data coordinates (lines) or `y` per category
+    /// index (bars; `x` is the category index).
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Builds a series.
+    #[must_use]
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Self {
+            label: label.into(),
+            points,
+        }
+    }
+}
+
+/// Chart flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChartKind {
+    /// Connected line chart with point markers.
+    Lines,
+    /// Grouped bars: each series contributes one bar per integer x.
+    Bars,
+}
+
+/// Chart configuration.
+#[derive(Debug, Clone)]
+pub struct Plot {
+    /// Title above the plot area.
+    pub title: String,
+    /// X-axis label.
+    pub xlabel: String,
+    /// Y-axis label.
+    pub ylabel: String,
+    /// Log₁₀ y-axis (Figure 5-b style).
+    pub log_y: bool,
+    /// Chart flavour.
+    pub kind: ChartKind,
+    /// Category names for bar charts (x tick labels); empty for lines.
+    pub categories: Vec<String>,
+}
+
+const WIDTH: f64 = 860.0;
+const HEIGHT: f64 = 520.0;
+const MARGIN_L: f64 = 86.0;
+const MARGIN_R: f64 = 24.0;
+const MARGIN_T: f64 = 54.0;
+const MARGIN_B: f64 = 64.0;
+const PALETTE: [&str; 6] = [
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#17becf",
+];
+
+fn nice_ticks(lo: f64, hi: f64, target: usize) -> Vec<f64> {
+    if hi <= lo || hi.is_nan() || lo.is_nan() {
+        return vec![lo];
+    }
+    let raw_step = (hi - lo) / target as f64;
+    let mag = 10f64.powf(raw_step.log10().floor());
+    let norm = raw_step / mag;
+    let step = mag
+        * if norm < 1.5 {
+            1.0
+        } else if norm < 3.5 {
+            2.0
+        } else if norm < 7.5 {
+            5.0
+        } else {
+            10.0
+        };
+    let start = (lo / step).ceil() * step;
+    let mut ticks = Vec::new();
+    let mut t = start;
+    while t <= hi + step * 1e-9 {
+        ticks.push(t);
+        t += step;
+    }
+    ticks
+}
+
+fn fmt_tick(v: f64) -> String {
+    if v == 0.0 {
+        return "0".into();
+    }
+    let a = v.abs();
+    if !(1e-3..1e6).contains(&a) {
+        format!("{v:.0e}")
+    } else if a >= 100.0 {
+        format!("{v:.0}")
+    } else if a >= 1.0 {
+        let s = format!("{v:.2}");
+        s.trim_end_matches('0').trim_end_matches('.').to_owned()
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+impl Plot {
+    /// Renders the chart to an SVG document string.
+    ///
+    /// Non-finite points are skipped; on a log axis, non-positive values
+    /// are skipped as well. An entirely empty chart still renders axes.
+    #[must_use]
+    pub fn render(&self, series: &[Series]) -> String {
+        let transform = |y: f64| if self.log_y { y.log10() } else { y };
+        let usable =
+            |&(x, y): &(f64, f64)| x.is_finite() && y.is_finite() && (!self.log_y || y > 0.0);
+
+        // Data bounds.
+        let mut xs: Vec<f64> = Vec::new();
+        let mut ys: Vec<f64> = Vec::new();
+        for s in series {
+            for p in s.points.iter().filter(|p| usable(p)) {
+                xs.push(p.0);
+                ys.push(transform(p.1));
+            }
+        }
+        let (x_lo, x_hi) = match self.kind {
+            ChartKind::Bars => (-0.5, self.categories.len().max(1) as f64 - 0.5),
+            ChartKind::Lines => {
+                let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+                let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                if lo.is_finite() && hi > lo {
+                    (lo, hi)
+                } else if lo.is_finite() {
+                    (lo - 0.5, lo + 0.5)
+                } else {
+                    (0.0, 1.0)
+                }
+            }
+        };
+        let (mut y_lo, mut y_hi) = {
+            let lo = ys.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = ys.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            if lo.is_finite() && hi > lo {
+                (lo, hi)
+            } else if lo.is_finite() {
+                (lo - 0.5, lo + 0.5)
+            } else {
+                (0.0, 1.0)
+            }
+        };
+        if !self.log_y && y_lo > 0.0 && y_lo < 0.3 * y_hi {
+            y_lo = 0.0; // anchor near-zero data at zero
+        }
+        let pad = (y_hi - y_lo) * 0.06;
+        y_hi += pad;
+        if self.log_y || y_lo > 0.0 {
+            y_lo -= pad;
+        }
+
+        let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+        let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
+        let px = |x: f64| MARGIN_L + (x - x_lo) / (x_hi - x_lo) * plot_w;
+        let py = |y: f64| MARGIN_T + (1.0 - (y - y_lo) / (y_hi - y_lo)) * plot_h;
+
+        let mut svg = String::new();
+        let _ = write!(
+            svg,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="sans-serif">"#
+        );
+        let _ = write!(
+            svg,
+            r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="{}" y="30" text-anchor="middle" font-size="18" font-weight="bold">{}</text>"#,
+            WIDTH / 2.0,
+            xml_escape(&self.title)
+        );
+
+        // Gridlines + y ticks.
+        let y_ticks = if self.log_y {
+            let lo = y_lo.floor() as i64;
+            let hi = y_hi.ceil() as i64;
+            (lo..=hi).map(|e| e as f64).collect()
+        } else {
+            nice_ticks(y_lo, y_hi, 6)
+        };
+        for &t in &y_ticks {
+            if t < y_lo || t > y_hi {
+                continue;
+            }
+            let y = py(t);
+            let _ = write!(
+                svg,
+                r##"<line x1="{MARGIN_L}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="#ddd"/>"##,
+                WIDTH - MARGIN_R
+            );
+            let label = if self.log_y {
+                format!("1e{}", t as i64)
+            } else {
+                fmt_tick(t)
+            };
+            let _ = write!(
+                svg,
+                r#"<text x="{:.1}" y="{:.1}" text-anchor="end" font-size="12">{label}</text>"#,
+                MARGIN_L - 8.0,
+                y + 4.0
+            );
+        }
+
+        // X ticks.
+        match self.kind {
+            ChartKind::Bars => {
+                for (i, cat) in self.categories.iter().enumerate() {
+                    let x = px(i as f64);
+                    let _ = write!(
+                        svg,
+                        r#"<text x="{x:.1}" y="{:.1}" text-anchor="middle" font-size="12">{}</text>"#,
+                        HEIGHT - MARGIN_B + 20.0,
+                        xml_escape(cat)
+                    );
+                }
+            }
+            ChartKind::Lines => {
+                for t in nice_ticks(x_lo, x_hi, 7) {
+                    let x = px(t);
+                    let _ = write!(
+                        svg,
+                        r##"<line x1="{x:.1}" y1="{:.1}" x2="{x:.1}" y2="{:.1}" stroke="#eee"/>"##,
+                        MARGIN_T,
+                        HEIGHT - MARGIN_B
+                    );
+                    let _ = write!(
+                        svg,
+                        r#"<text x="{x:.1}" y="{:.1}" text-anchor="middle" font-size="12">{}</text>"#,
+                        HEIGHT - MARGIN_B + 20.0,
+                        fmt_tick(t)
+                    );
+                }
+            }
+        }
+
+        // Axes.
+        let _ = write!(
+            svg,
+            r#"<line x1="{MARGIN_L}" y1="{MARGIN_T}" x2="{MARGIN_L}" y2="{:.1}" stroke="black"/>"#,
+            HEIGHT - MARGIN_B
+        );
+        let _ = write!(
+            svg,
+            r#"<line x1="{MARGIN_L}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="black"/>"#,
+            HEIGHT - MARGIN_B,
+            WIDTH - MARGIN_R,
+            HEIGHT - MARGIN_B
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="{}" y="{}" text-anchor="middle" font-size="14">{}</text>"#,
+            WIDTH / 2.0,
+            HEIGHT - 16.0,
+            xml_escape(&self.xlabel)
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="20" y="{}" text-anchor="middle" font-size="14" transform="rotate(-90 20 {})">{}</text>"#,
+            HEIGHT / 2.0,
+            HEIGHT / 2.0,
+            xml_escape(&self.ylabel)
+        );
+
+        // Data.
+        match self.kind {
+            ChartKind::Lines => {
+                for (si, s) in series.iter().enumerate() {
+                    let color = PALETTE[si % PALETTE.len()];
+                    let pts: Vec<(f64, f64)> = s
+                        .points
+                        .iter()
+                        .filter(|p| usable(p))
+                        .map(|&(x, y)| (px(x), py(transform(y))))
+                        .collect();
+                    if pts.len() > 1 {
+                        let path: String = pts
+                            .iter()
+                            .map(|(x, y)| format!("{x:.1},{y:.1}"))
+                            .collect::<Vec<_>>()
+                            .join(" ");
+                        let _ = write!(
+                            svg,
+                            r#"<polyline points="{path}" fill="none" stroke="{color}" stroke-width="2"/>"#
+                        );
+                    }
+                    for (x, y) in &pts {
+                        let _ = write!(
+                            svg,
+                            r#"<circle cx="{x:.1}" cy="{y:.1}" r="3.4" fill="{color}"/>"#
+                        );
+                    }
+                }
+            }
+            ChartKind::Bars => {
+                let groups = self.categories.len().max(1) as f64;
+                let group_w = plot_w / groups;
+                let bar_w = (group_w * 0.72) / series.len().max(1) as f64;
+                let base_y = py(if self.log_y { y_lo } else { 0.0f64.max(y_lo) });
+                for (si, s) in series.iter().enumerate() {
+                    let color = PALETTE[si % PALETTE.len()];
+                    for p in s.points.iter().filter(|p| usable(p)) {
+                        let group_center = px(p.0);
+                        let x = group_center - 0.36 * group_w + si as f64 * bar_w;
+                        let y = py(transform(p.1));
+                        let h = (base_y - y).max(0.0);
+                        let _ = write!(
+                            svg,
+                            r#"<rect x="{x:.1}" y="{y:.1}" width="{:.1}" height="{h:.1}" fill="{color}"/>"#,
+                            bar_w * 0.92
+                        );
+                    }
+                }
+            }
+        }
+
+        // Legend.
+        let legend_x = MARGIN_L + 14.0;
+        for (si, s) in series.iter().enumerate() {
+            let color = PALETTE[si % PALETTE.len()];
+            let y = MARGIN_T + 8.0 + si as f64 * 18.0;
+            let _ = write!(
+                svg,
+                r#"<rect x="{legend_x}" y="{:.1}" width="12" height="12" fill="{color}"/>"#,
+                y - 10.0
+            );
+            let _ = write!(
+                svg,
+                r#"<text x="{:.1}" y="{y:.1}" font-size="12">{}</text>"#,
+                legend_x + 18.0,
+                xml_escape(&s.label)
+            );
+        }
+
+        svg.push_str("</svg>");
+        svg
+    }
+
+    /// Renders and writes the chart to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error creating or writing the file.
+    pub fn write_svg(&self, path: &std::path::Path, series: &[Series]) -> std::io::Result<()> {
+        std::fs::write(path, self.render(series))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines_plot() -> Plot {
+        Plot {
+            title: "T".into(),
+            xlabel: "x".into(),
+            ylabel: "y".into(),
+            log_y: false,
+            kind: ChartKind::Lines,
+            categories: vec![],
+        }
+    }
+
+    #[test]
+    fn renders_valid_svg_skeleton() {
+        let svg = lines_plot().render(&[Series::new("a", vec![(0.0, 1.0), (1.0, 2.0)])]);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert!(svg.contains("polyline"));
+        assert!(svg.contains(">T</text>"));
+        assert!(svg.contains(">a</text>"), "legend label present");
+    }
+
+    #[test]
+    fn escapes_markup_in_labels() {
+        let mut p = lines_plot();
+        p.title = "a < b & c".into();
+        let svg = p.render(&[]);
+        assert!(svg.contains("a &lt; b &amp; c"));
+        assert!(!svg.contains("a < b & c"));
+    }
+
+    #[test]
+    fn log_axis_skips_nonpositive_points() {
+        let mut p = lines_plot();
+        p.log_y = true;
+        let svg = p.render(&[Series::new(
+            "s",
+            vec![(0.0, 0.0), (1.0, 10.0), (2.0, 1000.0)],
+        )]);
+        // Two usable points → one polyline, two markers.
+        assert_eq!(svg.matches("<circle").count(), 2);
+        assert!(svg.contains("1e"), "log tick labels");
+    }
+
+    #[test]
+    fn bar_chart_draws_one_rect_per_value() {
+        let p = Plot {
+            title: "bars".into(),
+            xlabel: String::new(),
+            ylabel: "msgs".into(),
+            log_y: false,
+            kind: ChartKind::Bars,
+            categories: vec!["A".into(), "B".into()],
+        };
+        let svg = p.render(&[
+            Series::new("s1", vec![(0.0, 5.0), (1.0, 3.0)]),
+            Series::new("s2", vec![(0.0, 2.0), (1.0, 4.0)]),
+        ]);
+        // 4 data rects + 2 legend swatches + background.
+        assert_eq!(svg.matches("<rect").count(), 7);
+        assert!(svg.contains(">A</text>"));
+        assert!(svg.contains(">B</text>"));
+    }
+
+    #[test]
+    fn empty_chart_still_renders_axes() {
+        let svg = lines_plot().render(&[]);
+        assert!(svg.contains("<line"));
+        assert!(svg.ends_with("</svg>"));
+    }
+
+    #[test]
+    fn nice_ticks_are_round_and_cover_range() {
+        let ticks = nice_ticks(0.0, 100.0, 6);
+        assert!(ticks.contains(&0.0));
+        assert!(ticks.contains(&100.0));
+        for w in ticks.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        // Degenerate range.
+        assert_eq!(nice_ticks(5.0, 5.0, 6), vec![5.0]);
+    }
+
+    #[test]
+    fn tick_formatting() {
+        assert_eq!(fmt_tick(0.0), "0");
+        assert_eq!(fmt_tick(2.5), "2.5");
+        assert_eq!(fmt_tick(1500.0), "1500");
+        assert_eq!(fmt_tick(2_000_000.0), "2e6");
+    }
+}

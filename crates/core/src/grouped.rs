@@ -1,0 +1,390 @@
+//! Sampling-based `GROUP BY` snapshots (post-stratification).
+//!
+//! Another step along the paper's §VIII "more complex aggregate queries"
+//! direction: estimate a per-group aggregate in one sampling pass.
+//! Samples are drawn uniformly over the (qualifying) relation and
+//! *post-stratified* by the grouping key; within each stratum the sample
+//! is uniform over that stratum, so the group mean estimate is unbiased,
+//! and the group's sample share is an unbiased estimate of its population
+//! share (which also converts group AVGs into group SUM/COUNT via `N̂`).
+//!
+//! Sizing is per-group: sampling continues until every *major* group
+//! (empirical share ≥ `min_share`) holds at least `min_group_samples`
+//! observations. Minor groups are reported with whatever samples they
+//! received — uniform sampling cannot cheaply resolve rare strata, which
+//! is exactly the regime the paper's nonuniform weight functions
+//! (`w_v` ∝ relevance) exist for.
+
+use crate::error::CoreError;
+use crate::system::TickContext;
+use crate::Result;
+use digest_db::{Expr, Predicate};
+use digest_sampling::SamplingOperator;
+use digest_stats::RunningMoments;
+use rand::RngCore;
+use std::collections::BTreeMap;
+
+/// A grouped aggregate query: `SELECT AVG(expr) … GROUP BY key(expr)`.
+#[derive(Debug, Clone)]
+pub struct GroupedQuery {
+    /// The aggregated expression.
+    pub expr: Expr,
+    /// The grouping expression; its value is rounded to the nearest
+    /// integer to form the group key.
+    pub group_by: Expr,
+    /// Optional `WHERE` restriction.
+    pub predicate: Predicate,
+}
+
+/// One group's estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroupEstimate {
+    /// The group key (rounded grouping expression).
+    pub key: i64,
+    /// Estimated mean of `expr` within the group.
+    pub avg: f64,
+    /// Estimated fraction of qualifying tuples in this group.
+    pub share: f64,
+    /// Samples that landed in this group.
+    pub samples: u64,
+    /// Standard error of `avg` (`s/√n` within the group).
+    pub std_error: f64,
+}
+
+/// The outcome of one grouped snapshot.
+#[derive(Debug, Clone)]
+pub struct GroupedSnapshot {
+    /// Per-group estimates, ascending by key.
+    pub groups: Vec<GroupEstimate>,
+    /// Total samples drawn (including non-qualifying rejections).
+    pub samples: u64,
+    /// Messages spent.
+    pub messages: u64,
+}
+
+impl GroupedSnapshot {
+    /// Looks up a group's estimate by key.
+    #[must_use]
+    pub fn group(&self, key: i64) -> Option<&GroupEstimate> {
+        self.groups.iter().find(|g| g.key == key)
+    }
+}
+
+/// The grouped estimator.
+#[derive(Debug, Clone, Copy)]
+pub struct GroupedEstimator {
+    /// Minimum samples demanded of every major group before stopping.
+    pub min_group_samples: usize,
+    /// Empirical-share threshold above which a group counts as major.
+    pub min_share: f64,
+    /// Hard cap on total draws.
+    pub max_samples: usize,
+    /// Draws per sizing round.
+    pub batch: usize,
+}
+
+impl Default for GroupedEstimator {
+    fn default() -> Self {
+        Self {
+            min_group_samples: 30,
+            min_share: 0.05,
+            max_samples: 20_000,
+            batch: 50,
+        }
+    }
+}
+
+impl GroupedEstimator {
+    /// Creates an estimator.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] for out-of-range settings.
+    pub fn new(
+        min_group_samples: usize,
+        min_share: f64,
+        max_samples: usize,
+        batch: usize,
+    ) -> Result<Self> {
+        if min_group_samples < 2 || batch < 1 || max_samples < batch {
+            return Err(CoreError::InvalidConfig {
+                reason: "min_group_samples >= 2, batch >= 1, max_samples >= batch required",
+            });
+        }
+        if !(0.0..=1.0).contains(&min_share) {
+            return Err(CoreError::InvalidConfig {
+                reason: "min_share must be in [0, 1]",
+            });
+        }
+        Ok(Self {
+            min_group_samples,
+            min_share,
+            max_samples,
+            batch,
+        })
+    }
+
+    /// Evaluates one grouped snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Sampling/database errors (e.g. an empty relation).
+    pub fn evaluate(
+        &self,
+        ctx: &TickContext<'_>,
+        query: &GroupedQuery,
+        operator: &mut SamplingOperator,
+        rng: &mut dyn RngCore,
+    ) -> Result<GroupedSnapshot> {
+        operator.begin_occasion();
+        let trivial = query.predicate.is_trivial();
+        let mut strata: BTreeMap<i64, RunningMoments> = BTreeMap::new();
+        let mut drawn = 0u64;
+        let mut qualifying = 0u64;
+        let mut messages = 0u64;
+
+        'outer: while (drawn as usize) < self.max_samples {
+            for _ in 0..self.batch {
+                if drawn as usize >= self.max_samples {
+                    break;
+                }
+                let (_, tuple, cost) = operator.sample_tuple(ctx.graph, ctx.db, ctx.origin, rng)?;
+                messages += cost.total();
+                drawn += 1;
+                if !trivial && !query.predicate.eval(&tuple).unwrap_or(false) {
+                    continue;
+                }
+                let key_value = query.group_by.eval(&tuple)?;
+                let value = query.expr.eval(&tuple)?;
+                if !key_value.is_finite() || !value.is_finite() {
+                    continue;
+                }
+                qualifying += 1;
+                strata
+                    .entry(key_value.round() as i64)
+                    .or_default()
+                    .push(value);
+            }
+            // Stopping rule: every major group has enough samples.
+            if qualifying > 0 {
+                let major_satisfied = strata.values().all(|m| {
+                    let share = m.count() as f64 / qualifying as f64;
+                    share < self.min_share || m.count() as usize >= self.min_group_samples
+                });
+                if major_satisfied && qualifying as usize >= self.min_group_samples {
+                    break 'outer;
+                }
+            }
+        }
+
+        let groups = strata
+            .into_iter()
+            .map(|(key, m)| GroupEstimate {
+                key,
+                avg: m.mean(),
+                share: if qualifying == 0 {
+                    0.0
+                } else {
+                    m.count() as f64 / qualifying as f64
+                },
+                samples: m.count(),
+                std_error: m.standard_error(),
+            })
+            .collect();
+        Ok(GroupedSnapshot {
+            groups,
+            samples: drawn,
+            messages,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use digest_db::{P2PDatabase, Schema, Tuple};
+    use digest_net::{topology, NodeId};
+    use digest_sampling::SamplingConfig;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    /// Three regions with distinct temperature means and shares
+    /// 0.5 / 0.3 / 0.2.
+    fn world(seed: u64) -> (digest_net::Graph, P2PDatabase) {
+        let g = topology::complete(12).unwrap();
+        let mut db = P2PDatabase::new(Schema::new(["region", "temp"]));
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for v in g.nodes() {
+            db.register_node(v);
+            for j in 0..50 {
+                let region = match j % 10 {
+                    0..=4 => 0.0,
+                    5..=7 => 1.0,
+                    _ => 2.0,
+                };
+                let mean = 50.0 + region * 20.0; // 50 / 70 / 90
+                let temp = mean + rng.gen_range(-3.0..3.0);
+                db.insert(v, Tuple::new(vec![region, temp])).unwrap();
+            }
+        }
+        (g, db)
+    }
+
+    fn query(db: &P2PDatabase) -> GroupedQuery {
+        let schema = db.schema().clone();
+        GroupedQuery {
+            expr: Expr::attr(&schema, "temp").unwrap(),
+            group_by: Expr::attr(&schema, "region").unwrap(),
+            predicate: Predicate::True,
+        }
+    }
+
+    fn operator() -> SamplingOperator {
+        SamplingOperator::new(SamplingConfig::recommended(12)).unwrap()
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(GroupedEstimator::new(1, 0.05, 100, 10).is_err());
+        assert!(GroupedEstimator::new(10, 1.5, 100, 10).is_err());
+        assert!(GroupedEstimator::new(10, 0.05, 5, 10).is_err());
+        assert!(GroupedEstimator::new(10, 0.05, 100, 0).is_err());
+        assert!(GroupedEstimator::new(10, 0.05, 100, 10).is_ok());
+    }
+
+    #[test]
+    fn recovers_group_means_and_shares() {
+        let (g, db) = world(1);
+        let est = GroupedEstimator::default();
+        let mut op = operator();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let ctx = TickContext {
+            tick: 0,
+            graph: &g,
+            db: &db,
+            origin: NodeId(0),
+        };
+        let snap = est.evaluate(&ctx, &query(&db), &mut op, &mut rng).unwrap();
+        assert_eq!(snap.groups.len(), 3, "three regions found");
+        for (key, want_mean, want_share) in [(0, 50.0, 0.5), (1, 70.0, 0.3), (2, 90.0, 0.2)] {
+            let grp = snap.group(key).unwrap();
+            assert!(
+                (grp.avg - want_mean).abs() < 2.0,
+                "group {key}: avg {} vs {want_mean}",
+                grp.avg
+            );
+            assert!(
+                (grp.share - want_share).abs() < 0.08,
+                "group {key}: share {} vs {want_share}",
+                grp.share
+            );
+            assert!(grp.samples >= 30, "major group under-sampled");
+            assert!(grp.std_error > 0.0);
+        }
+        // Shares sum to 1.
+        let total: f64 = snap.groups.iter().map(|g| g.share).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn every_major_group_reaches_its_quota() {
+        let (g, db) = world(3);
+        let est = GroupedEstimator {
+            min_group_samples: 60,
+            ..Default::default()
+        };
+        let mut op = operator();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let ctx = TickContext {
+            tick: 0,
+            graph: &g,
+            db: &db,
+            origin: NodeId(0),
+        };
+        let snap = est.evaluate(&ctx, &query(&db), &mut op, &mut rng).unwrap();
+        for grp in &snap.groups {
+            if grp.share >= est.min_share {
+                assert!(grp.samples >= 60, "group {} got {}", grp.key, grp.samples);
+            }
+        }
+        // The smallest (20 %) group needs ~60/0.2 = 300 qualifying draws.
+        assert!(snap.samples >= 250, "total draws {}", snap.samples);
+    }
+
+    #[test]
+    fn respects_predicate() {
+        let (g, db) = world(5);
+        let schema = db.schema().clone();
+        let mut q = query(&db);
+        q.predicate = Predicate::parse("region != 1", &schema).unwrap();
+        let est = GroupedEstimator::default();
+        let mut op = operator();
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let ctx = TickContext {
+            tick: 0,
+            graph: &g,
+            db: &db,
+            origin: NodeId(0),
+        };
+        let snap = est.evaluate(&ctx, &q, &mut op, &mut rng).unwrap();
+        assert!(snap.group(1).is_none(), "excluded group must not appear");
+        assert_eq!(snap.groups.len(), 2);
+        // Shares renormalise over the qualifying sub-population: 5/7, 2/7.
+        let g0 = snap.group(0).unwrap();
+        assert!((g0.share - 5.0 / 7.0).abs() < 0.08, "share {}", g0.share);
+    }
+
+    #[test]
+    fn grouping_by_computed_expression() {
+        // Group by a derived bucket: floor-ish via rounding temp/20.
+        let (g, db) = world(7);
+        let schema = db.schema().clone();
+        let q = GroupedQuery {
+            expr: Expr::attr(&schema, "temp").unwrap(),
+            group_by: Expr::parse("temp / 20", &schema).unwrap(),
+            predicate: Predicate::True,
+        };
+        let est = GroupedEstimator::default();
+        let mut op = operator();
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let ctx = TickContext {
+            tick: 0,
+            graph: &g,
+            db: &db,
+            origin: NodeId(0),
+        };
+        let snap = est.evaluate(&ctx, &q, &mut op, &mut rng).unwrap();
+        // Temps cluster near 50/70/90 → buckets round(2.5)=2|3, 3.5→3|4, 4.5→4|5.
+        assert!(snap.groups.len() >= 3, "buckets: {:?}", snap.groups);
+        for grp in &snap.groups {
+            // Bucket key ≈ avg/20 by construction.
+            assert!(
+                (grp.avg / 20.0 - grp.key as f64).abs() <= 0.6,
+                "bucket {} vs avg {}",
+                grp.key,
+                grp.avg
+            );
+        }
+    }
+
+    #[test]
+    fn caps_total_draws() {
+        let (g, db) = world(9);
+        let est = GroupedEstimator {
+            min_group_samples: 10_000, // unreachable
+            max_samples: 300,
+            ..Default::default()
+        };
+        let mut op = operator();
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let ctx = TickContext {
+            tick: 0,
+            graph: &g,
+            db: &db,
+            origin: NodeId(0),
+        };
+        let snap = est.evaluate(&ctx, &query(&db), &mut op, &mut rng).unwrap();
+        assert!(snap.samples <= 300);
+        assert!(!snap.groups.is_empty());
+    }
+}

@@ -1,0 +1,239 @@
+//! The continuous-query model (paper §II).
+//!
+//! `SELECT op(expression) FROM R` evaluated continuously from its arrival
+//! time, with user-fixed precision:
+//!
+//! * `δ` — resolution: the reported result must be re-evaluated whenever
+//!   the true aggregate has moved by at least `δ` since the last reported
+//!   update; smaller excursions may be filtered out ("held").
+//! * `ε` — confidence-interval half-width: each reported estimate must
+//!   satisfy `|X̂[t_u] − X[t_u]| ≤ ε` …
+//! * `p` — … with probability at least `p`.
+//!
+//! An exact query is the degenerate `δ = ε = 0, p = 1`; Digest requires
+//! strictly positive `δ`, `ε` and `p ∈ (0, 1)` (the non-degenerate regime
+//! sampling can serve).
+
+use crate::error::CoreError;
+use crate::Result;
+use digest_db::{Expr, Predicate};
+use std::fmt;
+
+/// The aggregate operation of the query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggregateOp {
+    /// `AVG(expression)`.
+    Avg,
+    /// `SUM(expression)` — estimated as `N̂ · AVG` with a sampled size
+    /// estimate `N̂`.
+    Sum,
+    /// `COUNT(*)` — estimated as `N̂`.
+    Count,
+    /// `MEDIAN(expression)` — estimated by order statistics with a
+    /// distribution-free confidence interval (an extension beyond the
+    /// paper's operations; see `quantile_est`).
+    Median,
+}
+
+impl fmt::Display for AggregateOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AggregateOp::Avg => write!(f, "AVG"),
+            AggregateOp::Sum => write!(f, "SUM"),
+            AggregateOp::Count => write!(f, "COUNT"),
+            AggregateOp::Median => write!(f, "MEDIAN"),
+        }
+    }
+}
+
+/// The fixed precision `(δ, ε, p)` of an approximate continuous query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Precision {
+    /// Resolution threshold `δ > 0`.
+    pub delta: f64,
+    /// Confidence-interval half-width `ε > 0`.
+    pub epsilon: f64,
+    /// Confidence level `p ∈ (0, 1)`.
+    pub confidence: f64,
+}
+
+impl Precision {
+    /// Creates and validates a precision specification.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidPrecision`] if any parameter is out of range.
+    pub fn new(delta: f64, epsilon: f64, confidence: f64) -> Result<Self> {
+        if !delta.is_finite() || delta <= 0.0 {
+            return Err(CoreError::InvalidPrecision {
+                reason: "delta must be positive and finite",
+            });
+        }
+        if !epsilon.is_finite() || epsilon <= 0.0 {
+            return Err(CoreError::InvalidPrecision {
+                reason: "epsilon must be positive and finite",
+            });
+        }
+        if !(confidence > 0.0 && confidence < 1.0) {
+            return Err(CoreError::InvalidPrecision {
+                reason: "confidence must be in (0, 1)",
+            });
+        }
+        Ok(Self {
+            delta,
+            epsilon,
+            confidence,
+        })
+    }
+
+    /// The target estimator variance `v* = (ε / z_p)²` this precision
+    /// demands of any asymptotically normal estimator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates quantile-domain errors (unreachable for validated
+    /// precisions).
+    pub fn target_variance(&self) -> Result<f64> {
+        Ok(digest_stats::clt::target_estimator_variance(
+            self.epsilon,
+            self.confidence,
+        )?)
+    }
+}
+
+/// A fixed-precision approximate continuous aggregate query.
+#[derive(Debug, Clone)]
+pub struct ContinuousQuery {
+    /// The aggregate operation.
+    pub op: AggregateOp,
+    /// The arithmetic expression over `R`'s attributes.
+    pub expr: Expr,
+    /// The `WHERE` predicate restricting the aggregated sub-population
+    /// ([`Predicate::True`] = the paper's unrestricted query model).
+    pub predicate: Predicate,
+    /// The fixed precision `(δ, ε, p)`.
+    pub precision: Precision,
+}
+
+impl ContinuousQuery {
+    /// Creates a query over the whole relation.
+    #[must_use]
+    pub fn new(op: AggregateOp, expr: Expr, precision: Precision) -> Self {
+        Self {
+            op,
+            expr,
+            predicate: Predicate::True,
+            precision,
+        }
+    }
+
+    /// Convenience constructor for the common `AVG` case.
+    #[must_use]
+    pub fn avg(expr: Expr, precision: Precision) -> Self {
+        Self::new(AggregateOp::Avg, expr, precision)
+    }
+
+    /// Restricts the query with a `WHERE` predicate.
+    #[must_use]
+    pub fn with_predicate(mut self, predicate: Predicate) -> Self {
+        self.predicate = predicate;
+        self
+    }
+
+    /// Oracle: the exact current answer of this query against a database
+    /// (ground truth for simulation; a real peer cannot compute this).
+    ///
+    /// Returns `None` when the answer is undefined (e.g. `AVG`/`MEDIAN`
+    /// over an empty qualifying set) or evaluation fails.
+    #[must_use]
+    pub fn oracle(&self, db: &digest_db::P2PDatabase) -> Option<f64> {
+        match self.op {
+            AggregateOp::Avg => db.exact_avg_where(&self.expr, &self.predicate).ok(),
+            AggregateOp::Sum => db.exact_sum_where(&self.expr, &self.predicate).ok(),
+            AggregateOp::Count => db.exact_count_where(&self.predicate).ok().map(|c| c as f64),
+            AggregateOp::Median => {
+                let mut values = Vec::new();
+                for (_, tuple) in db.iter() {
+                    if self.predicate.eval(tuple).ok()? {
+                        values.push(self.expr.eval(tuple).ok()?);
+                    }
+                }
+                if values.is_empty() {
+                    return None;
+                }
+                values.sort_by(f64::total_cmp);
+                digest_stats::sample_quantile(&values, 0.5).ok()
+            }
+        }
+    }
+}
+
+impl fmt::Display for ContinuousQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // COUNT ignores its expression; render the conventional `*`.
+        if matches!(self.op, AggregateOp::Count) {
+            write!(f, "SELECT COUNT(*) FROM R")?;
+        } else {
+            write!(f, "SELECT {}({}) FROM R", self.op, self.expr)?;
+        }
+        if !self.predicate.is_trivial() {
+            write!(f, " WHERE {}", self.predicate)?;
+        }
+        write!(
+            f,
+            " [δ={}, ε={}, p={}]",
+            self.precision.delta, self.precision.epsilon, self.precision.confidence
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use digest_db::Schema;
+
+    #[test]
+    fn precision_validation() {
+        assert!(Precision::new(1.0, 1.0, 0.95).is_ok());
+        assert!(Precision::new(0.0, 1.0, 0.95).is_err());
+        assert!(Precision::new(-1.0, 1.0, 0.95).is_err());
+        assert!(Precision::new(1.0, 0.0, 0.95).is_err());
+        assert!(Precision::new(1.0, 1.0, 0.0).is_err());
+        assert!(Precision::new(1.0, 1.0, 1.0).is_err());
+        assert!(Precision::new(f64::NAN, 1.0, 0.95).is_err());
+        assert!(Precision::new(1.0, f64::INFINITY, 0.95).is_err());
+    }
+
+    #[test]
+    fn target_variance_matches_clt() {
+        let p = Precision::new(1.0, 2.0, 0.95).unwrap();
+        let v = p.target_variance().unwrap();
+        // v* = (2/1.95996)² ≈ 1.0414.
+        assert!((v - 1.0414).abs() < 1e-3, "v = {v}");
+    }
+
+    #[test]
+    fn query_display_is_sql_like() {
+        let schema = Schema::new(["memory", "storage"]);
+        let expr = Expr::parse("memory + storage", &schema).unwrap();
+        let q = ContinuousQuery::new(
+            AggregateOp::Sum,
+            expr,
+            Precision::new(1.0, 0.5, 0.95).unwrap(),
+        );
+        let s = q.to_string();
+        assert!(s.contains("SUM"), "{s}");
+        assert!(s.contains("memory"), "{s}");
+        assert!(s.contains("δ=1"), "{s}");
+    }
+
+    #[test]
+    fn avg_convenience() {
+        let schema = Schema::single("t");
+        let q = ContinuousQuery::avg(
+            Expr::first_attr(&schema),
+            Precision::new(2.0, 2.0, 0.95).unwrap(),
+        );
+        assert_eq!(q.op, AggregateOp::Avg);
+    }
+}

@@ -1,0 +1,181 @@
+//! Snapshot schedulers: when to execute the next snapshot query.
+//!
+//! * [`AllScheduler`] — the naive continuous-querying policy (`ALL` in the
+//!   paper's figures): a snapshot every tick.
+//! * [`PredScheduler`] — `PRED-k` (paper §IV-A): fit a Taylor polynomial
+//!   to the last `k` snapshot results and skip ahead to the earliest tick
+//!   at which the predicted drift plus the Lagrange remainder bound can
+//!   reach the resolution threshold `δ`.
+
+use crate::error::CoreError;
+use crate::Result;
+use digest_stats::{Extrapolator, ExtrapolatorConfig};
+
+/// Decides the gap (in ticks) until the next snapshot query.
+pub trait SnapshotScheduler {
+    /// Short name for experiment tables (`"ALL"`, `"PRED3"`, …).
+    fn name(&self) -> &str;
+
+    /// Records the snapshot result observed at time `t`.
+    fn observe(&mut self, t: f64, estimate: f64);
+
+    /// Ticks to wait before the next snapshot (≥ 1), given the query's
+    /// resolution `δ`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] for invalid `δ` (engine-validated, so
+    /// unreachable in normal use).
+    fn next_delay(&mut self, delta: f64) -> Result<u64>;
+
+    /// Forgets accumulated history (regime change).
+    fn reset(&mut self);
+}
+
+/// Snapshot every tick (`ALL`).
+#[derive(Debug, Clone, Default)]
+pub struct AllScheduler;
+
+impl AllScheduler {
+    /// Creates the scheduler.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl SnapshotScheduler for AllScheduler {
+    fn name(&self) -> &str {
+        "ALL"
+    }
+
+    fn observe(&mut self, _t: f64, _estimate: f64) {}
+
+    fn next_delay(&mut self, _delta: f64) -> Result<u64> {
+        Ok(1)
+    }
+
+    fn reset(&mut self) {}
+}
+
+/// The `PRED-k` extrapolating scheduler.
+#[derive(Debug, Clone)]
+pub struct PredScheduler {
+    name: String,
+    extrapolator: Extrapolator,
+}
+
+impl PredScheduler {
+    /// Creates `PRED-k` with default safety settings.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] if `k == 0`.
+    pub fn new(k: usize) -> Result<Self> {
+        if k == 0 {
+            return Err(CoreError::InvalidConfig {
+                reason: "PRED-k requires k >= 1",
+            });
+        }
+        Self::with_config(ExtrapolatorConfig::pred(k))
+    }
+
+    /// Creates a scheduler with full control over the extrapolator.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] for invalid extrapolator settings.
+    pub fn with_config(config: ExtrapolatorConfig) -> Result<Self> {
+        let name = format!("PRED{}", config.history);
+        let extrapolator = Extrapolator::new(config).map_err(|_| CoreError::InvalidConfig {
+            reason: "invalid extrapolator config",
+        })?;
+        Ok(Self { name, extrapolator })
+    }
+}
+
+impl SnapshotScheduler for PredScheduler {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn observe(&mut self, t: f64, estimate: f64) {
+        self.extrapolator.observe(t, estimate);
+    }
+
+    fn next_delay(&mut self, delta: f64) -> Result<u64> {
+        let prediction = self.extrapolator.predict(delta)?;
+        Ok(prediction.next_update_in.max(1))
+    }
+
+    fn reset(&mut self) {
+        self.extrapolator.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_scheduler_is_every_tick() {
+        let mut s = AllScheduler::new();
+        s.observe(0.0, 1.0);
+        assert_eq!(s.next_delay(5.0).unwrap(), 1);
+        assert_eq!(s.name(), "ALL");
+    }
+
+    #[test]
+    fn pred_scheduler_name_and_validation() {
+        assert!(PredScheduler::new(0).is_err());
+        let s = PredScheduler::new(3).unwrap();
+        assert_eq!(s.name(), "PRED3");
+    }
+
+    #[test]
+    fn pred_bootstraps_then_skips_on_steady_signal() {
+        let mut s = PredScheduler::new(3).unwrap();
+        // During bootstrap: every tick.
+        for t in 0..4 {
+            assert_eq!(s.next_delay(5.0).unwrap(), 1, "bootstrap tick {t}");
+            s.observe(t as f64, 100.0);
+        }
+        // Steady signal: now the scheduler can skip far ahead.
+        let d = s.next_delay(5.0).unwrap();
+        assert!(d > 5, "steady signal should skip ahead, got {d}");
+    }
+
+    #[test]
+    fn pred_tracks_fast_signal_closely() {
+        let mut s = PredScheduler::new(3).unwrap();
+        for t in 0..6 {
+            s.observe(t as f64, 10.0 * t as f64);
+        }
+        let d = s.next_delay(5.0).unwrap();
+        // Slope 10 per tick, δ = 5 → must re-snapshot almost immediately.
+        assert_eq!(d, 1, "fast drift must not be skipped, got {d}");
+    }
+
+    #[test]
+    fn pred_reset_restores_bootstrap() {
+        let mut s = PredScheduler::new(2).unwrap();
+        for t in 0..5 {
+            s.observe(t as f64, 1.0);
+        }
+        assert!(s.next_delay(10.0).unwrap() > 1);
+        s.reset();
+        assert_eq!(s.next_delay(10.0).unwrap(), 1);
+    }
+
+    #[test]
+    fn schedulers_are_object_safe() {
+        let mut boxed: Vec<Box<dyn SnapshotScheduler>> = vec![
+            Box::new(AllScheduler::new()),
+            Box::new(PredScheduler::new(2).unwrap()),
+        ];
+        for s in boxed.iter_mut() {
+            s.observe(0.0, 1.0);
+            assert!(s.next_delay(1.0).unwrap() >= 1);
+        }
+    }
+}

@@ -1,0 +1,382 @@
+//! Parsing full continuous-query statements from text.
+//!
+//! The paper writes queries as SQL-flavoured statements
+//! (`SELECT op(expression) FROM R`); this module accepts that form plus
+//! the precision contract, so applications can take whole queries as
+//! strings:
+//!
+//! ```text
+//! SELECT AVG(temperature) FROM R
+//!   WHERE station_ok = 1
+//!   WITH delta = 2, epsilon = 1, confidence = 0.95
+//! ```
+//!
+//! Keywords are case-insensitive; `p` is accepted as an alias for
+//! `confidence`; commas in the `WITH` clause are optional. The relation
+//! name after `FROM` is required but uninterpreted — the model is
+//! single-relation (§II).
+
+use crate::error::CoreError;
+use crate::query::{AggregateOp, ContinuousQuery, Precision};
+use crate::Result;
+use digest_db::{Expr, Predicate, Schema};
+
+/// Case-insensitive search for a *word* occurrence of `kw` at paren depth
+/// zero; returns the byte offset.
+fn find_keyword(text: &str, kw: &str) -> Option<usize> {
+    let bytes = text.as_bytes();
+    let mut depth = 0usize;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'(' => depth += 1,
+            b')' => depth = depth.saturating_sub(1),
+            c if depth == 0 && c.is_ascii_alphabetic() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                if text[start..i].eq_ignore_ascii_case(kw) {
+                    return Some(start);
+                }
+                continue;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+fn err(message: impl Into<String>) -> CoreError {
+    CoreError::InvalidStatement {
+        message: message.into(),
+    }
+}
+
+/// Parses one `key = value` pair list (the `WITH` clause).
+fn parse_with_clause(text: &str) -> Result<Precision> {
+    let mut delta = None;
+    let mut epsilon = None;
+    let mut confidence = None;
+    for part in text.split(',').flat_map(|s| {
+        // Allow both comma- and whitespace-separated pairs by re-splitting
+        // on whitespace boundaries between assignments.
+        split_assignments(s)
+    }) {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let (key, value) = part.split_once('=').ok_or_else(|| {
+            err(format!(
+                "expected `key = value` in WITH clause, got `{part}`"
+            ))
+        })?;
+        let value: f64 = value
+            .trim()
+            .parse()
+            .map_err(|_| err(format!("invalid number `{}` in WITH clause", value.trim())))?;
+        match key.trim().to_ascii_lowercase().as_str() {
+            "delta" | "δ" => delta = Some(value),
+            "epsilon" | "eps" | "ε" => epsilon = Some(value),
+            "confidence" | "p" => confidence = Some(value),
+            other => return Err(err(format!("unknown WITH parameter `{other}`"))),
+        }
+    }
+    Precision::new(
+        delta.ok_or_else(|| err("WITH clause must set delta"))?,
+        epsilon.ok_or_else(|| err("WITH clause must set epsilon"))?,
+        confidence.ok_or_else(|| err("WITH clause must set confidence (or p)"))?,
+    )
+}
+
+/// Splits `"delta = 1 epsilon = 2"` into assignment-sized chunks.
+fn split_assignments(s: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut rest = s.trim();
+    while let Some(eq) = rest.find('=') {
+        // The value runs to the next key (a word followed by '='), or EOL.
+        let after = &rest[eq + 1..];
+        let mut value_end = after.len();
+        let mut offset = 0;
+        for word_start in after
+            .char_indices()
+            .filter(|(_, c)| c.is_alphabetic())
+            .map(|(i, _)| i)
+        {
+            if word_start < offset {
+                continue;
+            }
+            let word_len = after[word_start..]
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .count();
+            let after_word = after[word_start + word_len..].trim_start();
+            if after_word.starts_with('=') {
+                value_end = word_start;
+                break;
+            }
+            offset = word_start + word_len;
+        }
+        out.push(&rest[..eq + 1 + value_end]);
+        rest = rest[eq + 1 + value_end..].trim();
+        if rest.is_empty() {
+            break;
+        }
+    }
+    if out.is_empty() && !s.trim().is_empty() {
+        out.push(s);
+    }
+    out
+}
+
+impl ContinuousQuery {
+    /// Parses a full continuous-query statement against a schema.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidStatement`] for malformed statements,
+    /// [`CoreError::Db`] for expression/predicate errors, and
+    /// [`CoreError::InvalidPrecision`] for out-of-range precision values.
+    pub fn parse(text: &str, schema: &Schema) -> Result<ContinuousQuery> {
+        let text = text.trim();
+        let rest = text
+            .get(..6)
+            .filter(|head| head.eq_ignore_ascii_case("select"))
+            .map(|_| text[6..].trim_start())
+            .ok_or_else(|| err("statement must start with SELECT"))?;
+
+        // Aggregate op up to '('.
+        let open = rest
+            .find('(')
+            .ok_or_else(|| err("expected `(` after the aggregate operation"))?;
+        let op = match rest[..open].trim().to_ascii_uppercase().as_str() {
+            "AVG" => AggregateOp::Avg,
+            "SUM" => AggregateOp::Sum,
+            "COUNT" => AggregateOp::Count,
+            "MEDIAN" => AggregateOp::Median,
+            other => return Err(err(format!("unknown aggregate operation `{other}`"))),
+        };
+
+        // Balanced expression inside the parens.
+        let body = &rest[open + 1..];
+        let mut depth = 1usize;
+        let mut close = None;
+        for (i, c) in body.char_indices() {
+            match c {
+                '(' => depth += 1,
+                ')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = Some(i);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let close = close.ok_or_else(|| err("unbalanced parentheses in aggregate expression"))?;
+        let expr_text = body[..close].trim();
+        let expr = if expr_text == "*" && matches!(op, AggregateOp::Count) {
+            // COUNT(*) — the expression is irrelevant to a pure count.
+            Expr::first_attr(schema)
+        } else {
+            Expr::parse(expr_text, schema)?
+        };
+
+        let after_expr = body[close + 1..].trim_start();
+
+        // FROM <relation>.
+        let from_pos =
+            find_keyword(after_expr, "from").ok_or_else(|| err("expected FROM clause"))?;
+        if !after_expr[..from_pos].trim().is_empty() {
+            return Err(err("unexpected tokens between the aggregate and FROM"));
+        }
+        let after_from = after_expr[from_pos + 4..].trim_start();
+        let rel_len = after_from
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .count();
+        if rel_len == 0 {
+            return Err(err("expected a relation name after FROM"));
+        }
+        let after_rel = after_from[rel_len..].trim_start();
+
+        // Optional WHERE … up to WITH.
+        let with_pos = find_keyword(after_rel, "with");
+        let (where_text, with_text) = match (find_keyword(after_rel, "where"), with_pos) {
+            (Some(wh), Some(wi)) if wh < wi => (
+                Some(after_rel[wh + 5..wi].trim()),
+                Some(&after_rel[wi + 4..]),
+            ),
+            (Some(wh), None) => (Some(after_rel[wh + 5..].trim()), None),
+            (None, Some(wi)) => {
+                if !after_rel[..wi].trim().is_empty() {
+                    return Err(err("unexpected tokens between FROM and WITH"));
+                }
+                (None, Some(&after_rel[wi + 4..]))
+            }
+            (None, None) => {
+                if !after_rel.trim().is_empty() {
+                    return Err(err("unexpected trailing tokens after FROM clause"));
+                }
+                (None, None)
+            }
+            (Some(_), Some(_)) => return Err(err("WHERE must precede WITH")),
+        };
+
+        let precision = parse_with_clause(
+            with_text.ok_or_else(|| err("statement must end with a WITH precision clause"))?,
+        )?;
+        let predicate = match where_text {
+            None => Predicate::True,
+            Some("") => return Err(err("empty WHERE clause")),
+            Some(p) => Predicate::parse(p, schema)?,
+        };
+
+        Ok(ContinuousQuery::new(op, expr, precision).with_predicate(predicate))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(["temperature", "memory", "storage"])
+    }
+
+    #[test]
+    fn parses_the_paper_style_query() {
+        let q = ContinuousQuery::parse(
+            "SELECT AVG(temperature) FROM R WITH delta = 2, epsilon = 1, confidence = 0.95",
+            &schema(),
+        )
+        .unwrap();
+        assert_eq!(q.op, AggregateOp::Avg);
+        assert!(q.predicate.is_trivial());
+        assert_eq!(q.precision.delta, 2.0);
+        assert_eq!(q.precision.epsilon, 1.0);
+        assert_eq!(q.precision.confidence, 0.95);
+    }
+
+    #[test]
+    fn parses_sum_expression_and_where() {
+        let q = ContinuousQuery::parse(
+            "select sum(memory + storage) from resources \
+             where memory > 4 and storage >= 10 \
+             with delta=1000 epsilon=500 p=0.9",
+            &schema(),
+        )
+        .unwrap();
+        assert_eq!(q.op, AggregateOp::Sum);
+        assert!(!q.predicate.is_trivial());
+        let t = digest_db::Tuple::new(vec![0.0, 8.0, 100.0]);
+        assert_eq!(q.expr.eval(&t).unwrap(), 108.0);
+        assert!(q.predicate.eval(&t).unwrap());
+        assert_eq!(q.precision.confidence, 0.9);
+    }
+
+    #[test]
+    fn parses_median() {
+        let q = ContinuousQuery::parse(
+            "SELECT MEDIAN(temperature) FROM R WITH delta=2, epsilon=1, p=0.95",
+            &schema(),
+        )
+        .unwrap();
+        assert_eq!(q.op, AggregateOp::Median);
+        assert!(q.to_string().contains("MEDIAN"));
+    }
+
+    #[test]
+    fn parses_count_star() {
+        let q = ContinuousQuery::parse(
+            "SELECT COUNT(*) FROM R WHERE memory < 8 WITH delta=10, epsilon=5, p=0.9",
+            &schema(),
+        )
+        .unwrap();
+        assert_eq!(q.op, AggregateOp::Count);
+        assert!(!q.predicate.is_trivial());
+    }
+
+    #[test]
+    fn keywords_inside_expressions_do_not_confuse_the_parser() {
+        // Attribute names containing 'from'/'where' as substrings.
+        let schema = Schema::new(["fromage", "whereabouts"]);
+        let q = ContinuousQuery::parse(
+            "SELECT AVG(fromage) FROM R WHERE whereabouts > 0 WITH delta=1, epsilon=1, p=0.5",
+            &schema,
+        )
+        .unwrap();
+        assert!(!q.predicate.is_trivial());
+    }
+
+    #[test]
+    fn display_round_trips_through_parse() {
+        let q = ContinuousQuery::parse(
+            "SELECT AVG(temperature) FROM R WHERE memory > 1 WITH delta=2, epsilon=1, p=0.95",
+            &schema(),
+        )
+        .unwrap();
+        // Display format: "... [δ=2, ε=1, p=0.95]" — convert back to WITH
+        // form and reparse.
+        let shown = q.to_string();
+        let statement = shown
+            .replace("[δ=", "WITH delta=")
+            .replace(", ε=", ", epsilon=")
+            .replace(", p=", ", confidence=")
+            .replace(']', "");
+        let q2 = ContinuousQuery::parse(&statement, &schema()).unwrap();
+        assert_eq!(q2.op, q.op);
+        assert_eq!(q2.precision, q.precision);
+        assert_eq!(q2.predicate, q.predicate);
+    }
+
+    #[test]
+    fn rejects_malformed_statements() {
+        let s = schema();
+        for bad in [
+            "",
+            "AVG(temperature) FROM R WITH delta=1, epsilon=1, p=0.5",
+            "SELECT MODE(temperature) FROM R WITH delta=1, epsilon=1, p=0.5",
+            "SELECT AVG temperature FROM R WITH delta=1, epsilon=1, p=0.5",
+            "SELECT AVG(temperature FROM R WITH delta=1, epsilon=1, p=0.5",
+            "SELECT AVG(temperature) WITH delta=1, epsilon=1, p=0.5",
+            "SELECT AVG(temperature) FROM R",
+            "SELECT AVG(temperature) FROM R WITH delta=1, epsilon=1",
+            "SELECT AVG(temperature) FROM R WITH delta=1, epsilon=1, p=0.5, bogus=2",
+            "SELECT AVG(temperature) FROM R WITH delta=one, epsilon=1, p=0.5",
+            "SELECT AVG(temperature) FROM R WHERE WITH delta=1, epsilon=1, p=0.5",
+            "SELECT AVG(temperature) FROM R junk WITH delta=1, epsilon=1, p=0.5",
+            "SELECT AVG(unknown_attr) FROM R WITH delta=1, epsilon=1, p=0.5",
+            "SELECT AVG(temperature) FROM R WITH delta=0, epsilon=1, p=0.5",
+        ] {
+            assert!(
+                ContinuousQuery::parse(bad, &s).is_err(),
+                "should reject: {bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn count_star_requires_count() {
+        assert!(ContinuousQuery::parse(
+            "SELECT AVG(*) FROM R WITH delta=1, epsilon=1, p=0.5",
+            &schema()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn whitespace_and_case_are_flexible() {
+        let q = ContinuousQuery::parse(
+            "  SeLeCt   CoUnT( * )   FrOm   r   WiTh   DELTA=3   EPSILON = 2   P=0.8  ",
+            &schema(),
+        )
+        .unwrap();
+        assert_eq!(q.op, AggregateOp::Count);
+        assert_eq!(q.precision.delta, 3.0);
+        assert_eq!(q.precision.epsilon, 2.0);
+    }
+}

@@ -1,0 +1,107 @@
+//! The interface every continuous-query system exposes to the simulator.
+//!
+//! One trait covers Digest in all its scheduler/estimator combinations and
+//! the push-based baselines, so experiments can drive them uniformly and
+//! compare sample and message counts on equal footing.
+
+use crate::Result;
+use digest_db::P2PDatabase;
+use digest_net::{Graph, NodeId};
+use rand::RngCore;
+
+/// Everything a query system may look at during one tick.
+///
+/// The `graph`/`db` references are the *real* distributed state; each
+/// system is honour-bound to access them only in ways its real-world
+/// counterpart could (Digest through sampling walks, push baselines
+/// through their installed filters). Message accounting makes the cost of
+/// every access explicit.
+#[derive(Debug, Clone, Copy)]
+pub struct TickContext<'a> {
+    /// The current discrete time.
+    pub tick: u64,
+    /// The overlay network.
+    pub graph: &'a Graph,
+    /// The partitioned database.
+    pub db: &'a P2PDatabase,
+    /// The node where the continuous query was issued.
+    pub origin: NodeId,
+}
+
+/// What happened during one tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TickOutcome {
+    /// The system's current running estimate `X̂[t]` (held from the last
+    /// update when no snapshot ran).
+    pub estimate: f64,
+    /// Whether the reported result was updated this tick.
+    pub updated: bool,
+    /// Whether a snapshot query executed this tick.
+    pub snapshot_executed: bool,
+    /// Samples drawn this tick (fresh + revisited).
+    pub samples_this_tick: u64,
+    /// Of those, samples freshly drawn through the sampling operator.
+    pub fresh_samples_this_tick: u64,
+    /// Node-to-node messages spent this tick.
+    pub messages_this_tick: u64,
+}
+
+impl TickOutcome {
+    /// An idle tick: hold the estimate, spend nothing.
+    #[must_use]
+    pub fn idle(estimate: f64) -> Self {
+        Self {
+            estimate,
+            updated: false,
+            snapshot_executed: false,
+            samples_this_tick: 0,
+            fresh_samples_this_tick: 0,
+            messages_this_tick: 0,
+        }
+    }
+}
+
+/// A continuous-query answering system under test.
+pub trait QuerySystem {
+    /// Short name for experiment tables (e.g. `"PRED3+RPT"`).
+    fn name(&self) -> &str;
+
+    /// Advances the system one tick.
+    ///
+    /// # Errors
+    ///
+    /// Any engine error; the simulator aborts the run on error.
+    fn on_tick(&mut self, ctx: &TickContext<'_>, rng: &mut dyn RngCore) -> Result<TickOutcome>;
+
+    /// Total messages spent since construction.
+    fn total_messages(&self) -> u64;
+
+    /// Total samples drawn since construction (fresh + revisited; 0 for
+    /// non-sampling systems).
+    fn total_samples(&self) -> u64;
+
+    /// Total snapshot queries executed since construction.
+    fn total_snapshots(&self) -> u64;
+
+    /// Oracle ground truth for the system's query at this instant, when
+    /// the system knows how to compute one (simulation-only; used by the
+    /// runner to verify precision). Default: `None` — the runner falls
+    /// back to the workload's plain-AVG oracle.
+    fn oracle_truth(&self, _ctx: &TickContext<'_>) -> Option<f64> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_outcome_holds_value() {
+        let o = TickOutcome::idle(42.0);
+        assert_eq!(o.estimate, 42.0);
+        assert!(!o.updated);
+        assert!(!o.snapshot_executed);
+        assert_eq!(o.messages_this_tick, 0);
+    }
+}

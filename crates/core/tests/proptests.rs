@@ -1,0 +1,81 @@
+//! Property-based tests of the query-engine building blocks.
+
+use digest_core::{AggregateOp, ContinuousQuery, Precision};
+use digest_core::{AllScheduler, PredScheduler, SnapshotScheduler};
+use digest_db::{Expr, Predicate, Schema};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn precision_accepts_exactly_the_legal_domain(
+        delta in -10.0f64..10.0,
+        epsilon in -10.0f64..10.0,
+        confidence in -0.5f64..1.5,
+    ) {
+        let legal = delta > 0.0 && epsilon > 0.0 && confidence > 0.0 && confidence < 1.0;
+        prop_assert_eq!(Precision::new(delta, epsilon, confidence).is_ok(), legal);
+    }
+
+    #[test]
+    fn target_variance_is_positive_and_monotone(
+        epsilon in 0.01f64..10.0,
+        confidence in 0.5f64..0.99,
+    ) {
+        let p = Precision::new(1.0, epsilon, confidence).unwrap();
+        let v = p.target_variance().unwrap();
+        prop_assert!(v > 0.0);
+        let tighter = Precision::new(1.0, epsilon / 2.0, confidence).unwrap();
+        prop_assert!(tighter.target_variance().unwrap() < v);
+    }
+
+    #[test]
+    fn all_scheduler_always_says_one(delta in 0.001f64..100.0, obs in 0u64..50) {
+        let mut s = AllScheduler::new();
+        for t in 0..obs {
+            s.observe(t as f64, t as f64);
+        }
+        prop_assert_eq!(s.next_delay(delta).unwrap(), 1);
+    }
+
+    #[test]
+    fn pred_scheduler_delay_is_bounded_and_monotone_in_delta(
+        k in 1usize..5,
+        slope in -5.0f64..5.0,
+        delta in 0.1f64..50.0,
+    ) {
+        let mut s = PredScheduler::new(k).unwrap();
+        for t in 0..(k as u64 + 4) {
+            s.observe(t as f64, slope * t as f64);
+        }
+        let d1 = s.next_delay(delta).unwrap();
+        let d2 = s.next_delay(delta * 2.0).unwrap();
+        prop_assert!(d1 >= 1);
+        prop_assert!(d2 >= d1, "looser δ must not schedule sooner: {d1} vs {d2}");
+    }
+
+    #[test]
+    fn query_display_round_trips_predicate_and_expression(
+        threshold in -100.0f64..100.0,
+        delta in 0.1f64..10.0,
+    ) {
+        let schema = Schema::new(["a", "b"]);
+        let q = ContinuousQuery::new(
+            AggregateOp::Sum,
+            Expr::parse("a + b * 2", &schema).unwrap(),
+            Precision::new(delta, 1.0, 0.9).unwrap(),
+        )
+        .with_predicate(
+            Predicate::parse(&format!("a > {threshold}"), &schema).unwrap(),
+        );
+        let shown = q.to_string();
+        prop_assert!(shown.contains("SUM"));
+        prop_assert!(shown.contains("WHERE"));
+        // The displayed predicate reparses to an equivalent one.
+        let inner = shown.split("WHERE ").nth(1).unwrap().split(" [").next().unwrap();
+        let reparsed = Predicate::parse(inner, &schema).unwrap();
+        for a in [-200.0, threshold - 0.5, threshold + 0.5, 200.0] {
+            let t = digest_db::Tuple::new(vec![a, 0.0]);
+            prop_assert_eq!(reparsed.eval(&t).unwrap(), q.predicate.eval(&t).unwrap());
+        }
+    }
+}

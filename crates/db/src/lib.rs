@@ -1,0 +1,39 @@
+//! # digest-db
+//!
+//! The peer-to-peer database substrate: a single relation `R`, horizontally
+//! partitioned across the live nodes of the overlay (paper §II).
+//!
+//! * [`tuple`](mod@tuple) — tuples, schemas, and stable tuple handles (node id +
+//!   local slot + generation) that let the query engine's sample panel
+//!   revisit a sampled tuple cheaply and detect deletion.
+//! * [`expr`] — the arithmetic `expression` of the query model
+//!   (`SELECT op(expression) FROM R`): an AST over the relation's
+//!   attributes with a small text parser for the examples.
+//! * [`predicate`] — boolean `WHERE` predicates over the same attributes
+//!   (the paper's §VIII selection extension).
+//! * [`store`] — a node's local tuple store with O(1) insert / delete /
+//!   uniform local sampling, the second stage of two-stage sampling.
+//! * [`database`] — the partitioned database: per-node stores, churn
+//!   integration (a departing node deletes its fragment), and the *oracle*
+//!   exact aggregates the simulator uses for ground truth.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod database;
+pub mod error;
+pub mod expr;
+pub mod predicate;
+pub mod store;
+pub mod tuple;
+
+pub use database::P2PDatabase;
+pub use error::DbError;
+pub use expr::Expr;
+pub use predicate::{CmpOp, Predicate};
+pub use store::LocalStore;
+pub use tuple::{Schema, Tuple, TupleHandle};
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, DbError>;

@@ -1,0 +1,260 @@
+//! A node's local tuple store.
+//!
+//! Supports the operations the paper's model needs at per-tick rates:
+//! O(1) insert, O(1) delete, O(1) *uniform local sampling* (the second
+//! stage of two-stage sampling, §III), and generation-checked access so a
+//! retained sample detects deletion on revisit.
+
+use crate::tuple::Tuple;
+use rand::Rng;
+
+#[derive(Debug, Clone)]
+struct Slot {
+    generation: u32,
+    tuple: Option<Tuple>,
+}
+
+/// The tuple fragment stored at one node.
+#[derive(Debug, Clone, Default)]
+pub struct LocalStore {
+    slots: Vec<Slot>,
+    /// Dense list of occupied slot indices (for O(1) uniform choice).
+    live: Vec<u32>,
+    /// `live_pos[slot]` = index into `live`, `u32::MAX` when vacant.
+    live_pos: Vec<u32>,
+    /// Vacant slot indices available for reuse.
+    free: Vec<u32>,
+}
+
+impl LocalStore {
+    /// Creates an empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty store with capacity for `n` tuples.
+    #[must_use]
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            slots: Vec::with_capacity(n),
+            live: Vec::with_capacity(n),
+            live_pos: Vec::with_capacity(n),
+            free: Vec::new(),
+        }
+    }
+
+    /// Number of stored tuples (`m_v` in the paper).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Whether the store is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// Inserts a tuple, returning `(slot, generation)`.
+    pub fn insert(&mut self, tuple: Tuple) -> (u32, u32) {
+        let slot = match self.free.pop() {
+            Some(s) => {
+                let entry = &mut self.slots[s as usize];
+                entry.tuple = Some(tuple);
+                s
+            }
+            None => {
+                let s = self.slots.len() as u32;
+                self.slots.push(Slot {
+                    generation: 0,
+                    tuple: Some(tuple),
+                });
+                self.live_pos.push(u32::MAX);
+                s
+            }
+        };
+        self.live_pos[slot as usize] = self.live.len() as u32;
+        self.live.push(slot);
+        (slot, self.slots[slot as usize].generation)
+    }
+
+    /// Deletes the tuple at `slot` if the generation matches; returns
+    /// whether a tuple was deleted. The slot's generation is bumped so
+    /// outstanding handles become stale.
+    pub fn delete(&mut self, slot: u32, generation: u32) -> bool {
+        let Some(entry) = self.slots.get_mut(slot as usize) else {
+            return false;
+        };
+        if entry.generation != generation || entry.tuple.is_none() {
+            return false;
+        }
+        entry.tuple = None;
+        entry.generation = entry.generation.wrapping_add(1);
+        // Remove from the dense live list.
+        let pos = self.live_pos[slot as usize];
+        self.live_pos[slot as usize] = u32::MAX;
+        let last = self.live.pop().expect("live non-empty");
+        if last != slot {
+            self.live[pos as usize] = last;
+            self.live_pos[last as usize] = pos;
+        }
+        self.free.push(slot);
+        true
+    }
+
+    /// The tuple at `slot` under the given generation, or `None` if the
+    /// handle is stale.
+    #[must_use]
+    pub fn get(&self, slot: u32, generation: u32) -> Option<&Tuple> {
+        let entry = self.slots.get(slot as usize)?;
+        if entry.generation == generation {
+            entry.tuple.as_ref()
+        } else {
+            None
+        }
+    }
+
+    /// Mutable access under a generation check (autonomous local update).
+    #[must_use]
+    pub fn get_mut(&mut self, slot: u32, generation: u32) -> Option<&mut Tuple> {
+        let entry = self.slots.get_mut(slot as usize)?;
+        if entry.generation == generation {
+            entry.tuple.as_mut()
+        } else {
+            None
+        }
+    }
+
+    /// Uniformly random stored tuple as `(slot, generation, &tuple)`.
+    #[must_use]
+    pub fn sample_uniform<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<(u32, u32, &Tuple)> {
+        if self.live.is_empty() {
+            return None;
+        }
+        let slot = self.live[rng.gen_range(0..self.live.len())];
+        let entry = &self.slots[slot as usize];
+        Some((
+            slot,
+            entry.generation,
+            entry.tuple.as_ref().expect("live slot occupied"),
+        ))
+    }
+
+    /// Iterates over `(slot, generation, &tuple)` for all stored tuples.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32, &Tuple)> + '_ {
+        self.live.iter().map(move |&slot| {
+            let entry = &self.slots[slot as usize];
+            (
+                slot,
+                entry.generation,
+                entry.tuple.as_ref().expect("live slot occupied"),
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn insert_get_delete_cycle() {
+        let mut s = LocalStore::new();
+        assert!(s.is_empty());
+        let (slot, g) = s.insert(Tuple::single(1.5));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(slot, g).unwrap().value(0).unwrap(), 1.5);
+        assert!(s.delete(slot, g));
+        assert!(s.is_empty());
+        assert!(s.get(slot, g).is_none());
+        assert!(!s.delete(slot, g), "double delete must fail");
+    }
+
+    #[test]
+    fn slot_reuse_bumps_generation() {
+        let mut s = LocalStore::new();
+        let (slot, g0) = s.insert(Tuple::single(1.0));
+        s.delete(slot, g0);
+        let (slot2, g1) = s.insert(Tuple::single(2.0));
+        assert_eq!(slot, slot2, "slot should be reused");
+        assert_ne!(g0, g1, "generation must differ");
+        // The old handle is stale.
+        assert!(s.get(slot, g0).is_none());
+        assert_eq!(s.get(slot, g1).unwrap().value(0).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn get_mut_updates_in_place() {
+        let mut s = LocalStore::new();
+        let (slot, g) = s.insert(Tuple::single(5.0));
+        s.get_mut(slot, g).unwrap().values_mut()[0] = 6.0;
+        assert_eq!(s.get(slot, g).unwrap().value(0).unwrap(), 6.0);
+        assert!(s.get_mut(slot, g.wrapping_add(1)).is_none());
+    }
+
+    #[test]
+    fn uniform_sampling_covers_all_tuples() {
+        let mut s = LocalStore::new();
+        for i in 0..10 {
+            s.insert(Tuple::single(i as f64));
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            let (_, _, t) = s.sample_uniform(&mut rng).unwrap();
+            counts[t.value(0).unwrap() as usize] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                c > 800 && c < 1200,
+                "tuple {i} sampled {c} times (expect ~1000)"
+            );
+        }
+    }
+
+    #[test]
+    fn sampling_empty_store_is_none() {
+        let s = LocalStore::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        assert!(s.sample_uniform(&mut rng).is_none());
+    }
+
+    #[test]
+    fn iter_sees_exactly_live_tuples() {
+        let mut s = LocalStore::new();
+        let (s0, g0) = s.insert(Tuple::single(0.0));
+        let (_s1, _g1) = s.insert(Tuple::single(1.0));
+        let (_s2, _g2) = s.insert(Tuple::single(2.0));
+        s.delete(s0, g0);
+        let values: Vec<f64> = s.iter().map(|(_, _, t)| t.value(0).unwrap()).collect();
+        assert_eq!(values.len(), 2);
+        assert!(values.contains(&1.0) && values.contains(&2.0));
+    }
+
+    #[test]
+    fn stress_many_insert_delete() {
+        let mut s = LocalStore::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut handles = Vec::new();
+        for round in 0..50 {
+            for i in 0..20 {
+                handles.push(s.insert(Tuple::single((round * 20 + i) as f64)));
+            }
+            use rand::seq::SliceRandom;
+            handles.shuffle(&mut rng);
+            for _ in 0..10 {
+                if let Some((slot, g)) = handles.pop() {
+                    assert!(s.delete(slot, g));
+                }
+            }
+        }
+        assert_eq!(s.len(), 50 * 20 - 50 * 10);
+        // Every remaining handle resolves.
+        for &(slot, g) in &handles {
+            assert!(s.get(slot, g).is_some());
+        }
+    }
+}

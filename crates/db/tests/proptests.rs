@@ -1,0 +1,128 @@
+//! Property-based tests of the partitioned database and local stores.
+
+use digest_db::{Expr, LocalStore, P2PDatabase, Schema, Tuple, TupleHandle};
+use digest_net::NodeId;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u32, f64),
+    DeleteNth(usize),
+    UpdateNth(usize, f64),
+    RemoveNode(u32),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u32..8, -1e6f64..1e6).prop_map(|(n, v)| Op::Insert(n, v)),
+        (0usize..256).prop_map(Op::DeleteNth),
+        (0usize..256, -1e6f64..1e6).prop_map(|(i, v)| Op::UpdateNth(i, v)),
+        (0u32..8).prop_map(Op::RemoveNode),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn database_counts_stay_consistent(ops in prop::collection::vec(op_strategy(), 0..300)) {
+        let mut db = P2PDatabase::new(Schema::single("a"));
+        for i in 0..8u32 {
+            db.register_node(NodeId(i));
+        }
+        let mut live: Vec<TupleHandle> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Insert(node, v) => {
+                    if db.has_node(NodeId(node)) {
+                        live.push(db.insert(NodeId(node), Tuple::single(v)).unwrap());
+                    }
+                }
+                Op::DeleteNth(i) => {
+                    if !live.is_empty() {
+                        let h = live.swap_remove(i % live.len());
+                        // May already be gone via RemoveNode.
+                        let _ = db.delete(h);
+                    }
+                }
+                Op::UpdateNth(i, v) => {
+                    if !live.is_empty() {
+                        let h = live[i % live.len()];
+                        let _ = db.update(h, &[v]);
+                    }
+                }
+                Op::RemoveNode(node) => {
+                    if db.has_node(NodeId(node)) {
+                        db.remove_node(NodeId(node)).unwrap();
+                        live.retain(|h| h.node != NodeId(node));
+                        db.register_node(NodeId(node)); // node re-joins empty
+                    }
+                }
+            }
+            // Invariant: total == sum of fragment sizes == iterator length.
+            let frag_sum: usize = db.nodes().map(|n| db.content_size(n)).sum();
+            prop_assert_eq!(db.total_tuples(), frag_sum);
+            prop_assert_eq!(db.total_tuples(), db.iter().count());
+        }
+        // Every handle we believe is live resolves; none is double-counted.
+        for h in &live {
+            prop_assert!(db.read(*h).is_ok());
+        }
+        prop_assert!(live.len() <= db.total_tuples());
+    }
+
+    #[test]
+    fn store_slot_generations_prevent_aba(values in prop::collection::vec(-1e6f64..1e6, 1..50)) {
+        let mut store = LocalStore::new();
+        let mut stale: Vec<(u32, u32)> = Vec::new();
+        for &v in &values {
+            let (slot, generation) = store.insert(Tuple::single(v));
+            prop_assert!(store.delete(slot, generation));
+            stale.push((slot, generation));
+            // Refill (likely reusing the slot).
+            let _ = store.insert(Tuple::single(v + 1.0));
+        }
+        // No stale handle ever resolves, even though slots were refilled.
+        for (slot, generation) in stale {
+            prop_assert!(store.get(slot, generation).is_none());
+        }
+    }
+
+    #[test]
+    fn exact_aggregates_match_direct_computation(
+        values in prop::collection::vec(-1e4f64..1e4, 1..100),
+    ) {
+        let mut db = P2PDatabase::new(Schema::single("a"));
+        for i in 0..4u32 {
+            db.register_node(NodeId(i));
+        }
+        for (i, &v) in values.iter().enumerate() {
+            db.insert(NodeId((i % 4) as u32), Tuple::single(v)).unwrap();
+        }
+        let expr = Expr::first_attr(db.schema());
+        let sum: f64 = values.iter().sum();
+        let avg = sum / values.len() as f64;
+        prop_assert_eq!(db.exact_count(), values.len());
+        prop_assert!((db.exact_sum(&expr).unwrap() - sum).abs() < 1e-6 * (1.0 + sum.abs()));
+        prop_assert!((db.exact_avg(&expr).unwrap() - avg).abs() < 1e-6 * (1.0 + avg.abs()));
+    }
+
+    #[test]
+    fn expression_parser_never_panics(text in "[a-z0-9+\\-*/(). ]{0,40}") {
+        let schema = Schema::new(["a", "b", "cpu"]);
+        // Must return Ok or Err — never panic.
+        let _ = Expr::parse(&text, &schema);
+    }
+
+    #[test]
+    fn parsed_expressions_evaluate_deterministically(
+        a in -100.0f64..100.0,
+        b in -100.0f64..100.0,
+    ) {
+        let schema = Schema::new(["a", "b"]);
+        let expr = Expr::parse("(a + b) * 2 - a / 4", &schema).unwrap();
+        let t = Tuple::new(vec![a, b]);
+        let expected = (a + b) * 2.0 - a / 4.0;
+        prop_assert!((expr.eval(&t).unwrap() - expected).abs() < 1e-9 * (1.0 + expected.abs()));
+    }
+}

@@ -1,0 +1,536 @@
+//! The unstructured overlay graph `G(V, E)`.
+//!
+//! Node identities are stable `u32` handles that survive unrelated
+//! joins/leaves — a departed node's id is never reused, so tuple handles
+//! held by the query engine's sample panel can detect departures reliably
+//! (a dangling handle means "node left → replace the sample", exactly the
+//! rule of paper §IV-B2a).
+//!
+//! The adjacency representation is a slot vector of neighbor lists:
+//! O(1) id lookup, O(deg) neighbor iteration (cache-friendly for random
+//! walks), O(deg) edge removal. The graph is simple (no self-loops, no
+//! parallel edges) and undirected.
+
+use crate::error::NetError;
+use crate::Result;
+use rand::Rng;
+use std::fmt;
+
+/// Stable identifier of an overlay node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// An undirected simple graph over [`NodeId`]s.
+#[derive(Debug, Clone, Default)]
+pub struct Graph {
+    /// Slot per ever-allocated id; `None` = departed.
+    slots: Vec<Option<Vec<NodeId>>>,
+    /// Ids of live nodes, kept dense for O(1) uniform choice.
+    live: Vec<NodeId>,
+    /// Position of each live id inside `live` (usize::MAX = not live).
+    live_pos: Vec<usize>,
+    edge_count: usize,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty graph with room for `n` nodes.
+    #[must_use]
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            slots: Vec::with_capacity(n),
+            live: Vec::with_capacity(n),
+            live_pos: Vec::with_capacity(n),
+            edge_count: 0,
+        }
+    }
+
+    /// Adds a new node and returns its id. Ids are never reused.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId(self.slots.len() as u32);
+        self.slots.push(Some(Vec::new()));
+        self.live_pos.push(self.live.len());
+        self.live.push(id);
+        id
+    }
+
+    /// Removes a node and all its incident edges.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::UnknownNode`] if the node does not exist or already left.
+    pub fn remove_node(&mut self, id: NodeId) -> Result<()> {
+        let neighbors = self
+            .slots
+            .get_mut(id.0 as usize)
+            .and_then(Option::take)
+            .ok_or(NetError::UnknownNode(id))?;
+        self.edge_count -= neighbors.len();
+        for nb in neighbors {
+            if let Some(Some(list)) = self.slots.get_mut(nb.0 as usize) {
+                if let Some(pos) = list.iter().position(|&x| x == id) {
+                    list.swap_remove(pos);
+                }
+            }
+        }
+        // Remove from the dense live list by swap-remove.
+        let pos = self.live_pos[id.0 as usize];
+        self.live_pos[id.0 as usize] = usize::MAX;
+        let last = self.live.pop().expect("live list non-empty");
+        if last != id {
+            self.live[pos] = last;
+            self.live_pos[last.0 as usize] = pos;
+        }
+        Ok(())
+    }
+
+    /// Whether `id` refers to a live node.
+    #[must_use]
+    pub fn contains(&self, id: NodeId) -> bool {
+        matches!(self.slots.get(id.0 as usize), Some(Some(_)))
+    }
+
+    /// Adds the undirected edge `{a, b}`. Adding an existing edge is a
+    /// no-op returning `Ok(false)`; a new edge returns `Ok(true)`.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetError::SelfLoop`] if `a == b`.
+    /// * [`NetError::UnknownNode`] if either endpoint is not live.
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId) -> Result<bool> {
+        if a == b {
+            return Err(NetError::SelfLoop(a));
+        }
+        if !self.contains(a) {
+            return Err(NetError::UnknownNode(a));
+        }
+        if !self.contains(b) {
+            return Err(NetError::UnknownNode(b));
+        }
+        if self.neighbors(a).contains(&b) {
+            return Ok(false);
+        }
+        self.slots[a.0 as usize]
+            .as_mut()
+            .expect("checked live")
+            .push(b);
+        self.slots[b.0 as usize]
+            .as_mut()
+            .expect("checked live")
+            .push(a);
+        self.edge_count += 1;
+        Ok(true)
+    }
+
+    /// Removes the undirected edge `{a, b}` if present; returns whether an
+    /// edge was removed.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::UnknownNode`] if either endpoint is not live.
+    pub fn remove_edge(&mut self, a: NodeId, b: NodeId) -> Result<bool> {
+        if !self.contains(a) {
+            return Err(NetError::UnknownNode(a));
+        }
+        if !self.contains(b) {
+            return Err(NetError::UnknownNode(b));
+        }
+        let la = self.slots[a.0 as usize].as_mut().expect("checked live");
+        let Some(pos) = la.iter().position(|&x| x == b) else {
+            return Ok(false);
+        };
+        la.swap_remove(pos);
+        let lb = self.slots[b.0 as usize].as_mut().expect("checked live");
+        if let Some(pos) = lb.iter().position(|&x| x == a) {
+            lb.swap_remove(pos);
+        }
+        self.edge_count -= 1;
+        Ok(true)
+    }
+
+    /// Whether the edge `{a, b}` exists.
+    #[must_use]
+    pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
+        self.contains(a) && self.neighbors(a).contains(&b)
+    }
+
+    /// The neighbor list of `id` (empty slice for unknown nodes).
+    #[must_use]
+    pub fn neighbors(&self, id: NodeId) -> &[NodeId] {
+        self.slots
+            .get(id.0 as usize)
+            .and_then(|s| s.as_deref())
+            .unwrap_or(&[])
+    }
+
+    /// Degree of `id` (0 for unknown nodes).
+    #[must_use]
+    pub fn degree(&self, id: NodeId) -> usize {
+        self.neighbors(id).len()
+    }
+
+    /// Number of live nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Number of undirected edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Whether the graph has no live nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// Iterator over live node ids (arbitrary but deterministic order).
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.live.iter().copied()
+    }
+
+    /// Uniformly random live node.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::EmptyGraph`] if there are no live nodes.
+    pub fn random_node<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<NodeId> {
+        if self.live.is_empty() {
+            return Err(NetError::EmptyGraph);
+        }
+        Ok(self.live[rng.gen_range(0..self.live.len())])
+    }
+
+    /// BFS hop distances from `source` to every reachable node, as
+    /// `(node, distance)` pairs (including `(source, 0)`).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::UnknownNode`] if `source` is not live.
+    pub fn bfs_distances(&self, source: NodeId) -> Result<Vec<(NodeId, u32)>> {
+        if !self.contains(source) {
+            return Err(NetError::UnknownNode(source));
+        }
+        let mut dist: Vec<Option<u32>> = vec![None; self.slots.len()];
+        dist[source.0 as usize] = Some(0);
+        let mut queue = std::collections::VecDeque::from([source]);
+        let mut out = Vec::with_capacity(self.live.len());
+        while let Some(v) = queue.pop_front() {
+            let d = dist[v.0 as usize].expect("visited");
+            out.push((v, d));
+            for &nb in self.neighbors(v) {
+                let slot = &mut dist[nb.0 as usize];
+                if slot.is_none() {
+                    *slot = Some(d + 1);
+                    queue.push_back(nb);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Whether every live node is reachable from every other (a connected
+    /// graph; the empty graph counts as connected).
+    #[must_use]
+    pub fn is_connected(&self) -> bool {
+        match self.live.first() {
+            None => true,
+            Some(&start) => {
+                let reached = self.bfs_distances(start).map(|d| d.len()).unwrap_or(0);
+                reached == self.live.len()
+            }
+        }
+    }
+
+    /// The node set of the largest connected component.
+    #[must_use]
+    pub fn largest_component(&self) -> Vec<NodeId> {
+        let mut seen = vec![false; self.slots.len()];
+        let mut best: Vec<NodeId> = Vec::new();
+        for &start in &self.live {
+            if seen[start.0 as usize] {
+                continue;
+            }
+            let mut component = Vec::new();
+            let mut queue = std::collections::VecDeque::from([start]);
+            seen[start.0 as usize] = true;
+            while let Some(v) = queue.pop_front() {
+                component.push(v);
+                for &nb in self.neighbors(v) {
+                    if !seen[nb.0 as usize] {
+                        seen[nb.0 as usize] = true;
+                        queue.push_back(nb);
+                    }
+                }
+            }
+            if component.len() > best.len() {
+                best = component;
+            }
+        }
+        best
+    }
+
+    /// True if the graph is bipartite (2-colourable). A bipartite overlay
+    /// would make the plain random walk periodic — the reason the
+    /// Metropolis walk carries the laziness factor ½ (paper Theorem 2).
+    #[must_use]
+    pub fn is_bipartite(&self) -> bool {
+        let mut color: Vec<Option<bool>> = vec![None; self.slots.len()];
+        for &start in &self.live {
+            if color[start.0 as usize].is_some() {
+                continue;
+            }
+            color[start.0 as usize] = Some(false);
+            let mut queue = std::collections::VecDeque::from([start]);
+            while let Some(v) = queue.pop_front() {
+                let c = color[v.0 as usize].expect("coloured");
+                for &nb in self.neighbors(v) {
+                    match color[nb.0 as usize] {
+                        None => {
+                            color[nb.0 as usize] = Some(!c);
+                            queue.push_back(nb);
+                        }
+                        Some(nc) if nc == c => return false,
+                        Some(_) => {}
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Upper bound on node ids ever allocated (for building dense
+    /// id-indexed side tables).
+    #[must_use]
+    pub fn id_upper_bound(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn triangle() -> (Graph, NodeId, NodeId, NodeId) {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let c = g.add_node();
+        g.add_edge(a, b).unwrap();
+        g.add_edge(b, c).unwrap();
+        g.add_edge(c, a).unwrap();
+        (g, a, b, c)
+    }
+
+    #[test]
+    fn empty_graph_properties() {
+        let g = Graph::new();
+        assert!(g.is_empty());
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.is_connected());
+        assert!(g.is_bipartite());
+        assert!(g.largest_component().is_empty());
+    }
+
+    #[test]
+    fn add_nodes_and_edges() {
+        let (g, a, b, c) = triangle();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.degree(a), 2);
+        assert!(g.has_edge(a, b));
+        assert!(g.has_edge(b, a));
+        assert!(!g.is_bipartite());
+        assert!(g.is_connected());
+        let _ = c;
+    }
+
+    #[test]
+    fn duplicate_edge_is_noop() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        assert!(g.add_edge(a, b).unwrap());
+        assert!(!g.add_edge(a, b).unwrap());
+        assert!(!g.add_edge(b, a).unwrap());
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.degree(a), 1);
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        assert_eq!(g.add_edge(a, a).unwrap_err(), NetError::SelfLoop(a));
+    }
+
+    #[test]
+    fn edge_to_unknown_node_rejected() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let ghost = NodeId(99);
+        assert_eq!(
+            g.add_edge(a, ghost).unwrap_err(),
+            NetError::UnknownNode(ghost)
+        );
+        assert_eq!(
+            g.add_edge(ghost, a).unwrap_err(),
+            NetError::UnknownNode(ghost)
+        );
+    }
+
+    #[test]
+    fn remove_edge() {
+        let (mut g, a, b, _) = triangle();
+        assert!(g.remove_edge(a, b).unwrap());
+        assert!(!g.remove_edge(a, b).unwrap());
+        assert_eq!(g.edge_count(), 2);
+        assert!(!g.has_edge(a, b));
+        assert_eq!(g.degree(a), 1);
+    }
+
+    #[test]
+    fn remove_node_cleans_incident_edges() {
+        let (mut g, a, b, c) = triangle();
+        g.remove_node(a).unwrap();
+        assert!(!g.contains(a));
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.degree(b), 1);
+        assert_eq!(g.degree(c), 1);
+        assert!(g.has_edge(b, c));
+        // Removing again fails.
+        assert_eq!(g.remove_node(a).unwrap_err(), NetError::UnknownNode(a));
+    }
+
+    #[test]
+    fn node_ids_are_not_reused() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        g.remove_node(a).unwrap();
+        let b = g.add_node();
+        assert_ne!(a, b);
+        assert!(!g.contains(a));
+        assert!(g.contains(b));
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let mut g = Graph::new();
+        let ids: Vec<NodeId> = (0..5).map(|_| g.add_node()).collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1]).unwrap();
+        }
+        let mut d = g.bfs_distances(ids[0]).unwrap();
+        d.sort_by_key(|&(id, _)| id);
+        for (i, &(id, dist)) in d.iter().enumerate() {
+            assert_eq!(id, ids[i]);
+            assert_eq!(dist, i as u32);
+        }
+    }
+
+    #[test]
+    fn connectivity_and_components() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let c = g.add_node();
+        let d = g.add_node();
+        g.add_edge(a, b).unwrap();
+        g.add_edge(c, d).unwrap();
+        assert!(!g.is_connected());
+        assert_eq!(g.largest_component().len(), 2);
+        g.add_edge(b, c).unwrap();
+        assert!(g.is_connected());
+        assert_eq!(g.largest_component().len(), 4);
+    }
+
+    #[test]
+    fn bipartite_detection() {
+        // Path graphs are bipartite, odd cycles are not.
+        let mut g = Graph::new();
+        let ids: Vec<NodeId> = (0..4).map(|_| g.add_node()).collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1]).unwrap();
+        }
+        assert!(g.is_bipartite());
+        // Close into an even cycle: still bipartite.
+        g.add_edge(ids[3], ids[0]).unwrap();
+        assert!(g.is_bipartite());
+        // Add a chord making an odd cycle.
+        g.add_edge(ids[0], ids[2]).unwrap();
+        assert!(!g.is_bipartite());
+    }
+
+    #[test]
+    fn random_node_is_live_and_covers_all() {
+        let (mut g, a, _, _) = triangle();
+        g.remove_node(a).unwrap();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            let v = g.random_node(&mut rng).unwrap();
+            assert!(g.contains(v));
+            assert_ne!(v, a);
+            seen.insert(v);
+        }
+        assert_eq!(seen.len(), 2, "both live nodes should be drawn");
+    }
+
+    #[test]
+    fn random_node_on_empty_graph_errors() {
+        let g = Graph::new();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        assert_eq!(g.random_node(&mut rng).unwrap_err(), NetError::EmptyGraph);
+    }
+
+    #[test]
+    fn stress_add_remove_keeps_invariants() {
+        let mut g = Graph::new();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(99);
+        let mut ids = Vec::new();
+        for _ in 0..200 {
+            ids.push(g.add_node());
+        }
+        use rand::Rng;
+        for _ in 0..2000 {
+            let a = ids[rng.gen_range(0..ids.len())];
+            let b = ids[rng.gen_range(0..ids.len())];
+            if a != b && g.contains(a) && g.contains(b) {
+                let _ = g.add_edge(a, b);
+            }
+        }
+        // Remove half the nodes.
+        for id in ids.iter().step_by(2) {
+            if g.contains(*id) {
+                g.remove_node(*id).unwrap();
+            }
+        }
+        // Invariant: handshake lemma.
+        let degree_sum: usize = g.nodes().map(|v| g.degree(v)).sum();
+        assert_eq!(degree_sum, 2 * g.edge_count());
+        // Invariant: all neighbor references live and symmetric.
+        for v in g.nodes() {
+            for &nb in g.neighbors(v) {
+                assert!(g.contains(nb));
+                assert!(g.neighbors(nb).contains(&v));
+            }
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! Topology diagnostics.
+//!
+//! The mixing-time result (paper Theorem 4) assumes a power-law degree
+//! distribution `p_k ∝ k^−α` with `2 < α < 3`; these helpers let the
+//! experiments verify that generated topologies actually look like that,
+//! and provide the structural statistics reported alongside the
+//! mixing-time sweeps.
+
+use crate::error::NetError;
+use crate::graph::Graph;
+use crate::Result;
+
+/// Summary statistics of a degree distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegreeStats {
+    /// Smallest degree among live nodes.
+    pub min: usize,
+    /// Largest degree among live nodes.
+    pub max: usize,
+    /// Mean degree.
+    pub mean: f64,
+    /// Population variance of the degree.
+    pub variance: f64,
+}
+
+/// Computes degree summary statistics (all zeros for an empty graph).
+#[must_use]
+pub fn degree_distribution(g: &Graph) -> DegreeStats {
+    let n = g.node_count();
+    if n == 0 {
+        return DegreeStats {
+            min: 0,
+            max: 0,
+            mean: 0.0,
+            variance: 0.0,
+        };
+    }
+    let mut min = usize::MAX;
+    let mut max = 0usize;
+    let mut sum = 0.0;
+    let mut sum_sq = 0.0;
+    for v in g.nodes() {
+        let d = g.degree(v);
+        min = min.min(d);
+        max = max.max(d);
+        sum += d as f64;
+        sum_sq += (d * d) as f64;
+    }
+    let mean = sum / n as f64;
+    DegreeStats {
+        min,
+        max,
+        mean,
+        variance: sum_sq / n as f64 - mean * mean,
+    }
+}
+
+/// Degree histogram: `hist[k]` = number of nodes of degree `k`.
+#[must_use]
+pub fn degree_histogram(g: &Graph) -> Vec<usize> {
+    let mut hist = Vec::new();
+    for v in g.nodes() {
+        let d = g.degree(v);
+        if d >= hist.len() {
+            hist.resize(d + 1, 0);
+        }
+        hist[d] += 1;
+    }
+    hist
+}
+
+/// Maximum-likelihood estimate of the power-law exponent `α` for the
+/// degree distribution, using the discrete Hill estimator
+/// `α = 1 + n / Σ ln(k_i / (k_min − ½))` over nodes with degree ≥ `k_min`.
+///
+/// # Errors
+///
+/// * [`NetError::EmptyGraph`] if no node has degree ≥ `k_min`.
+/// * [`NetError::InvalidTopology`] if `k_min == 0`.
+pub fn estimate_power_law_alpha(g: &Graph, k_min: usize) -> Result<f64> {
+    if k_min == 0 {
+        return Err(NetError::InvalidTopology {
+            reason: "k_min must be positive",
+        });
+    }
+    let shift = k_min as f64 - 0.5;
+    let mut n = 0usize;
+    let mut log_sum = 0.0;
+    for v in g.nodes() {
+        let d = g.degree(v);
+        if d >= k_min {
+            n += 1;
+            log_sum += (d as f64 / shift).ln();
+        }
+    }
+    if n == 0 || log_sum <= 0.0 {
+        return Err(NetError::EmptyGraph);
+    }
+    Ok(1.0 + n as f64 / log_sum)
+}
+
+/// Global clustering coefficient: `3 × triangles / connected triples`.
+/// Returns 0 for graphs without a connected triple.
+#[must_use]
+pub fn clustering_coefficient(g: &Graph) -> f64 {
+    let mut triangles = 0usize;
+    let mut triples = 0usize;
+    for v in g.nodes() {
+        let nbs = g.neighbors(v);
+        let d = nbs.len();
+        if d < 2 {
+            continue;
+        }
+        triples += d * (d - 1) / 2;
+        for i in 0..d {
+            for j in i + 1..d {
+                if g.has_edge(nbs[i], nbs[j]) {
+                    triangles += 1;
+                }
+            }
+        }
+    }
+    if triples == 0 {
+        0.0
+    } else {
+        // Each triangle is counted once per corner = 3 times; the formula's
+        // numerator 3·T equals our raw per-corner count.
+        triangles as f64 / triples as f64
+    }
+}
+
+/// Lower bound on the diameter via a double BFS sweep (exact on trees,
+/// a good estimate on general graphs).
+///
+/// # Errors
+///
+/// [`NetError::EmptyGraph`] for an empty graph.
+pub fn estimate_diameter(g: &Graph) -> Result<u32> {
+    let start = g.nodes().next().ok_or(NetError::EmptyGraph)?;
+    let far = g
+        .bfs_distances(start)?
+        .into_iter()
+        .max_by_key(|&(_, d)| d)
+        .map(|(v, _)| v)
+        .ok_or(NetError::EmptyGraph)?;
+    let diameter = g
+        .bfs_distances(far)?
+        .into_iter()
+        .map(|(_, d)| d)
+        .max()
+        .unwrap_or(0);
+    Ok(diameter)
+}
+
+/// Mean shortest-path hop count from `samples` random sources to all
+/// reachable nodes — the expected per-push routing cost used to meter the
+/// push-based baselines.
+#[must_use]
+pub fn mean_path_length(g: &Graph, samples: usize) -> f64 {
+    let mut total = 0u64;
+    let mut count = 0u64;
+    for (i, v) in g.nodes().enumerate() {
+        if i >= samples {
+            break;
+        }
+        if let Ok(dists) = g.bfs_distances(v) {
+            for (_, d) in dists {
+                total += u64::from(d);
+                count += 1;
+            }
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total as f64 / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology;
+    use rand::SeedableRng;
+
+    #[test]
+    fn degree_stats_of_ring() {
+        let g = topology::ring(10).unwrap();
+        let s = degree_distribution(&g);
+        assert_eq!(s.min, 2);
+        assert_eq!(s.max, 2);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!(s.variance.abs() < 1e-12);
+    }
+
+    #[test]
+    fn degree_stats_empty() {
+        let g = Graph::new();
+        let s = degree_distribution(&g);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 0);
+    }
+
+    #[test]
+    fn histogram_of_star() {
+        let g = topology::star(5).unwrap();
+        let h = degree_histogram(&g);
+        assert_eq!(h[1], 4); // leaves
+        assert_eq!(h[4], 1); // hub
+    }
+
+    #[test]
+    fn clustering_of_complete_graph_is_one() {
+        let g = topology::complete(5).unwrap();
+        assert!((clustering_coefficient(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clustering_of_star_is_zero() {
+        let g = topology::star(6).unwrap();
+        assert_eq!(clustering_coefficient(&g), 0.0);
+    }
+
+    #[test]
+    fn diameter_of_path() {
+        // A 1×n mesh is a path: diameter n−1 and double-sweep is exact.
+        let g = topology::mesh(1, 8, false).unwrap();
+        assert_eq!(estimate_diameter(&g).unwrap(), 7);
+    }
+
+    #[test]
+    fn diameter_of_complete_is_one() {
+        let g = topology::complete(4).unwrap();
+        assert_eq!(estimate_diameter(&g).unwrap(), 1);
+    }
+
+    #[test]
+    fn diameter_of_empty_errors() {
+        assert!(estimate_diameter(&Graph::new()).is_err());
+    }
+
+    #[test]
+    fn alpha_estimate_on_ba_graph() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+        let g = topology::barabasi_albert(3000, 2, &mut rng).unwrap();
+        let alpha = estimate_power_law_alpha(&g, 2).unwrap();
+        // BA converges to α = 3; the MLE on finite graphs lands nearby.
+        assert!(alpha > 2.0 && alpha < 3.6, "alpha = {alpha}");
+    }
+
+    #[test]
+    fn alpha_estimate_validates() {
+        let g = topology::ring(5).unwrap();
+        assert!(estimate_power_law_alpha(&g, 0).is_err());
+        // k_min above every degree → no data.
+        assert!(estimate_power_law_alpha(&g, 10).is_err());
+    }
+
+    #[test]
+    fn mean_path_length_of_path_graph() {
+        let g = topology::mesh(1, 3, false).unwrap();
+        // From node 0: 0+1+2; node 1: 1+0+1; node 2: 2+1+0 → mean = 8/9.
+        let mpl = mean_path_length(&g, 10);
+        assert!((mpl - 8.0 / 9.0).abs() < 1e-12);
+    }
+}

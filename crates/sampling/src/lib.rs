@@ -1,0 +1,55 @@
+//! # digest-sampling
+//!
+//! The bottom tier of Digest: the distributed random sampling operator `S`
+//! (paper §V).
+//!
+//! Given any weight function `w` over the live nodes, `S` draws a sample
+//! node with probability `p_v = w_v / Σ_u w_u` by running a
+//! Metropolis–Hastings random walk whose forwarding probabilities are
+//! computed from *local* weight ratios only (Eq. 12) — no global
+//! normalisation, no global knowledge. After enough steps the walk's
+//! distribution is within any desired total-variation distance `γ` of
+//! `p_v` (Theorems 1–4).
+//!
+//! * [`weight`] — node weight functions (uniform, content-size `m_v`,
+//!   degree, custom closures).
+//! * [`metropolis`] — one walk: the Eq. 12 transition rule with laziness
+//!   ½, plus message accounting per hop.
+//! * [`operator`] — the sampling operator: fresh walks (mixing-length) and
+//!   continued walks (reset-length, §VI-A's "continue the random walk from
+//!   where it stops"), two-stage tuple sampling, cluster sampling (for the
+//!   ablation the paper argues against), batch mode.
+//! * [`mixing`] — exact mixing analysis on small graphs: transition
+//!   matrices, `π_t = π_0 Pᵗ`, TVD curves, measured mixing time `τ(γ)`,
+//!   spectral-gap estimation (Theorem 3's `θ_P = 1 − |λ₂|`).
+//! * [`baselines`] — the oracle (centralised) sampler that bounds the best
+//!   possible cost, and the naive uniform-forwarding walk whose stationary
+//!   distribution is degree-biased (what Digest's Metropolis rule fixes).
+//! * [`size_estimate`] — capture–recapture estimation of the network and
+//!   relation sizes, needed to scale `AVG` estimates into `SUM`/`COUNT`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod baselines;
+pub mod error;
+pub mod metropolis;
+pub mod mixing;
+pub mod operator;
+pub mod size_estimate;
+pub mod weight;
+
+pub use baselines::{NaiveWalkSampler, OracleSampler};
+pub use error::SamplingError;
+pub use metropolis::MetropolisWalk;
+pub use mixing::{
+    calibrated_walk_length, mixing_time, sparse_spectral_diagnostics, transition_matrix, tvd_curve,
+    SpectralDiagnostics,
+};
+pub use operator::{SampleCost, SamplingConfig, SamplingOperator};
+pub use size_estimate::SizeEstimator;
+pub use weight::{content_size_weight, degree_weight, uniform_weight, NodeWeight};
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, SamplingError>;

@@ -1,0 +1,555 @@
+//! Exact mixing analysis (paper §V-B: Definitions 1–2, Theorems 3–4).
+//!
+//! For graphs small enough to hold a dense `n × n` transition matrix, this
+//! module computes the Metropolis forwarding matrix `P` of Eq. 12 exactly,
+//! evolves `π_t = π_0 Pᵗ`, measures total-variation distance to the target
+//! distribution, and reports the measured mixing time `τ(γ)` and an
+//! estimate of the spectral gap `θ_P = 1 − |λ₂|`. The mixing-time
+//! experiment (`exp_mixing`) uses these to validate the poly-logarithmic
+//! growth Theorem 4 predicts for power-law overlays.
+
+use crate::error::SamplingError;
+use crate::weight::NodeWeight;
+use crate::Result;
+use digest_net::{Graph, NodeId};
+use digest_stats::{total_variation_distance, DiscreteDistribution, Matrix};
+
+/// The exact Metropolis forwarding matrix over the live nodes of `g`, plus
+/// the node ordering (row/column `i` of the matrix is `nodes[i]`) and the
+/// target stationary distribution.
+///
+/// # Errors
+///
+/// * [`SamplingError::EmptyGraph`] for an empty graph.
+/// * [`SamplingError::InvalidWeight`] / [`SamplingError::ZeroTotalWeight`]
+///   for unusable weight functions.
+pub fn transition_matrix<W: NodeWeight>(
+    g: &Graph,
+    w: &W,
+) -> Result<(Matrix, Vec<NodeId>, DiscreteDistribution)> {
+    let nodes: Vec<NodeId> = g.nodes().collect();
+    if nodes.is_empty() {
+        return Err(SamplingError::EmptyGraph);
+    }
+    let mut index = vec![usize::MAX; g.id_upper_bound()];
+    let mut weights = Vec::with_capacity(nodes.len());
+    for (i, &v) in nodes.iter().enumerate() {
+        index[v.0 as usize] = i;
+        let wv = w.weight(v);
+        if !wv.is_finite() || wv < 0.0 {
+            return Err(SamplingError::InvalidWeight {
+                node: v,
+                weight: wv,
+            });
+        }
+        weights.push(wv);
+    }
+    if weights.iter().sum::<f64>() <= 0.0 {
+        return Err(SamplingError::ZeroTotalWeight);
+    }
+
+    let n = nodes.len();
+    let mut p = Matrix::zeros(n, n);
+    for (i, &v) in nodes.iter().enumerate() {
+        let d_i = g.degree(v) as f64;
+        let w_i = weights[i].max(1e-300);
+        let mut off_diag = 0.0;
+        for &nb in g.neighbors(v) {
+            let j = index[nb.0 as usize];
+            let d_j = g.degree(nb) as f64;
+            let w_j = weights[j];
+            // Eq. 12 with laziness ½.
+            let p_ij = 0.5 * (1.0 / d_i) * ((w_j * d_i) / (w_i * d_j)).min(1.0);
+            p[(i, j)] = p_ij;
+            off_diag += p_ij;
+        }
+        p[(i, i)] = 1.0 - off_diag;
+    }
+    let target = DiscreteDistribution::from_weights(&weights)?;
+    Ok((p, nodes, target))
+}
+
+/// One step of distribution evolution: `π' = π P`.
+#[must_use]
+fn evolve(p: &Matrix, pi: &[f64]) -> Vec<f64> {
+    let n = pi.len();
+    let mut out = vec![0.0; n];
+    for i in 0..n {
+        let pi_i = pi[i];
+        if pi_i == 0.0 {
+            continue;
+        }
+        for j in 0..n {
+            out[j] += pi_i * p[(i, j)];
+        }
+    }
+    out
+}
+
+/// The TVD-to-target curve of a walk started deterministically at
+/// `start_index`: element `t` is `‖π_t, p_v‖` for `t = 0..=steps`.
+///
+/// # Errors
+///
+/// [`SamplingError::InvalidConfig`] if `start_index` is out of range.
+pub fn tvd_curve(
+    p: &Matrix,
+    target: &DiscreteDistribution,
+    start_index: usize,
+    steps: usize,
+) -> Result<Vec<f64>> {
+    let n = target.len();
+    if start_index >= n {
+        return Err(SamplingError::InvalidConfig {
+            reason: "start_index out of range",
+        });
+    }
+    let mut pi = vec![0.0; n];
+    pi[start_index] = 1.0;
+    let mut curve = Vec::with_capacity(steps + 1);
+    for _ in 0..=steps {
+        let dist = DiscreteDistribution::from_weights(&pi)?;
+        curve.push(total_variation_distance(&dist, target)?);
+        pi = evolve(p, &pi);
+    }
+    Ok(curve)
+}
+
+/// Measured mixing time `τ(γ)` from the worst start node: the first `t`
+/// such that every start node's `π_t` is within `γ` of the target.
+/// Returns `None` if `max_steps` is reached first.
+///
+/// # Errors
+///
+/// [`SamplingError::InvalidConfig`] if `gamma ∉ (0, 1)`.
+pub fn mixing_time(
+    p: &Matrix,
+    target: &DiscreteDistribution,
+    gamma: f64,
+    max_steps: usize,
+) -> Result<Option<usize>> {
+    if !(gamma > 0.0 && gamma < 1.0) {
+        return Err(SamplingError::InvalidConfig {
+            reason: "gamma must be in (0, 1)",
+        });
+    }
+    let n = target.len();
+    // Evolve all start distributions together: rows of Pᵗ.
+    let mut power = p.clone();
+    // t = 0: only mixed if every point mass is already within γ (untrue for
+    // any nontrivial target), so start checking from t = 1.
+    for t in 1..=max_steps {
+        let mut worst = 0.0_f64;
+        for i in 0..n {
+            let row: Vec<f64> = (0..n).map(|j| power[(i, j)]).collect();
+            let dist = DiscreteDistribution::from_weights(&row)?;
+            worst = worst.max(total_variation_distance(&dist, target)?);
+        }
+        if worst <= gamma {
+            return Ok(Some(t));
+        }
+        power = power.matmul(p).map_err(SamplingError::from)?;
+    }
+    Ok(None)
+}
+
+/// Spectral diagnostics of a forwarding matrix.
+#[derive(Debug, Clone, Copy)]
+pub struct SpectralDiagnostics {
+    /// Estimate of `|λ₂|`, the second-largest eigenvalue modulus.
+    pub lambda2: f64,
+    /// The eigengap `θ_P = 1 − |λ₂|` of Theorem 3.
+    pub eigengap: f64,
+}
+
+/// Estimates `|λ₂|` by power iteration on `P` deflated by its known
+/// stationary left/right structure: iterate `x ← xP` while projecting out
+/// the stationary component, and read the decay rate.
+///
+/// # Errors
+///
+/// [`SamplingError::InvalidConfig`] if the matrix is not square or empty.
+pub fn spectral_diagnostics(
+    p: &Matrix,
+    target: &DiscreteDistribution,
+    iterations: usize,
+) -> Result<SpectralDiagnostics> {
+    let n = target.len();
+    if p.rows() != n || p.cols() != n || n == 0 {
+        return Err(SamplingError::InvalidConfig {
+            reason: "matrix/target size mismatch",
+        });
+    }
+    if n == 1 {
+        return Ok(SpectralDiagnostics {
+            lambda2: 0.0,
+            eigengap: 1.0,
+        });
+    }
+    // Start from a generic pseudo-random vector: a structured start (e.g.
+    // an alternating sign pattern) can coincide with a low-eigenvalue
+    // eigenvector and collapse the iteration.
+    let mut seed = 0x853c_49e6_748f_ea9b_u64;
+    let mut x: Vec<f64> = (0..n)
+        .map(|_| {
+            seed = seed.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            (seed >> 32) as f64 / (1u64 << 31) as f64 - 1.0
+        })
+        .collect();
+    let mut rate = 0.0;
+    for _ in 0..iterations {
+        // Project out the stationary left eigenvector (all-ones right
+        // eigenvector direction under the π-weighted inner product); in
+        // practice removing the π-weighted mean suffices for the decay
+        // rate.
+        let mean: f64 = x
+            .iter()
+            .zip(target.as_slice())
+            .map(|(xi, pi)| xi * pi)
+            .sum();
+        for xi in x.iter_mut() {
+            *xi -= mean;
+        }
+        let norm_before = x.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if norm_before < 1e-280 {
+            return Ok(SpectralDiagnostics {
+                lambda2: 0.0,
+                eigengap: 1.0,
+            });
+        }
+        x = evolve(p, &x);
+        let norm_after = x.iter().map(|v| v * v).sum::<f64>().sqrt();
+        rate = norm_after / norm_before;
+        // Renormalise to avoid underflow.
+        for xi in x.iter_mut() {
+            *xi /= norm_before;
+        }
+    }
+    let lambda2 = rate.clamp(0.0, 1.0);
+    Ok(SpectralDiagnostics {
+        lambda2,
+        eigengap: 1.0 - lambda2,
+    })
+}
+
+/// Matrix-free spectral diagnostics: power iteration on `x ← xP` using the
+/// overlay adjacency directly (O(edges) per iteration), so the eigengap of
+/// Theorem 3 can be estimated on networks far too large for a dense
+/// transition matrix.
+///
+/// # Errors
+///
+/// * [`SamplingError::EmptyGraph`] for an empty graph.
+/// * Weight errors as for [`transition_matrix`].
+pub fn sparse_spectral_diagnostics<W: NodeWeight>(
+    g: &Graph,
+    w: &W,
+    iterations: usize,
+) -> Result<SpectralDiagnostics> {
+    let nodes: Vec<NodeId> = g.nodes().collect();
+    let n = nodes.len();
+    if n == 0 {
+        return Err(SamplingError::EmptyGraph);
+    }
+    if n == 1 {
+        return Ok(SpectralDiagnostics {
+            lambda2: 0.0,
+            eigengap: 1.0,
+        });
+    }
+    let mut index = vec![usize::MAX; g.id_upper_bound()];
+    let mut weights = Vec::with_capacity(n);
+    for (i, &v) in nodes.iter().enumerate() {
+        index[v.0 as usize] = i;
+        let wv = w.weight(v);
+        if !wv.is_finite() || wv < 0.0 {
+            return Err(SamplingError::InvalidWeight {
+                node: v,
+                weight: wv,
+            });
+        }
+        weights.push(wv);
+    }
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return Err(SamplingError::ZeroTotalWeight);
+    }
+    let pi: Vec<f64> = weights.iter().map(|w| w / total).collect();
+
+    // One left-multiplication y = xP, computed edge-by-edge.
+    let evolve = |x: &[f64], y: &mut [f64]| {
+        y.fill(0.0);
+        for (i, &v) in nodes.iter().enumerate() {
+            let d_i = g.degree(v) as f64;
+            let w_i = weights[i].max(1e-300);
+            let mut off = 0.0;
+            for &nb in g.neighbors(v) {
+                let j = index[nb.0 as usize];
+                let d_j = g.degree(nb) as f64;
+                let p_ij = 0.5 * (1.0 / d_i) * ((weights[j] * d_i) / (w_i * d_j)).min(1.0);
+                y[j] += x[i] * p_ij;
+                off += p_ij;
+            }
+            y[i] += x[i] * (1.0 - off);
+        }
+    };
+
+    // Pseudo-random start, stationary component projected out each round.
+    let mut seed = 0x853c_49e6_748f_ea9b_u64;
+    let mut x: Vec<f64> = (0..n)
+        .map(|_| {
+            seed = seed.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            (seed >> 32) as f64 / (1u64 << 31) as f64 - 1.0
+        })
+        .collect();
+    let mut y = vec![0.0; n];
+    let mut rate = 0.0;
+    for _ in 0..iterations {
+        let mean: f64 = x.iter().zip(&pi).map(|(xi, p)| xi * p).sum();
+        for xi in x.iter_mut() {
+            *xi -= mean;
+        }
+        let norm_before = x.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if norm_before < 1e-280 {
+            return Ok(SpectralDiagnostics {
+                lambda2: 0.0,
+                eigengap: 1.0,
+            });
+        }
+        evolve(&x, &mut y);
+        let norm_after = y.iter().map(|v| v * v).sum::<f64>().sqrt();
+        rate = norm_after / norm_before;
+        for (xi, yi) in x.iter_mut().zip(&y) {
+            *xi = yi / norm_before;
+        }
+    }
+    let lambda2 = rate.clamp(0.0, 1.0);
+    Ok(SpectralDiagnostics {
+        lambda2,
+        eigengap: 1.0 - lambda2,
+    })
+}
+
+/// Theorem-3 calibrated walk length: the number of steps after which the
+/// walk's distribution is within `gamma` of the target from *any* start,
+/// `τ(γ) ≤ θ⁻¹ (ln p_min⁻¹ + ln γ⁻¹)`, using the matrix-free eigengap
+/// estimate.
+///
+/// # Errors
+///
+/// As for [`sparse_spectral_diagnostics`], plus
+/// [`SamplingError::InvalidConfig`] for `gamma ∉ (0, 1)` or a vanishing
+/// eigengap estimate.
+pub fn calibrated_walk_length<W: NodeWeight>(g: &Graph, w: &W, gamma: f64) -> Result<u64> {
+    if !(gamma > 0.0 && gamma < 1.0) {
+        return Err(SamplingError::InvalidConfig {
+            reason: "gamma must be in (0, 1)",
+        });
+    }
+    let diag = sparse_spectral_diagnostics(g, w, 300)?;
+    if diag.eigengap <= 1e-9 {
+        return Err(SamplingError::InvalidConfig {
+            reason: "eigengap estimate vanished; graph may be disconnected",
+        });
+    }
+    // p_min of the target distribution.
+    let mut total = 0.0;
+    let mut min_w = f64::INFINITY;
+    for v in g.nodes() {
+        let wv = w.weight(v).max(1e-300);
+        total += wv;
+        min_w = min_w.min(wv);
+    }
+    let p_min = (min_w / total).max(1e-300);
+    let bound = ((1.0 / p_min).ln() + (1.0 / gamma).ln()) / diag.eigengap;
+    Ok(bound.ceil() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weight::uniform_weight;
+    use digest_net::topology;
+
+    #[test]
+    fn transition_matrix_is_stochastic() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+        let g = topology::barabasi_albert(30, 2, &mut rng).unwrap();
+        let w = uniform_weight();
+        let (p, nodes, _) = transition_matrix(&g, &w).unwrap();
+        assert_eq!(nodes.len(), 30);
+        for i in 0..30 {
+            let row_sum: f64 = (0..30).map(|j| p[(i, j)]).sum();
+            assert!((row_sum - 1.0).abs() < 1e-12, "row {i} sums to {row_sum}");
+            // Laziness ½ guarantees a self-loop ≥ ½.
+            assert!(p[(i, i)] >= 0.5 - 1e-12);
+        }
+    }
+
+    #[test]
+    fn stationarity_of_target() {
+        // π P = π for the designated target (detailed balance check).
+        let g = topology::star(6).unwrap();
+        let w = |v: NodeId| f64::from(v.0) + 1.0;
+        let (p, _, target) = transition_matrix(&g, &w).unwrap();
+        let pi = target.as_slice().to_vec();
+        let next = evolve(&p, &pi);
+        for (a, b) in pi.iter().zip(next.iter()) {
+            assert!((a - b).abs() < 1e-12, "stationarity violated: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn tvd_curve_decreases_to_zero() {
+        let g = topology::ring(10).unwrap();
+        let w = uniform_weight();
+        let (p, _, target) = transition_matrix(&g, &w).unwrap();
+        let curve = tvd_curve(&p, &target, 0, 400).unwrap();
+        assert!(
+            (curve[0] - 0.9).abs() < 1e-12,
+            "point mass starts at TVD 1 − 1/n"
+        );
+        assert!(curve[400] < 1e-3, "end TVD = {}", curve[400]);
+        // Monotone non-increasing (true for lazy reversible chains).
+        for w in curve.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn mixing_time_is_finite_and_meaningful() {
+        let g = topology::complete(8).unwrap();
+        let w = uniform_weight();
+        let (p, _, target) = transition_matrix(&g, &w).unwrap();
+        let tau = mixing_time(&p, &target, 0.01, 500).unwrap().unwrap();
+        // Complete graphs mix almost instantly.
+        assert!(tau < 20, "tau = {tau}");
+
+        let ring = topology::ring(16).unwrap();
+        let (p2, _, t2) = transition_matrix(&ring, &w).unwrap();
+        let tau_ring = mixing_time(&p2, &t2, 0.01, 5000).unwrap().unwrap();
+        assert!(
+            tau_ring > tau,
+            "ring ({tau_ring}) must mix slower than clique ({tau})"
+        );
+    }
+
+    #[test]
+    fn mixing_time_respects_budget() {
+        let g = topology::ring(32).unwrap();
+        let w = uniform_weight();
+        let (p, _, target) = transition_matrix(&g, &w).unwrap();
+        assert_eq!(mixing_time(&p, &target, 0.001, 3).unwrap(), None);
+    }
+
+    #[test]
+    fn mixing_time_validates_gamma() {
+        let g = topology::ring(4).unwrap();
+        let w = uniform_weight();
+        let (p, _, target) = transition_matrix(&g, &w).unwrap();
+        assert!(mixing_time(&p, &target, 0.0, 10).is_err());
+        assert!(mixing_time(&p, &target, 1.0, 10).is_err());
+    }
+
+    #[test]
+    fn spectral_gap_orders_topologies() {
+        let w = uniform_weight();
+        let ring = topology::ring(16).unwrap();
+        let (pr, _, tr) = transition_matrix(&ring, &w).unwrap();
+        let ring_diag = spectral_diagnostics(&pr, &tr, 300).unwrap();
+
+        let clique = topology::complete(16).unwrap();
+        let (pc, _, tc) = transition_matrix(&clique, &w).unwrap();
+        let clique_diag = spectral_diagnostics(&pc, &tc, 300).unwrap();
+
+        assert!(
+            clique_diag.eigengap > ring_diag.eigengap,
+            "clique gap {} should exceed ring gap {}",
+            clique_diag.eigengap,
+            ring_diag.eigengap
+        );
+        assert!(ring_diag.lambda2 < 1.0 && ring_diag.lambda2 > 0.8);
+    }
+
+    #[test]
+    fn eigengap_predicts_mixing_rate() {
+        // τ(γ) ≤ θ⁻¹ (ln p_min⁻¹ + ln γ⁻¹) (Theorem 3): check the bound
+        // holds for a mesh.
+        let g = topology::mesh(4, 4, false).unwrap();
+        let w = uniform_weight();
+        let (p, _, target) = transition_matrix(&g, &w).unwrap();
+        let gamma = 0.01;
+        let tau = mixing_time(&p, &target, gamma, 10_000).unwrap().unwrap() as f64;
+        let diag = spectral_diagnostics(&p, &target, 500).unwrap();
+        let bound = (1.0 / diag.eigengap) * ((1.0 / target.min_prob()).ln() + (1.0 / gamma).ln());
+        assert!(
+            tau <= bound * 1.05,
+            "tau {tau} exceeds Theorem-3 bound {bound}"
+        );
+    }
+
+    #[test]
+    fn sparse_gap_matches_dense_gap() {
+        let w = uniform_weight();
+        for g in [
+            topology::ring(16).unwrap(),
+            topology::mesh(4, 4, false).unwrap(),
+            topology::complete(12).unwrap(),
+        ] {
+            let (p, _, target) = transition_matrix(&g, &w).unwrap();
+            let dense = spectral_diagnostics(&p, &target, 400).unwrap();
+            let sparse = sparse_spectral_diagnostics(&g, &w, 400).unwrap();
+            assert!(
+                (dense.lambda2 - sparse.lambda2).abs() < 1e-6,
+                "dense {} vs sparse {}",
+                dense.lambda2,
+                sparse.lambda2
+            );
+        }
+    }
+
+    #[test]
+    fn calibrated_walk_length_upper_bounds_measured_mixing() {
+        let w = uniform_weight();
+        let g = topology::mesh(4, 4, false).unwrap();
+        let gamma = 0.02;
+        let calibrated = calibrated_walk_length(&g, &w, gamma).unwrap();
+        let (p, _, target) = transition_matrix(&g, &w).unwrap();
+        let tau = mixing_time(&p, &target, gamma, 20_000).unwrap().unwrap();
+        assert!(
+            calibrated as usize >= tau,
+            "calibrated {calibrated} below measured τ {tau}"
+        );
+        // And not absurdly loose (within ~20× for small graphs).
+        assert!((calibrated as usize) < tau * 20);
+    }
+
+    #[test]
+    fn calibrated_walk_length_validates() {
+        let w = uniform_weight();
+        let g = topology::ring(6).unwrap();
+        assert!(calibrated_walk_length(&g, &w, 0.0).is_err());
+        assert!(calibrated_walk_length(&g, &w, 1.0).is_err());
+    }
+
+    #[test]
+    fn empty_graph_rejected() {
+        let g = digest_net::Graph::new();
+        let w = uniform_weight();
+        assert!(matches!(
+            transition_matrix(&g, &w),
+            Err(SamplingError::EmptyGraph)
+        ));
+    }
+
+    #[test]
+    fn zero_total_weight_rejected() {
+        let g = topology::ring(4).unwrap();
+        let w = |_: NodeId| 0.0;
+        assert!(matches!(
+            transition_matrix(&g, &w),
+            Err(SamplingError::ZeroTotalWeight)
+        ));
+    }
+}

@@ -1,0 +1,541 @@
+//! The sampling operator `S` (paper §III, §V).
+//!
+//! `S` turns the Metropolis walk into the service the query engine
+//! consumes: *give me a random node under weight function `w`* /
+//! *give me a uniformly random tuple of `R`*. The second form is two-stage
+//! sampling: a node is drawn with probability ∝ its content size `m_v`,
+//! then one of its tuples uniformly at random, making every tuple of the
+//! relation equally likely regardless of how tuples are spread over nodes.
+//!
+//! Cost model (matches the paper's experiments):
+//!
+//! * a fresh walk must run for the full mixing length before its position
+//!   is a valid sample;
+//! * a *continued* walk — "once converged for the first time, to derive
+//!   successive samples we continue the random walk from where it stops"
+//!   (§VI-A) — only needs the much shorter reset length;
+//! * each accepted hop is one message, and delivering the sampled node id
+//!   back to the originator is one more.
+
+use crate::error::SamplingError;
+use crate::metropolis::MetropolisWalk;
+use crate::weight::{content_size_weight, uniform_weight, NodeWeight};
+use crate::Result;
+use digest_db::{P2PDatabase, Tuple, TupleHandle};
+use digest_net::{Graph, NodeId};
+use rand::Rng;
+
+/// Tuning of the sampling operator.
+#[derive(Debug, Clone, Copy)]
+pub struct SamplingConfig {
+    /// Steps a fresh walk runs before its position counts as a sample
+    /// (the mixing time `τ(γ)` for the deployment's topology).
+    pub walk_length: u64,
+    /// Steps a continued walk runs between successive samples (the reset
+    /// time; `≪ walk_length`).
+    pub reset_length: u64,
+    /// Whether to keep walks alive between samples (reset-time
+    /// continuation). Disabled, every sample pays the full mixing length —
+    /// the ablation knob for that design choice.
+    pub continue_walks: bool,
+}
+
+impl Default for SamplingConfig {
+    fn default() -> Self {
+        Self {
+            walk_length: 64,
+            reset_length: 16,
+            continue_walks: true,
+        }
+    }
+}
+
+impl SamplingConfig {
+    /// A reasonable configuration for a network of `n` nodes: walk length
+    /// `⌈15 · ln n⌉` (poly-logarithmic, per Theorem 4) and reset length a
+    /// quarter of that. Only the *first* sample of each pooled walk pays
+    /// the full length; persistent walks accumulate unbounded burn-in.
+    #[must_use]
+    pub fn recommended(n: usize) -> Self {
+        let walk = ((n.max(2) as f64).ln() * 15.0).ceil() as u64;
+        Self {
+            walk_length: walk.max(8),
+            reset_length: (walk / 4).max(2),
+            continue_walks: true,
+        }
+    }
+
+    /// Theorem-3 calibrated configuration: measures the overlay's spectral
+    /// gap (matrix-free power iteration, O(edges) per step) and sizes the
+    /// walk so a fresh walk is within total-variation `gamma` of the
+    /// target from any start. Costlier to construct and yields longer —
+    /// guarantee-grade — walks than [`SamplingConfig::recommended`]; a
+    /// deployment would run it once per epoch on its bootstrap view.
+    ///
+    /// # Errors
+    ///
+    /// As for [`crate::mixing::calibrated_walk_length`].
+    pub fn calibrated<W: NodeWeight>(g: &Graph, w: &W, gamma: f64) -> Result<Self> {
+        let walk = crate::mixing::calibrated_walk_length(g, w, gamma)?;
+        Ok(Self {
+            walk_length: walk.max(8),
+            reset_length: (walk / 8).max(2),
+            continue_walks: true,
+        })
+    }
+}
+
+/// The message cost of drawing one sample.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SampleCost {
+    /// Messages spent forwarding the sampling agent.
+    pub walk_messages: u64,
+    /// Messages spent reporting the sample back to the originator.
+    pub report_messages: u64,
+}
+
+impl SampleCost {
+    /// Total messages.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.walk_messages + self.report_messages
+    }
+}
+
+/// The sampling operator: a pool of persistent walks plus cost accounting.
+///
+/// Batch mode (paper §VI-A): the `i`-th sample of an occasion is produced
+/// by the `i`-th pooled walk. A walk pays the full mixing length the first
+/// time it is used and only the reset length on later occasions, and
+/// successive samples *within* one occasion come from distinct walks, so
+/// they are mutually independent. Call [`SamplingOperator::begin_occasion`]
+/// at each occasion boundary to rewind the pool cursor.
+#[derive(Debug, Clone)]
+pub struct SamplingOperator {
+    config: SamplingConfig,
+    walkers: Vec<MetropolisWalk>,
+    cursor: usize,
+    total_messages: u64,
+    samples_drawn: u64,
+}
+
+impl SamplingOperator {
+    /// Creates an operator.
+    ///
+    /// # Errors
+    ///
+    /// [`SamplingError::InvalidConfig`] if either length is zero.
+    pub fn new(config: SamplingConfig) -> Result<Self> {
+        if config.walk_length == 0 || config.reset_length == 0 {
+            return Err(SamplingError::InvalidConfig {
+                reason: "walk_length and reset_length must be positive",
+            });
+        }
+        Ok(Self {
+            config,
+            walkers: Vec::new(),
+            cursor: 0,
+            total_messages: 0,
+            samples_drawn: 0,
+        })
+    }
+
+    /// The operator's configuration.
+    #[must_use]
+    pub fn config(&self) -> &SamplingConfig {
+        &self.config
+    }
+
+    /// Total messages spent across all samples so far.
+    #[must_use]
+    pub fn total_messages(&self) -> u64 {
+        self.total_messages
+    }
+
+    /// Number of samples drawn so far.
+    #[must_use]
+    pub fn samples_drawn(&self) -> u64 {
+        self.samples_drawn
+    }
+
+    /// Discards all persistent walks (e.g. after a topology upheaval).
+    pub fn reset(&mut self) {
+        self.walkers.clear();
+        self.cursor = 0;
+    }
+
+    /// Marks an occasion boundary: the next samples reuse the pooled
+    /// walks from the start, paying only the reset length each.
+    pub fn begin_occasion(&mut self) {
+        self.cursor = 0;
+    }
+
+    /// Number of pooled walks currently alive.
+    #[must_use]
+    pub fn pool_size(&self) -> usize {
+        self.walkers.len()
+    }
+
+    /// Draws one sample node with probability ∝ `w`.
+    ///
+    /// # Errors
+    ///
+    /// * [`SamplingError::UnknownNode`] if `origin` is not live.
+    /// * [`SamplingError::EmptyGraph`] if the graph is empty.
+    /// * Weight errors as for [`MetropolisWalk::step`].
+    pub fn sample_node<W: NodeWeight, R: Rng + ?Sized>(
+        &mut self,
+        g: &Graph,
+        w: &W,
+        origin: NodeId,
+        rng: &mut R,
+    ) -> Result<(NodeId, SampleCost)> {
+        if g.is_empty() {
+            return Err(SamplingError::EmptyGraph);
+        }
+        if !g.contains(origin) {
+            return Err(SamplingError::UnknownNode(origin));
+        }
+
+        // Continue the cursor's pooled walk when possible, otherwise grow
+        // the pool with a fresh walk that pays the full mixing length.
+        let slot = self.cursor;
+        self.cursor += 1;
+        let reuse = self.config.continue_walks
+            && slot < self.walkers.len()
+            && g.contains(self.walkers[slot].current());
+        let (mut walk, steps) = if reuse {
+            (self.walkers[slot].clone(), self.config.reset_length)
+        } else {
+            (MetropolisWalk::new(g, origin)?, self.config.walk_length)
+        };
+
+        let before = walk.messages();
+        walk.run(g, w, steps, rng)?;
+        let cost = SampleCost {
+            walk_messages: walk.messages() - before,
+            report_messages: 1,
+        };
+        let sampled = walk.current();
+
+        if self.config.continue_walks {
+            if slot < self.walkers.len() {
+                self.walkers[slot] = walk;
+            } else {
+                self.walkers.push(walk);
+            }
+        }
+        self.total_messages += cost.total();
+        self.samples_drawn += 1;
+        Ok((sampled, cost))
+    }
+
+    /// Draws one uniformly random tuple of the relation by two-stage
+    /// sampling (node ∝ `m_v`, then a uniform local tuple). The returned
+    /// tuple is a snapshot copy (the remote node ships the tuple's current
+    /// state with the report message).
+    ///
+    /// # Errors
+    ///
+    /// * [`SamplingError::EmptyDatabase`] if no node stores any tuple.
+    /// * Errors of [`SamplingOperator::sample_node`].
+    pub fn sample_tuple<R: Rng + ?Sized>(
+        &mut self,
+        g: &Graph,
+        db: &P2PDatabase,
+        origin: NodeId,
+        rng: &mut R,
+    ) -> Result<(TupleHandle, Tuple, SampleCost)> {
+        if db.total_tuples() == 0 {
+            return Err(SamplingError::EmptyDatabase);
+        }
+        let w = content_size_weight(db);
+        let mut cost = SampleCost::default();
+        // Before convergence a walk can sit on an empty node; walk a bit
+        // further until it lands on a content-bearing one. Bounded because
+        // the database is non-empty and empty nodes repel the walk.
+        for _ in 0..64 {
+            let (node, c) = self.sample_node(g, &w, origin, rng)?;
+            cost.walk_messages += c.walk_messages;
+            cost.report_messages = c.report_messages;
+            if let Some((handle, tuple)) = db.sample_local(node, rng) {
+                return Ok((handle, tuple.clone(), cost));
+            }
+        }
+        Err(SamplingError::ZeroTotalWeight)
+    }
+
+    /// Draws `n` uniformly random tuples ("batch mode": the paper invokes
+    /// `S` n times simultaneously; message cost is identical, wall-clock
+    /// overlap is the simulator's concern).
+    ///
+    /// # Errors
+    ///
+    /// As for [`SamplingOperator::sample_tuple`].
+    pub fn sample_tuples<R: Rng + ?Sized>(
+        &mut self,
+        g: &Graph,
+        db: &P2PDatabase,
+        origin: NodeId,
+        n: usize,
+        rng: &mut R,
+    ) -> Result<Vec<(TupleHandle, Tuple, SampleCost)>> {
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.sample_tuple(g, db, origin, rng)?);
+        }
+        Ok(out)
+    }
+
+    /// Cluster sampling (the alternative the paper rejects in §III): draw
+    /// a node *uniformly* and take its entire fragment as a batch sample.
+    /// Exposed for the two-stage-vs-cluster ablation.
+    ///
+    /// # Errors
+    ///
+    /// As for [`SamplingOperator::sample_node`].
+    pub fn cluster_sample<R: Rng + ?Sized>(
+        &mut self,
+        g: &Graph,
+        db: &P2PDatabase,
+        origin: NodeId,
+        rng: &mut R,
+    ) -> Result<(NodeId, Vec<Tuple>, SampleCost)> {
+        let w = uniform_weight();
+        let (node, cost) = self.sample_node(g, &w, origin, rng)?;
+        // The report message ships the node's whole fragment as the batch.
+        let tuples: Vec<Tuple> = db
+            .iter()
+            .filter(|(h, _)| h.node == node)
+            .map(|(_, t)| t.clone())
+            .collect();
+        Ok((node, tuples, cost))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use digest_db::Schema;
+    use digest_net::topology;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    /// db with node i holding i+1 tuples valued 100·i + j.
+    fn skewed_db(nodes: u32) -> P2PDatabase {
+        let mut db = P2PDatabase::new(Schema::single("a"));
+        for i in 0..nodes {
+            db.register_node(NodeId(i));
+            for j in 0..=i {
+                db.insert(NodeId(i), Tuple::single(f64::from(100 * i + j)))
+                    .unwrap();
+            }
+        }
+        db
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(SamplingOperator::new(SamplingConfig {
+            walk_length: 0,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(SamplingOperator::new(SamplingConfig {
+            reset_length: 0,
+            ..Default::default()
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn recommended_config_scales_logarithmically() {
+        let small = SamplingConfig::recommended(100);
+        let large = SamplingConfig::recommended(10_000);
+        assert!(large.walk_length > small.walk_length);
+        assert!(
+            large.walk_length < 4 * small.walk_length,
+            "should grow slowly"
+        );
+        assert!(small.reset_length < small.walk_length);
+    }
+
+    #[test]
+    fn sample_node_respects_weights() {
+        let g = topology::complete(4).unwrap();
+        let w = |v: NodeId| if v.0 == 3 { 3.0 } else { 1.0 };
+        let mut op = SamplingOperator::new(SamplingConfig {
+            walk_length: 60,
+            reset_length: 20,
+            continue_walks: true,
+        })
+        .unwrap();
+        let mut r = rng(1);
+        let mut hits = [0usize; 4];
+        for _ in 0..6000 {
+            let (node, _) = op.sample_node(&g, &w, NodeId(0), &mut r).unwrap();
+            hits[node.0 as usize] += 1;
+        }
+        // Expected: node 3 gets 3/6 = 50%, others ~16.7%.
+        let p3 = hits[3] as f64 / 6000.0;
+        assert!((p3 - 0.5).abs() < 0.04, "p3 = {p3}");
+        for (i, &h) in hits.iter().enumerate().take(3) {
+            let p = h as f64 / 6000.0;
+            assert!((p - 1.0 / 6.0).abs() < 0.04, "p{i} = {p}");
+        }
+    }
+
+    #[test]
+    fn two_stage_sampling_is_uniform_over_tuples() {
+        // 3 nodes holding 1, 2, 3 tuples: every tuple should be drawn with
+        // probability 1/6 even though nodes differ in content size.
+        let g = topology::complete(3).unwrap();
+        let db = skewed_db(3);
+        assert_eq!(db.total_tuples(), 6);
+        let mut op = SamplingOperator::new(SamplingConfig {
+            walk_length: 60,
+            reset_length: 20,
+            continue_walks: true,
+        })
+        .unwrap();
+        let mut r = rng(2);
+        let mut counts = std::collections::HashMap::new();
+        let draws = 12_000;
+        for _ in 0..draws {
+            let (_, tuple, _) = op.sample_tuple(&g, &db, NodeId(0), &mut r).unwrap();
+            *counts
+                .entry(tuple.value(0).unwrap() as u64)
+                .or_insert(0usize) += 1;
+        }
+        assert_eq!(counts.len(), 6, "all six tuples must appear");
+        for (&val, &c) in &counts {
+            let p = c as f64 / draws as f64;
+            assert!((p - 1.0 / 6.0).abs() < 0.02, "tuple {val}: p = {p}");
+        }
+    }
+
+    #[test]
+    fn continued_walks_are_cheaper() {
+        let g = topology::ring(50).unwrap();
+        let db = skewed_db(50);
+        let mut r = rng(3);
+
+        let mut cont = SamplingOperator::new(SamplingConfig {
+            walk_length: 100,
+            reset_length: 10,
+            continue_walks: true,
+        })
+        .unwrap();
+        let mut fresh = SamplingOperator::new(SamplingConfig {
+            walk_length: 100,
+            reset_length: 10,
+            continue_walks: false,
+        })
+        .unwrap();
+
+        for _ in 0..30 {
+            // One sample per occasion: the continued operator reuses its
+            // pooled walk, the fresh one re-pays the mixing length.
+            cont.begin_occasion();
+            cont.sample_tuple(&g, &db, NodeId(0), &mut r).unwrap();
+            fresh.begin_occasion();
+            fresh.sample_tuple(&g, &db, NodeId(0), &mut r).unwrap();
+        }
+        assert_eq!(cont.pool_size(), 1, "one occasion slot in use");
+        assert!(
+            cont.total_messages() < fresh.total_messages() / 2,
+            "continued {} vs fresh {}",
+            cont.total_messages(),
+            fresh.total_messages()
+        );
+        assert_eq!(cont.samples_drawn(), fresh.samples_drawn());
+    }
+
+    #[test]
+    fn sample_cost_reports_hops_plus_report() {
+        let g = topology::complete(5).unwrap();
+        let db = skewed_db(5);
+        let mut op = SamplingOperator::new(SamplingConfig {
+            walk_length: 40,
+            reset_length: 10,
+            continue_walks: false,
+        })
+        .unwrap();
+        let mut r = rng(4);
+        let (_, _, cost) = op.sample_tuple(&g, &db, NodeId(0), &mut r).unwrap();
+        assert_eq!(cost.report_messages, 1);
+        assert!(cost.walk_messages > 0);
+        assert!(cost.walk_messages <= 40);
+        assert_eq!(cost.total(), cost.walk_messages + 1);
+        assert_eq!(op.total_messages(), cost.total());
+    }
+
+    #[test]
+    fn empty_database_is_an_error() {
+        let g = topology::ring(4).unwrap();
+        let db = P2PDatabase::new(Schema::single("a"));
+        let mut op = SamplingOperator::new(SamplingConfig::default()).unwrap();
+        let mut r = rng(5);
+        assert!(matches!(
+            op.sample_tuple(&g, &db, NodeId(0), &mut r),
+            Err(SamplingError::EmptyDatabase)
+        ));
+    }
+
+    #[test]
+    fn departed_walker_node_recovers_via_fresh_walk() {
+        let mut g = topology::complete(6).unwrap();
+        let db = skewed_db(6);
+        let mut op = SamplingOperator::new(SamplingConfig {
+            walk_length: 30,
+            reset_length: 5,
+            continue_walks: true,
+        })
+        .unwrap();
+        let mut r = rng(6);
+        op.sample_tuple(&g, &db, NodeId(0), &mut r).unwrap();
+        // Remove a node the pooled walker may be sitting on; sampling must
+        // keep working by relaunching fresh walks where needed, and no
+        // sampled tuple may belong to the departed node.
+        g.remove_node(NodeId(5)).unwrap();
+        for _ in 0..20 {
+            op.begin_occasion();
+            let (handle, _, _) = op.sample_tuple(&g, &db, NodeId(0), &mut r).unwrap();
+            assert_ne!(handle.node, NodeId(5), "sampled a departed node's tuple");
+        }
+    }
+
+    #[test]
+    fn batch_sampling_draws_n() {
+        let g = topology::complete(4).unwrap();
+        let db = skewed_db(4);
+        let mut op = SamplingOperator::new(SamplingConfig::default()).unwrap();
+        let mut r = rng(7);
+        let batch = op.sample_tuples(&g, &db, NodeId(0), 25, &mut r).unwrap();
+        assert_eq!(batch.len(), 25);
+        assert_eq!(op.samples_drawn(), 25);
+    }
+
+    #[test]
+    fn cluster_sample_returns_whole_fragment() {
+        let g = topology::complete(3).unwrap();
+        let db = skewed_db(3);
+        let mut op = SamplingOperator::new(SamplingConfig {
+            walk_length: 50,
+            reset_length: 10,
+            continue_walks: false,
+        })
+        .unwrap();
+        let mut r = rng(8);
+        let (node, tuples, _) = op.cluster_sample(&g, &db, NodeId(0), &mut r).unwrap();
+        assert_eq!(tuples.len(), db.content_size(node));
+        // Every tuple value encodes its node: 100·node + j.
+        for t in &tuples {
+            assert_eq!((t.value(0).unwrap() as u32) / 100, node.0);
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Capture–recapture estimation of network and relation size.
+//!
+//! `AVG` needs no knowledge of the relation size `N`, but `SUM = N · AVG`
+//! and `COUNT = N` do — and in an unstructured overlay nobody knows `N` or
+//! even the node count `r` (paper §II: "set sizes r and q are variable and
+//! unknown a priori"). The classic decentralised fix is the birthday
+//! paradox: draw `k` uniform node samples with the sampling operator and
+//! count pairwise collisions `C`; since `E[C] = k(k−1)/(2r)`,
+//! `r̂ = k(k−1)/(2C)`. Scaling by the sampled nodes' mean content size
+//! gives `N̂ = r̂ · mean(m_v)` — and with node samples drawn ∝ m_v the same
+//! machinery estimates `N` directly.
+
+use crate::error::SamplingError;
+use crate::Result;
+use digest_net::NodeId;
+use std::collections::HashMap;
+
+/// Accumulates uniform node samples and derives size estimates.
+#[derive(Debug, Clone, Default)]
+pub struct SizeEstimator {
+    /// Occurrence count per sampled node.
+    seen: HashMap<NodeId, u32>,
+    /// Total samples.
+    k: u64,
+    /// Sum of content sizes over all samples (with multiplicity).
+    content_sum: f64,
+}
+
+impl SizeEstimator {
+    /// Creates an empty estimator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one uniform node sample together with the node's reported
+    /// content size `m_v`.
+    pub fn add_sample(&mut self, node: NodeId, content_size: usize) {
+        *self.seen.entry(node).or_insert(0) += 1;
+        self.k += 1;
+        self.content_sum += content_size as f64;
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub fn samples(&self) -> u64 {
+        self.k
+    }
+
+    /// Number of *distinct* nodes seen.
+    #[must_use]
+    pub fn distinct(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Number of pairwise collisions `C = Σ_v c_v(c_v−1)/2`.
+    #[must_use]
+    pub fn collisions(&self) -> u64 {
+        self.seen
+            .values()
+            .map(|&c| u64::from(c) * u64::from(c.saturating_sub(1)) / 2)
+            .sum()
+    }
+
+    /// Capture–recapture estimate of the node count
+    /// `r̂ = k(k−1) / (2C)`.
+    ///
+    /// # Errors
+    ///
+    /// [`SamplingError::InvalidConfig`] until at least one collision has
+    /// been observed (the estimator is undefined; callers should keep
+    /// sampling — by the birthday bound, `k ≈ 1.2√r` samples suffice in
+    /// expectation).
+    pub fn estimate_node_count(&self) -> Result<f64> {
+        let c = self.collisions();
+        if c == 0 {
+            return Err(SamplingError::InvalidConfig {
+                reason: "no collisions observed yet; draw more samples",
+            });
+        }
+        Ok(self.k as f64 * (self.k as f64 - 1.0) / (2.0 * c as f64))
+    }
+
+    /// Estimate of the total tuple count `N̂ = r̂ · mean(m_v)`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`SizeEstimator::estimate_node_count`].
+    pub fn estimate_tuple_count(&self) -> Result<f64> {
+        let r = self.estimate_node_count()?;
+        if self.k == 0 {
+            return Err(SamplingError::InvalidConfig {
+                reason: "no samples",
+            });
+        }
+        Ok(r * self.content_sum / self.k as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn no_collisions_is_an_error() {
+        let mut e = SizeEstimator::new();
+        e.add_sample(NodeId(0), 5);
+        e.add_sample(NodeId(1), 5);
+        assert_eq!(e.collisions(), 0);
+        assert!(e.estimate_node_count().is_err());
+    }
+
+    #[test]
+    fn counts_collisions_correctly() {
+        let mut e = SizeEstimator::new();
+        for _ in 0..3 {
+            e.add_sample(NodeId(7), 1);
+        }
+        e.add_sample(NodeId(8), 1);
+        // c_7 = 3 → 3 collisions; c_8 = 1 → 0.
+        assert_eq!(e.collisions(), 3);
+        assert_eq!(e.distinct(), 2);
+        assert_eq!(e.samples(), 4);
+    }
+
+    #[test]
+    fn estimates_node_count_on_uniform_draws() {
+        // True r = 500; draw 400 uniform samples repeatedly and average.
+        let r_true = 500u32;
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let mut estimates = Vec::new();
+        for _ in 0..30 {
+            let mut e = SizeEstimator::new();
+            for _ in 0..400 {
+                e.add_sample(NodeId(rng.gen_range(0..r_true)), 10);
+            }
+            if let Ok(r) = e.estimate_node_count() {
+                estimates.push(r);
+            }
+        }
+        assert!(!estimates.is_empty());
+        let mean = estimates.iter().sum::<f64>() / estimates.len() as f64;
+        assert!((mean - 500.0).abs() < 75.0, "mean r̂ = {mean}");
+    }
+
+    #[test]
+    fn estimates_tuple_count_with_heterogeneous_content() {
+        // r = 200 nodes; node v holds (v % 10) + 1 tuples → N = 200·5.5.
+        let r_true = 200u32;
+        let n_true = (0..r_true).map(|v| (v % 10) as f64 + 1.0).sum::<f64>();
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let mut estimates = Vec::new();
+        for _ in 0..40 {
+            let mut e = SizeEstimator::new();
+            for _ in 0..300 {
+                let v = rng.gen_range(0..r_true);
+                e.add_sample(NodeId(v), (v % 10) as usize + 1);
+            }
+            if let Ok(n) = e.estimate_tuple_count() {
+                estimates.push(n);
+            }
+        }
+        let mean = estimates.iter().sum::<f64>() / estimates.len() as f64;
+        assert!(
+            (mean - n_true).abs() / n_true < 0.15,
+            "N̂ = {mean}, N = {n_true}"
+        );
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests of the Metropolis machinery: for *any* connected
+//! topology and *any* positive weight function, the forwarding matrix must
+//! be stochastic, lazy, and in detailed balance with the target.
+
+use digest_net::{topology, Graph, NodeId};
+use digest_sampling::{mixing, MetropolisWalk, SamplingConfig, SamplingOperator};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn arbitrary_graph(seed: u64, n: usize, flavor: u8) -> Graph {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    match flavor % 4 {
+        0 => topology::barabasi_albert(n.max(4), 2, &mut rng).unwrap(),
+        1 => topology::erdos_renyi(n.max(2), 0.2, &mut rng).unwrap(),
+        2 => topology::ring(n.max(3)).unwrap(),
+        _ => topology::star(n.max(2)).unwrap(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn transition_matrix_is_stochastic_lazy_and_balanced(
+        seed in 0u64..10_000,
+        n in 4usize..40,
+        flavor in 0u8..4,
+        wseed in 1u64..1000,
+    ) {
+        let g = arbitrary_graph(seed, n, flavor);
+        // Arbitrary positive weights derived from a hash of the node id.
+        let w = move |v: NodeId| {
+            let h = (u64::from(v.0) + 1).wrapping_mul(wseed).wrapping_mul(2654435761);
+            ((h % 97) + 1) as f64
+        };
+        let (p, nodes, target) = mixing::transition_matrix(&g, &w).unwrap();
+        let m = nodes.len();
+        for i in 0..m {
+            let row: f64 = (0..m).map(|j| p[(i, j)]).sum();
+            prop_assert!((row - 1.0).abs() < 1e-12, "row {i} sums to {row}");
+            prop_assert!(p[(i, i)] >= 0.5 - 1e-12, "laziness violated at {i}");
+            for j in 0..m {
+                prop_assert!(p[(i, j)] >= -1e-15);
+                // Detailed balance: π_i P_ij = π_j P_ji.
+                let lhs = target.prob(i) * p[(i, j)];
+                let rhs = target.prob(j) * p[(j, i)];
+                prop_assert!((lhs - rhs).abs() < 1e-12, "balance broken at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn walk_stays_on_live_nodes_and_counts_messages(
+        seed in 0u64..10_000,
+        n in 4usize..40,
+        flavor in 0u8..4,
+        steps in 1u64..200,
+    ) {
+        let g = arbitrary_graph(seed, n, flavor);
+        let w = |_: NodeId| 1.0;
+        let origin = g.nodes().next().unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xABCD);
+        let mut walk = MetropolisWalk::new(&g, origin).unwrap();
+        let mut moves = 0u64;
+        for _ in 0..steps {
+            if walk.step(&g, &w, &mut rng).unwrap() {
+                moves += 1;
+            }
+            prop_assert!(g.contains(walk.current()));
+        }
+        prop_assert_eq!(walk.messages(), moves);
+        prop_assert_eq!(walk.steps(), steps);
+        prop_assert!(moves <= steps);
+    }
+
+    #[test]
+    fn operator_pool_is_bounded_by_occasion_width(
+        batch in 1usize..20,
+        occasions in 1usize..6,
+    ) {
+        let g = topology::complete(6).unwrap();
+        let w = |_: NodeId| 1.0;
+        let mut op = SamplingOperator::new(SamplingConfig::default()).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let origin = g.nodes().next().unwrap();
+        for _ in 0..occasions {
+            op.begin_occasion();
+            for _ in 0..batch {
+                op.sample_node(&g, &w, origin, &mut rng).unwrap();
+            }
+        }
+        prop_assert_eq!(op.pool_size(), batch, "pool = widest occasion");
+        prop_assert_eq!(op.samples_drawn(), (batch * occasions) as u64);
+    }
+}

@@ -1,0 +1,27 @@
+//! # digest-sim
+//!
+//! The discrete-time simulation harness (the stand-in for the paper's
+//! multithreaded C++ simulator on two Sun Enterprise 250s — our metrics
+//! are deterministic *counts*, so a single-process simulator reproduces
+//! them exactly, minus the hardware noise).
+//!
+//! [`parallel::run_replications`] replays a scenario under many seeds on
+//! worker threads for statistically reliable (error-barred) metrics;
+//! [`runner::run`] drives one [`digest_core::QuerySystem`] against one
+//! [`digest_workload::Workload`] for a span of ticks, collecting a
+//! [`trace::RunReport`]: per-tick records of the exact aggregate (oracle)
+//! versus the system's running estimate, plus totals of snapshots, samples
+//! and messages, and the realised precision-violation rates that verify
+//! the `(δ, ε, p)` guarantee.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod parallel;
+pub mod runner;
+pub mod trace;
+
+pub use parallel::{run_replications, summarize, MetricSummary};
+pub use runner::{run, RunConfig};
+pub use trace::{RunReport, TraceRecord};

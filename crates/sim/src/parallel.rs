@@ -1,0 +1,217 @@
+//! Parallel replication of simulation runs.
+//!
+//! The paper averaged results over queries issued from random nodes "to
+//! derive a statistically reliable estimation" (§VI-A); this module is
+//! that device: it replays the same scenario under many seeds on worker
+//! threads (the workloads and engines are deterministic per seed, so a
+//! replication set is exactly reproducible) and summarises the
+//! distribution of any per-run metric.
+
+use crate::runner::{run, RunConfig};
+use crate::trace::RunReport;
+use digest_core::{QuerySystem, Result};
+use digest_workload::Workload;
+use parking_lot::Mutex;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Summary of one metric across replications.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricSummary {
+    /// Replications aggregated.
+    pub replications: u64,
+    /// Mean across replications.
+    pub mean: f64,
+    /// Sample standard deviation across replications.
+    pub std: f64,
+    /// Minimum observed.
+    pub min: f64,
+    /// Maximum observed.
+    pub max: f64,
+}
+
+impl MetricSummary {
+    /// Summarises a slice of per-replication values (zeros when empty).
+    #[must_use]
+    pub fn of(values: &[f64]) -> Self {
+        let n = values.len();
+        if n == 0 {
+            return Self {
+                replications: 0,
+                mean: 0.0,
+                std: 0.0,
+                min: 0.0,
+                max: 0.0,
+            };
+        }
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let var = if n < 2 {
+            0.0
+        } else {
+            values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        };
+        Self {
+            replications: n as u64,
+            mean,
+            std: var.sqrt(),
+            min: values.iter().copied().fold(f64::INFINITY, f64::min),
+            max: values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+}
+
+/// Runs `replications` independent simulations in parallel and returns the
+/// reports in seed order (`0..replications`).
+///
+/// `make_workload(seed)` and `make_system(seed)` build a fresh world and a
+/// fresh query system per replication; each replication drives its own
+/// ChaCha RNG seeded with the replication index, so results are
+/// reproducible regardless of thread scheduling.
+///
+/// # Errors
+///
+/// The first engine error from any replication (remaining replications
+/// still complete).
+pub fn run_replications<W, S, FW, FS>(
+    replications: u64,
+    make_workload: FW,
+    make_system: FS,
+    config: RunConfig,
+    delta: f64,
+    epsilon: f64,
+) -> Result<Vec<RunReport>>
+where
+    W: Workload,
+    S: QuerySystem,
+    FW: Fn(u64) -> W + Sync,
+    FS: Fn(u64) -> S + Sync,
+{
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(replications.max(1) as usize);
+
+    let next = AtomicU64::new(0);
+    let results: Mutex<Vec<Option<std::result::Result<RunReport, digest_core::CoreError>>>> =
+        Mutex::new((0..replications).map(|_| None).collect());
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let seed = next.fetch_add(1, Ordering::Relaxed);
+                if seed >= replications {
+                    return;
+                }
+                let mut workload = make_workload(seed);
+                let mut system = make_system(seed);
+                let mut rng =
+                    ChaCha8Rng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(1));
+                let outcome = run(&mut workload, &mut system, config, delta, epsilon, &mut rng);
+                results.lock()[seed as usize] = Some(outcome);
+            });
+        }
+    })
+    .expect("replication worker panicked");
+
+    let mut reports = Vec::with_capacity(replications as usize);
+    for slot in results.into_inner() {
+        reports.push(slot.expect("every replication index was claimed")?);
+    }
+    Ok(reports)
+}
+
+/// Summarises a metric over a replication set.
+#[must_use]
+pub fn summarize<F: Fn(&RunReport) -> f64>(reports: &[RunReport], metric: F) -> MetricSummary {
+    let values: Vec<f64> = reports.iter().map(metric).collect();
+    MetricSummary::of(&values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use digest_core::{
+        ContinuousQuery, DigestEngine, EngineConfig, EstimatorKind, Precision, SchedulerKind,
+    };
+    use digest_db::Expr;
+    use digest_workload::{TemperatureConfig, TemperatureWorkload};
+
+    fn make_workload(seed: u64) -> TemperatureWorkload {
+        TemperatureWorkload::new(TemperatureConfig {
+            seed,
+            ..TemperatureConfig::reduced(300, 5, 6, 40)
+        })
+    }
+
+    fn make_system(_seed: u64) -> DigestEngine {
+        let w = make_workload(0);
+        let query = ContinuousQuery::avg(
+            Expr::first_attr(w.db().schema()),
+            Precision::new(8.0, 2.0, 0.95).unwrap(),
+        );
+        DigestEngine::new(
+            query,
+            EngineConfig {
+                scheduler: SchedulerKind::Pred(2),
+                estimator: EstimatorKind::Repeated,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn replications_complete_and_are_seed_deterministic() {
+        let run_set = || {
+            run_replications(
+                6,
+                make_workload,
+                make_system,
+                RunConfig::for_ticks(40),
+                8.0,
+                2.0,
+            )
+            .unwrap()
+        };
+        let a = run_set();
+        let b = run_set();
+        assert_eq!(a.len(), 6);
+        for (ra, rb) in a.iter().zip(b.iter()) {
+            assert_eq!(ra.total_samples(), rb.total_samples());
+            assert_eq!(ra.total_messages(), rb.total_messages());
+        }
+        // Different seeds actually differ.
+        let samples: std::collections::HashSet<u64> =
+            a.iter().map(RunReport::total_samples).collect();
+        assert!(samples.len() > 1, "replications should vary across seeds");
+    }
+
+    #[test]
+    fn summaries_are_sane() {
+        let reports = run_replications(
+            4,
+            make_workload,
+            make_system,
+            RunConfig::for_ticks(30),
+            8.0,
+            2.0,
+        )
+        .unwrap();
+        let s = summarize(&reports, |r| r.total_samples() as f64);
+        assert_eq!(s.replications, 4);
+        assert!(s.min <= s.mean && s.mean <= s.max);
+        assert!(s.std >= 0.0);
+    }
+
+    #[test]
+    fn metric_summary_edge_cases() {
+        let empty = MetricSummary::of(&[]);
+        assert_eq!(empty.replications, 0);
+        let single = MetricSummary::of(&[3.5]);
+        assert_eq!(single.mean, 3.5);
+        assert_eq!(single.std, 0.0);
+        assert_eq!(single.min, 3.5);
+        assert_eq!(single.max, 3.5);
+    }
+}

@@ -1,0 +1,284 @@
+//! Driving one query system over one workload.
+
+use crate::trace::{RunReport, TraceRecord};
+use digest_core::{QuerySystem, Result, TickContext};
+use digest_net::NodeId;
+use digest_workload::Workload;
+use rand::RngCore;
+
+/// Run parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Ticks to simulate (capped by the workload's duration when
+    /// `respect_duration` is set).
+    pub ticks: u64,
+    /// Stop at the workload's own duration even if `ticks` is larger.
+    pub respect_duration: bool,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self {
+            ticks: u64::MAX,
+            respect_duration: true,
+        }
+    }
+}
+
+impl RunConfig {
+    /// Run for exactly `ticks` ticks (still capped by workload duration).
+    #[must_use]
+    pub fn for_ticks(ticks: u64) -> Self {
+        Self {
+            ticks,
+            respect_duration: true,
+        }
+    }
+}
+
+/// Runs `system` against `workload`, recording a per-tick trace.
+///
+/// The querying node is picked as the workload's first live node and
+/// re-elected if churn removes it (the paper issues queries from random
+/// nodes; any live node is equivalent for counting purposes).
+///
+/// Per tick, the order is: advance the workload (apply this tick's
+/// updates/churn), let the system react, then record the oracle truth
+/// next to the system's estimate.
+///
+/// # Errors
+///
+/// Propagates any engine error.
+pub fn run<W: Workload, S: QuerySystem + ?Sized>(
+    workload: &mut W,
+    system: &mut S,
+    config: RunConfig,
+    delta: f64,
+    epsilon: f64,
+    rng: &mut dyn RngCore,
+) -> Result<RunReport> {
+    let mut origin = workload
+        .graph()
+        .nodes()
+        .next()
+        .expect("workload graph must be non-empty");
+
+    let horizon = if config.respect_duration {
+        config.ticks.min(workload.duration())
+    } else {
+        config.ticks
+    };
+
+    let mut records = Vec::with_capacity(horizon as usize);
+    for tick in 0..horizon {
+        workload.advance(rng);
+
+        // Re-elect the querying node if churn removed it.
+        if !workload.graph().contains(origin) {
+            origin = elect_origin(workload, rng);
+        }
+
+        let (outcome, exact) = {
+            let ctx = TickContext {
+                tick,
+                graph: workload.graph(),
+                db: workload.db(),
+                origin,
+            };
+            let outcome = system.on_tick(&ctx, rng)?;
+            // Ground truth for the *system's* query when it can provide
+            // one (COUNT/SUM/MEDIAN/WHERE); plain-AVG oracle otherwise.
+            let exact = system
+                .oracle_truth(&ctx)
+                .unwrap_or_else(|| workload.exact_aggregate());
+            (outcome, exact)
+        };
+
+        records.push(TraceRecord {
+            tick,
+            exact,
+            estimate: outcome.estimate,
+            updated: outcome.updated,
+            snapshot: outcome.snapshot_executed,
+            samples: outcome.samples_this_tick,
+            fresh_samples: outcome.fresh_samples_this_tick,
+            messages: outcome.messages_this_tick,
+        });
+    }
+
+    Ok(RunReport {
+        system: system.name().to_owned(),
+        workload: workload.name().to_owned(),
+        records,
+        delta,
+        epsilon,
+    })
+}
+
+fn elect_origin<W: Workload>(workload: &W, rng: &mut dyn RngCore) -> NodeId {
+    workload
+        .graph()
+        .random_node(rng)
+        .expect("workload graph must stay non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use digest_core::{
+        ContinuousQuery, DigestEngine, EngineConfig, EstimatorKind, Precision, SchedulerKind,
+    };
+    use digest_db::Expr;
+    use digest_workload::{MemoryConfig, MemoryWorkload, TemperatureConfig, TemperatureWorkload};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn temp_workload() -> TemperatureWorkload {
+        TemperatureWorkload::new(TemperatureConfig::reduced(400, 5, 8, 60))
+    }
+
+    fn avg_query(w: &impl Workload, delta: f64, epsilon: f64) -> ContinuousQuery {
+        ContinuousQuery::avg(
+            Expr::first_attr(w.db().schema()),
+            Precision::new(delta, epsilon, 0.95).unwrap(),
+        )
+    }
+
+    #[test]
+    fn digest_run_produces_full_trace_and_respects_precision() {
+        let mut w = temp_workload();
+        let q = avg_query(&w, 8.0, 2.0);
+        let mut engine = DigestEngine::new(
+            q,
+            EngineConfig {
+                scheduler: SchedulerKind::Pred(3),
+                estimator: EstimatorKind::Repeated,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let report = run(
+            &mut w,
+            &mut engine,
+            RunConfig::for_ticks(60),
+            8.0,
+            2.0,
+            &mut rng,
+        )
+        .unwrap();
+
+        assert_eq!(report.ticks(), 60);
+        assert_eq!(report.system, "PRED3+RPT");
+        assert_eq!(report.workload, "TEMPERATURE");
+        assert!(
+            report.total_snapshots() >= 4,
+            "bootstrap alone gives several"
+        );
+        assert!(report.total_snapshots() < 60, "PRED must skip some ticks");
+        // Precision: ε-violations ≤ ~3× the nominal 5% (finite-sample
+        // slack), and resolution violations rare.
+        assert!(
+            report.confidence_violation_rate() < 0.15,
+            "ε-violations = {}",
+            report.confidence_violation_rate()
+        );
+        assert!(
+            report.resolution_violation_rate() < 0.10,
+            "δ-violations = {}",
+            report.resolution_violation_rate()
+        );
+    }
+
+    #[test]
+    fn run_caps_at_workload_duration() {
+        let mut w = temp_workload(); // duration 60
+        let q = avg_query(&w, 8.0, 2.0);
+        let mut engine = DigestEngine::new(
+            q,
+            EngineConfig {
+                scheduler: SchedulerKind::All,
+                estimator: EstimatorKind::Independent,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let report = run(
+            &mut w,
+            &mut engine,
+            RunConfig::default(),
+            8.0,
+            2.0,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(report.ticks(), 60);
+    }
+
+    #[test]
+    fn run_survives_churn_taking_the_origin() {
+        let mut w = MemoryWorkload::new(MemoryConfig {
+            leave_prob: 0.05,
+            join_rate: 2.0,
+            ..MemoryConfig::reduced(80, 40, 2_000)
+        });
+        let q = avg_query(&w, 10.0, 3.0);
+        let mut engine = DigestEngine::new(
+            q,
+            EngineConfig {
+                scheduler: SchedulerKind::All,
+                estimator: EstimatorKind::Repeated,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let report = run(
+            &mut w,
+            &mut engine,
+            RunConfig::for_ticks(50),
+            10.0,
+            3.0,
+            &mut rng,
+        )
+        .expect("run must survive origin churn");
+        assert_eq!(report.ticks(), 50);
+    }
+
+    #[test]
+    fn pred_uses_fewer_snapshots_than_all() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mk = || temp_workload();
+        let run_with = |scheduler, rng: &mut ChaCha8Rng| {
+            let mut w = mk();
+            let q = avg_query(&w, 16.0, 2.0); // generous δ = 2σ
+            let mut engine = DigestEngine::new(
+                q,
+                EngineConfig {
+                    scheduler,
+                    estimator: EstimatorKind::Repeated,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            run(
+                &mut w,
+                &mut engine,
+                RunConfig::for_ticks(60),
+                16.0,
+                2.0,
+                rng,
+            )
+            .unwrap()
+            .total_snapshots()
+        };
+        let all = run_with(SchedulerKind::All, &mut rng);
+        let pred = run_with(SchedulerKind::Pred(3), &mut rng);
+        assert_eq!(all, 60);
+        assert!(
+            pred < all / 2,
+            "PRED3 {pred} should be well under ALL {all}"
+        );
+    }
+}

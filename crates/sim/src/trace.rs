@@ -1,0 +1,215 @@
+//! Run traces and summary reports.
+
+/// One tick of a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceRecord {
+    /// The tick.
+    pub tick: u64,
+    /// Oracle exact aggregate `X[t]`.
+    pub exact: f64,
+    /// The system's running estimate `X̂[t]` (held between snapshots).
+    pub estimate: f64,
+    /// Whether the system reported an update this tick.
+    pub updated: bool,
+    /// Whether a snapshot query executed this tick.
+    pub snapshot: bool,
+    /// Samples evaluated this tick (fresh + revisited).
+    pub samples: u64,
+    /// Fresh samples drawn through the sampling operator this tick.
+    pub fresh_samples: u64,
+    /// Messages spent this tick.
+    pub messages: u64,
+}
+
+/// A full run of one system over one workload.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The system's name (`"PRED3+RPT"` …).
+    pub system: String,
+    /// The workload's name (`"TEMPERATURE"` …).
+    pub workload: String,
+    /// Per-tick records.
+    pub records: Vec<TraceRecord>,
+    /// The query's resolution `δ`.
+    pub delta: f64,
+    /// The query's confidence half-width `ε`.
+    pub epsilon: f64,
+}
+
+impl RunReport {
+    /// Ticks simulated.
+    #[must_use]
+    pub fn ticks(&self) -> u64 {
+        self.records.len() as u64
+    }
+
+    /// Total snapshot queries executed.
+    #[must_use]
+    pub fn total_snapshots(&self) -> u64 {
+        self.records.iter().filter(|r| r.snapshot).count() as u64
+    }
+
+    /// Total samples (fresh + revisited).
+    #[must_use]
+    pub fn total_samples(&self) -> u64 {
+        self.records.iter().map(|r| r.samples).sum()
+    }
+
+    /// Total fresh samples.
+    #[must_use]
+    pub fn total_fresh_samples(&self) -> u64 {
+        self.records.iter().map(|r| r.fresh_samples).sum()
+    }
+
+    /// Total messages.
+    #[must_use]
+    pub fn total_messages(&self) -> u64 {
+        self.records.iter().map(|r| r.messages).sum()
+    }
+
+    /// Mean samples per executed snapshot (0 when no snapshot ran).
+    #[must_use]
+    pub fn samples_per_snapshot(&self) -> f64 {
+        let snaps = self.total_snapshots();
+        if snaps == 0 {
+            0.0
+        } else {
+            self.total_samples() as f64 / snaps as f64
+        }
+    }
+
+    /// Largest absolute estimate error at *snapshot* ticks.
+    #[must_use]
+    pub fn max_snapshot_error(&self) -> f64 {
+        self.records
+            .iter()
+            .filter(|r| r.snapshot)
+            .map(|r| (r.estimate - r.exact).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Fraction of snapshot ticks whose estimate missed the `±ε`
+    /// confidence interval (should be ≲ 1 − p).
+    #[must_use]
+    pub fn confidence_violation_rate(&self) -> f64 {
+        let snaps: Vec<_> = self.records.iter().filter(|r| r.snapshot).collect();
+        if snaps.is_empty() {
+            return 0.0;
+        }
+        let misses = snaps
+            .iter()
+            .filter(|r| (r.estimate - r.exact).abs() > self.epsilon)
+            .count();
+        misses as f64 / snaps.len() as f64
+    }
+
+    /// Fraction of *all* ticks where the held result had drifted more than
+    /// `δ + ε` from the truth — a resolution violation: the scheduler
+    /// failed to re-snapshot in time.
+    #[must_use]
+    pub fn resolution_violation_rate(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        let misses = self
+            .records
+            .iter()
+            .filter(|r| (r.estimate - r.exact).abs() > self.delta + self.epsilon)
+            .count();
+        misses as f64 / self.records.len() as f64
+    }
+
+    /// Number of user-visible result updates.
+    #[must_use]
+    pub fn total_updates(&self) -> u64 {
+        self.records.iter().filter(|r| r.updated).count() as u64
+    }
+
+    /// One formatted summary line (used by the experiment binaries).
+    #[must_use]
+    pub fn summary_row(&self) -> String {
+        format!(
+            "{:<14} {:<12} ticks={:<6} snaps={:<6} samples={:<8} fresh={:<8} msgs={:<10} viol(ε)={:.3} viol(δ)={:.3}",
+            self.system,
+            self.workload,
+            self.ticks(),
+            self.total_snapshots(),
+            self.total_samples(),
+            self.total_fresh_samples(),
+            self.total_messages(),
+            self.confidence_violation_rate(),
+            self.resolution_violation_rate(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(tick: u64, exact: f64, estimate: f64, snapshot: bool) -> TraceRecord {
+        TraceRecord {
+            tick,
+            exact,
+            estimate,
+            updated: false,
+            snapshot,
+            samples: u64::from(snapshot) * 10,
+            fresh_samples: u64::from(snapshot) * 6,
+            messages: u64::from(snapshot) * 100,
+        }
+    }
+
+    fn report(records: Vec<TraceRecord>) -> RunReport {
+        RunReport {
+            system: "TEST".into(),
+            workload: "W".into(),
+            records,
+            delta: 2.0,
+            epsilon: 1.0,
+        }
+    }
+
+    #[test]
+    fn totals() {
+        let r = report(vec![
+            record(0, 10.0, 10.1, true),
+            record(1, 10.0, 10.1, false),
+            record(2, 10.5, 10.4, true),
+        ]);
+        assert_eq!(r.ticks(), 3);
+        assert_eq!(r.total_snapshots(), 2);
+        assert_eq!(r.total_samples(), 20);
+        assert_eq!(r.total_fresh_samples(), 12);
+        assert_eq!(r.total_messages(), 200);
+        assert_eq!(r.samples_per_snapshot(), 10.0);
+    }
+
+    #[test]
+    fn violation_rates() {
+        let r = report(vec![
+            record(0, 10.0, 10.5, true),  // within ε
+            record(1, 10.0, 12.0, true),  // ε-violation (2 > 1)
+            record(2, 10.0, 14.0, false), // δ+ε violation (4 > 3)
+        ]);
+        assert!((r.confidence_violation_rate() - 0.5).abs() < 1e-12);
+        assert!((r.resolution_violation_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((r.max_snapshot_error() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_is_safe() {
+        let r = report(vec![]);
+        assert_eq!(r.confidence_violation_rate(), 0.0);
+        assert_eq!(r.resolution_violation_rate(), 0.0);
+        assert_eq!(r.samples_per_snapshot(), 0.0);
+    }
+
+    #[test]
+    fn summary_row_contains_key_fields() {
+        let r = report(vec![record(0, 1.0, 1.0, true)]);
+        let row = r.summary_row();
+        assert!(row.contains("TEST"));
+        assert!(row.contains("snaps=1"));
+    }
+}

@@ -1,0 +1,172 @@
+//! Central-limit-theorem sample sizing (paper §IV-B1, Eqs. 5–6).
+//!
+//! For independent uniform sampling with replacement, the sample mean of `n`
+//! draws is approximately `N(Ȳ, σ²/n)`. To guarantee
+//! `Pr(|Ŷ − Ȳ| ≤ ε) ≥ p` the engine needs
+//!
+//! ```text
+//! n = ⌈ (σ · z_p / ε)² ⌉   with   z_p = Φ⁻¹((1 + p)/2).
+//! ```
+//!
+//! The true `σ` is unknown; Digest estimates it from a pilot sample and
+//! re-sizes, so these helpers accept an estimated standard deviation.
+
+use crate::error::StatsError;
+use crate::normal::z_for_confidence;
+use crate::Result;
+
+/// Minimum number of samples the sizing routines will ever report.
+///
+/// The CLT is meaningless for a handful of samples; classical survey
+/// sampling practice (and the pilot phase of Digest) wants a floor so the
+/// variance estimate itself is usable.
+pub const MIN_SAMPLE_SIZE: usize = 2;
+
+/// Number of i.i.d. samples required so that the sample mean is within
+/// `±epsilon` of the population mean with probability `confidence`
+/// (paper Eq. 6).
+///
+/// # Errors
+///
+/// * [`StatsError::InvalidProbability`] unless `0 < confidence < 1`.
+/// * [`StatsError::InvalidParameter`] if `epsilon ≤ 0` or `sigma < 0`, or
+///   either is non-finite.
+///
+/// ```
+/// use digest_stats::required_sample_size;
+/// // σ = 8, ε = 2, p = 0.95 → n = ⌈(8 · 1.96 / 2)²⌉ = ⌈61.5⌉ = 62.
+/// let n = required_sample_size(8.0, 2.0, 0.95).unwrap();
+/// assert_eq!(n, 62);
+/// ```
+pub fn required_sample_size(sigma: f64, epsilon: f64, confidence: f64) -> Result<usize> {
+    if !sigma.is_finite() || sigma < 0.0 {
+        return Err(StatsError::InvalidParameter {
+            what: "sigma",
+            value: sigma,
+        });
+    }
+    if !epsilon.is_finite() || epsilon <= 0.0 {
+        return Err(StatsError::InvalidParameter {
+            what: "epsilon",
+            value: epsilon,
+        });
+    }
+    let z = z_for_confidence(confidence)?;
+    let raw = (sigma * z / epsilon).powi(2);
+    Ok((raw.ceil() as usize).max(MIN_SAMPLE_SIZE))
+}
+
+/// Number of i.i.d. samples required to push the *estimator variance* below
+/// `target_variance`, i.e. `n = ⌈σ² / v*⌉`.
+///
+/// Repeated sampling sizes its panel this way: the confidence requirement
+/// `(ε, p)` translates to a target estimator variance `v* = (ε / z_p)²`, and
+/// the repeated-sampling variance formula (Eq. 10) is solved for `n`.
+///
+/// # Errors
+///
+/// [`StatsError::InvalidParameter`] if `variance < 0`,
+/// `target_variance ≤ 0`, or either is non-finite.
+pub fn required_sample_size_for_variance(variance: f64, target_variance: f64) -> Result<usize> {
+    if !variance.is_finite() || variance < 0.0 {
+        return Err(StatsError::InvalidParameter {
+            what: "variance",
+            value: variance,
+        });
+    }
+    if !target_variance.is_finite() || target_variance <= 0.0 {
+        return Err(StatsError::InvalidParameter {
+            what: "target_variance",
+            value: target_variance,
+        });
+    }
+    Ok(((variance / target_variance).ceil() as usize).max(MIN_SAMPLE_SIZE))
+}
+
+/// Converts a confidence requirement `(ε, p)` into the target estimator
+/// variance `v* = (ε / z_p)²` that any unbiased, asymptotically normal
+/// estimator must reach.
+///
+/// # Errors
+///
+/// Same domain requirements as [`required_sample_size`].
+pub fn target_estimator_variance(epsilon: f64, confidence: f64) -> Result<f64> {
+    if !epsilon.is_finite() || epsilon <= 0.0 {
+        return Err(StatsError::InvalidParameter {
+            what: "epsilon",
+            value: epsilon,
+        });
+    }
+    let z = z_for_confidence(confidence)?;
+    Ok((epsilon / z).powi(2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn textbook_sizing() {
+        // σ=10, ε=1, p=0.95: n = (10·1.95996)² ≈ 384.1 → 385.
+        let n = required_sample_size(10.0, 1.0, 0.95).unwrap();
+        assert_eq!(n, 385);
+    }
+
+    #[test]
+    fn tighter_epsilon_needs_quadratically_more() {
+        let n1 = required_sample_size(8.0, 2.0, 0.95).unwrap();
+        let n2 = required_sample_size(8.0, 1.0, 0.95).unwrap();
+        // Halving ε quadruples n (up to rounding).
+        assert!(n2 >= 4 * n1 - 4 && n2 <= 4 * n1 + 4, "n1={n1} n2={n2}");
+    }
+
+    #[test]
+    fn higher_confidence_needs_more() {
+        let n95 = required_sample_size(8.0, 2.0, 0.95).unwrap();
+        let n99 = required_sample_size(8.0, 2.0, 0.99).unwrap();
+        assert!(n99 > n95);
+    }
+
+    #[test]
+    fn zero_sigma_gives_floor() {
+        assert_eq!(
+            required_sample_size(0.0, 1.0, 0.95).unwrap(),
+            MIN_SAMPLE_SIZE
+        );
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(required_sample_size(-1.0, 1.0, 0.95).is_err());
+        assert!(required_sample_size(1.0, 0.0, 0.95).is_err());
+        assert!(required_sample_size(1.0, -2.0, 0.95).is_err());
+        assert!(required_sample_size(1.0, 1.0, 0.0).is_err());
+        assert!(required_sample_size(1.0, 1.0, 1.0).is_err());
+        assert!(required_sample_size(f64::NAN, 1.0, 0.95).is_err());
+        assert!(required_sample_size(1.0, f64::INFINITY, 0.95).is_err());
+    }
+
+    #[test]
+    fn variance_sizing_matches_direct_sizing() {
+        let sigma = 8.0;
+        let (eps, p) = (2.0, 0.95);
+        let direct = required_sample_size(sigma, eps, p).unwrap();
+        let v = target_estimator_variance(eps, p).unwrap();
+        let via_var = required_sample_size_for_variance(sigma * sigma, v).unwrap();
+        assert_eq!(direct, via_var);
+    }
+
+    #[test]
+    fn variance_sizing_rejects_bad_inputs() {
+        assert!(required_sample_size_for_variance(-1.0, 1.0).is_err());
+        assert!(required_sample_size_for_variance(1.0, 0.0).is_err());
+        assert!(required_sample_size_for_variance(f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn target_variance_shrinks_with_confidence() {
+        let v95 = target_estimator_variance(1.0, 0.95).unwrap();
+        let v99 = target_estimator_variance(1.0, 0.99).unwrap();
+        assert!(v99 < v95);
+    }
+}

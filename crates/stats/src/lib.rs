@@ -1,0 +1,70 @@
+//! # digest-stats
+//!
+//! Statistical substrate for the Digest query-answering system.
+//!
+//! This crate implements, from scratch, every piece of numerical machinery
+//! the two tiers of Digest rely on:
+//!
+//! * [`moments`] — numerically stable running moments (Welford) and paired
+//!   moments (covariance / correlation) for streaming data.
+//! * [`normal`] — the standard normal distribution: `Φ`, `φ`, and a
+//!   high-accuracy inverse CDF used to turn a confidence level `p` into a
+//!   quantile `z_p`.
+//! * [`clt`] — central-limit-theorem sample sizing: how many i.i.d. samples
+//!   are needed so that the sample mean lands within `±ε` of the population
+//!   mean with probability `p` (paper Eq. 6).
+//! * [`linalg`] — small dense matrices and linear solvers (LU with partial
+//!   pivoting, Cholesky) backing the least-squares fitters.
+//! * [`lm`] — the Levenberg–Marquardt damped least-squares optimiser the
+//!   paper prescribes for fitting the Taylor polynomial of the running
+//!   aggregate.
+//! * [`poly`] — dense univariate polynomials and (non)linear least-squares
+//!   polynomial fitting.
+//! * [`taylor`] — Taylor-polynomial extrapolation with Lagrange remainder
+//!   bounds: predicts the earliest time the running aggregate can have
+//!   drifted by the resolution threshold `δ` (paper §IV-A, Eqs. 1–4).
+//! * [`quantile`] — sample quantiles with distribution-free
+//!   (order-statistic) confidence intervals, powering `MEDIAN` queries.
+//! * [`regression`] — simple linear regression between paired samples,
+//!   the auxiliary-variate machinery behind repeated sampling.
+//! * [`repeated`] — the repeated-sampling estimator algebra of paper
+//!   §IV-B2: optimal panel partitioning `g_opt`, the combined
+//!   regression+mean estimator, and its variance (Eqs. 7–11).
+//! * [`tvd`] — discrete probability distributions and total-variation
+//!   distance, used to certify the mixing of the MCMC sampling operator.
+//!
+//! All algorithms are deterministic and allocation-conscious; no external
+//! numerical crates are used.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod clt;
+pub mod error;
+pub mod linalg;
+pub mod lm;
+pub mod moments;
+pub mod normal;
+pub mod poly;
+pub mod quantile;
+pub mod regression;
+pub mod repeated;
+pub mod taylor;
+pub mod tvd;
+
+pub use clt::{required_sample_size, required_sample_size_for_variance};
+pub use error::StatsError;
+pub use linalg::Matrix;
+pub use lm::{LevenbergMarquardt, LmConfig, LmOutcome, LmReport, ResidualModel};
+pub use moments::{PairedMoments, RunningMoments};
+pub use normal::{inverse_phi, phi, phi_pdf, z_for_confidence};
+pub use poly::Polynomial;
+pub use quantile::{quantile_interval, sample_quantile, QuantileInterval};
+pub use regression::SimpleLinearRegression;
+pub use repeated::{combined_estimate, optimal_partition, CombinedEstimate, PanelPartition};
+pub use taylor::{Extrapolator, ExtrapolatorConfig, Prediction};
+pub use tvd::{total_variation_distance, DiscreteDistribution};
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, StatsError>;

@@ -1,0 +1,442 @@
+//! Small dense linear algebra for the least-squares fitters.
+//!
+//! The matrices here are tiny (a Taylor fit of degree 3 solves a 4×4
+//! system), so the implementation favours clarity and robustness over
+//! blocking/SIMD tricks: row-major storage, LU with partial pivoting, and
+//! Cholesky for the symmetric positive-definite normal equations.
+
+use crate::error::StatsError;
+use crate::Result;
+
+/// A row-major dense matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` zero matrix.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major vector.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::DimensionMismatch`] if `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(StatsError::DimensionMismatch {
+                context: "from_rows: data length must equal rows * cols",
+            });
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable view of the underlying row-major buffer.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Transpose.
+    #[must_use]
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self · other`.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::DimensionMismatch`] if the inner dimensions differ.
+    pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.rows {
+            return Err(StatsError::DimensionMismatch {
+                context: "matmul: self.cols must equal other.rows",
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out[(i, j)] += a * other[(k, j)];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix–vector product `self · v`.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::DimensionMismatch`] if `v.len() != self.cols`.
+    pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
+        if v.len() != self.cols {
+            return Err(StatsError::DimensionMismatch {
+                context: "matvec: vector length must equal cols",
+            });
+        }
+        let out = self
+            .data
+            .chunks_exact(self.cols)
+            .map(|row| row.iter().zip(v.iter()).map(|(a, b)| a * b).sum())
+            .collect();
+        Ok(out)
+    }
+
+    /// Solves `A x = b` by LU factorisation with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// * [`StatsError::DimensionMismatch`] if `A` is not square or `b` has
+    ///   the wrong length.
+    /// * [`StatsError::SingularMatrix`] if a pivot is numerically zero.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.rows;
+        if self.cols != n {
+            return Err(StatsError::DimensionMismatch {
+                context: "solve: matrix must be square",
+            });
+        }
+        if b.len() != n {
+            return Err(StatsError::DimensionMismatch {
+                context: "solve: rhs length must equal matrix dimension",
+            });
+        }
+
+        // Work on copies; the matrix is small.
+        let mut a = self.data.clone();
+        let mut x = b.to_vec();
+        let mut perm: Vec<usize> = (0..n).collect();
+
+        for col in 0..n {
+            // Partial pivot: largest |a| in this column at or below the diagonal.
+            let mut pivot_row = col;
+            let mut pivot_val = a[perm[col] * n + col].abs();
+            for (r, &pr) in perm.iter().enumerate().skip(col + 1) {
+                let v = a[pr * n + col].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = r;
+                }
+            }
+            if pivot_val < 1e-300 {
+                return Err(StatsError::SingularMatrix);
+            }
+            perm.swap(col, pivot_row);
+
+            let prow = perm[col];
+            let pivot = a[prow * n + col];
+            for &r in &perm[col + 1..] {
+                let factor = a[r * n + col] / pivot;
+                if factor == 0.0 {
+                    continue;
+                }
+                a[r * n + col] = 0.0;
+                for j in col + 1..n {
+                    a[r * n + j] -= factor * a[prow * n + j];
+                }
+                x[r] -= factor * x[prow];
+            }
+        }
+
+        // Back substitution through the permutation.
+        let mut out = vec![0.0; n];
+        for col in (0..n).rev() {
+            let prow = perm[col];
+            let mut sum = x[prow];
+            for j in col + 1..n {
+                sum -= a[prow * n + j] * out[j];
+            }
+            let diag = a[prow * n + col];
+            if diag.abs() < 1e-300 {
+                return Err(StatsError::SingularMatrix);
+            }
+            out[col] = sum / diag;
+        }
+        Ok(out)
+    }
+
+    /// Solves `A x = b` for symmetric positive-definite `A` by Cholesky
+    /// factorisation (`A = L Lᵀ`). Used for normal equations `JᵀJ + λ diag`.
+    ///
+    /// # Errors
+    ///
+    /// * [`StatsError::DimensionMismatch`] as for [`Matrix::solve`].
+    /// * [`StatsError::SingularMatrix`] if `A` is not positive definite to
+    ///   working precision.
+    pub fn solve_spd(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.rows;
+        if self.cols != n {
+            return Err(StatsError::DimensionMismatch {
+                context: "solve_spd: matrix must be square",
+            });
+        }
+        if b.len() != n {
+            return Err(StatsError::DimensionMismatch {
+                context: "solve_spd: rhs length must equal matrix dimension",
+            });
+        }
+
+        // Cholesky: l[i][j] for j <= i, row-major lower triangle.
+        let mut l = vec![0.0_f64; n * n];
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = self[(i, j)];
+                for k in 0..j {
+                    sum -= l[i * n + k] * l[j * n + k];
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return Err(StatsError::SingularMatrix);
+                    }
+                    l[i * n + i] = sum.sqrt();
+                } else {
+                    l[i * n + j] = sum / l[j * n + j];
+                }
+            }
+        }
+
+        // Forward solve L y = b.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= l[i * n + k] * y[k];
+            }
+            y[i] = sum / l[i * n + i];
+        }
+        // Back solve Lᵀ x = y.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in i + 1..n {
+                sum -= l[k * n + i] * x[k];
+            }
+            x[i] = sum / l[i * n + i];
+        }
+        Ok(x)
+    }
+
+    /// Largest absolute eigenvalue estimated by power iteration, for
+    /// spectral diagnostics of small transition matrices.
+    ///
+    /// Returns `None` when the iteration fails to grow a direction (e.g.
+    /// the zero matrix).
+    #[must_use]
+    pub fn spectral_radius(&self, iterations: usize) -> Option<f64> {
+        if self.rows != self.cols || self.rows == 0 {
+            return None;
+        }
+        let n = self.rows;
+        let mut v = vec![1.0 / (n as f64).sqrt(); n];
+        let mut lambda = 0.0;
+        for _ in 0..iterations {
+            let w = self.matvec(&v).ok()?;
+            let norm = w.iter().map(|x| x * x).sum::<f64>().sqrt();
+            if norm < 1e-300 {
+                return None;
+            }
+            lambda = norm;
+            for (vi, wi) in v.iter_mut().zip(w.iter()) {
+                *vi = wi / norm;
+            }
+        }
+        Some(lambda)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_solve_is_identity() {
+        let a = Matrix::identity(4);
+        let b = [1.0, 2.0, 3.0, 4.0];
+        let x = a.solve(&b).unwrap();
+        for (xi, bi) in x.iter().zip(b.iter()) {
+            assert!((xi - bi).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn solve_known_system() {
+        // [2 1; 1 3] x = [3; 5] → x = [4/5, 7/5].
+        let a = Matrix::from_rows(2, 2, vec![2.0, 1.0, 1.0, 3.0]).unwrap();
+        let x = a.solve(&[3.0, 5.0]).unwrap();
+        assert!((x[0] - 0.8).abs() < 1e-12);
+        assert!((x[1] - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Zero on the diagonal: naive elimination would divide by zero.
+        let a = Matrix::from_rows(2, 2, vec![0.0, 1.0, 1.0, 0.0]).unwrap();
+        let x = a.solve(&[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_detects_singularity() {
+        let a = Matrix::from_rows(2, 2, vec![1.0, 2.0, 2.0, 4.0]).unwrap();
+        assert_eq!(
+            a.solve(&[1.0, 2.0]).unwrap_err(),
+            StatsError::SingularMatrix
+        );
+    }
+
+    #[test]
+    fn solve_random_round_trip() {
+        // A·x = b then solve must return x; deterministic pseudo-random fill.
+        let n = 6;
+        let mut seed = 0x9e37_79b9_u64;
+        let mut next = || {
+            seed = seed.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = next();
+            }
+            a[(i, i)] += 4.0; // diagonal dominance → well-conditioned
+        }
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64) - 2.5).collect();
+        let b = a.matvec(&x_true).unwrap();
+        let x = a.solve(&b).unwrap();
+        for (got, want) in x.iter().zip(x_true.iter()) {
+            assert!((got - want).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn spd_solve_matches_lu() {
+        let a = Matrix::from_rows(3, 3, vec![4.0, 1.0, 0.5, 1.0, 3.0, 0.2, 0.5, 0.2, 2.0]).unwrap();
+        let b = [1.0, 2.0, 3.0];
+        let x1 = a.solve(&b).unwrap();
+        let x2 = a.solve_spd(&b).unwrap();
+        for (u, v) in x1.iter().zip(x2.iter()) {
+            assert!((u - v).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn spd_rejects_indefinite() {
+        let a = Matrix::from_rows(2, 2, vec![1.0, 2.0, 2.0, 1.0]).unwrap();
+        assert_eq!(
+            a.solve_spd(&[1.0, 1.0]).unwrap_err(),
+            StatsError::SingularMatrix
+        );
+    }
+
+    #[test]
+    fn matmul_and_transpose() {
+        let a = Matrix::from_rows(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let at = a.transpose();
+        assert_eq!(at.rows(), 3);
+        assert_eq!(at.cols(), 2);
+        let ata = at.matmul(&a).unwrap();
+        assert_eq!(ata.rows(), 3);
+        // (AᵀA)[0][0] = 1 + 16 = 17.
+        assert!((ata[(0, 0)] - 17.0).abs() < 1e-12);
+        // Symmetry.
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((ata[(i, j)] - ata[(j, i)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_dimension_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn matvec_known() {
+        let a = Matrix::from_rows(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let y = a.matvec(&[1.0, 1.0]).unwrap();
+        assert_eq!(y, vec![3.0, 7.0]);
+        assert!(a.matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn spectral_radius_of_diagonal() {
+        let a = Matrix::from_rows(2, 2, vec![3.0, 0.0, 0.0, 1.0]).unwrap();
+        let r = a.spectral_radius(200).unwrap();
+        assert!((r - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn spectral_radius_of_stochastic_matrix_is_one() {
+        // Row-stochastic matrices have spectral radius 1.
+        let a =
+            Matrix::from_rows(3, 3, vec![0.5, 0.25, 0.25, 0.1, 0.8, 0.1, 0.3, 0.3, 0.4]).unwrap();
+        let r = a.spectral_radius(500).unwrap();
+        assert!((r - 1.0).abs() < 1e-6, "spectral radius = {r}");
+    }
+
+    #[test]
+    fn from_rows_validates_length() {
+        assert!(Matrix::from_rows(2, 2, vec![1.0, 2.0, 3.0]).is_err());
+    }
+}

@@ -1,0 +1,451 @@
+//! Levenberg–Marquardt damped least squares.
+//!
+//! The paper prescribes "the well-known Levenberg–Marquardt Method (based on
+//! non-linear least squares fitting via trust regions)" for robustly fitting
+//! the Taylor polynomial to the noisy snapshot results (§IV-A). This module
+//! implements the classic Marquardt variant: at each step solve
+//!
+//! ```text
+//! (JᵀJ + λ · diag(JᵀJ)) δ = Jᵀ r
+//! ```
+//!
+//! accept the step (and shrink `λ`) when it reduces the sum of squared
+//! residuals, reject it (and grow `λ`) otherwise. The diagonal scaling makes
+//! the damping behave like an ellipsoidal trust region.
+//!
+//! The model is supplied through [`ResidualModel`]; an analytic Jacobian is
+//! optional — a forward-difference Jacobian is used when none is given.
+
+use crate::error::StatsError;
+use crate::linalg::Matrix;
+use crate::Result;
+
+/// A nonlinear least-squares problem: given parameters `β`, produce the
+/// residual vector `r(β)` (and optionally its Jacobian).
+pub trait ResidualModel {
+    /// Number of residuals (observations).
+    fn residual_count(&self) -> usize;
+
+    /// Number of free parameters.
+    fn parameter_count(&self) -> usize;
+
+    /// Fills `out` (length [`Self::residual_count`]) with residuals at `params`.
+    fn residuals(&self, params: &[f64], out: &mut [f64]);
+
+    /// Fills `jac` (row-major `residual_count × parameter_count`) with the
+    /// Jacobian `∂r_i/∂β_j` at `params`. Returns `false` if no analytic
+    /// Jacobian is available (the optimiser then falls back to finite
+    /// differences).
+    fn jacobian(&self, _params: &[f64], _jac: &mut [f64]) -> bool {
+        false
+    }
+}
+
+/// Tuning knobs for the optimiser.
+#[derive(Debug, Clone, Copy)]
+pub struct LmConfig {
+    /// Maximum number of accepted-or-rejected iterations.
+    pub max_iterations: usize,
+    /// Initial damping factor `λ₀`.
+    pub initial_lambda: f64,
+    /// Multiplicative factor applied to `λ` on rejection (and its inverse
+    /// on acceptance).
+    pub lambda_factor: f64,
+    /// Convergence: stop when the relative reduction of the cost falls
+    /// below this threshold.
+    pub cost_tolerance: f64,
+    /// Convergence: stop when the step's infinity norm falls below this.
+    pub step_tolerance: f64,
+    /// Upper bound on `λ`; exceeding it means the optimiser is stuck.
+    pub max_lambda: f64,
+}
+
+impl Default for LmConfig {
+    fn default() -> Self {
+        Self {
+            max_iterations: 100,
+            initial_lambda: 1e-3,
+            lambda_factor: 10.0,
+            cost_tolerance: 1e-12,
+            step_tolerance: 1e-12,
+            max_lambda: 1e12,
+        }
+    }
+}
+
+/// Why the optimiser stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LmOutcome {
+    /// Relative cost reduction fell below `cost_tolerance`.
+    CostConverged,
+    /// Step norm fell below `step_tolerance`.
+    StepConverged,
+    /// Residuals are numerically zero.
+    ExactFit,
+    /// Damping grew past `max_lambda` without progress.
+    Stalled,
+    /// Iteration budget exhausted (the fit may still be usable).
+    MaxIterations,
+}
+
+/// Result of a Levenberg–Marquardt run.
+#[derive(Debug, Clone)]
+pub struct LmReport {
+    /// Fitted parameters.
+    pub params: Vec<f64>,
+    /// Final cost `½‖r‖²`.
+    pub cost: f64,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Why the loop stopped.
+    pub outcome: LmOutcome,
+}
+
+/// The Levenberg–Marquardt optimiser.
+#[derive(Debug, Clone, Default)]
+pub struct LevenbergMarquardt {
+    config: LmConfig,
+}
+
+impl LevenbergMarquardt {
+    /// Creates an optimiser with the given configuration.
+    #[must_use]
+    pub fn new(config: LmConfig) -> Self {
+        Self { config }
+    }
+
+    /// Minimises `½‖r(β)‖²` starting from `initial`.
+    ///
+    /// # Errors
+    ///
+    /// * [`StatsError::DimensionMismatch`] if `initial.len()` disagrees with
+    ///   the model, or the model has more parameters than residuals.
+    /// * [`StatsError::NonFiniteInput`] if residuals become non-finite at
+    ///   the starting point.
+    /// * [`StatsError::SingularMatrix`] if the damped normal equations stay
+    ///   unsolvable even at maximum damping.
+    pub fn fit<M: ResidualModel>(&self, model: &M, initial: &[f64]) -> Result<LmReport> {
+        let m = model.residual_count();
+        let n = model.parameter_count();
+        if initial.len() != n {
+            return Err(StatsError::DimensionMismatch {
+                context: "fit: initial parameter vector has wrong length",
+            });
+        }
+        if m < n {
+            return Err(StatsError::DimensionMismatch {
+                context: "fit: fewer residuals than parameters (underdetermined)",
+            });
+        }
+
+        let cfg = &self.config;
+        let mut params = initial.to_vec();
+        let mut residuals = vec![0.0; m];
+        model.residuals(&params, &mut residuals);
+        if residuals.iter().any(|r| !r.is_finite()) {
+            return Err(StatsError::NonFiniteInput {
+                what: "residuals at initial parameters",
+            });
+        }
+        let mut cost = 0.5 * residuals.iter().map(|r| r * r).sum::<f64>();
+
+        let mut lambda = cfg.initial_lambda;
+        let mut jac_buf = vec![0.0; m * n];
+        let mut trial_params = vec![0.0; n];
+        let mut trial_residuals = vec![0.0; m];
+
+        for iter in 1..=cfg.max_iterations {
+            if cost < 1e-300 {
+                return Ok(LmReport {
+                    params,
+                    cost,
+                    iterations: iter,
+                    outcome: LmOutcome::ExactFit,
+                });
+            }
+
+            self.compute_jacobian(model, &params, &residuals, &mut jac_buf);
+
+            // Normal equations: JᵀJ and g = Jᵀ r.
+            let mut jtj = Matrix::zeros(n, n);
+            let mut g = vec![0.0; n];
+            for i in 0..m {
+                let row = &jac_buf[i * n..(i + 1) * n];
+                for a in 0..n {
+                    g[a] += row[a] * residuals[i];
+                    for b in a..n {
+                        jtj[(a, b)] += row[a] * row[b];
+                    }
+                }
+            }
+            for a in 0..n {
+                for b in 0..a {
+                    jtj[(a, b)] = jtj[(b, a)];
+                }
+            }
+
+            // Inner loop: increase damping until a step is accepted.
+            loop {
+                let mut damped = jtj.clone();
+                for a in 0..n {
+                    // Marquardt scaling with an absolute floor so that flat
+                    // directions are still damped.
+                    let d = jtj[(a, a)].max(1e-12);
+                    damped[(a, a)] = jtj[(a, a)] + lambda * d;
+                }
+
+                let step = match damped.solve_spd(&g) {
+                    Ok(s) => s,
+                    Err(_) => {
+                        lambda *= cfg.lambda_factor;
+                        if lambda > cfg.max_lambda {
+                            return Err(StatsError::SingularMatrix);
+                        }
+                        continue;
+                    }
+                };
+
+                for ((t, p), s) in trial_params.iter_mut().zip(&params).zip(&step) {
+                    *t = p - s;
+                }
+                model.residuals(&trial_params, &mut trial_residuals);
+                let trial_cost = if trial_residuals.iter().all(|r| r.is_finite()) {
+                    0.5 * trial_residuals.iter().map(|r| r * r).sum::<f64>()
+                } else {
+                    f64::INFINITY
+                };
+
+                if trial_cost < cost {
+                    let step_norm = step.iter().fold(0.0_f64, |acc, s| acc.max(s.abs()));
+                    let rel_reduction = (cost - trial_cost) / cost.max(1e-300);
+                    params.copy_from_slice(&trial_params);
+                    residuals.copy_from_slice(&trial_residuals);
+                    cost = trial_cost;
+                    lambda = (lambda / cfg.lambda_factor).max(1e-15);
+
+                    if rel_reduction < cfg.cost_tolerance {
+                        return Ok(LmReport {
+                            params,
+                            cost,
+                            iterations: iter,
+                            outcome: LmOutcome::CostConverged,
+                        });
+                    }
+                    if step_norm < cfg.step_tolerance {
+                        return Ok(LmReport {
+                            params,
+                            cost,
+                            iterations: iter,
+                            outcome: LmOutcome::StepConverged,
+                        });
+                    }
+                    break;
+                }
+
+                lambda *= cfg.lambda_factor;
+                if lambda > cfg.max_lambda {
+                    return Ok(LmReport {
+                        params,
+                        cost,
+                        iterations: iter,
+                        outcome: LmOutcome::Stalled,
+                    });
+                }
+            }
+        }
+
+        Ok(LmReport {
+            params,
+            cost,
+            iterations: self.config.max_iterations,
+            outcome: LmOutcome::MaxIterations,
+        })
+    }
+
+    /// Fills `jac` with the model's Jacobian, using forward differences
+    /// when the model provides none.
+    fn compute_jacobian<M: ResidualModel>(
+        &self,
+        model: &M,
+        params: &[f64],
+        residuals: &[f64],
+        jac: &mut [f64],
+    ) {
+        if model.jacobian(params, jac) {
+            return;
+        }
+        let m = model.residual_count();
+        let n = model.parameter_count();
+        let mut perturbed = params.to_vec();
+        let mut r_plus = vec![0.0; m];
+        for j in 0..n {
+            let h = 1e-7 * params[j].abs().max(1e-7);
+            let saved = perturbed[j];
+            perturbed[j] = saved + h;
+            model.residuals(&perturbed, &mut r_plus);
+            perturbed[j] = saved;
+            for i in 0..m {
+                jac[i * n + j] = (r_plus[i] - residuals[i]) / h;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Fit y = a·exp(b·x) to data.
+    struct ExpModel {
+        xs: Vec<f64>,
+        ys: Vec<f64>,
+    }
+
+    impl ResidualModel for ExpModel {
+        fn residual_count(&self) -> usize {
+            self.xs.len()
+        }
+        fn parameter_count(&self) -> usize {
+            2
+        }
+        fn residuals(&self, p: &[f64], out: &mut [f64]) {
+            for ((o, &x), &y) in out.iter_mut().zip(&self.xs).zip(&self.ys) {
+                *o = p[0] * (p[1] * x).exp() - y;
+            }
+        }
+    }
+
+    /// Linear model with analytic Jacobian: y = a + b·x.
+    struct LineModel {
+        xs: Vec<f64>,
+        ys: Vec<f64>,
+    }
+
+    impl ResidualModel for LineModel {
+        fn residual_count(&self) -> usize {
+            self.xs.len()
+        }
+        fn parameter_count(&self) -> usize {
+            2
+        }
+        fn residuals(&self, p: &[f64], out: &mut [f64]) {
+            for ((o, &x), &y) in out.iter_mut().zip(&self.xs).zip(&self.ys) {
+                *o = p[0] + p[1] * x - y;
+            }
+        }
+        fn jacobian(&self, _p: &[f64], jac: &mut [f64]) -> bool {
+            for (i, &x) in self.xs.iter().enumerate() {
+                jac[i * 2] = 1.0;
+                jac[i * 2 + 1] = x;
+            }
+            true
+        }
+    }
+
+    #[test]
+    fn fits_exact_line() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 + 3.0 * x).collect();
+        let model = LineModel { xs, ys };
+        let report = LevenbergMarquardt::default()
+            .fit(&model, &[0.0, 0.0])
+            .unwrap();
+        assert!((report.params[0] - 2.0).abs() < 1e-8, "{:?}", report);
+        assert!((report.params[1] - 3.0).abs() < 1e-8);
+        assert!(report.cost < 1e-15);
+    }
+
+    #[test]
+    fn fits_noisy_line_to_least_squares_solution() {
+        let xs = vec![0.0, 1.0, 2.0, 3.0];
+        let ys = vec![0.1, 0.9, 2.2, 2.8];
+        let model = LineModel {
+            xs: xs.clone(),
+            ys: ys.clone(),
+        };
+        let report = LevenbergMarquardt::default()
+            .fit(&model, &[0.0, 0.0])
+            .unwrap();
+        // Closed-form OLS for comparison.
+        let n = xs.len() as f64;
+        let sx: f64 = xs.iter().sum();
+        let sy: f64 = ys.iter().sum();
+        let sxx: f64 = xs.iter().map(|x| x * x).sum();
+        let sxy: f64 = xs.iter().zip(&ys).map(|(x, y)| x * y).sum();
+        let b = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+        let a = (sy - b * sx) / n;
+        assert!((report.params[0] - a).abs() < 1e-7);
+        assert!((report.params[1] - b).abs() < 1e-7);
+    }
+
+    #[test]
+    fn fits_exponential_with_numeric_jacobian() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64 * 0.1).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 1.5 * (0.8 * x).exp()).collect();
+        let model = ExpModel { xs, ys };
+        let report = LevenbergMarquardt::default()
+            .fit(&model, &[1.0, 0.5])
+            .unwrap();
+        assert!((report.params[0] - 1.5).abs() < 1e-5, "{:?}", report);
+        assert!((report.params[1] - 0.8).abs() < 1e-5);
+    }
+
+    #[test]
+    fn exponential_from_poor_start_still_converges() {
+        let xs: Vec<f64> = (0..30).map(|i| i as f64 * 0.1).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * (-1.3 * x).exp()).collect();
+        let model = ExpModel { xs, ys };
+        let report = LevenbergMarquardt::default()
+            .fit(&model, &[0.5, 0.0])
+            .unwrap();
+        assert!((report.params[0] - 2.0).abs() < 1e-4, "{:?}", report);
+        assert!((report.params[1] + 1.3).abs() < 1e-4);
+    }
+
+    #[test]
+    fn rejects_wrong_initial_length() {
+        let model = LineModel {
+            xs: vec![0.0, 1.0],
+            ys: vec![0.0, 1.0],
+        };
+        assert!(LevenbergMarquardt::default().fit(&model, &[0.0]).is_err());
+    }
+
+    #[test]
+    fn rejects_underdetermined() {
+        let model = LineModel {
+            xs: vec![0.0],
+            ys: vec![0.0],
+        };
+        assert!(LevenbergMarquardt::default()
+            .fit(&model, &[0.0, 0.0])
+            .is_err());
+    }
+
+    #[test]
+    fn exact_fit_stops_immediately() {
+        let model = LineModel {
+            xs: vec![0.0, 1.0, 2.0],
+            ys: vec![1.0, 1.0, 1.0],
+        };
+        let report = LevenbergMarquardt::default()
+            .fit(&model, &[1.0, 0.0])
+            .unwrap();
+        assert_eq!(report.outcome, LmOutcome::ExactFit);
+    }
+
+    #[test]
+    fn respects_iteration_budget() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64 * 0.1).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 1.5 * (0.8 * x).exp()).collect();
+        let model = ExpModel { xs, ys };
+        let cfg = LmConfig {
+            max_iterations: 1,
+            ..LmConfig::default()
+        };
+        let report = LevenbergMarquardt::new(cfg)
+            .fit(&model, &[1.0, 0.5])
+            .unwrap();
+        assert!(report.iterations <= 1);
+    }
+}

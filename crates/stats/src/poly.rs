@@ -1,0 +1,371 @@
+//! Dense univariate polynomials and least-squares polynomial fitting.
+//!
+//! The extrapolation tier approximates the running aggregate `X[t]` by a
+//! degree-`n` Taylor polynomial around the latest update time (paper Eq. 1).
+//! Fitting is exposed in two flavours:
+//!
+//! * [`Polynomial::fit_least_squares`] — closed-form linear least squares
+//!   via the (Cholesky-solved) normal equations on a centred/scaled basis.
+//! * [`Polynomial::fit_levenberg_marquardt`] — the paper's prescribed
+//!   Levenberg–Marquardt fit, seeded by the linear solution. For a
+//!   polynomial model the two coincide at the optimum; LM adds robustness
+//!   when callers supply weights or a contaminated basis.
+
+use crate::error::StatsError;
+use crate::linalg::Matrix;
+use crate::lm::{LevenbergMarquardt, LmConfig, ResidualModel};
+use crate::Result;
+
+/// A polynomial `c₀ + c₁·x + c₂·x² + …` in the *centred* variable
+/// `x = t − origin`.
+///
+/// Centring keeps the Vandermonde system well conditioned when `t` is a
+/// large tick count, and makes the coefficients directly interpretable as
+/// scaled derivatives at the origin — exactly the Taylor form of Eq. 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polynomial {
+    origin: f64,
+    coeffs: Vec<f64>,
+}
+
+impl Polynomial {
+    /// Creates a polynomial from coefficients `c₀, c₁, …` around `origin`.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::InsufficientData`] if `coeffs` is empty;
+    /// [`StatsError::NonFiniteInput`] if any coefficient or the origin is
+    /// not finite.
+    pub fn new(origin: f64, coeffs: Vec<f64>) -> Result<Self> {
+        if coeffs.is_empty() {
+            return Err(StatsError::InsufficientData { got: 0, need: 1 });
+        }
+        if !origin.is_finite() || coeffs.iter().any(|c| !c.is_finite()) {
+            return Err(StatsError::NonFiniteInput {
+                what: "polynomial coefficients",
+            });
+        }
+        Ok(Self { origin, coeffs })
+    }
+
+    /// The constant polynomial `c` around `origin`.
+    #[must_use]
+    pub fn constant(origin: f64, c: f64) -> Self {
+        Self {
+            origin,
+            coeffs: vec![c],
+        }
+    }
+
+    /// Degree (`len − 1`; the constant polynomial has degree 0).
+    #[must_use]
+    pub fn degree(&self) -> usize {
+        self.coeffs.len() - 1
+    }
+
+    /// Centring origin.
+    #[must_use]
+    pub fn origin(&self) -> f64 {
+        self.origin
+    }
+
+    /// Coefficients in the centred variable, lowest order first.
+    #[must_use]
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Evaluates the polynomial at absolute position `t` (Horner's rule).
+    #[must_use]
+    pub fn eval(&self, t: f64) -> f64 {
+        let x = t - self.origin;
+        self.coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+    }
+
+    /// The derivative polynomial (same origin).
+    #[must_use]
+    pub fn derivative(&self) -> Polynomial {
+        if self.coeffs.len() == 1 {
+            return Polynomial::constant(self.origin, 0.0);
+        }
+        let coeffs = self
+            .coeffs
+            .iter()
+            .enumerate()
+            .skip(1)
+            .map(|(k, &c)| c * k as f64)
+            .collect();
+        Polynomial {
+            origin: self.origin,
+            coeffs,
+        }
+    }
+
+    /// The `k`-th derivative evaluated at the origin — i.e. `k! · c_k`,
+    /// the Taylor-series derivative of Eq. 1.
+    #[must_use]
+    pub fn derivative_at_origin(&self, k: usize) -> f64 {
+        match self.coeffs.get(k) {
+            None => 0.0,
+            Some(&c) => {
+                let mut fact = 1.0;
+                for i in 2..=k {
+                    fact *= i as f64;
+                }
+                c * fact
+            }
+        }
+    }
+
+    /// Fits a degree-`degree` polynomial to `(ts, ys)` by linear least
+    /// squares on the basis centred at `origin`.
+    ///
+    /// # Errors
+    ///
+    /// * [`StatsError::DimensionMismatch`] if `ts` and `ys` differ in length.
+    /// * [`StatsError::InsufficientData`] if fewer than `degree + 1` points.
+    /// * [`StatsError::NonFiniteInput`] on non-finite observations.
+    /// * [`StatsError::SingularMatrix`] for degenerate abscissae (e.g. all
+    ///   `ts` equal with `degree ≥ 1`).
+    pub fn fit_least_squares(origin: f64, ts: &[f64], ys: &[f64], degree: usize) -> Result<Self> {
+        if ts.len() != ys.len() {
+            return Err(StatsError::DimensionMismatch {
+                context: "fit: ts and ys must have equal length",
+            });
+        }
+        let n_params = degree + 1;
+        if ts.len() < n_params {
+            return Err(StatsError::InsufficientData {
+                got: ts.len(),
+                need: n_params,
+            });
+        }
+        if ts.iter().chain(ys.iter()).any(|v| !v.is_finite()) || !origin.is_finite() {
+            return Err(StatsError::NonFiniteInput {
+                what: "fit observations",
+            });
+        }
+
+        // Scale the centred abscissa to ~[−1, 1] for conditioning.
+        let scale = ts
+            .iter()
+            .map(|t| (t - origin).abs())
+            .fold(0.0_f64, f64::max)
+            .max(1.0);
+
+        // Normal equations on the scaled basis.
+        let mut ata = Matrix::zeros(n_params, n_params);
+        let mut atb = vec![0.0; n_params];
+        let mut basis = vec![0.0; n_params];
+        for (&t, &y) in ts.iter().zip(ys.iter()) {
+            let x = (t - origin) / scale;
+            basis[0] = 1.0;
+            for k in 1..n_params {
+                basis[k] = basis[k - 1] * x;
+            }
+            for a in 0..n_params {
+                atb[a] += basis[a] * y;
+                for b in a..n_params {
+                    ata[(a, b)] += basis[a] * basis[b];
+                }
+            }
+        }
+        for a in 0..n_params {
+            for b in 0..a {
+                ata[(a, b)] = ata[(b, a)];
+            }
+        }
+
+        let scaled = ata.solve_spd(&atb).or_else(|_| ata.solve(&atb))?;
+        // Undo the scaling: c_k = scaled_k / scale^k.
+        let mut coeffs = scaled;
+        let mut s = 1.0;
+        for c in coeffs.iter_mut() {
+            *c /= s;
+            s *= scale;
+        }
+        Polynomial::new(origin, coeffs)
+    }
+
+    /// Fits a degree-`degree` polynomial by Levenberg–Marquardt, seeded
+    /// with the linear least-squares solution (paper §IV-A).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Polynomial::fit_least_squares`].
+    pub fn fit_levenberg_marquardt(
+        origin: f64,
+        ts: &[f64],
+        ys: &[f64],
+        degree: usize,
+    ) -> Result<Self> {
+        let seed = Self::fit_least_squares(origin, ts, ys, degree)?;
+
+        struct PolyModel<'a> {
+            origin: f64,
+            param_len: usize,
+            ts: &'a [f64],
+            ys: &'a [f64],
+        }
+        impl ResidualModel for PolyModel<'_> {
+            fn residual_count(&self) -> usize {
+                self.ts.len()
+            }
+            fn parameter_count(&self) -> usize {
+                self.param_len
+            }
+            fn residuals(&self, p: &[f64], out: &mut [f64]) {
+                for ((o, &t), &y) in out.iter_mut().zip(self.ts).zip(self.ys) {
+                    let x = t - self.origin;
+                    *o = p.iter().rev().fold(0.0, |acc, &c| acc * x + c) - y;
+                }
+            }
+            fn jacobian(&self, _p: &[f64], jac: &mut [f64]) -> bool {
+                let n = self.param_len;
+                for (i, &t) in self.ts.iter().enumerate() {
+                    let x = t - self.origin;
+                    let mut pow = 1.0;
+                    for j in 0..n {
+                        jac[i * n + j] = pow;
+                        pow *= x;
+                    }
+                }
+                true
+            }
+        }
+
+        let model = PolyModel {
+            origin,
+            param_len: degree + 1,
+            ts,
+            ys,
+        };
+        let lm = LevenbergMarquardt::new(LmConfig {
+            max_iterations: 50,
+            ..LmConfig::default()
+        });
+        let report = lm.fit(&model, seed.coefficients())?;
+        Polynomial::new(origin, report.params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_constant() {
+        let p = Polynomial::constant(5.0, 3.0);
+        assert_eq!(p.eval(0.0), 3.0);
+        assert_eq!(p.eval(100.0), 3.0);
+        assert_eq!(p.degree(), 0);
+    }
+
+    #[test]
+    fn eval_centred_quadratic() {
+        // p(t) = 1 + 2(t−10) + 3(t−10)².
+        let p = Polynomial::new(10.0, vec![1.0, 2.0, 3.0]).unwrap();
+        assert!((p.eval(10.0) - 1.0).abs() < 1e-12);
+        assert!((p.eval(11.0) - 6.0).abs() < 1e-12);
+        assert!((p.eval(9.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn derivative_chain() {
+        let p = Polynomial::new(0.0, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let d = p.derivative();
+        assert_eq!(d.coefficients(), &[2.0, 6.0, 12.0]);
+        let dd = d.derivative();
+        assert_eq!(dd.coefficients(), &[6.0, 24.0]);
+        let ddd = dd.derivative().derivative();
+        assert_eq!(ddd.coefficients(), &[0.0]);
+    }
+
+    #[test]
+    fn derivative_at_origin_is_factorial_scaled() {
+        let p = Polynomial::new(2.0, vec![5.0, 4.0, 3.0, 2.0]).unwrap();
+        assert_eq!(p.derivative_at_origin(0), 5.0);
+        assert_eq!(p.derivative_at_origin(1), 4.0);
+        assert_eq!(p.derivative_at_origin(2), 6.0); // 2!·3
+        assert_eq!(p.derivative_at_origin(3), 12.0); // 3!·2
+        assert_eq!(p.derivative_at_origin(7), 0.0);
+    }
+
+    #[test]
+    fn rejects_empty_and_non_finite() {
+        assert!(Polynomial::new(0.0, vec![]).is_err());
+        assert!(Polynomial::new(0.0, vec![f64::NAN]).is_err());
+        assert!(Polynomial::new(f64::INFINITY, vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn least_squares_recovers_exact_polynomial() {
+        let truth = Polynomial::new(100.0, vec![2.0, -1.5, 0.25]).unwrap();
+        let ts: Vec<f64> = (95..=105).map(|t| t as f64).collect();
+        let ys: Vec<f64> = ts.iter().map(|&t| truth.eval(t)).collect();
+        let fit = Polynomial::fit_least_squares(100.0, &ts, &ys, 2).unwrap();
+        for (&a, &b) in fit.coefficients().iter().zip(truth.coefficients()) {
+            assert!((a - b).abs() < 1e-8, "fit {:?}", fit.coefficients());
+        }
+    }
+
+    #[test]
+    fn least_squares_with_exactly_enough_points_interpolates() {
+        let ts = [0.0, 1.0, 2.0];
+        let ys = [1.0, 3.0, 9.0];
+        let fit = Polynomial::fit_least_squares(0.0, &ts, &ys, 2).unwrap();
+        for (&t, &y) in ts.iter().zip(ys.iter()) {
+            assert!((fit.eval(t) - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn least_squares_handles_large_tick_values() {
+        // Ticks in the millions: the centred/scaled basis must stay stable.
+        let origin = 3_000_000.0;
+        let truth = Polynomial::new(origin, vec![50.0, 0.3, -0.01]).unwrap();
+        let ts: Vec<f64> = (0..12).map(|i| origin - 11.0 + i as f64).collect();
+        let ys: Vec<f64> = ts.iter().map(|&t| truth.eval(t)).collect();
+        let fit = Polynomial::fit_least_squares(origin, &ts, &ys, 2).unwrap();
+        for (&t, &y) in ts.iter().zip(ys.iter()) {
+            assert!((fit.eval(t) - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn least_squares_degree_zero_is_mean() {
+        let ts = [0.0, 1.0, 2.0, 3.0];
+        let ys = [1.0, 2.0, 3.0, 4.0];
+        let fit = Polynomial::fit_least_squares(0.0, &ts, &ys, 0).unwrap();
+        assert!((fit.coefficients()[0] - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn least_squares_errors() {
+        assert!(Polynomial::fit_least_squares(0.0, &[0.0, 1.0], &[0.0], 1).is_err());
+        assert!(Polynomial::fit_least_squares(0.0, &[0.0], &[0.0], 1).is_err());
+        assert!(Polynomial::fit_least_squares(0.0, &[0.0, f64::NAN], &[0.0, 1.0], 1).is_err());
+        // Degenerate abscissae: all points at the same t with degree 1.
+        assert!(Polynomial::fit_least_squares(0.0, &[1.0, 1.0, 1.0], &[0.0, 1.0, 2.0], 1).is_err());
+    }
+
+    #[test]
+    fn lm_fit_matches_least_squares_on_noisy_data() {
+        let ts: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        // Quadratic plus deterministic "noise".
+        let ys: Vec<f64> = ts
+            .iter()
+            .map(|&t| 1.0 + 0.5 * t - 0.02 * t * t + 0.1 * (t * 0.7).sin())
+            .collect();
+        let ls = Polynomial::fit_least_squares(10.0, &ts, &ys, 2).unwrap();
+        let lm = Polynomial::fit_levenberg_marquardt(10.0, &ts, &ys, 2).unwrap();
+        for (&a, &b) in ls.coefficients().iter().zip(lm.coefficients()) {
+            assert!(
+                (a - b).abs() < 1e-6,
+                "LS {:?} vs LM {:?}",
+                ls.coefficients(),
+                lm.coefficients()
+            );
+        }
+    }
+}

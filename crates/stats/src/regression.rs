@@ -1,0 +1,165 @@
+//! Simple linear regression between paired observations.
+//!
+//! Repeated sampling (paper §IV-B2) regresses a retained tuple's value at
+//! the current sampling occasion on its value at the previous occasion.
+//! This module wraps the paired-moment accumulator into the regression
+//! estimator used there, with prediction and residual-variance queries.
+
+use crate::error::StatsError;
+use crate::moments::PairedMoments;
+use crate::Result;
+
+/// Ordinary-least-squares simple linear regression `y ≈ a + b·x`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimpleLinearRegression {
+    moments: PairedMoments,
+}
+
+impl SimpleLinearRegression {
+    /// Creates an empty regression.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a regression from paired slices.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::DimensionMismatch`] if the slices differ in length;
+    /// [`StatsError::InsufficientData`] if fewer than two pairs.
+    pub fn fit(xs: &[f64], ys: &[f64]) -> Result<Self> {
+        if xs.len() != ys.len() {
+            return Err(StatsError::DimensionMismatch {
+                context: "regression: xs and ys must have equal length",
+            });
+        }
+        if xs.len() < 2 {
+            return Err(StatsError::InsufficientData {
+                got: xs.len(),
+                need: 2,
+            });
+        }
+        let mut r = Self::new();
+        for (&x, &y) in xs.iter().zip(ys.iter()) {
+            r.push(x, y);
+        }
+        Ok(r)
+    }
+
+    /// Adds one paired observation.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.moments.push(x, y);
+    }
+
+    /// Number of pairs.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.moments.count()
+    }
+
+    /// Slope `b = s_xy / s_x²` (the paper's regression coefficient `b`).
+    #[must_use]
+    pub fn slope(&self) -> f64 {
+        self.moments.regression_slope()
+    }
+
+    /// Intercept `a = ȳ − b·x̄`.
+    #[must_use]
+    pub fn intercept(&self) -> f64 {
+        self.moments.regression_intercept()
+    }
+
+    /// Pearson correlation `ρ̂` between the two series.
+    #[must_use]
+    pub fn correlation(&self) -> f64 {
+        self.moments.correlation()
+    }
+
+    /// Coefficient of determination `R² = ρ̂²`.
+    #[must_use]
+    pub fn r_squared(&self) -> f64 {
+        let r = self.correlation();
+        r * r
+    }
+
+    /// Predicted `ŷ` at `x`.
+    #[must_use]
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept() + self.slope() * x
+    }
+
+    /// Residual variance `s_y² (1 − ρ̂²)` — the variance left after
+    /// conditioning on the auxiliary variate, which is exactly the factor
+    /// that makes regression estimation cheaper than fresh sampling.
+    #[must_use]
+    pub fn residual_variance(&self) -> f64 {
+        self.moments.sample_variance_y() * (1.0 - self.r_squared())
+    }
+
+    /// Access to the underlying paired moments.
+    #[must_use]
+    pub fn moments(&self) -> &PairedMoments {
+        &self.moments
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 1.25 * x - 3.0).collect();
+        let r = SimpleLinearRegression::fit(&xs, &ys).unwrap();
+        assert!((r.slope() - 1.25).abs() < 1e-12);
+        assert!((r.intercept() + 3.0).abs() < 1e-9);
+        assert!((r.r_squared() - 1.0).abs() < 1e-12);
+        assert!(r.residual_variance() < 1e-9);
+        assert!((r.predict(40.0) - 47.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_line_attenuates_r_squared() {
+        // Deterministic triangle "noise" with zero mean.
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 2.0 * x + if i % 2 == 0 { 5.0 } else { -5.0 })
+            .collect();
+        let r = SimpleLinearRegression::fit(&xs, &ys).unwrap();
+        assert!((r.slope() - 2.0).abs() < 0.01);
+        assert!(r.r_squared() < 1.0);
+        assert!(r.r_squared() > 0.9);
+        assert!(r.residual_variance() > 0.0);
+    }
+
+    #[test]
+    fn fit_validates_inputs() {
+        assert!(SimpleLinearRegression::fit(&[1.0], &[1.0]).is_err());
+        assert!(SimpleLinearRegression::fit(&[1.0, 2.0], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn streaming_matches_batch() {
+        let xs = [1.0, 2.0, 3.0, 5.0, 8.0];
+        let ys = [2.0, 3.5, 7.0, 9.0, 15.0];
+        let batch = SimpleLinearRegression::fit(&xs, &ys).unwrap();
+        let mut stream = SimpleLinearRegression::new();
+        for (&x, &y) in xs.iter().zip(ys.iter()) {
+            stream.push(x, y);
+        }
+        assert!((batch.slope() - stream.slope()).abs() < 1e-12);
+        assert!((batch.intercept() - stream.intercept()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_x_yields_zero_slope() {
+        let r = SimpleLinearRegression::fit(&[2.0, 2.0, 2.0], &[1.0, 5.0, 9.0]).unwrap();
+        assert_eq!(r.slope(), 0.0);
+        // Prediction falls back to the mean of y.
+        assert!((r.predict(2.0) - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,478 @@
+//! Taylor-polynomial extrapolation of the running aggregate (paper §IV-A).
+//!
+//! The continual-querying algorithm `PRED-k` keeps the `k` most recent
+//! snapshot results `X[t]`, fits a degree-`(k−1)` Taylor polynomial `P[t]`
+//! around the latest update time `t_u` (Levenberg–Marquardt, Eq. 1), bounds
+//! the truncation error with the Lagrange remainder (Eqs. 2–3)
+//!
+//! ```text
+//! R_n[t] = M · (t − t_u)^{n+1} / (n+1)!
+//! ```
+//!
+//! and schedules the next snapshot at the earliest `t` where the predicted
+//! drift *plus* the remainder bound can reach the resolution threshold:
+//!
+//! ```text
+//! |P[t] − P[t_u]| + |R[t]| ≥ δ        (Eq. 4)
+//! ```
+//!
+//! The derivative bound `M ≥ max |X^{(n+1)}|` is unobservable; it is
+//! estimated from order-`(n+1)` divided differences of the recent history
+//! (each equals `X^{(n+1)}(ξ)/(n+1)!` for some ξ by the mean-value theorem)
+//! inflated by a configurable safety factor. While too few history points
+//! exist to form the estimate — the paper's *bootstrapping period* — the
+//! extrapolator degenerates to continuous querying (`next_update_in = 1`).
+
+use crate::error::StatsError;
+use crate::poly::Polynomial;
+use crate::Result;
+use std::collections::VecDeque;
+
+/// Configuration of the `PRED-k` extrapolator.
+#[derive(Debug, Clone, Copy)]
+pub struct ExtrapolatorConfig {
+    /// `k`: number of previous snapshot values used for prediction. The
+    /// fitted polynomial has degree `k − 1`. The paper evaluates
+    /// `PRED-1 … PRED-4`.
+    pub history: usize,
+    /// Hard cap, in ticks, on how far ahead a snapshot may be scheduled.
+    /// Bounds both the scan cost and the damage of a mis-prediction.
+    pub max_horizon: u64,
+    /// Multiplier (≥ 1) applied to the estimated derivative bound `M`.
+    /// Larger values are more conservative: earlier re-snapshots, fewer
+    /// resolution violations.
+    pub remainder_safety: f64,
+    /// How many history points beyond `k` to retain for estimating `M`
+    /// (at least 2 extra points are needed for one order-`k` divided
+    /// difference).
+    pub extra_history: usize,
+}
+
+impl Default for ExtrapolatorConfig {
+    fn default() -> Self {
+        Self {
+            history: 3,
+            max_horizon: 64,
+            remainder_safety: 1.5,
+            extra_history: 4,
+        }
+    }
+}
+
+impl ExtrapolatorConfig {
+    /// The paper's `PRED-k` with default safety settings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    #[must_use]
+    pub fn pred(k: usize) -> Self {
+        assert!(k >= 1, "PRED-k requires k >= 1");
+        Self {
+            history: k,
+            ..Self::default()
+        }
+    }
+}
+
+/// Outcome of one extrapolation: when to run the next snapshot query and
+/// the diagnostic state behind the decision.
+#[derive(Debug, Clone)]
+pub struct Prediction {
+    /// Ticks until the next snapshot query (always ≥ 1).
+    pub next_update_in: u64,
+    /// The fitted Taylor polynomial, when the extrapolator was past the
+    /// bootstrapping period (`None` while bootstrapping).
+    pub polynomial: Option<Polynomial>,
+    /// The derivative bound `M` used in the Lagrange remainder.
+    pub derivative_bound: f64,
+    /// True while the extrapolator is still bootstrapping (too little
+    /// history → continuous querying).
+    pub bootstrapping: bool,
+}
+
+/// `PRED-k` extrapolation state: a sliding window of recent snapshot
+/// results and the machinery to fit + extrapolate them.
+///
+/// ```
+/// use digest_stats::{Extrapolator, ExtrapolatorConfig};
+/// let mut pred3 = Extrapolator::new(ExtrapolatorConfig::pred(3)).unwrap();
+/// // A steady aggregate: after bootstrap, the scheduler can skip far ahead.
+/// for t in 0..6 {
+///     pred3.observe(t as f64, 42.0);
+/// }
+/// let p = pred3.predict(5.0).unwrap();
+/// assert!(!p.bootstrapping);
+/// assert!(p.next_update_in > 5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Extrapolator {
+    config: ExtrapolatorConfig,
+    /// Recent `(t, X̂[t])` observations, oldest first.
+    window: VecDeque<(f64, f64)>,
+}
+
+impl Extrapolator {
+    /// Creates an extrapolator.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::InvalidParameter`] if `history == 0`,
+    /// `max_horizon == 0`, or `remainder_safety < 1`.
+    pub fn new(config: ExtrapolatorConfig) -> Result<Self> {
+        if config.history == 0 {
+            return Err(StatsError::InvalidParameter {
+                what: "history",
+                value: 0.0,
+            });
+        }
+        if config.max_horizon == 0 {
+            return Err(StatsError::InvalidParameter {
+                what: "max_horizon",
+                value: 0.0,
+            });
+        }
+        if config.remainder_safety.is_nan() || config.remainder_safety < 1.0 {
+            return Err(StatsError::InvalidParameter {
+                what: "remainder_safety",
+                value: config.remainder_safety,
+            });
+        }
+        Ok(Self {
+            config,
+            window: VecDeque::new(),
+        })
+    }
+
+    /// The configuration this extrapolator runs with.
+    #[must_use]
+    pub fn config(&self) -> &ExtrapolatorConfig {
+        &self.config
+    }
+
+    /// Records the snapshot result `x` observed at time `t`.
+    ///
+    /// Observations must arrive in strictly increasing time order; an
+    /// out-of-order observation is ignored (the engine never produces one,
+    /// but replayed traces might).
+    pub fn observe(&mut self, t: f64, x: f64) {
+        if let Some(&(last_t, _)) = self.window.back() {
+            if t <= last_t {
+                return;
+            }
+        }
+        if !t.is_finite() || !x.is_finite() {
+            return;
+        }
+        let cap = self.config.history + self.config.extra_history;
+        if self.window.len() == cap {
+            self.window.pop_front();
+        }
+        self.window.push_back((t, x));
+    }
+
+    /// Number of observations currently held.
+    #[must_use]
+    pub fn observation_count(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Whether enough history exists to leave the bootstrapping period:
+    /// `k` points for the fit plus one extra point so an order-`k`
+    /// divided difference (the remainder bound) can be formed.
+    #[must_use]
+    pub fn is_ready(&self) -> bool {
+        self.window.len() > self.config.history
+    }
+
+    /// Clears all history (used when the engine detects a regime change,
+    /// e.g. a resolution violation caught by a scheduled snapshot).
+    pub fn reset(&mut self) {
+        self.window.clear();
+    }
+
+    /// Predicts how many ticks may safely elapse before the aggregate can
+    /// have drifted by `delta` from its value at the most recent snapshot
+    /// (Eq. 4). Returns a bootstrap prediction (`next_update_in = 1`)
+    /// until [`Extrapolator::is_ready`].
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::InvalidParameter`] if `delta` is not positive and
+    /// finite.
+    pub fn predict(&self, delta: f64) -> Result<Prediction> {
+        if !delta.is_finite() || delta <= 0.0 {
+            return Err(StatsError::InvalidParameter {
+                what: "delta",
+                value: delta,
+            });
+        }
+        if !self.is_ready() {
+            return Ok(Prediction {
+                next_update_in: 1,
+                polynomial: None,
+                derivative_bound: f64::INFINITY,
+                bootstrapping: true,
+            });
+        }
+
+        let k = self.config.history;
+        let degree = k - 1;
+        let (ts, ys): (Vec<f64>, Vec<f64>) =
+            self.window.iter().rev().take(k).rev().copied().unzip();
+        let t_u = *ts.last().expect("window non-empty");
+
+        let poly = Polynomial::fit_levenberg_marquardt(t_u, &ts, &ys, degree)
+            .or_else(|_| Polynomial::fit_least_squares(t_u, &ts, &ys, degree))?;
+
+        // Estimate M = bound on |X^(degree+1)| from divided differences of
+        // order degree+1 over the full retained window.
+        let m = self.derivative_bound(degree + 1) * self.config.remainder_safety;
+
+        let p_at_tu = poly.eval(t_u);
+        let mut factorial = 1.0;
+        for i in 2..=(degree + 1) {
+            factorial *= i as f64;
+        }
+
+        let mut steps = 1u64;
+        while steps < self.config.max_horizon {
+            let t = t_u + steps as f64;
+            let drift = (poly.eval(t) - p_at_tu).abs();
+            let h = steps as f64;
+            let remainder = m * h.powi(degree as i32 + 1) / factorial;
+            if drift + remainder >= delta {
+                break;
+            }
+            steps += 1;
+        }
+
+        Ok(Prediction {
+            next_update_in: steps,
+            polynomial: Some(poly),
+            derivative_bound: m,
+            bootstrapping: false,
+        })
+    }
+
+    /// Maximum absolute order-`order` derivative implied by the retained
+    /// history, via divided differences:
+    /// `f[t_i, …, t_{i+order}] = f^{(order)}(ξ) / order!`.
+    fn derivative_bound(&self, order: usize) -> f64 {
+        let pts: Vec<(f64, f64)> = self.window.iter().copied().collect();
+        if pts.len() < order + 1 {
+            return 0.0;
+        }
+        let mut factorial = 1.0;
+        for i in 2..=order {
+            factorial *= i as f64;
+        }
+
+        // All contiguous windows of order+1 points.
+        let mut estimates: Vec<f64> = (0..=(pts.len() - (order + 1)))
+            .map(|start| {
+                let w = &pts[start..start + order + 1];
+                (divided_difference(w) * factorial).abs()
+            })
+            .collect();
+        // Upper-quartile rather than max: snapshot results carry sampling
+        // noise, and high-order divided differences amplify it by ~2^order;
+        // the max would make deep PRED-k pathologically conservative. The
+        // remainder_safety factor supplies the conservatism instead.
+        estimates.sort_by(f64::total_cmp);
+        let idx = (estimates.len() * 3).div_ceil(4).saturating_sub(1);
+        estimates[idx]
+    }
+}
+
+/// Newton divided difference `f[t_0, …, t_n]` over the given points.
+fn divided_difference(points: &[(f64, f64)]) -> f64 {
+    let n = points.len();
+    let mut table: Vec<f64> = points.iter().map(|&(_, y)| y).collect();
+    for level in 1..n {
+        for i in 0..(n - level) {
+            let dt = points[i + level].0 - points[i].0;
+            table[i] = (table[i + 1] - table[i]) / dt;
+        }
+    }
+    table[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn extrapolator(k: usize) -> Extrapolator {
+        Extrapolator::new(ExtrapolatorConfig::pred(k)).unwrap()
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(Extrapolator::new(ExtrapolatorConfig {
+            history: 0,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(Extrapolator::new(ExtrapolatorConfig {
+            max_horizon: 0,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(Extrapolator::new(ExtrapolatorConfig {
+            remainder_safety: 0.5,
+            ..Default::default()
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn bootstraps_with_continuous_querying() {
+        let mut e = extrapolator(3);
+        for t in 0..3 {
+            let p = e.predict(1.0).unwrap();
+            assert!(p.bootstrapping);
+            assert_eq!(p.next_update_in, 1);
+            e.observe(t as f64, 5.0);
+        }
+        // After k+1 = 4 observations the extrapolator leaves bootstrap.
+        e.observe(3.0, 5.0);
+        assert!(e.is_ready());
+        assert!(!e.predict(1.0).unwrap().bootstrapping);
+    }
+
+    #[test]
+    fn constant_signal_schedules_far_ahead() {
+        let mut e = extrapolator(3);
+        for t in 0..8 {
+            e.observe(t as f64, 42.0);
+        }
+        let p = e.predict(1.0).unwrap();
+        // Zero drift, zero curvature → hit the horizon cap.
+        assert_eq!(p.next_update_in, e.config().max_horizon);
+        assert_eq!(p.derivative_bound, 0.0);
+    }
+
+    #[test]
+    fn linear_signal_predicts_crossing_time() {
+        // X[t] = 2t: drift reaches δ=10 after 5 ticks. A degree-0 remainder
+        // correction may pull it slightly earlier but never later.
+        let mut e = extrapolator(2); // degree-1 fit
+        for t in 0..8 {
+            e.observe(t as f64, 2.0 * t as f64);
+        }
+        let p = e.predict(10.0).unwrap();
+        assert!(p.next_update_in <= 5, "predicted {}", p.next_update_in);
+        assert!(
+            p.next_update_in >= 3,
+            "overly conservative: {}",
+            p.next_update_in
+        );
+    }
+
+    #[test]
+    fn steeper_signal_means_sooner_snapshot() {
+        let mut slow = extrapolator(3);
+        let mut fast = extrapolator(3);
+        for t in 0..8 {
+            slow.observe(t as f64, 0.5 * t as f64);
+            fast.observe(t as f64, 4.0 * t as f64);
+        }
+        let ps = slow.predict(8.0).unwrap().next_update_in;
+        let pf = fast.predict(8.0).unwrap().next_update_in;
+        assert!(pf < ps, "fast {pf} should snapshot sooner than slow {ps}");
+    }
+
+    #[test]
+    fn larger_delta_means_later_snapshot() {
+        let mut e = extrapolator(3);
+        for t in 0..8 {
+            e.observe(t as f64, 1.5 * t as f64);
+        }
+        let tight = e.predict(2.0).unwrap().next_update_in;
+        let loose = e.predict(20.0).unwrap().next_update_in;
+        assert!(loose >= tight);
+    }
+
+    #[test]
+    fn quadratic_signal_accounts_for_curvature() {
+        // X[t] = t²; at t_u = 7 the drift grows fast.
+        let mut e = extrapolator(3);
+        for t in 0..8 {
+            e.observe(t as f64, (t * t) as f64);
+        }
+        let p = e.predict(40.0).unwrap();
+        // True crossing: |X[7+h] − X[7]| = 14h + h² ≥ 40 → h ≈ 2.5.
+        assert!(p.next_update_in <= 3, "predicted {}", p.next_update_in);
+        assert!(p.next_update_in >= 1);
+    }
+
+    #[test]
+    fn out_of_order_observations_ignored() {
+        let mut e = extrapolator(2);
+        e.observe(5.0, 1.0);
+        e.observe(3.0, 2.0); // ignored
+        e.observe(5.0, 9.0); // ignored (duplicate time)
+        assert_eq!(e.observation_count(), 1);
+    }
+
+    #[test]
+    fn non_finite_observations_ignored() {
+        let mut e = extrapolator(2);
+        e.observe(0.0, f64::NAN);
+        e.observe(1.0, f64::INFINITY);
+        assert_eq!(e.observation_count(), 0);
+    }
+
+    #[test]
+    fn window_is_bounded() {
+        let mut e = extrapolator(3);
+        for t in 0..1000 {
+            e.observe(t as f64, t as f64);
+        }
+        let cap = e.config().history + e.config().extra_history;
+        assert_eq!(e.observation_count(), cap);
+    }
+
+    #[test]
+    fn reset_returns_to_bootstrap() {
+        let mut e = extrapolator(2);
+        for t in 0..6 {
+            e.observe(t as f64, t as f64);
+        }
+        assert!(e.is_ready());
+        e.reset();
+        assert!(!e.is_ready());
+        assert!(e.predict(1.0).unwrap().bootstrapping);
+    }
+
+    #[test]
+    fn predict_validates_delta() {
+        let e = extrapolator(2);
+        assert!(e.predict(0.0).is_err());
+        assert!(e.predict(-1.0).is_err());
+        assert!(e.predict(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn divided_difference_of_polynomial_is_leading_coefficient() {
+        // f(t) = 3t² → f[t0,t1,t2] = 3 for any nodes.
+        let pts = [(0.0, 0.0), (1.0, 3.0), (4.0, 48.0)];
+        assert!((divided_difference(&pts) - 3.0).abs() < 1e-12);
+        // Order-3 divided difference of a quadratic is 0.
+        let pts4 = [(0.0, 0.0), (1.0, 3.0), (2.0, 12.0), (5.0, 75.0)];
+        assert!(divided_difference(&pts4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pred1_degenerates_gracefully() {
+        // PRED-1 fits a constant; any real drift shows up only through the
+        // remainder term (order-1 divided differences = slope estimates).
+        let mut e = extrapolator(1);
+        for t in 0..6 {
+            e.observe(t as f64, 3.0 * t as f64);
+        }
+        let p = e.predict(9.0).unwrap();
+        // slope bound ≈ 3 (×1.5 safety) → crossing within ~2-3 ticks.
+        assert!(p.next_update_in <= 3, "predicted {}", p.next_update_in);
+    }
+}

@@ -1,0 +1,210 @@
+//! Discrete probability distributions and total-variation distance.
+//!
+//! The convergence guarantee of the sampling operator is stated in terms of
+//! the total-variation difference between the random walk's time-`t`
+//! distribution `π_t` and the target sampling distribution `p_v`
+//! (paper Definitions 1–2):
+//!
+//! ```text
+//! ‖π_t, p_v‖ = ½ Σ_i |π_t(i) − p_v(i)|,   τ(γ) = min{t : ∀t'≥t, ‖π_t', p_v‖ ≤ γ}.
+//! ```
+//!
+//! These utilities normalise weight vectors into distributions and measure
+//! the distance, backing both the mixing-time experiments and the
+//! correctness tests of the Metropolis walker.
+
+use crate::error::StatsError;
+use crate::Result;
+
+/// A probability distribution over `{0, …, n−1}`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiscreteDistribution {
+    probs: Vec<f64>,
+}
+
+impl DiscreteDistribution {
+    /// Normalises a vector of non-negative weights into a distribution.
+    ///
+    /// # Errors
+    ///
+    /// * [`StatsError::InsufficientData`] for an empty vector.
+    /// * [`StatsError::InvalidParameter`] for negative or non-finite
+    ///   weights, or an all-zero vector.
+    pub fn from_weights(weights: &[f64]) -> Result<Self> {
+        if weights.is_empty() {
+            return Err(StatsError::InsufficientData { got: 0, need: 1 });
+        }
+        let mut total = 0.0;
+        for &w in weights {
+            if !w.is_finite() || w < 0.0 {
+                return Err(StatsError::InvalidParameter {
+                    what: "weight",
+                    value: w,
+                });
+            }
+            total += w;
+        }
+        if total <= 0.0 {
+            return Err(StatsError::InvalidParameter {
+                what: "weight total",
+                value: total,
+            });
+        }
+        Ok(Self {
+            probs: weights.iter().map(|w| w / total).collect(),
+        })
+    }
+
+    /// The uniform distribution over `n` outcomes.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::InsufficientData`] if `n == 0`.
+    pub fn uniform(n: usize) -> Result<Self> {
+        if n == 0 {
+            return Err(StatsError::InsufficientData { got: 0, need: 1 });
+        }
+        Ok(Self {
+            probs: vec![1.0 / n as f64; n],
+        })
+    }
+
+    /// Builds the empirical distribution of `counts` (e.g. visit counts of
+    /// a random walk).
+    ///
+    /// # Errors
+    ///
+    /// As for [`DiscreteDistribution::from_weights`].
+    pub fn from_counts(counts: &[u64]) -> Result<Self> {
+        let weights: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
+        Self::from_weights(&weights)
+    }
+
+    /// Number of outcomes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// True when there are no outcomes (never constructible; kept for API
+    /// completeness with `len`).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.probs.is_empty()
+    }
+
+    /// Probability of outcome `i` (0 for out-of-range `i`).
+    #[must_use]
+    pub fn prob(&self, i: usize) -> f64 {
+        self.probs.get(i).copied().unwrap_or(0.0)
+    }
+
+    /// The probabilities as a slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Smallest outcome probability `p_min` (appears in the mixing-time
+    /// bound of Theorem 3).
+    #[must_use]
+    pub fn min_prob(&self) -> f64 {
+        self.probs.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// Total-variation distance `½ Σ |a_i − b_i|` between two distributions on
+/// the same outcome space (Definition 1). Always in `[0, 1]`.
+///
+/// # Errors
+///
+/// [`StatsError::DimensionMismatch`] if the supports differ in size.
+pub fn total_variation_distance(a: &DiscreteDistribution, b: &DiscreteDistribution) -> Result<f64> {
+    if a.len() != b.len() {
+        return Err(StatsError::DimensionMismatch {
+            context: "total_variation_distance: distributions must share a support",
+        });
+    }
+    let sum: f64 = a
+        .as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(x, y)| (x - y).abs())
+        .sum();
+    Ok(0.5 * sum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalises_weights() {
+        let d = DiscreteDistribution::from_weights(&[1.0, 3.0]).unwrap();
+        assert!((d.prob(0) - 0.25).abs() < 1e-12);
+        assert!((d.prob(1) - 0.75).abs() < 1e-12);
+        assert_eq!(d.prob(2), 0.0);
+    }
+
+    #[test]
+    fn uniform_distribution() {
+        let d = DiscreteDistribution::uniform(4).unwrap();
+        for i in 0..4 {
+            assert!((d.prob(i) - 0.25).abs() < 1e-12);
+        }
+        assert!((d.min_prob() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_counts_matches_weights() {
+        let d1 = DiscreteDistribution::from_counts(&[2, 6]).unwrap();
+        let d2 = DiscreteDistribution::from_weights(&[1.0, 3.0]).unwrap();
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn rejects_bad_weights() {
+        assert!(DiscreteDistribution::from_weights(&[]).is_err());
+        assert!(DiscreteDistribution::from_weights(&[-1.0, 2.0]).is_err());
+        assert!(DiscreteDistribution::from_weights(&[0.0, 0.0]).is_err());
+        assert!(DiscreteDistribution::from_weights(&[f64::NAN]).is_err());
+        assert!(DiscreteDistribution::uniform(0).is_err());
+    }
+
+    #[test]
+    fn tvd_identical_is_zero() {
+        let d = DiscreteDistribution::from_weights(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(total_variation_distance(&d, &d).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn tvd_disjoint_is_one() {
+        let a = DiscreteDistribution::from_weights(&[1.0, 0.0]).unwrap();
+        let b = DiscreteDistribution::from_weights(&[0.0, 1.0]).unwrap();
+        assert!((total_variation_distance(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tvd_known_value() {
+        let a = DiscreteDistribution::from_weights(&[0.5, 0.5]).unwrap();
+        let b = DiscreteDistribution::from_weights(&[0.75, 0.25]).unwrap();
+        assert!((total_variation_distance(&a, &b).unwrap() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tvd_is_symmetric_and_bounded() {
+        let a = DiscreteDistribution::from_weights(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        let b = DiscreteDistribution::from_weights(&[4.0, 3.0, 2.0, 1.0]).unwrap();
+        let ab = total_variation_distance(&a, &b).unwrap();
+        let ba = total_variation_distance(&b, &a).unwrap();
+        assert_eq!(ab, ba);
+        assert!((0.0..=1.0).contains(&ab));
+    }
+
+    #[test]
+    fn tvd_requires_same_support() {
+        let a = DiscreteDistribution::uniform(3).unwrap();
+        let b = DiscreteDistribution::uniform(4).unwrap();
+        assert!(total_variation_distance(&a, &b).is_err());
+    }
+}

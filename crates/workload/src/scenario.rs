@@ -1,0 +1,43 @@
+//! The interface a generated dataset exposes to the simulator.
+
+use digest_db::{Expr, P2PDatabase};
+use digest_net::Graph;
+use rand::RngCore;
+
+/// A live, evolving scenario: overlay + database + update process.
+pub trait Workload {
+    /// Dataset name for experiment tables (`"TEMPERATURE"`, `"MEMORY"`).
+    fn name(&self) -> &str;
+
+    /// The overlay network in its current state.
+    fn graph(&self) -> &Graph;
+
+    /// The database in its current state.
+    fn db(&self) -> &P2PDatabase;
+
+    /// The query expression the paper's experiments aggregate
+    /// (`AVG(a)` over the single recorded attribute).
+    fn expr(&self) -> &Expr;
+
+    /// The current tick (starts at 0, advanced by [`Workload::advance`]).
+    fn current_tick(&self) -> u64;
+
+    /// Total planned duration in ticks (the recording duration of the
+    /// corresponding dataset).
+    fn duration(&self) -> u64;
+
+    /// Advances time one tick: applies every autonomous value update and
+    /// any churn for the new tick.
+    fn advance(&mut self, rng: &mut dyn RngCore);
+
+    /// Oracle: the exact current aggregate `X[t]` (AVG of
+    /// [`Workload::expr`]); ground truth for precision verification.
+    fn exact_aggregate(&self) -> f64;
+
+    /// The dataset's reference cross-sectional standard deviation `σ̂`
+    /// (the Table II figure experiments normalise against).
+    fn sigma_ref(&self) -> f64;
+
+    /// The dataset's reference occasion-to-occasion correlation `ρ`.
+    fn rho_ref(&self) -> f64;
+}

@@ -1,0 +1,343 @@
+//! The TEMPERATURE dataset (Table II, left column).
+//!
+//! Paper figures: 8 000 sensor units on 530 near-static nodes (we use a
+//! 10 × 53 mesh), 18 months of recording at two updates per day
+//! (1 080 ticks of 12 h), `ρ = 0.89`, `σ̂ = 8`, 8 640 000 update records
+//! (= 8 000 units × 1 080 occasions — every unit updates every tick).
+//!
+//! Generator model, per unit `u` at tick `t`:
+//!
+//! ```text
+//! x_u(t) = base(t) + offset_u + a_u(t)
+//! base(t) = mean + A_s sin(2πt/P_s) + A_d cos(πt) + drift(t)
+//! a_u(t)  = ρ_ar a_u(t−1) + σ_inno ξ          (AR(1))
+//! ```
+//!
+//! Calibration: cross-sectional variance `σ² = σ_off² + σ_a²` and
+//! cross-unit lag-1 correlation `ρ = (σ_off² + ρ_ar σ_a²)/σ²`. The
+//! defaults solve these for the Table II targets:
+//! `σ_off² = 36, σ_a² = 28, ρ_ar ≈ 0.749` → `σ = 8`, `ρ = 0.89`.
+
+use crate::scenario::Workload;
+use digest_db::{Expr, P2PDatabase, Schema, Tuple, TupleHandle};
+use digest_net::{topology, Graph, NodeId};
+use rand::SeedableRng;
+use rand::{Rng, RngCore};
+use rand_chacha::ChaCha8Rng;
+
+/// Configuration of the TEMPERATURE generator.
+#[derive(Debug, Clone, Copy)]
+pub struct TemperatureConfig {
+    /// Number of sensor units (paper: 8 000).
+    pub units: usize,
+    /// Mesh dimensions; `rows × cols` nodes (paper: 530 → 10 × 53).
+    pub mesh_rows: usize,
+    /// Mesh columns.
+    pub mesh_cols: usize,
+    /// Recording duration in ticks of 12 h (paper: 18 months ≈ 1 080).
+    pub ticks: u64,
+    /// Long-run mean temperature (°F).
+    pub mean: f64,
+    /// Seasonal amplitude `A_s` (°F).
+    pub seasonal_amplitude: f64,
+    /// Seasonal period in ticks (1 year at 2 ticks/day = 730).
+    pub seasonal_period: f64,
+    /// Day/night alternation amplitude `A_d` (°F).
+    pub diurnal_amplitude: f64,
+    /// Std-dev of the slow random-walk drift added to the base per tick.
+    pub drift_std: f64,
+    /// Std-dev of the per-unit constant offset (`σ_off`).
+    pub offset_std: f64,
+    /// Stationary std-dev of the per-unit AR(1) component (`σ_a`).
+    pub ar_std: f64,
+    /// AR(1) coefficient (`ρ_ar`).
+    pub ar_coeff: f64,
+    /// Seed for the generator's own RNG (world construction + updates).
+    pub seed: u64,
+}
+
+impl Default for TemperatureConfig {
+    fn default() -> Self {
+        Self::paper_scale()
+    }
+}
+
+impl TemperatureConfig {
+    /// The full Table II scale.
+    #[must_use]
+    pub fn paper_scale() -> Self {
+        Self {
+            units: 8_000,
+            mesh_rows: 10,
+            mesh_cols: 53,
+            ticks: 1_080,
+            mean: 60.0,
+            seasonal_amplitude: 12.0,
+            seasonal_period: 730.0,
+            diurnal_amplitude: 1.0,
+            drift_std: 0.15,
+            offset_std: 6.0,
+            ar_std: 28.0_f64.sqrt(),
+            ar_coeff: 0.748_6,
+            seed: 0x00D1_6E57,
+        }
+    }
+
+    /// A scaled-down configuration for unit tests and quick runs
+    /// (same statistical calibration, smaller world).
+    #[must_use]
+    pub fn reduced(units: usize, rows: usize, cols: usize, ticks: u64) -> Self {
+        Self {
+            units,
+            mesh_rows: rows,
+            mesh_cols: cols,
+            ticks,
+            ..Self::paper_scale()
+        }
+    }
+}
+
+struct Unit {
+    handle: TupleHandle,
+    offset: f64,
+    ar: f64,
+}
+
+/// The live TEMPERATURE scenario.
+pub struct TemperatureWorkload {
+    config: TemperatureConfig,
+    graph: Graph,
+    db: P2PDatabase,
+    expr: Expr,
+    units: Vec<Unit>,
+    rng: ChaCha8Rng,
+    tick: u64,
+    drift: f64,
+}
+
+impl TemperatureWorkload {
+    /// Builds the scenario at tick 0 (units initialised from the
+    /// stationary distribution).
+    ///
+    /// # Panics
+    ///
+    /// Panics on impossible configurations (zero mesh dimensions); the
+    /// defaults are always valid.
+    #[must_use]
+    pub fn new(config: TemperatureConfig) -> Self {
+        let graph = topology::mesh(config.mesh_rows, config.mesh_cols, false)
+            .expect("mesh dimensions must be positive");
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let schema = Schema::single("temperature");
+        let mut db = P2PDatabase::new(schema);
+        for v in graph.nodes() {
+            db.register_node(v);
+        }
+        let node_ids: Vec<NodeId> = graph.nodes().collect();
+        let expr = Expr::first_attr(db.schema());
+
+        let mut units = Vec::with_capacity(config.units);
+        let base = base_signal(&config, 0, 0.0);
+        for i in 0..config.units {
+            let node = node_ids[i % node_ids.len()];
+            let offset = config.offset_std * gaussian(&mut rng);
+            let ar = config.ar_std * gaussian(&mut rng);
+            let value = base + offset + ar;
+            let handle = db
+                .insert(node, Tuple::single(value))
+                .expect("node registered");
+            units.push(Unit { handle, offset, ar });
+        }
+        Self {
+            config,
+            graph,
+            db,
+            expr,
+            units,
+            rng,
+            tick: 0,
+            drift: 0.0,
+        }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &TemperatureConfig {
+        &self.config
+    }
+}
+
+impl Workload for TemperatureWorkload {
+    fn name(&self) -> &str {
+        "TEMPERATURE"
+    }
+
+    fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    fn db(&self) -> &P2PDatabase {
+        &self.db
+    }
+
+    fn expr(&self) -> &Expr {
+        &self.expr
+    }
+
+    fn current_tick(&self) -> u64 {
+        self.tick
+    }
+
+    fn duration(&self) -> u64 {
+        self.config.ticks
+    }
+
+    fn advance(&mut self, _rng: &mut dyn RngCore) {
+        self.tick += 1;
+        self.drift += self.config.drift_std * gaussian(&mut self.rng);
+        let base = base_signal(&self.config, self.tick, self.drift);
+        let innovation_std = self.config.ar_std * (1.0 - self.config.ar_coeff.powi(2)).sqrt();
+        for unit in &mut self.units {
+            unit.ar = self.config.ar_coeff * unit.ar + innovation_std * gaussian(&mut self.rng);
+            let value = base + unit.offset + unit.ar;
+            self.db
+                .update(unit.handle, &[value])
+                .expect("unit handles stay valid (no churn)");
+        }
+    }
+
+    fn exact_aggregate(&self) -> f64 {
+        self.db.exact_avg(&self.expr).expect("non-empty relation")
+    }
+
+    fn sigma_ref(&self) -> f64 {
+        (self.config.offset_std.powi(2) + self.config.ar_std.powi(2)).sqrt()
+    }
+
+    fn rho_ref(&self) -> f64 {
+        let s2 = self.config.offset_std.powi(2) + self.config.ar_std.powi(2);
+        (self.config.offset_std.powi(2) + self.config.ar_coeff * self.config.ar_std.powi(2)) / s2
+    }
+}
+
+fn base_signal(cfg: &TemperatureConfig, tick: u64, drift: f64) -> f64 {
+    let t = tick as f64;
+    cfg.mean
+        + cfg.seasonal_amplitude * (2.0 * std::f64::consts::PI * t / cfg.seasonal_period).sin()
+        + cfg.diurnal_amplitude * (std::f64::consts::PI * t).cos()
+        + drift
+}
+
+/// Standard normal via Box–Muller (two uniforms per call; we discard the
+/// second value for simplicity — generation is not the bottleneck).
+pub(crate) fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn small() -> TemperatureWorkload {
+        TemperatureWorkload::new(TemperatureConfig::reduced(400, 5, 8, 100))
+    }
+
+    #[test]
+    fn construction_matches_config() {
+        let w = small();
+        assert_eq!(w.graph().node_count(), 40);
+        assert_eq!(w.db().total_tuples(), 400);
+        assert_eq!(w.current_tick(), 0);
+        assert_eq!(w.duration(), 100);
+        assert_eq!(w.name(), "TEMPERATURE");
+    }
+
+    #[test]
+    fn paper_scale_matches_table2() {
+        let cfg = TemperatureConfig::paper_scale();
+        assert_eq!(cfg.units, 8_000);
+        assert_eq!(cfg.mesh_rows * cfg.mesh_cols, 530);
+        assert_eq!(cfg.ticks, 1_080);
+        // Total update records = units × ticks = 8.64M (Table II).
+        assert_eq!(cfg.units as u64 * cfg.ticks, 8_640_000);
+    }
+
+    #[test]
+    fn calibration_formulas_hit_targets() {
+        let w = TemperatureWorkload::new(TemperatureConfig::reduced(10, 2, 2, 10));
+        assert!(
+            (w.sigma_ref() - 8.0).abs() < 0.01,
+            "σ_ref = {}",
+            w.sigma_ref()
+        );
+        assert!(
+            (w.rho_ref() - 0.89).abs() < 0.005,
+            "ρ_ref = {}",
+            w.rho_ref()
+        );
+    }
+
+    #[test]
+    fn advance_updates_every_unit() {
+        let mut w = small();
+        let before: Vec<f64> = w.db().iter().map(|(_, t)| t.value(0).unwrap()).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        w.advance(&mut rng);
+        let after: Vec<f64> = w.db().iter().map(|(_, t)| t.value(0).unwrap()).collect();
+        assert_eq!(w.current_tick(), 1);
+        let changed = before.iter().zip(&after).filter(|(a, b)| a != b).count();
+        assert!(
+            changed > 390,
+            "almost all units should move, changed = {changed}"
+        );
+    }
+
+    #[test]
+    fn aggregate_is_smooth() {
+        let mut w = small();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut prev = w.exact_aggregate();
+        let mut max_jump = 0.0_f64;
+        for _ in 0..50 {
+            w.advance(&mut rng);
+            let x = w.exact_aggregate();
+            max_jump = max_jump.max((x - prev).abs());
+            prev = x;
+        }
+        // Diurnal alternation (±2·A_d) plus noise: well under σ per tick.
+        assert!(max_jump < 4.0, "aggregate jumped {max_jump} in one tick");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut w = small();
+            let mut rng = ChaCha8Rng::seed_from_u64(1);
+            for _ in 0..10 {
+                w.advance(&mut rng);
+            }
+            w.exact_aggregate()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let n = 50_000;
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        for _ in 0..n {
+            let x = gaussian(&mut rng);
+            sum += x;
+            sum_sq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sum_sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var = {var}");
+    }
+}

@@ -1,0 +1,83 @@
+//! Property-based tests of the workload generators: whatever the
+//! configuration, the generated worlds must stay internally consistent.
+
+use digest_workload::{
+    MemoryConfig, MemoryWorkload, TemperatureConfig, TemperatureWorkload, Workload,
+};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn temperature_worlds_are_consistent(
+        seed in 0u64..1_000,
+        units in 10usize..300,
+        rows in 2usize..6,
+        cols in 2usize..8,
+        steps in 1u64..20,
+    ) {
+        let mut w = TemperatureWorkload::new(TemperatureConfig {
+            seed,
+            ..TemperatureConfig::reduced(units, rows, cols, 100)
+        });
+        prop_assert_eq!(w.graph().node_count(), rows * cols);
+        prop_assert_eq!(w.db().total_tuples(), units);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for _ in 0..steps {
+            w.advance(&mut rng);
+            // Tuple count is invariant (no churn) and all values finite.
+            prop_assert_eq!(w.db().total_tuples(), units);
+            for (_, t) in w.db().iter() {
+                prop_assert!(t.value(0).unwrap().is_finite());
+            }
+            prop_assert!(w.exact_aggregate().is_finite());
+        }
+        prop_assert_eq!(w.current_tick(), steps);
+    }
+
+    #[test]
+    fn memory_worlds_stay_consistent_under_any_churn(
+        seed in 0u64..1_000,
+        leave in 0.0f64..0.01,
+        join in 0.0f64..1.0,
+        steps in 1u64..10,
+    ) {
+        let mut w = MemoryWorkload::new(MemoryConfig {
+            seed,
+            leave_prob: leave,
+            join_rate: join,
+            ..MemoryConfig::reduced(120, 60, 4_000)
+        });
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for _ in 0..steps {
+            w.advance(&mut rng);
+            // The overlay stays connected; every fragment's node is live;
+            // values stay in the legal domain.
+            prop_assert!(w.graph().is_connected());
+            for (handle, t) in w.db().iter() {
+                prop_assert!(w.graph().contains(handle.node));
+                prop_assert!(t.value(0).unwrap() >= 0.0);
+            }
+            prop_assert!(w.db().total_tuples() > 0);
+        }
+    }
+
+    #[test]
+    fn workloads_are_reproducible(seed in 0u64..500) {
+        let run = |seed: u64| {
+            let mut w = MemoryWorkload::new(MemoryConfig {
+                seed,
+                ..MemoryConfig::reduced(80, 40, 2_000)
+            });
+            let mut rng = ChaCha8Rng::seed_from_u64(0);
+            for _ in 0..5 {
+                w.advance(&mut rng);
+            }
+            (w.exact_aggregate(), w.update_records(), w.churn_events())
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+}

@@ -1,0 +1,143 @@
+//! A fleet dashboard: several predicated continuous queries running side
+//! by side over one churning peer-to-peer fleet — the §VIII "complex
+//! queries" extension in action.
+//!
+//! Queries:
+//!   1. `AVG(load) FROM R`                      — overall fleet load
+//!   2. `AVG(memory) FROM R WHERE load >= 0.75` — memory on hot machines
+//!   3. `COUNT(*)   FROM R WHERE memory < 8`    — machines near OOM
+//!
+//! ```bash
+//! cargo run --release --example fleet_dashboard
+//! ```
+
+use digest::core::{
+    ContinuousQuery, DigestEngine, EngineConfig, EstimatorKind, QuerySystem, SchedulerKind,
+    TickContext,
+};
+use digest::db::{Expr, P2PDatabase, Predicate, Schema, Tuple, TupleHandle};
+use digest::net::topology;
+use digest::sampling::SamplingConfig;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+struct Machine {
+    handle: TupleHandle,
+    load: f64,
+    memory: f64,
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = ChaCha8Rng::seed_from_u64(99);
+
+    // The fleet: 150 peers, ~4 machines each, attributes (load, memory GB).
+    let graph = topology::barabasi_albert(150, 2, &mut rng)?;
+    let schema = Schema::new(["load", "memory"]);
+    let mut db = P2PDatabase::new(schema.clone());
+    let mut machines = Vec::new();
+    for node in graph.nodes() {
+        db.register_node(node);
+        for _ in 0..4 {
+            let load = rng.gen_range(0.05..0.95);
+            let memory = rng.gen_range(4.0..64.0);
+            let handle = db.insert(node, Tuple::new(vec![load, memory]))?;
+            machines.push(Machine {
+                handle,
+                load,
+                memory,
+            });
+        }
+    }
+
+    // The three dashboard queries, straight from statement text.
+    let queries: Vec<ContinuousQuery> = [
+        "SELECT AVG(load)   FROM fleet WITH delta=0.08, epsilon=0.04, p=0.95",
+        "SELECT AVG(memory) FROM fleet WHERE load >= 0.75 WITH delta=6, epsilon=4, p=0.9",
+        "SELECT COUNT(*)    FROM fleet WHERE memory < 8   WITH delta=40, epsilon=30, p=0.9",
+    ]
+    .iter()
+    .map(|text| ContinuousQuery::parse(text, &schema))
+    .collect::<Result<_, _>>()?;
+
+    let mut engines: Vec<DigestEngine> = queries
+        .iter()
+        .map(|q| {
+            DigestEngine::new(
+                q.clone(),
+                EngineConfig {
+                    scheduler: SchedulerKind::Pred(2),
+                    estimator: EstimatorKind::Repeated,
+                    sampling: SamplingConfig::recommended(150),
+                    size_sample_target: 600,
+                    ..Default::default()
+                },
+            )
+        })
+        .collect::<Result<_, _>>()?;
+
+    for q in &queries {
+        println!("issuing: {q}");
+    }
+    println!();
+    println!(
+        "{:>5} {:>12} {:>18} {:>14}",
+        "tick", "fleet load", "hot-mem (GB)", "near-OOM"
+    );
+
+    let origin = graph.nodes().next().expect("non-empty");
+    let mut latest = vec![f64::NAN; engines.len()];
+    for tick in 0..60 {
+        // Fleet dynamics: loads wander, memory fills as load rises.
+        for m in &mut machines {
+            m.load = (m.load + rng.gen_range(-0.06..0.062)).clamp(0.01, 0.99);
+            m.memory = (m.memory - 2.0 * (m.load - 0.5) * rng.gen_range(0.0..1.0)).clamp(1.0, 64.0);
+            db.update(m.handle, &[m.load, m.memory])?;
+        }
+
+        let mut any_update = false;
+        for (engine, slot) in engines.iter_mut().zip(latest.iter_mut()) {
+            let outcome = {
+                let ctx = TickContext {
+                    tick,
+                    graph: &graph,
+                    db: &db,
+                    origin,
+                };
+                engine.on_tick(&ctx, &mut rng)?
+            };
+            if outcome.updated {
+                *slot = outcome.estimate;
+                any_update = true;
+            }
+        }
+        if any_update {
+            println!(
+                "{tick:>5} {:>12.3} {:>18.1} {:>14.0}",
+                latest[0], latest[1], latest[2]
+            );
+        }
+    }
+
+    println!();
+    // Ground truth for the final dashboard row.
+    let load_expr = Expr::attr(&schema, "load")?;
+    let mem_expr = Expr::attr(&schema, "memory")?;
+    let hot = Predicate::parse("load >= 0.75", &schema)?;
+    let oom = Predicate::parse("memory < 8", &schema)?;
+    println!(
+        "oracle now: fleet load {:.3}, hot-mem {:.1} GB, near-OOM {}",
+        db.exact_avg(&load_expr)?,
+        db.exact_avg_where(&mem_expr, &hot).unwrap_or(f64::NAN),
+        db.exact_count_where(&oom)?,
+    );
+    for engine in &engines {
+        println!(
+            "  {:<60} {:>6} snapshots, {:>7} samples, {:>8} messages",
+            engine.query().to_string(),
+            engine.total_snapshots(),
+            engine.total_samples(),
+            engine.total_messages(),
+        );
+    }
+    Ok(())
+}

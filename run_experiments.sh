@@ -1,0 +1,9 @@
+#!/bin/bash
+# Regenerates every table and figure at the paper's Table II scale.
+set -e
+cd "$(dirname "$0")"
+for exp in exp_table2 exp_fig1_trace exp_fig4a exp_fig4b exp_fig5a exp_fig5b exp_mixing exp_eq11_variance exp_ablations exp_tag exp_seeds exp_plots; do
+    echo "=== $exp ==="
+    cargo run --release -q -p digest-bench --bin "$exp" -- --scale "${1:-full}"
+    echo
+done

@@ -1,0 +1,210 @@
+//! `digest-cli` — run continuous queries against a simulated peer-to-peer
+//! database from the command line.
+//!
+//! ```text
+//! digest-cli [--world temperature|memory] [--ticks N] [--scheduler all|predK]
+//!            [--estimator indep|rpt] "<STATEMENT>" ["<STATEMENT>" ...]
+//! ```
+//!
+//! Each statement is a full continuous query, e.g.
+//!
+//! ```bash
+//! cargo run --release --bin digest-cli -- --world temperature --ticks 120 \
+//!   "SELECT AVG(temperature) FROM R WITH delta=3, epsilon=1, p=0.95" \
+//!   "SELECT MEDIAN(temperature) FROM R WITH delta=3, epsilon=1, p=0.9"
+//! ```
+//!
+//! The CLI builds the requested synthetic world, runs every query
+//! side-by-side, prints each δ-update as it happens next to the oracle
+//! truth, and closes with a cost summary.
+
+use digest::core::{
+    ContinuousQuery, DigestEngine, EngineConfig, EstimatorKind, QuerySystem, SchedulerKind,
+    TickContext,
+};
+use digest::sampling::SamplingConfig;
+use digest::workload::{
+    MemoryConfig, MemoryWorkload, TemperatureConfig, TemperatureWorkload, Workload,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+struct Options {
+    world: String,
+    ticks: Option<u64>,
+    scheduler: SchedulerKind,
+    estimator: EstimatorKind,
+    seed: u64,
+    statements: Vec<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: digest-cli [--world temperature|memory] [--ticks N] \
+         [--scheduler all|pred<K>] [--estimator indep|rpt] [--seed S] \
+         \"SELECT ...\" [\"SELECT ...\"]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        world: "temperature".to_owned(),
+        ticks: None,
+        scheduler: SchedulerKind::Pred(3),
+        estimator: EstimatorKind::Repeated,
+        seed: 42,
+        statements: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--world" => opts.world = args.next().unwrap_or_else(|| usage()),
+            "--ticks" => {
+                opts.ticks = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--seed" => {
+                opts.seed = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--scheduler" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                opts.scheduler = if v.eq_ignore_ascii_case("all") {
+                    SchedulerKind::All
+                } else if let Some(k) = v.strip_prefix("pred").and_then(|k| k.parse().ok()) {
+                    SchedulerKind::Pred(k)
+                } else {
+                    usage()
+                };
+            }
+            "--estimator" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                opts.estimator = match v.to_ascii_lowercase().as_str() {
+                    "indep" => EstimatorKind::Independent,
+                    "rpt" => EstimatorKind::Repeated,
+                    _ => usage(),
+                };
+            }
+            "--help" | "-h" => usage(),
+            s if s.starts_with("--") => usage(),
+            statement => opts.statements.push(statement.to_owned()),
+        }
+    }
+    if opts.statements.is_empty() {
+        usage();
+    }
+    opts
+}
+
+fn run<W: Workload>(mut world: W, opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    let schema = world.db().schema().clone();
+    println!(
+        "world: {} ({} nodes, {} tuples, σ̂≈{:.1})",
+        world.name(),
+        world.graph().node_count(),
+        world.db().total_tuples(),
+        world.sigma_ref()
+    );
+
+    let queries: Vec<ContinuousQuery> = opts
+        .statements
+        .iter()
+        .map(|text| ContinuousQuery::parse(text, &schema))
+        .collect::<Result<_, _>>()?;
+    let mut engines: Vec<DigestEngine> = queries
+        .iter()
+        .map(|q| {
+            DigestEngine::new(
+                q.clone(),
+                EngineConfig {
+                    scheduler: opts.scheduler,
+                    estimator: opts.estimator,
+                    sampling: SamplingConfig::recommended(world.graph().node_count()),
+                    ..Default::default()
+                },
+            )
+        })
+        .collect::<Result<_, _>>()?;
+    for (i, q) in queries.iter().enumerate() {
+        println!("  [{i}] {q}");
+    }
+    println!();
+
+    let ticks = opts
+        .ticks
+        .unwrap_or_else(|| world.duration())
+        .min(world.duration());
+    let mut rng = ChaCha8Rng::seed_from_u64(opts.seed);
+    let mut origin = world.graph().nodes().next().ok_or("world has no nodes")?;
+    for tick in 0..ticks {
+        world.advance(&mut rng);
+        if !world.graph().contains(origin) {
+            origin = world.graph().random_node(&mut rng)?;
+        }
+        for (i, engine) in engines.iter_mut().enumerate() {
+            let outcome = {
+                let ctx = TickContext {
+                    tick,
+                    graph: world.graph(),
+                    db: world.db(),
+                    origin,
+                };
+                engine.on_tick(&ctx, &mut rng)?
+            };
+            if outcome.updated {
+                println!(
+                    "t={tick:>5}  [{i}] UPDATE  X̂ = {:>12.3}   (oracle AVG = {:>10.3})",
+                    outcome.estimate,
+                    world.exact_aggregate(),
+                );
+            }
+        }
+    }
+
+    println!();
+    println!("--- cost summary over {ticks} ticks ---");
+    for (i, engine) in engines.iter().enumerate() {
+        println!(
+            "  [{i}] {:<14} {:>6} snapshots  {:>9} samples  {:>10} messages",
+            engine.name(),
+            engine.total_snapshots(),
+            engine.total_samples(),
+            engine.total_messages(),
+        );
+    }
+    Ok(())
+}
+
+fn main() {
+    let opts = parse_args();
+    let outcome = match opts.world.to_ascii_lowercase().as_str() {
+        "temperature" => run(
+            TemperatureWorkload::new(TemperatureConfig {
+                seed: opts.seed,
+                ..TemperatureConfig::reduced(2_000, 10, 20, 100_000)
+            }),
+            &opts,
+        ),
+        "memory" => run(
+            MemoryWorkload::new(MemoryConfig {
+                seed: opts.seed,
+                ..MemoryConfig::reduced(500, 200, 1_000_000)
+            }),
+            &opts,
+        ),
+        other => {
+            eprintln!("unknown world `{other}` (expected temperature|memory)");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = outcome {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,156 @@
+//! Integration: failure injection — the engine must degrade gracefully,
+//! never panic or error, when the world turns hostile mid-query.
+
+use digest::core::{
+    ContinuousQuery, DigestEngine, EngineConfig, EstimatorKind, Precision, QuerySystem,
+    SchedulerKind, TickContext,
+};
+use digest::db::{Expr, P2PDatabase, Schema, Tuple, TupleHandle};
+use digest::net::{topology, Graph, NodeId};
+use digest::sampling::SamplingConfig;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+struct World {
+    graph: Graph,
+    db: P2PDatabase,
+    handles: Vec<TupleHandle>,
+}
+
+fn world() -> World {
+    let graph = topology::complete(10).unwrap();
+    let mut db = P2PDatabase::new(Schema::single("a"));
+    let mut handles = Vec::new();
+    for (i, v) in graph.nodes().enumerate() {
+        db.register_node(v);
+        for j in 0..10 {
+            handles.push(db.insert(v, Tuple::single((i * 10 + j) as f64)).unwrap());
+        }
+    }
+    World { graph, db, handles }
+}
+
+fn engine(w: &World, estimator: EstimatorKind) -> DigestEngine {
+    let query = ContinuousQuery::avg(
+        Expr::first_attr(w.db.schema()),
+        Precision::new(5.0, 3.0, 0.9).unwrap(),
+    );
+    DigestEngine::new(
+        query,
+        EngineConfig {
+            scheduler: SchedulerKind::All,
+            estimator,
+            sampling: SamplingConfig::recommended(w.graph.node_count()),
+            ..Default::default()
+        },
+    )
+    .unwrap()
+}
+
+fn tick<'a>(t: u64, w: &'a World) -> TickContext<'a> {
+    TickContext {
+        tick: t,
+        graph: &w.graph,
+        db: &w.db,
+        origin: w.graph.nodes().next().unwrap(),
+    }
+}
+
+#[test]
+fn emptied_relation_holds_instead_of_erroring() {
+    for estimator in [EstimatorKind::Independent, EstimatorKind::Repeated] {
+        let mut w = world();
+        let mut sys = engine(&w, estimator);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+
+        let before = sys.on_tick(&tick(0, &w), &mut rng).unwrap();
+        assert!(before.snapshot_executed);
+
+        // Every tuple disappears (mass deletion).
+        for h in w.handles.drain(..) {
+            let _ = w.db.delete(h);
+        }
+        assert_eq!(w.db.total_tuples(), 0);
+
+        // The engine must hold its estimate, not crash.
+        let during = sys
+            .on_tick(&tick(1, &w), &mut rng)
+            .expect("empty relation must not be an engine error");
+        assert_eq!(during.estimate, before.estimate, "estimate held");
+        assert!(!during.updated);
+
+        // Data returns; the engine recovers on its own.
+        for v in w.graph.nodes() {
+            w.handles
+                .push(w.db.insert(v, Tuple::single(100.0)).unwrap());
+        }
+        let mut recovered = false;
+        for t in 2..8 {
+            let o = sys.on_tick(&tick(t, &w), &mut rng).unwrap();
+            if (o.estimate - 100.0).abs() < 3.0 {
+                recovered = true;
+                break;
+            }
+        }
+        assert!(recovered, "engine should re-estimate after data returns");
+    }
+}
+
+#[test]
+fn origin_isolation_is_survivable() {
+    // Cut the origin down to a single neighbor, then restore: walks keep
+    // working through the bottleneck (just slower to mix).
+    let mut w = world();
+    let mut sys = engine(&w, EstimatorKind::Repeated);
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    sys.on_tick(&tick(0, &w), &mut rng).unwrap();
+
+    let origin = w.graph.nodes().next().unwrap();
+    let neighbors: Vec<NodeId> = w.graph.neighbors(origin).to_vec();
+    for &nb in &neighbors[1..] {
+        w.graph.remove_edge(origin, nb).unwrap();
+    }
+    assert_eq!(w.graph.degree(origin), 1);
+    let o = sys.on_tick(&tick(1, &w), &mut rng).unwrap();
+    assert!(o.estimate.is_finite());
+    assert!(o.snapshot_executed);
+}
+
+#[test]
+fn mass_churn_between_every_snapshot() {
+    // Replace half the network's fragments every tick: the RPT panel is
+    // wiped constantly and must keep self-repairing.
+    let mut w = world();
+    let mut sys = engine(&w, EstimatorKind::Repeated);
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    for t in 0..12 {
+        let o = sys.on_tick(&tick(t, &w), &mut rng).unwrap();
+        assert!(o.estimate.is_finite());
+        // Churn: node (t mod 10) dumps its fragment and refills.
+        let victim = NodeId((t % 10) as u32);
+        let _ = w.db.remove_node(victim);
+        w.db.register_node(victim);
+        for j in 0..10 {
+            w.handles.push(
+                w.db.insert(victim, Tuple::single(f64::from(j) * 10.0))
+                    .unwrap(),
+            );
+        }
+    }
+    assert_eq!(sys.total_snapshots(), 12);
+}
+
+#[test]
+fn nan_values_in_the_relation_are_skipped() {
+    // A buggy peer publishes NaN; estimates must stay finite.
+    let mut w = world();
+    for &h in w.handles.iter().take(20) {
+        w.db.update(h, &[f64::NAN]).unwrap();
+    }
+    let mut sys = engine(&w, EstimatorKind::Independent);
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    for t in 0..5 {
+        let o = sys.on_tick(&tick(t, &w), &mut rng).unwrap();
+        assert!(o.estimate.is_finite(), "NaN leaked into the estimate");
+    }
+}

@@ -1,0 +1,156 @@
+//! Integration: `MEDIAN` continuous queries end to end — the
+//! distribution-free aggregate extension.
+
+use digest::core::baselines::PushAllEngine;
+use digest::core::{
+    ContinuousQuery, DigestEngine, EngineConfig, EstimatorKind, QuerySystem, SchedulerKind,
+    TickContext,
+};
+use digest::db::{Expr, P2PDatabase, Schema, Tuple, TupleHandle};
+use digest::net::{topology, Graph, NodeId};
+use digest::sampling::SamplingConfig;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A skewed world: most values small, a heavy right tail, so the median
+/// and mean disagree strongly.
+struct World {
+    graph: Graph,
+    db: P2PDatabase,
+    handles: Vec<TupleHandle>,
+}
+
+fn world(seed: u64) -> World {
+    let graph = topology::complete(15).unwrap();
+    let mut db = P2PDatabase::new(Schema::single("latency"));
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut handles = Vec::new();
+    for v in graph.nodes() {
+        db.register_node(v);
+        for _ in 0..40 {
+            // 90% fast responses near 10ms, 10% slow tail up to ~1000ms.
+            let value = if rng.gen_bool(0.9) {
+                rng.gen_range(8.0..12.0)
+            } else {
+                rng.gen_range(200.0..1000.0)
+            };
+            handles.push(db.insert(v, Tuple::single(value)).unwrap());
+        }
+    }
+    World { graph, db, handles }
+}
+
+fn oracle_median(w: &World) -> f64 {
+    let mut vals: Vec<f64> = w.db.iter().map(|(_, t)| t.value(0).unwrap()).collect();
+    vals.sort_by(f64::total_cmp);
+    digest::stats::sample_quantile(&vals, 0.5).unwrap()
+}
+
+fn median_engine(w: &World, delta: f64, epsilon: f64) -> DigestEngine {
+    let query = ContinuousQuery::parse(
+        &format!("SELECT MEDIAN(latency) FROM R WITH delta={delta}, epsilon={epsilon}, p=0.95"),
+        w.db.schema(),
+    )
+    .unwrap();
+    DigestEngine::new(
+        query,
+        EngineConfig {
+            scheduler: SchedulerKind::All,
+            estimator: EstimatorKind::Repeated, // overridden by MEDIAN
+            sampling: SamplingConfig::recommended(w.graph.node_count()),
+            ..Default::default()
+        },
+    )
+    .unwrap()
+}
+
+#[test]
+fn median_engine_tracks_the_median_not_the_mean() {
+    let w = world(1);
+    let truth = oracle_median(&w);
+    let mean = w.db.exact_avg(&Expr::first_attr(w.db.schema())).unwrap();
+    assert!(
+        mean > truth * 3.0,
+        "heavy tail must pull the mean away: mean {mean}, median {truth}"
+    );
+
+    let mut sys = median_engine(&w, 2.0, 1.0);
+    assert_eq!(sys.name(), "ALL+QUANTILE");
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let mut hits = 0;
+    for tick in 0..10 {
+        let ctx = TickContext {
+            tick,
+            graph: &w.graph,
+            db: &w.db,
+            origin: NodeId(0),
+        };
+        let o = sys.on_tick(&ctx, &mut rng).unwrap();
+        if (o.estimate - truth).abs() <= 1.0 {
+            hits += 1;
+        }
+        assert!((o.estimate - mean).abs() > 10.0, "estimate chased the mean");
+    }
+    assert!(hits >= 8, "median coverage {hits}/10");
+}
+
+#[test]
+fn median_is_robust_to_tail_corruption() {
+    // Blow up the tail values 10×: the mean moves wildly, the median
+    // (and the engine's estimate) barely moves.
+    let mut w = world(3);
+    let truth_before = oracle_median(&w);
+    let mut sys = median_engine(&w, 2.0, 1.0);
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    fn ctx_tick(tick: u64, w: &World) -> TickContext<'_> {
+        TickContext {
+            tick,
+            graph: &w.graph,
+            db: &w.db,
+            origin: NodeId(0),
+        }
+    }
+    let before = sys.on_tick(&ctx_tick(0, &w), &mut rng).unwrap().estimate;
+
+    let mean_before = w.db.exact_avg(&Expr::first_attr(w.db.schema())).unwrap();
+    for &h in &w.handles {
+        let v = w.db.read(h).unwrap().value(0).unwrap();
+        if v > 100.0 {
+            w.db.update(h, &[v * 10.0]).unwrap();
+        }
+    }
+    let mean_after = w.db.exact_avg(&Expr::first_attr(w.db.schema())).unwrap();
+    assert!(mean_after > 5.0 * mean_before, "mean must explode");
+
+    let after = sys.on_tick(&ctx_tick(1, &w), &mut rng).unwrap().estimate;
+    assert!(
+        (after - before).abs() < 2.0,
+        "median estimate moved {before} → {after} despite tail-only corruption"
+    );
+    assert!((after - truth_before).abs() < 2.0);
+}
+
+#[test]
+fn push_all_computes_exact_median() {
+    let w = world(5);
+    let truth = oracle_median(&w);
+    let query = ContinuousQuery::parse(
+        "SELECT MEDIAN(latency) FROM R WITH delta=1, epsilon=1, p=0.95",
+        w.db.schema(),
+    )
+    .unwrap();
+    let mut sys = PushAllEngine::new(query);
+    let mut rng = ChaCha8Rng::seed_from_u64(6);
+    let ctx = TickContext {
+        tick: 0,
+        graph: &w.graph,
+        db: &w.db,
+        origin: NodeId(0),
+    };
+    let o = sys.on_tick(&ctx, &mut rng).unwrap();
+    assert!(
+        (o.estimate - truth).abs() < 1e-9,
+        "{} vs {truth}",
+        o.estimate
+    );
+}

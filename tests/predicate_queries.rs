@@ -1,0 +1,251 @@
+//! Integration: `WHERE`-predicated continuous queries end to end (the
+//! paper's §VIII selection extension).
+
+use digest::core::{
+    AggregateOp, ContinuousQuery, DigestEngine, EngineConfig, EstimatorKind, Precision,
+    QuerySystem, SchedulerKind, TickContext,
+};
+use digest::db::{Expr, P2PDatabase, Predicate, Schema, Tuple, TupleHandle};
+use digest::net::{topology, Graph, NodeId};
+use digest::sampling::SamplingConfig;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Two sub-populations on a "cpu, memory" schema: half the tuples are
+/// servers (cpu = 8, memory ~ N(64, 4²)), half are laptops (cpu = 2,
+/// memory ~ N(16, 2²)).
+struct World {
+    graph: Graph,
+    db: P2PDatabase,
+    handles: Vec<TupleHandle>,
+}
+
+fn world(seed: u64) -> World {
+    let graph = topology::complete(20).unwrap();
+    let mut db = P2PDatabase::new(Schema::new(["cpu", "memory"]));
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut handles = Vec::new();
+    for (i, v) in graph.nodes().enumerate() {
+        db.register_node(v);
+        for j in 0..20 {
+            let server = (i + j) % 2 == 0;
+            let (cpu, mem_mean, mem_sd) = if server {
+                (8.0, 64.0, 4.0)
+            } else {
+                (2.0, 16.0, 2.0)
+            };
+            let memory = mem_mean + mem_sd * (rng.gen_range(-1.0..1.0) + rng.gen_range(-1.0..1.0));
+            handles.push(db.insert(v, Tuple::new(vec![cpu, memory])).unwrap());
+        }
+    }
+    World { graph, db, handles }
+}
+
+fn engine(w: &World, query: ContinuousQuery) -> DigestEngine {
+    DigestEngine::new(
+        query,
+        EngineConfig {
+            scheduler: SchedulerKind::All,
+            estimator: EstimatorKind::Repeated,
+            sampling: SamplingConfig::recommended(w.graph.node_count()),
+            size_sample_target: 2_000,
+            ..Default::default()
+        },
+    )
+    .unwrap()
+}
+
+#[test]
+fn predicated_avg_estimates_the_sub_population() {
+    let w = world(1);
+    let schema = w.db.schema().clone();
+    let expr = Expr::attr(&schema, "memory").unwrap();
+    let pred = Predicate::parse("cpu >= 8", &schema).unwrap();
+    let truth = w.db.exact_avg_where(&expr, &pred).unwrap();
+    let overall = w.db.exact_avg(&expr).unwrap();
+    assert!(
+        (truth - 64.0).abs() < 2.0,
+        "server memory mean sanity: {truth}"
+    );
+    assert!(
+        (overall - truth).abs() > 15.0,
+        "sub-population must differ from overall"
+    );
+
+    let query =
+        ContinuousQuery::avg(expr, Precision::new(4.0, 2.0, 0.95).unwrap()).with_predicate(pred);
+    let mut sys = engine(&w, query);
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let mut hits = 0;
+    let occasions = 10;
+    for tick in 0..occasions {
+        let ctx = TickContext {
+            tick,
+            graph: &w.graph,
+            db: &w.db,
+            origin: NodeId(0),
+        };
+        let o = sys.on_tick(&ctx, &mut rng).unwrap();
+        if (o.estimate - truth).abs() <= 2.0 {
+            hits += 1;
+        }
+        // The estimate must track the *qualifying* mean, not the overall.
+        assert!(
+            (o.estimate - overall).abs() > 10.0,
+            "estimate {} contaminated by non-qualifying tuples",
+            o.estimate
+        );
+    }
+    assert!(hits >= occasions - 2, "only {hits}/{occasions} within ±ε");
+}
+
+#[test]
+fn predicated_count_scales_by_selectivity() {
+    let w = world(3);
+    let schema = w.db.schema().clone();
+    let expr = Expr::attr(&schema, "memory").unwrap();
+    let pred = Predicate::parse("cpu < 4", &schema).unwrap();
+    let truth = w.db.exact_count_where(&pred).unwrap() as f64;
+    assert!(
+        (truth - 200.0).abs() < 1.0,
+        "half the 400 tuples are laptops"
+    );
+
+    let query = ContinuousQuery::new(
+        AggregateOp::Count,
+        expr,
+        Precision::new(60.0, 40.0, 0.9).unwrap(),
+    )
+    .with_predicate(pred);
+    let mut sys = engine(&w, query);
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    let ctx = TickContext {
+        tick: 0,
+        graph: &w.graph,
+        db: &w.db,
+        origin: NodeId(0),
+    };
+    let o = sys.on_tick(&ctx, &mut rng).unwrap();
+    assert!(
+        (o.estimate - truth).abs() / truth < 0.4,
+        "COUNT WHERE estimate {} vs truth {truth}",
+        o.estimate
+    );
+}
+
+#[test]
+fn predicated_sum_matches_oracle_order_of_magnitude() {
+    let w = world(5);
+    let schema = w.db.schema().clone();
+    let expr = Expr::attr(&schema, "memory").unwrap();
+    let pred = Predicate::parse("cpu >= 8", &schema).unwrap();
+    let truth = w.db.exact_sum_where(&expr, &pred).unwrap();
+
+    let query = ContinuousQuery::new(
+        AggregateOp::Sum,
+        expr,
+        Precision::new(4_000.0, 3_000.0, 0.9).unwrap(),
+    )
+    .with_predicate(pred);
+    let mut sys = engine(&w, query);
+    let mut rng = ChaCha8Rng::seed_from_u64(6);
+    let ctx = TickContext {
+        tick: 0,
+        graph: &w.graph,
+        db: &w.db,
+        origin: NodeId(0),
+    };
+    let o = sys.on_tick(&ctx, &mut rng).unwrap();
+    assert!(
+        (o.estimate - truth).abs() / truth < 0.4,
+        "SUM WHERE estimate {} vs truth {truth}",
+        o.estimate
+    );
+}
+
+#[test]
+fn panel_drops_tuples_that_leave_the_domain() {
+    // Run two occasions; between them, flip some servers to laptops. The
+    // RPT panel must drop them (domain exit) without error, and keep
+    // estimating the qualifying mean.
+    let mut w = world(7);
+    let schema = w.db.schema().clone();
+    let expr = Expr::attr(&schema, "memory").unwrap();
+    let pred = Predicate::parse("cpu >= 8", &schema).unwrap();
+    let query = ContinuousQuery::avg(expr.clone(), Precision::new(4.0, 2.5, 0.95).unwrap())
+        .with_predicate(pred.clone());
+    let mut sys = engine(&w, query);
+    let mut rng = ChaCha8Rng::seed_from_u64(8);
+
+    for tick in 0..2 {
+        let ctx = TickContext {
+            tick,
+            graph: &w.graph,
+            db: &w.db,
+            origin: NodeId(0),
+        };
+        sys.on_tick(&ctx, &mut rng).unwrap();
+    }
+    // Demote a third of the servers.
+    let mut demoted = 0;
+    for &h in &w.handles {
+        let t = w.db.read(h).unwrap();
+        if t.value(0).unwrap() >= 8.0 && demoted < 60 {
+            let mem = t.value(1).unwrap();
+            w.db.update(h, &[2.0, mem]).unwrap();
+            demoted += 1;
+        }
+    }
+    let truth = w.db.exact_avg_where(&expr, &pred).unwrap();
+    for tick in 2..6 {
+        let ctx = TickContext {
+            tick,
+            graph: &w.graph,
+            db: &w.db,
+            origin: NodeId(0),
+        };
+        let o = sys.on_tick(&ctx, &mut rng).unwrap();
+        assert!(o.estimate.is_finite());
+        if tick == 5 {
+            assert!(
+                (o.estimate - truth).abs() <= 3.0,
+                "post-demotion estimate {} vs truth {truth}",
+                o.estimate
+            );
+        }
+    }
+}
+
+#[test]
+fn impossible_predicate_holds_previous_avg() {
+    let w = world(9);
+    let schema = w.db.schema().clone();
+    let expr = Expr::attr(&schema, "memory").unwrap();
+    let query = ContinuousQuery::avg(expr, Precision::new(4.0, 2.0, 0.95).unwrap())
+        .with_predicate(Predicate::parse("cpu > 1000", &schema).unwrap());
+    let mut sys = engine(&w, query);
+    let mut rng = ChaCha8Rng::seed_from_u64(10);
+    let ctx = TickContext {
+        tick: 0,
+        graph: &w.graph,
+        db: &w.db,
+        origin: NodeId(0),
+    };
+    // First tick: nothing qualifies; the engine must not blow up.
+    let o = sys.on_tick(&ctx, &mut rng).unwrap();
+    assert!(o.estimate.is_finite());
+    assert!(o.snapshot_executed);
+}
+
+#[test]
+fn display_includes_where_clause() {
+    let schema = Schema::new(["cpu", "memory"]);
+    let q = ContinuousQuery::avg(
+        Expr::attr(&schema, "memory").unwrap(),
+        Precision::new(1.0, 1.0, 0.95).unwrap(),
+    )
+    .with_predicate(Predicate::parse("cpu >= 8", &schema).unwrap());
+    let s = q.to_string();
+    assert!(s.contains("WHERE"), "{s}");
+    assert!(s.contains("cpu >= 8"), "{s}");
+}

@@ -1,0 +1,141 @@
+//! Integration: statistical correctness of the distributed sampling
+//! operator over real overlay topologies — the property everything above
+//! it depends on.
+
+use digest::db::{P2PDatabase, Schema, Tuple};
+use digest::net::{topology, NodeId};
+use digest::sampling::{mixing, uniform_weight, OracleSampler, SamplingConfig, SamplingOperator};
+use digest::stats::{total_variation_distance, DiscreteDistribution};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A database with wildly skewed content sizes: node `i` holds
+/// `(i mod 7)² + 1` tuples.
+fn skewed_db(g: &digest::net::Graph) -> P2PDatabase {
+    let mut db = P2PDatabase::new(Schema::single("a"));
+    for (i, v) in g.nodes().enumerate() {
+        db.register_node(v);
+        let m = (i % 7) * (i % 7) + 1;
+        for j in 0..m {
+            db.insert(v, Tuple::single((i * 1_000 + j) as f64)).unwrap();
+        }
+    }
+    db
+}
+
+#[test]
+fn two_stage_sampling_is_uniform_over_tuples_on_power_law_overlay() {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let g = topology::barabasi_albert(120, 2, &mut rng).unwrap();
+    let db = skewed_db(&g);
+    let total = db.total_tuples();
+    let mut op = SamplingOperator::new(SamplingConfig::recommended(120)).unwrap();
+    let origin = g.nodes().next().unwrap();
+
+    // Draw many samples; each tuple should appear ≈ draws/total times.
+    let draws = 40 * total;
+    let mut counts = std::collections::HashMap::new();
+    for _ in 0..draws {
+        op.begin_occasion();
+        let (_, t, _) = op.sample_tuple(&g, &db, origin, &mut rng).unwrap();
+        *counts.entry(t.value(0).unwrap() as u64).or_insert(0u64) += 1;
+    }
+    assert_eq!(counts.len(), total, "every tuple reachable");
+
+    // TVD between the empirical tuple distribution and uniform.
+    let mut cs: Vec<u64> = counts.values().copied().collect();
+    cs.sort_unstable();
+    let emp = DiscreteDistribution::from_counts(&cs).unwrap();
+    let uni = DiscreteDistribution::uniform(total).unwrap();
+    let tvd = total_variation_distance(&emp, &uni).unwrap();
+    assert!(tvd < 0.08, "two-stage tuple sampling TVD {tvd}");
+}
+
+#[test]
+fn metropolis_matches_oracle_distribution_on_mesh() {
+    let g = topology::mesh(6, 6, false).unwrap();
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let w = |v: NodeId| f64::from(v.0 % 4 + 1); // nonuniform target
+    let mut op = SamplingOperator::new(SamplingConfig::recommended(36)).unwrap();
+    let oracle = OracleSampler::new();
+    let origin = g.nodes().next().unwrap();
+
+    let draws = 30_000;
+    let mut metro = vec![0u64; 36];
+    let mut orac = vec![0u64; 36];
+    for _ in 0..draws {
+        op.begin_occasion();
+        let (v, _) = op.sample_node(&g, &w, origin, &mut rng).unwrap();
+        metro[v.0 as usize] += 1;
+        let v = oracle.sample_node(&g, &w, &mut rng).unwrap();
+        orac[v.0 as usize] += 1;
+    }
+    let dm = DiscreteDistribution::from_counts(&metro).unwrap();
+    let do_ = DiscreteDistribution::from_counts(&orac).unwrap();
+    let tvd = total_variation_distance(&dm, &do_).unwrap();
+    assert!(tvd < 0.05, "Metropolis vs oracle TVD {tvd}");
+}
+
+#[test]
+fn exact_mixing_time_is_within_theorem3_bound_on_all_topologies() {
+    let w = uniform_weight();
+    let gamma = 0.02;
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let graphs = vec![
+        ("mesh", topology::mesh(5, 5, false).unwrap()),
+        ("ring", topology::ring(24).unwrap()),
+        ("star", topology::star(25).unwrap()),
+        ("ba", topology::barabasi_albert(25, 2, &mut rng).unwrap()),
+        (
+            "ws",
+            topology::watts_strogatz(24, 4, 0.2, &mut rng).unwrap(),
+        ),
+    ];
+    for (name, g) in graphs {
+        let (p, _, target) = mixing::transition_matrix(&g, &w).unwrap();
+        let tau = mixing::mixing_time(&p, &target, gamma, 20_000)
+            .unwrap()
+            .unwrap_or_else(|| panic!("{name}: did not mix"));
+        let diag = mixing::spectral_diagnostics(&p, &target, 400).unwrap();
+        let bound = (1.0 / diag.eigengap) * ((1.0 / target.min_prob()).ln() + (1.0 / gamma).ln());
+        assert!(
+            (tau as f64) <= bound * 1.10,
+            "{name}: τ({gamma}) = {tau} exceeds Theorem-3 bound {bound:.1}"
+        );
+    }
+}
+
+#[test]
+fn estimator_built_on_sampler_is_unbiased() {
+    // The ultimate consumer check: averaging sampled tuple values
+    // converges to the true mean on a skewed database.
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    let g = topology::barabasi_albert(80, 2, &mut rng).unwrap();
+    let db = skewed_db(&g);
+    let expr = digest::db::Expr::first_attr(db.schema());
+    let truth = db.exact_avg(&expr).unwrap();
+    let sigma = {
+        let mut m = digest::stats::RunningMoments::new();
+        for (_, t) in db.iter() {
+            m.push(t.value(0).unwrap());
+        }
+        m.population_std()
+    };
+
+    let mut op = SamplingOperator::new(SamplingConfig::recommended(80)).unwrap();
+    let origin = g.nodes().next().unwrap();
+    let n = 4_000u32;
+    let mut sum = 0.0;
+    for _ in 0..n {
+        op.begin_occasion();
+        let (_, t, _) = op.sample_tuple(&g, &db, origin, &mut rng).unwrap();
+        sum += expr.eval(&t).unwrap();
+    }
+    let mean = sum / f64::from(n);
+    // 4σ/√n tolerance.
+    let tol = 4.0 * sigma / f64::from(n).sqrt();
+    assert!(
+        (mean - truth).abs() < tol,
+        "mean {mean} vs truth {truth} (tol {tol})"
+    );
+}
