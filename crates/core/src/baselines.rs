@@ -26,7 +26,7 @@ use crate::Result;
 use digest_db::TupleHandle;
 use digest_net::{Graph, NodeId};
 use rand::RngCore;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Hop distances from every node to the querying node, lazily recomputed
 /// when the overlay changes.
@@ -62,7 +62,7 @@ impl DistanceCache {
     }
 }
 
-/// `ALL+ALL`: full push, exact evaluation.
+/// `ALL+ALL`: full push, exact evaluation (paper §VI-B3, Figure 5-b).
 #[derive(Debug)]
 pub struct PushAllEngine {
     query: ContinuousQuery,
@@ -168,7 +168,7 @@ impl QuerySystem for PushAllEngine {
     }
 }
 
-/// Tuning of the adaptive-filter baseline.
+/// Tuning of the adaptive-filter baseline (paper §VI-B3).
 #[derive(Debug, Clone, Copy)]
 pub struct FilterConfig {
     /// Ticks between width-adaptation rounds.
@@ -193,13 +193,13 @@ struct Filter {
     violations: u32,
 }
 
-/// `ALL+FILTER`: Olston-style adaptive bound filters.
+/// `ALL+FILTER`: Olston-style adaptive bound filters (paper §VI-B3).
 #[derive(Debug)]
 pub struct FilterEngine {
     query: ContinuousQuery,
     config: FilterConfig,
     distances: DistanceCache,
-    filters: HashMap<TupleHandle, Filter>,
+    filters: BTreeMap<TupleHandle, Filter>,
     current_estimate: f64,
     last_reported: f64,
     ticks_seen: u64,
@@ -235,7 +235,7 @@ impl FilterEngine {
             query,
             config,
             distances: DistanceCache::default(),
-            filters: HashMap::new(),
+            filters: BTreeMap::new(),
             current_estimate: 0.0,
             last_reported: f64::NAN,
             ticks_seen: 0,
@@ -263,10 +263,10 @@ impl QuerySystem for FilterEngine {
         // aggregate interval).
         let base_width = 2.0 * self.query.precision.epsilon;
 
-        let mut seen: HashMap<TupleHandle, ()> = HashMap::with_capacity(self.filters.len());
+        let mut seen: BTreeSet<TupleHandle> = BTreeSet::new();
         for (handle, tuple) in ctx.db.iter() {
             let value = self.query.expr.eval(tuple)?;
-            seen.insert(handle, ());
+            seen.insert(handle);
             match self.filters.get_mut(&handle) {
                 None => {
                     // New tuple: register its filter by pushing its value.
@@ -298,7 +298,7 @@ impl QuerySystem for FilterEngine {
         }
         // Departed tuples: their node's leave is observed out-of-band (the
         // overlay repair already carries those messages).
-        self.filters.retain(|h, _| seen.contains_key(h));
+        self.filters.retain(|h, _| seen.contains(h));
 
         // Periodic width adaptation: shrink everyone, re-grant the
         // reclaimed budget to violators (Olston's shrink/grow cycle).
@@ -369,6 +369,12 @@ impl QuerySystem for FilterEngine {
 }
 
 #[cfg(test)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)]
 mod tests {
     use super::*;
     use crate::query::Precision;

@@ -21,7 +21,7 @@ use crate::Result;
 use digest_sampling::{uniform_weight, SamplingConfig, SamplingOperator, SizeEstimator};
 use rand::RngCore;
 
-/// Which continual-querying policy to run.
+/// Which continual-querying policy to run (paper §IV-A).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SchedulerKind {
     /// Snapshot every tick (`ALL`).
@@ -30,7 +30,7 @@ pub enum SchedulerKind {
     Pred(usize),
 }
 
-/// Which approximate-querying policy to run.
+/// Which approximate-querying policy to run (paper §IV-B).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EstimatorKind {
     /// Fresh CLT-sized panel every occasion (`INDEP`).
@@ -39,7 +39,8 @@ pub enum EstimatorKind {
     Repeated,
 }
 
-/// Engine configuration.
+/// Engine configuration: the scheduler × estimator pairing of paper §III,
+/// Figure 2.
 #[derive(Debug, Clone, Copy)]
 pub struct EngineConfig {
     /// The continual-querying policy.
@@ -77,7 +78,8 @@ enum EstimatorImpl {
     Quantile(crate::quantile_est::QuantileEstimator),
 }
 
-/// The Digest query engine for one continuous query.
+/// The Digest query engine for one continuous query (paper §III,
+/// Figure 2: scheduler + estimator + sampling operator on one node).
 pub struct DigestEngine {
     query: ContinuousQuery,
     config: EngineConfig,
@@ -435,6 +437,12 @@ impl QuerySystem for DigestEngine {
 }
 
 #[cfg(test)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)]
 mod tests {
     use super::*;
     use crate::query::Precision;

@@ -24,7 +24,8 @@ use digest_stats::RunningMoments;
 use rand::RngCore;
 use std::collections::BTreeMap;
 
-/// A grouped aggregate query: `SELECT AVG(expr) … GROUP BY key(expr)`.
+/// A grouped aggregate query: `SELECT AVG(expr) … GROUP BY key(expr)` —
+/// a §VIII "more complex aggregate queries" extension.
 #[derive(Debug, Clone)]
 pub struct GroupedQuery {
     /// The aggregated expression.
@@ -36,7 +37,7 @@ pub struct GroupedQuery {
     pub predicate: Predicate,
 }
 
-/// One group's estimate.
+/// One group's estimate (per-stratum CLT estimate, extending §IV-B1).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GroupEstimate {
     /// The group key (rounded grouping expression).
@@ -51,7 +52,8 @@ pub struct GroupEstimate {
     pub std_error: f64,
 }
 
-/// The outcome of one grouped snapshot.
+/// The outcome of one grouped snapshot (§VIII extension of the snapshot
+/// result model).
 #[derive(Debug, Clone)]
 pub struct GroupedSnapshot {
     /// Per-group estimates, ascending by key.
@@ -70,7 +72,8 @@ impl GroupedSnapshot {
     }
 }
 
-/// The grouped estimator.
+/// The grouped estimator: post-stratified uniform sampling (§VIII
+/// direction, reusing the §IV-B1 CLT sizing within each stratum).
 #[derive(Debug, Clone, Copy)]
 pub struct GroupedEstimator {
     /// Minimum samples demanded of every major group before stopping.
@@ -143,9 +146,10 @@ impl GroupedEstimator {
         let mut qualifying = 0u64;
         let mut messages = 0u64;
 
-        'outer: while (drawn as usize) < self.max_samples {
+        let max_samples = self.max_samples as u64;
+        'outer: while drawn < max_samples {
             for _ in 0..self.batch {
-                if drawn as usize >= self.max_samples {
+                if drawn >= max_samples {
                     break;
                 }
                 let (_, tuple, cost) = operator.sample_tuple(ctx.graph, ctx.db, ctx.origin, rng)?;
@@ -160,18 +164,19 @@ impl GroupedEstimator {
                     continue;
                 }
                 qualifying += 1;
-                strata
-                    .entry(key_value.round() as i64)
-                    .or_default()
-                    .push(value);
+                // Finite (checked above) and clamped: in-range for i64.
+                #[allow(clippy::cast_possible_truncation)]
+                let key = key_value.round().clamp(-1e18, 1e18) as i64;
+                strata.entry(key).or_default().push(value);
             }
             // Stopping rule: every major group has enough samples.
             if qualifying > 0 {
+                let min_group = self.min_group_samples as u64;
                 let major_satisfied = strata.values().all(|m| {
                     let share = m.count() as f64 / qualifying as f64;
-                    share < self.min_share || m.count() as usize >= self.min_group_samples
+                    share < self.min_share || m.count() >= min_group
                 });
-                if major_satisfied && qualifying as usize >= self.min_group_samples {
+                if major_satisfied && qualifying >= min_group {
                     break 'outer;
                 }
             }
@@ -200,6 +205,12 @@ impl GroupedEstimator {
 }
 
 #[cfg(test)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)]
 mod tests {
     use super::*;
     use digest_db::{P2PDatabase, Schema, Tuple};

@@ -17,7 +17,8 @@ use digest_sampling::SamplingOperator;
 use digest_stats::{required_sample_size, RunningMoments};
 use rand::RngCore;
 
-/// The outcome of evaluating one snapshot query.
+/// The outcome of evaluating one snapshot query (§IV-B; carries the
+/// `σ̂`/`ρ̂` diagnostics that feed Eq. 6 and Eq. 10 sizing).
 #[derive(Debug, Clone)]
 pub struct SnapshotEstimate {
     /// Estimated mean of the expression over the relation.
@@ -54,7 +55,8 @@ impl SnapshotEstimate {
     }
 }
 
-/// The independent-sampling estimator.
+/// The independent-sampling estimator (`INDEP`, paper §IV-B1): fresh
+/// CLT-sized sample every occasion (Eq. 6).
 #[derive(Debug, Clone, Copy)]
 pub struct IndependentEstimator {
     /// Pilot batch size used to seed `σ̂`.
@@ -135,14 +137,14 @@ impl IndependentEstimator {
         // Sequential loop: pilot first, then extend until the CLT size is
         // satisfied by the running σ̂ (sizes count *qualifying* samples).
         loop {
-            let goal = if (qualifying as usize) < self.pilot_size {
+            let goal = if qualifying < self.pilot_size as u64 {
                 self.pilot_size
             } else {
                 let sigma = moments.sample_std();
                 required_sample_size(sigma, precision.epsilon, precision.confidence)?
                     .min(self.max_samples)
             };
-            if qualifying as usize >= goal || drawn as usize >= max_draws {
+            if qualifying >= goal as u64 || drawn >= max_draws as u64 {
                 break;
             }
             let (handle, tuple, cost) =
@@ -186,6 +188,12 @@ impl IndependentEstimator {
 }
 
 #[cfg(test)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)]
 mod tests {
     use super::*;
     use digest_db::{P2PDatabase, Schema, Tuple};

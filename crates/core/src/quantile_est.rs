@@ -25,7 +25,8 @@ use digest_sampling::SamplingOperator;
 use digest_stats::quantile_interval;
 use rand::RngCore;
 
-/// The quantile estimator.
+/// The quantile estimator — a §VIII "more complex aggregate queries"
+/// extension with a distribution-free precision guarantee.
 #[derive(Debug, Clone, Copy)]
 pub struct QuantileEstimator {
     /// Which quantile to estimate (0.5 = median).
@@ -100,9 +101,9 @@ impl QuantileEstimator {
         };
 
         let mut interval = None;
-        while (drawn as usize) < max_draws {
+        while drawn < max_draws as u64 {
             for _ in 0..self.batch {
-                if drawn as usize >= max_draws {
+                if drawn >= max_draws as u64 {
                     break;
                 }
                 let (_, tuple, cost) = operator.sample_tuple(ctx.graph, ctx.db, ctx.origin, rng)?;
@@ -161,6 +162,12 @@ impl QuantileEstimator {
 }
 
 #[cfg(test)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)]
 mod tests {
     use super::*;
     use digest_db::{P2PDatabase, Schema, Tuple};

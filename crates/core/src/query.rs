@@ -188,6 +188,12 @@ impl fmt::Display for ContinuousQuery {
 }
 
 #[cfg(test)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)]
 mod tests {
     use super::*;
     use digest_db::Schema;

@@ -30,7 +30,7 @@ use digest_sampling::SamplingOperator;
 use digest_stats::repeated::{combined_estimate, optimal_partition, required_panel_size};
 use rand::RngCore;
 
-/// Tuning of the repeated-sampling estimator.
+/// Tuning of the repeated-sampling estimator (`RPT`, paper §IV-B2).
 #[derive(Debug, Clone, Copy)]
 pub struct RptConfig {
     /// Pilot size for the first (independent) occasion.
@@ -78,7 +78,7 @@ impl Default for RptConfig {
 }
 
 /// A retro-correction of the previous occasion's estimate produced by
-/// forward regression.
+/// forward regression (the backward use of the §IV-B2 regression pair).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ForwardCorrection {
     /// The tick/occasion index the correction refers to (k−1, counted in
@@ -90,7 +90,8 @@ pub struct ForwardCorrection {
     pub corrected: f64,
 }
 
-/// The repeated-sampling estimator (stateful across occasions).
+/// The repeated-sampling estimator (`RPT`, paper §IV-B2), stateful across
+/// occasions: sizes the panel with Eq. 10, splits it with Eq. 9.
 #[derive(Debug, Clone)]
 pub struct RepeatedEstimator {
     config: RptConfig,
@@ -232,7 +233,11 @@ impl RepeatedEstimator {
         operator.begin_occasion();
         let trivial = predicate.is_trivial();
         let cfg = self.config;
-        let prev_estimate = self.prev_estimate.expect("kth occasion requires history");
+        let Some(prev_estimate) = self.prev_estimate else {
+            return Err(CoreError::InvalidConfig {
+                reason: "repeated estimator reached occasion k >= 2 without a first occasion",
+            });
+        };
         let rho = self.rho_hat.unwrap_or(0.0);
         let sigma = self.sigma_hat.unwrap_or(0.0).max(1e-12);
 
@@ -378,6 +383,12 @@ impl RepeatedEstimator {
 }
 
 #[cfg(test)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)]
 mod tests {
     use super::*;
     use digest_db::{P2PDatabase, Schema, Tuple, TupleHandle};

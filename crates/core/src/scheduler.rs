@@ -11,7 +11,8 @@ use crate::error::CoreError;
 use crate::Result;
 use digest_stats::{Extrapolator, ExtrapolatorConfig};
 
-/// Decides the gap (in ticks) until the next snapshot query.
+/// Decides the gap (in ticks) until the next snapshot query (the
+/// continual-querying half of paper §IV-A).
 pub trait SnapshotScheduler {
     /// Short name for experiment tables (`"ALL"`, `"PRED3"`, …).
     fn name(&self) -> &str;
@@ -32,7 +33,7 @@ pub trait SnapshotScheduler {
     fn reset(&mut self);
 }
 
-/// Snapshot every tick (`ALL`).
+/// Snapshot every tick (`ALL` in the paper's §VI figures).
 #[derive(Debug, Clone, Default)]
 pub struct AllScheduler;
 
@@ -58,7 +59,8 @@ impl SnapshotScheduler for AllScheduler {
     fn reset(&mut self) {}
 }
 
-/// The `PRED-k` extrapolating scheduler.
+/// The `PRED-k` extrapolating scheduler (paper §IV-A, Eq. 4): Taylor-fit
+/// the last `k` results and skip to the earliest possible `δ`-drift tick.
 #[derive(Debug, Clone)]
 pub struct PredScheduler {
     name: String,
@@ -114,6 +116,12 @@ impl SnapshotScheduler for PredScheduler {
 }
 
 #[cfg(test)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)]
 mod tests {
     use super::*;
 

@@ -1,5 +1,13 @@
 //! Property-based tests of the query-engine building blocks.
 
+// Tests may panic freely; the workspace deny-lints target library code.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)]
+
 use digest_core::{AggregateOp, ContinuousQuery, Precision};
 use digest_core::{AllScheduler, PredScheduler, SnapshotScheduler};
 use digest_db::{Expr, Predicate, Schema};

@@ -190,7 +190,7 @@ impl P2PDatabase {
     /// cannot enumerate the database).
     pub fn iter(&self) -> impl Iterator<Item = (TupleHandle, &Tuple)> + '_ {
         self.fragments.iter().enumerate().flat_map(|(idx, frag)| {
-            let node = NodeId(idx as u32);
+            let node = NodeId(u32::try_from(idx).unwrap_or(u32::MAX));
             frag.iter().flat_map(move |store| {
                 store.iter().map(move |(slot, generation, tuple)| {
                     (
@@ -212,7 +212,7 @@ impl P2PDatabase {
             .iter()
             .enumerate()
             .filter(|(_, f)| f.is_some())
-            .map(|(idx, _)| NodeId(idx as u32))
+            .map(|(idx, _)| NodeId(u32::try_from(idx).unwrap_or(u32::MAX)))
     }
 
     /// Oracle: exact `AVG(expression)` over the whole relation.
@@ -315,6 +315,12 @@ impl P2PDatabase {
 }
 
 #[cfg(test)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)]
 mod tests {
     use super::*;
     use rand::SeedableRng;

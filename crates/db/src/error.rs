@@ -63,6 +63,12 @@ impl fmt::Display for DbError {
 impl std::error::Error for DbError {}
 
 #[cfg(test)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)]
 mod tests {
     use super::*;
 

@@ -287,7 +287,11 @@ impl Parser<'_> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii slice");
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| DbError::ParseError {
+                position: start,
+                message: "non-UTF-8 bytes in numeric literal".into(),
+            })?;
         text.parse::<f64>()
             .map(Expr::Const)
             .map_err(|_| DbError::ParseError {
@@ -304,12 +308,22 @@ impl Parser<'_> {
         {
             self.pos += 1;
         }
-        let name = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii slice");
+        let name =
+            std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| DbError::ParseError {
+                position: start,
+                message: "non-UTF-8 bytes in attribute name".into(),
+            })?;
         Expr::attr(self.schema, name)
     }
 }
 
 #[cfg(test)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)]
 mod tests {
     use super::*;
 

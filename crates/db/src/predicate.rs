@@ -32,6 +32,9 @@ pub enum CmpOp {
 }
 
 impl CmpOp {
+    // SQL `=` / `<>` compare exactly by definition; tolerance would
+    // change predicate semantics.
+    #[allow(clippy::float_cmp)]
     fn apply(self, l: f64, r: f64) -> bool {
         match self {
             CmpOp::Lt => l < r,
@@ -338,6 +341,12 @@ impl PredParser<'_> {
 }
 
 #[cfg(test)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)]
 mod tests {
     use super::*;
 

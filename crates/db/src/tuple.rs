@@ -131,7 +131,7 @@ impl From<f64> for Tuple {
 
 /// Stable reference to a tuple: node, local slot, and the slot's
 /// generation at the time the handle was taken.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TupleHandle {
     /// The node storing the tuple.
     pub node: NodeId,
@@ -149,6 +149,12 @@ impl fmt::Display for TupleHandle {
 }
 
 #[cfg(test)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)]
 mod tests {
     use super::*;
 

@@ -1,5 +1,13 @@
 //! Property-based tests of the partitioned database and local stores.
 
+// Tests may panic freely; the workspace deny-lints target library code.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)]
+
 use digest_db::{Expr, LocalStore, P2PDatabase, Schema, Tuple, TupleHandle};
 use digest_net::NodeId;
 use proptest::prelude::*;

@@ -112,15 +112,16 @@ impl ChurnProcess {
                 if g.node_count() <= cfg.min_nodes {
                     break;
                 }
-                if rng.gen_bool(cfg.leave_prob) {
-                    g.remove_node(id).expect("candidate was live");
+                if rng.gen_bool(cfg.leave_prob) && g.remove_node(id).is_ok() {
                     events.push(ChurnEvent::Left(id));
                 }
             }
         }
 
-        // Joins.
-        let mut joins = cfg.join_rate.floor() as usize;
+        // Joins. The clamp keeps the float-to-int cast in-range (join
+        // rates are small; 1e9 is far beyond any usable overlay size).
+        #[allow(clippy::cast_possible_truncation)]
+        let mut joins = cfg.join_rate.floor().clamp(0.0, 1e9) as usize;
         let frac = cfg.join_rate - joins as f64;
         if frac > 0.0 && rng.gen_bool(frac) {
             joins += 1;
@@ -187,7 +188,7 @@ fn repair<R: Rng + ?Sized>(g: &mut Graph, rng: &mut R) {
         if giant.len() == g.node_count() || giant.is_empty() {
             return;
         }
-        let in_giant: std::collections::HashSet<NodeId> = giant.iter().copied().collect();
+        let in_giant: std::collections::BTreeSet<NodeId> = giant.iter().copied().collect();
         let Some(stray) = g.nodes().find(|id| !in_giant.contains(id)) else {
             return;
         };
@@ -197,6 +198,12 @@ fn repair<R: Rng + ?Sized>(g: &mut Graph, rng: &mut R) {
 }
 
 #[cfg(test)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)]
 mod tests {
     use super::*;
     use crate::topology;

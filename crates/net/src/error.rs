@@ -33,6 +33,12 @@ impl fmt::Display for NetError {
 impl std::error::Error for NetError {}
 
 #[cfg(test)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)]
 mod tests {
     use super::*;
 

@@ -58,7 +58,7 @@ impl Graph {
 
     /// Adds a new node and returns its id. Ids are never reused.
     pub fn add_node(&mut self) -> NodeId {
-        let id = NodeId(self.slots.len() as u32);
+        let id = NodeId(u32::try_from(self.slots.len()).unwrap_or(u32::MAX));
         self.slots.push(Some(Vec::new()));
         self.live_pos.push(self.live.len());
         self.live.push(id);
@@ -84,13 +84,15 @@ impl Graph {
                 }
             }
         }
-        // Remove from the dense live list by swap-remove.
+        // Remove from the dense live list by swap-remove. The list is
+        // non-empty here (the node we just took was in it).
         let pos = self.live_pos[id.0 as usize];
         self.live_pos[id.0 as usize] = usize::MAX;
-        let last = self.live.pop().expect("live list non-empty");
-        if last != id {
-            self.live[pos] = last;
-            self.live_pos[last.0 as usize] = pos;
+        if let Some(last) = self.live.pop() {
+            if last != id {
+                self.live[pos] = last;
+                self.live_pos[last.0 as usize] = pos;
+            }
         }
         Ok(())
     }
@@ -121,14 +123,14 @@ impl Graph {
         if self.neighbors(a).contains(&b) {
             return Ok(false);
         }
-        self.slots[a.0 as usize]
-            .as_mut()
-            .expect("checked live")
-            .push(b);
-        self.slots[b.0 as usize]
-            .as_mut()
-            .expect("checked live")
-            .push(a);
+        let Some(Some(la)) = self.slots.get_mut(a.0 as usize) else {
+            return Err(NetError::UnknownNode(a));
+        };
+        la.push(b);
+        let Some(Some(lb)) = self.slots.get_mut(b.0 as usize) else {
+            return Err(NetError::UnknownNode(b));
+        };
+        lb.push(a);
         self.edge_count += 1;
         Ok(true)
     }
@@ -146,12 +148,16 @@ impl Graph {
         if !self.contains(b) {
             return Err(NetError::UnknownNode(b));
         }
-        let la = self.slots[a.0 as usize].as_mut().expect("checked live");
+        let Some(Some(la)) = self.slots.get_mut(a.0 as usize) else {
+            return Err(NetError::UnknownNode(a));
+        };
         let Some(pos) = la.iter().position(|&x| x == b) else {
             return Ok(false);
         };
         la.swap_remove(pos);
-        let lb = self.slots[b.0 as usize].as_mut().expect("checked live");
+        let Some(Some(lb)) = self.slots.get_mut(b.0 as usize) else {
+            return Err(NetError::UnknownNode(b));
+        };
         if let Some(pos) = lb.iter().position(|&x| x == a) {
             lb.swap_remove(pos);
         }
@@ -230,7 +236,10 @@ impl Graph {
         let mut queue = std::collections::VecDeque::from([source]);
         let mut out = Vec::with_capacity(self.live.len());
         while let Some(v) = queue.pop_front() {
-            let d = dist[v.0 as usize].expect("visited");
+            // Enqueued nodes always carry a distance; skip defensively.
+            let Some(d) = dist[v.0 as usize] else {
+                continue;
+            };
             out.push((v, d));
             for &nb in self.neighbors(v) {
                 let slot = &mut dist[nb.0 as usize];
@@ -297,7 +306,10 @@ impl Graph {
             color[start.0 as usize] = Some(false);
             let mut queue = std::collections::VecDeque::from([start]);
             while let Some(v) = queue.pop_front() {
-                let c = color[v.0 as usize].expect("coloured");
+                // Enqueued nodes are always coloured; skip defensively.
+                let Some(c) = color[v.0 as usize] else {
+                    continue;
+                };
                 for &nb in self.neighbors(v) {
                     match color[nb.0 as usize] {
                         None => {
@@ -322,6 +334,12 @@ impl Graph {
 }
 
 #[cfg(test)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)]
 mod tests {
     use super::*;
     use rand::SeedableRng;

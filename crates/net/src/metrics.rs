@@ -178,6 +178,12 @@ pub fn mean_path_length(g: &Graph, samples: usize) -> f64 {
 }
 
 #[cfg(test)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)]
 mod tests {
     use super::*;
     use crate::topology;

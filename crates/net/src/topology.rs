@@ -262,17 +262,24 @@ fn stitch_connected<R: Rng + ?Sized>(g: &mut Graph, rng: &mut R) -> Result<()> {
         if giant.len() == g.node_count() {
             return Ok(());
         }
-        let in_giant: std::collections::HashSet<NodeId> = giant.iter().copied().collect();
-        let stray = g
-            .nodes()
-            .find(|id| !in_giant.contains(id))
-            .expect("giant smaller than node count implies a stray node");
+        let in_giant: std::collections::BTreeSet<NodeId> = giant.iter().copied().collect();
+        let Some(stray) = g.nodes().find(|id| !in_giant.contains(id)) else {
+            // Giant smaller than node count implies a stray exists; if the
+            // scan still finds none, there is nothing left to stitch.
+            return Ok(());
+        };
         let anchor = giant[rng.gen_range(0..giant.len())];
         g.add_edge(stray, anchor)?;
     }
 }
 
 #[cfg(test)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)]
 mod tests {
     use super::*;
     use crate::metrics::{degree_distribution, estimate_power_law_alpha};

@@ -1,6 +1,14 @@
 //! Property-based tests of graph invariants under arbitrary operation
 //! sequences and of the topology generators.
 
+// Tests may panic freely; the workspace deny-lints target library code.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)]
+
 use digest_net::{topology, ChurnConfig, ChurnProcess, Graph, NodeId};
 use proptest::prelude::*;
 use rand::SeedableRng;

@@ -17,7 +17,8 @@ use digest_db::{P2PDatabase, Tuple, TupleHandle};
 use digest_net::{Graph, NodeId};
 use rand::Rng;
 
-/// Centralised sampler with global knowledge (zero message cost).
+/// Centralised sampler with global knowledge (zero message cost) — the
+/// idealised comparator for the §V-A walk's sampling quality.
 #[derive(Debug, Clone, Default)]
 pub struct OracleSampler;
 
@@ -68,7 +69,9 @@ impl OracleSampler {
             }
             u -= wv;
         }
-        Ok(nodes.last().expect("non-empty").0)
+        // Floating-point slack can exhaust the loop; the last node absorbs
+        // the residual mass (`nodes` is non-empty, checked above).
+        nodes.last().map(|n| n.0).ok_or(SamplingError::EmptyGraph)
     }
 
     /// Draws a uniformly random tuple of the relation directly.
@@ -94,7 +97,9 @@ impl OracleSampler {
 }
 
 /// A plain (uncorrected) random walk: uniform forwarding over neighbors,
-/// laziness ½ to match the Metropolis walk's tempo.
+/// laziness ½ to match the Metropolis walk's tempo. Its stationary
+/// distribution is degree-biased — the skew the §V-A Metropolis
+/// correction (Eq. 12) exists to remove.
 #[derive(Debug, Clone)]
 pub struct NaiveWalkSampler {
     walk_length: u64,
@@ -146,6 +151,12 @@ impl NaiveWalkSampler {
 }
 
 #[cfg(test)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)]
 mod tests {
     use super::*;
     use crate::weight::uniform_weight;

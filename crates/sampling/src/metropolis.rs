@@ -33,7 +33,7 @@ use rand::Rng;
 /// never accepts a move into it.)
 const ZERO_WEIGHT_FLOOR: f64 = 1e-300;
 
-/// The state of one random-walking sampling agent.
+/// The state of one random-walking sampling agent (paper §V-A, Eq. 12).
 #[derive(Debug, Clone)]
 pub struct MetropolisWalk {
     current: NodeId,
@@ -169,6 +169,12 @@ fn checked_weight<W: NodeWeight>(w: &W, node: NodeId) -> Result<f64> {
 }
 
 #[cfg(test)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)]
 mod tests {
     use super::*;
     use crate::weight::uniform_weight;

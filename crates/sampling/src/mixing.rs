@@ -14,9 +14,9 @@ use crate::Result;
 use digest_net::{Graph, NodeId};
 use digest_stats::{total_variation_distance, DiscreteDistribution, Matrix};
 
-/// The exact Metropolis forwarding matrix over the live nodes of `g`, plus
-/// the node ordering (row/column `i` of the matrix is `nodes[i]`) and the
-/// target stationary distribution.
+/// The exact Metropolis forwarding matrix (Eq. 12) over the live nodes of
+/// `g`, plus the node ordering (row/column `i` of the matrix is
+/// `nodes[i]`) and the target stationary distribution.
 ///
 /// # Errors
 ///
@@ -87,7 +87,8 @@ fn evolve(p: &Matrix, pi: &[f64]) -> Vec<f64> {
 }
 
 /// The TVD-to-target curve of a walk started deterministically at
-/// `start_index`: element `t` is `‖π_t, p_v‖` for `t = 0..=steps`.
+/// `start_index`: element `t` is `‖π_t, p_v‖` for `t = 0..=steps`
+/// (paper §V-B, Definition 1).
 ///
 /// # Errors
 ///
@@ -115,9 +116,10 @@ pub fn tvd_curve(
     Ok(curve)
 }
 
-/// Measured mixing time `τ(γ)` from the worst start node: the first `t`
-/// such that every start node's `π_t` is within `γ` of the target.
-/// Returns `None` if `max_steps` is reached first.
+/// Measured mixing time `τ(γ)` from the worst start node (paper §V-B,
+/// Definition 2): the first `t` such that every start node's `π_t` is
+/// within `γ` of the target. Returns `None` if `max_steps` is reached
+/// first.
 ///
 /// # Errors
 ///
@@ -153,7 +155,7 @@ pub fn mixing_time(
     Ok(None)
 }
 
-/// Spectral diagnostics of a forwarding matrix.
+/// Spectral diagnostics of a forwarding matrix (paper §V-B, Theorem 3).
 #[derive(Debug, Clone, Copy)]
 pub struct SpectralDiagnostics {
     /// Estimate of `|λ₂|`, the second-largest eigenvalue modulus.
@@ -162,9 +164,10 @@ pub struct SpectralDiagnostics {
     pub eigengap: f64,
 }
 
-/// Estimates `|λ₂|` by power iteration on `P` deflated by its known
-/// stationary left/right structure: iterate `x ← xP` while projecting out
-/// the stationary component, and read the decay rate.
+/// Estimates `|λ₂|` — the quantity behind the §V-B Theorem 3 eigengap —
+/// by power iteration on `P` deflated by its known stationary left/right
+/// structure: iterate `x ← xP` while projecting out the stationary
+/// component, and read the decay rate.
 ///
 /// # Errors
 ///
@@ -234,7 +237,7 @@ pub fn spectral_diagnostics(
 
 /// Matrix-free spectral diagnostics: power iteration on `x ← xP` using the
 /// overlay adjacency directly (O(edges) per iteration), so the eigengap of
-/// Theorem 3 can be estimated on networks far too large for a dense
+/// §V-B Theorem 3 can be estimated on networks far too large for a dense
 /// transition matrix.
 ///
 /// # Errors
@@ -330,7 +333,7 @@ pub fn sparse_spectral_diagnostics<W: NodeWeight>(
     })
 }
 
-/// Theorem-3 calibrated walk length: the number of steps after which the
+/// §V-B Theorem-3 calibrated walk length: the number of steps after which the
 /// walk's distribution is within `gamma` of the target from *any* start,
 /// `τ(γ) ≤ θ⁻¹ (ln p_min⁻¹ + ln γ⁻¹)`, using the matrix-free eigengap
 /// estimate.
@@ -362,10 +365,19 @@ pub fn calibrated_walk_length<W: NodeWeight>(g: &Graph, w: &W, gamma: f64) -> Re
     }
     let p_min = (min_w / total).max(1e-300);
     let bound = ((1.0 / p_min).ln() + (1.0 / gamma).ln()) / diag.eigengap;
-    Ok(bound.ceil() as u64)
+    // Walk lengths are poly-logarithmic in n; saturate defensively.
+    #[allow(clippy::cast_possible_truncation)]
+    let steps = bound.ceil().clamp(0.0, 1e18) as u64;
+    Ok(steps)
 }
 
 #[cfg(test)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)]
 mod tests {
     use super::*;
     use crate::weight::uniform_weight;

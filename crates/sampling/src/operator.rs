@@ -25,7 +25,7 @@ use digest_db::{P2PDatabase, Tuple, TupleHandle};
 use digest_net::{Graph, NodeId};
 use rand::Rng;
 
-/// Tuning of the sampling operator.
+/// Tuning of the sampling operator `S` (paper §III, §V).
 #[derive(Debug, Clone, Copy)]
 pub struct SamplingConfig {
     /// Steps a fresh walk runs before its position counts as a sample
@@ -57,6 +57,8 @@ impl SamplingConfig {
     /// the full length; persistent walks accumulate unbounded burn-in.
     #[must_use]
     pub fn recommended(n: usize) -> Self {
+        // `15 ln n` fits easily in u64 for every representable `n`.
+        #[allow(clippy::cast_possible_truncation)]
         let walk = ((n.max(2) as f64).ln() * 15.0).ceil() as u64;
         Self {
             walk_length: walk.max(8),
@@ -85,7 +87,8 @@ impl SamplingConfig {
     }
 }
 
-/// The message cost of drawing one sample.
+/// The message cost of drawing one sample under the §VI-A cost model
+/// (walk forwarding + result report).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SampleCost {
     /// Messages spent forwarding the sampling agent.
@@ -314,6 +317,12 @@ impl SamplingOperator {
 }
 
 #[cfg(test)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)]
 mod tests {
     use super::*;
     use digest_db::Schema;
@@ -403,7 +412,7 @@ mod tests {
         })
         .unwrap();
         let mut r = rng(2);
-        let mut counts = std::collections::HashMap::new();
+        let mut counts = std::collections::BTreeMap::new();
         let draws = 12_000;
         for _ in 0..draws {
             let (_, tuple, _) = op.sample_tuple(&g, &db, NodeId(0), &mut r).unwrap();

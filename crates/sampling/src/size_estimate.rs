@@ -13,13 +13,15 @@
 use crate::error::SamplingError;
 use crate::Result;
 use digest_net::NodeId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
-/// Accumulates uniform node samples and derives size estimates.
+/// Accumulates uniform node samples and derives size estimates for the
+/// unknown `r` and `N` of paper §II (needed by `SUM`/`COUNT`).
 #[derive(Debug, Clone, Default)]
 pub struct SizeEstimator {
-    /// Occurrence count per sampled node.
-    seen: HashMap<NodeId, u32>,
+    /// Occurrence count per sampled node (ordered so iteration — and any
+    /// derived statistic — is deterministic).
+    seen: BTreeMap<NodeId, u32>,
     /// Total samples.
     k: u64,
     /// Sum of content sizes over all samples (with multiplicity).
@@ -98,6 +100,12 @@ impl SizeEstimator {
 }
 
 #[cfg(test)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)]
 mod tests {
     use super::*;
     use rand::Rng;

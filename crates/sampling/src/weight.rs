@@ -49,6 +49,12 @@ pub fn degree_weight(g: &Graph) -> impl NodeWeight + Copy + '_ {
 }
 
 #[cfg(test)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)]
 mod tests {
     use super::*;
     use digest_db::{Schema, Tuple};

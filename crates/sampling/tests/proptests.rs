@@ -2,6 +2,14 @@
 //! topology and *any* positive weight function, the forwarding matrix must
 //! be stochastic, lazy, and in detailed balance with the target.
 
+// Tests may panic freely; the workspace deny-lints target library code.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)]
+
 use digest_net::{topology, Graph, NodeId};
 use digest_sampling::{mixing, MetropolisWalk, SamplingConfig, SamplingOperator};
 use proptest::prelude::*;

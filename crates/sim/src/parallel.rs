@@ -11,10 +11,10 @@ use crate::runner::{run, RunConfig};
 use crate::trace::RunReport;
 use digest_core::{QuerySystem, Result};
 use digest_workload::Workload;
-use parking_lot::Mutex;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Summary of one metric across replications.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -96,9 +96,11 @@ where
     let results: Mutex<Vec<Option<std::result::Result<RunReport, digest_core::CoreError>>>> =
         Mutex::new((0..replications).map(|_| None).collect());
 
-    crossbeam::thread::scope(|scope| {
+    // `std::thread::scope` joins every worker before returning and re-raises
+    // any worker panic, replacing the old crossbeam scope.
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let seed = next.fetch_add(1, Ordering::Relaxed);
                 if seed >= replications {
                     return;
@@ -108,15 +110,30 @@ where
                 let mut rng =
                     ChaCha8Rng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(1));
                 let outcome = run(&mut workload, &mut system, config, delta, epsilon, &mut rng);
-                results.lock()[seed as usize] = Some(outcome);
+                let mut slots = results
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                slots[seed as usize] = Some(outcome);
             });
         }
-    })
-    .expect("replication worker panicked");
+    });
 
+    let slots = results
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     let mut reports = Vec::with_capacity(replications as usize);
-    for slot in results.into_inner() {
-        reports.push(slot.expect("every replication index was claimed")?);
+    for slot in slots {
+        match slot {
+            Some(outcome) => reports.push(outcome?),
+            // Unreachable by construction (the scope joins all workers and
+            // every index below `replications` is claimed exactly once), but
+            // surfaced as an error instead of a panic per the panic policy.
+            None => {
+                return Err(digest_core::CoreError::InvalidConfig {
+                    reason: "replication worker exited without reporting a result",
+                })
+            }
+        }
     }
     Ok(reports)
 }

@@ -53,7 +53,7 @@ pub fn required_sample_size(sigma: f64, epsilon: f64, confidence: f64) -> Result
     }
     let z = z_for_confidence(confidence)?;
     let raw = (sigma * z / epsilon).powi(2);
-    Ok((raw.ceil() as usize).max(MIN_SAMPLE_SIZE))
+    Ok(crate::f64_to_usize_saturating(raw.ceil()).max(MIN_SAMPLE_SIZE))
 }
 
 /// Number of i.i.d. samples required to push the *estimator variance* below
@@ -80,12 +80,12 @@ pub fn required_sample_size_for_variance(variance: f64, target_variance: f64) ->
             value: target_variance,
         });
     }
-    Ok(((variance / target_variance).ceil() as usize).max(MIN_SAMPLE_SIZE))
+    Ok(crate::f64_to_usize_saturating((variance / target_variance).ceil()).max(MIN_SAMPLE_SIZE))
 }
 
 /// Converts a confidence requirement `(ε, p)` into the target estimator
 /// variance `v* = (ε / z_p)²` that any unbiased, asymptotically normal
-/// estimator must reach.
+/// estimator must reach (the inversion of the Eq. 6 CLT bound).
 ///
 /// # Errors
 ///
@@ -102,6 +102,12 @@ pub fn target_estimator_variance(epsilon: f64, confidence: f64) -> Result<f64> {
 }
 
 #[cfg(test)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)]
 mod tests {
     use super::*;
 

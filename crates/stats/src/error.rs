@@ -77,6 +77,12 @@ impl fmt::Display for StatsError {
 impl std::error::Error for StatsError {}
 
 #[cfg(test)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)]
 mod tests {
     use super::*;
 

@@ -42,6 +42,23 @@
 
 pub mod clt;
 pub mod error;
+
+/// Converts a non-negative finite `f64` to `usize`, saturating at the
+/// type bounds. The single place sample-size arithmetic (always small,
+/// always non-negative) is allowed to leave floating point.
+#[must_use]
+pub(crate) fn f64_to_usize_saturating(x: f64) -> usize {
+    if x.is_nan() || x < 0.0 {
+        return 0;
+    }
+    if x >= usize::MAX as f64 {
+        return usize::MAX;
+    }
+    // In-range by the guards above.
+    #[allow(clippy::cast_possible_truncation)]
+    let out = x as usize;
+    out
+}
 pub mod linalg;
 pub mod lm;
 pub mod moments;

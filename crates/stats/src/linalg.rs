@@ -96,7 +96,9 @@ impl Matrix {
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let a = self[(i, k)];
-                if a == 0.0 {
+                // Sparsity skip: exact zeros (either sign) contribute
+                // nothing to the row.
+                if a.classify() == std::num::FpCategory::Zero {
                     continue;
                 }
                 for j in 0..other.cols {
@@ -171,7 +173,7 @@ impl Matrix {
             let pivot = a[prow * n + col];
             for &r in &perm[col + 1..] {
                 let factor = a[r * n + col] / pivot;
-                if factor == 0.0 {
+                if factor.classify() == std::num::FpCategory::Zero {
                     continue;
                 }
                 a[r * n + col] = 0.0;
@@ -302,6 +304,12 @@ impl std::ops::IndexMut<(usize, usize)> for Matrix {
 }
 
 #[cfg(test)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)]
 mod tests {
     use super::*;
 

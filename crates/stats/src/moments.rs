@@ -262,6 +262,12 @@ impl PairedMoments {
 }
 
 #[cfg(test)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)]
 mod tests {
     use super::*;
 

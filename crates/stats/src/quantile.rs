@@ -57,8 +57,8 @@ pub fn sample_quantile(sorted: &[f64], q: f64) -> Result<f64> {
         });
     }
     let h = (sorted.len() - 1) as f64 * q;
-    let lo = h.floor() as usize;
-    let hi = h.ceil() as usize;
+    let lo = crate::f64_to_usize_saturating(h.floor()).min(sorted.len() - 1);
+    let hi = crate::f64_to_usize_saturating(h.ceil()).min(sorted.len() - 1);
     let frac = h - lo as f64;
     Ok(sorted[lo] + frac * (sorted[hi] - sorted[lo]))
 }
@@ -84,9 +84,13 @@ pub fn quantile_interval(sorted: &[f64], q: f64, confidence: f64) -> Result<Quan
     let lower_idx = if r < 1.0 {
         0
     } else {
-        (r as usize - 1).min(sorted.len() - 1)
+        (crate::f64_to_usize_saturating(r) - 1).min(sorted.len() - 1)
     };
-    let upper_idx = if s >= n { sorted.len() - 1 } else { s as usize };
+    let upper_idx = if s >= n {
+        sorted.len() - 1
+    } else {
+        crate::f64_to_usize_saturating(s)
+    };
     Ok(QuantileInterval {
         estimate,
         lower: sorted[lower_idx],
@@ -95,6 +99,12 @@ pub fn quantile_interval(sorted: &[f64], q: f64, confidence: f64) -> Result<Quan
 }
 
 #[cfg(test)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)]
 mod tests {
     use super::*;
 

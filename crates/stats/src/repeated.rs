@@ -31,7 +31,8 @@ use crate::error::StatsError;
 use crate::moments::{PairedMoments, RunningMoments};
 use crate::Result;
 
-/// How a panel of `n` samples is split between retained and fresh portions.
+/// How a panel of `n` samples is split between retained and fresh
+/// portions (the Eq. 9 optimal replacement fraction, paper §IV-B2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PanelPartition {
     /// `g` — samples retained (and re-read) from the previous occasion.
@@ -74,7 +75,7 @@ pub fn optimal_partition(n: usize, rho: f64) -> PanelPartition {
     let rho = rho.clamp(-1.0, 1.0);
     let root = (1.0 - rho * rho).sqrt();
     let g_opt = n as f64 / (1.0 + root);
-    let mut g = g_opt.round() as usize;
+    let mut g = crate::f64_to_usize_saturating(g_opt.round());
     g = g.min(n);
     // Keep the panel self-repairing: at least one fresh sample unless the
     // correlation is literally perfect.
@@ -161,10 +162,11 @@ pub fn required_panel_size(sigma2: f64, rho: f64, target_variance: f64) -> Resul
     }
     let rho2 = rho.clamp(-1.0, 1.0).powi(2);
     let n = sigma2 * (1.0 + (1.0 - rho2).sqrt()) / (2.0 * target_variance);
-    Ok((n.ceil() as usize).max(crate::clt::MIN_SAMPLE_SIZE))
+    Ok(crate::f64_to_usize_saturating(n.ceil()).max(crate::clt::MIN_SAMPLE_SIZE))
 }
 
-/// The combined repeated-sampling estimate for one occasion.
+/// The combined repeated-sampling estimate for one occasion (paper
+/// §IV-B2, Eq. 7/Eq. 8).
 #[derive(Debug, Clone, Copy)]
 pub struct CombinedEstimate {
     /// `Ȳ_k` — the inverse-variance weighted combination (Eq. 7).
@@ -181,7 +183,8 @@ pub struct CombinedEstimate {
     pub sigma2_hat: f64,
 }
 
-/// Computes the combined estimate of the current occasion's mean from
+/// Computes the combined estimate (Eq. 7) of the current occasion's mean
+/// from
 ///
 /// * `fresh` — current values of the `f` freshly drawn samples,
 /// * `retained_prev` / `retained_cur` — previous- and current-occasion
@@ -301,6 +304,12 @@ pub fn combined_estimate(
 }
 
 #[cfg(test)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)]
 mod tests {
     use super::*;
 

@@ -220,7 +220,15 @@ impl Extrapolator {
         let degree = k - 1;
         let (ts, ys): (Vec<f64>, Vec<f64>) =
             self.window.iter().rev().take(k).rev().copied().unzip();
-        let t_u = *ts.last().expect("window non-empty");
+        // `is_ready()` above guarantees a full window.
+        let Some(&t_u) = ts.last() else {
+            return Ok(Prediction {
+                next_update_in: 1,
+                polynomial: None,
+                derivative_bound: f64::INFINITY,
+                bootstrapping: true,
+            });
+        };
 
         let poly = Polynomial::fit_levenberg_marquardt(t_u, &ts, &ys, degree)
             .or_else(|_| Polynomial::fit_least_squares(t_u, &ts, &ys, degree))?;
@@ -235,12 +243,13 @@ impl Extrapolator {
             factorial *= i as f64;
         }
 
+        let order = i32::try_from(degree + 1).unwrap_or(i32::MAX);
         let mut steps = 1u64;
         while steps < self.config.max_horizon {
             let t = t_u + steps as f64;
             let drift = (poly.eval(t) - p_at_tu).abs();
             let h = steps as f64;
-            let remainder = m * h.powi(degree as i32 + 1) / factorial;
+            let remainder = m * h.powi(order) / factorial;
             if drift + remainder >= delta {
                 break;
             }
@@ -299,6 +308,12 @@ fn divided_difference(points: &[(f64, f64)]) -> f64 {
 }
 
 #[cfg(test)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)]
 mod tests {
     use super::*;
 

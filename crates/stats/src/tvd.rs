@@ -135,6 +135,12 @@ pub fn total_variation_distance(a: &DiscreteDistribution, b: &DiscreteDistributi
 }
 
 #[cfg(test)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)]
 mod tests {
     use super::*;
 

@@ -1,5 +1,13 @@
 //! Property-based tests of the statistical kernels.
 
+// Tests may panic freely; the workspace deny-lints target library code.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)]
+
 use digest_stats::repeated::{combined_variance, min_combined_variance, optimal_partition};
 use digest_stats::{
     inverse_phi, phi, required_sample_size, total_variation_distance, DiscreteDistribution,

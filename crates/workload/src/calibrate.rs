@@ -11,7 +11,7 @@ use crate::scenario::Workload;
 use digest_db::TupleHandle;
 use digest_stats::{PairedMoments, RunningMoments};
 use rand::RngCore;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Realised dataset statistics.
 #[derive(Debug, Clone, Copy)]
@@ -44,14 +44,14 @@ pub fn measure_table2<W: Workload>(
 ) -> Table2Stats {
     let mut sigma_acc = RunningMoments::new();
     let mut rho_acc = RunningMoments::new();
-    let mut prev: Option<HashMap<TupleHandle, f64>> = None;
+    let mut prev: Option<BTreeMap<TupleHandle, f64>> = None;
 
     for _ in 0..occasions {
         for _ in 0..occasion_gap {
             w.advance(rng);
         }
         // Snapshot all values.
-        let mut snapshot: HashMap<TupleHandle, f64> = HashMap::new();
+        let mut snapshot: BTreeMap<TupleHandle, f64> = BTreeMap::new();
         let mut cross = RunningMoments::new();
         for (handle, tuple) in w.db().iter() {
             if let Ok(v) = w.expr().eval(tuple) {

@@ -1,0 +1,650 @@
+//! Digest's custom static-analysis pass (`cargo xtask lint`).
+//!
+//! The engine's statistical contracts — `|X̂ − X| ≤ ε` with probability
+//! ≥ p (PAPER.md §II, Eq. 8–11) — are voided by panicking estimator paths
+//! and nondeterministic iteration, neither of which default clippy catches.
+//! This crate is a std-only source scanner enforcing four domain rules:
+//!
+//! * **R1 — panic-free library crates**: no `unwrap()` / `expect()` /
+//!   `panic!` / `unreachable!` / `todo!` / `unimplemented!` in
+//!   `core`, `stats`, `sampling`, `net`, `db` outside `#[cfg(test)]`
+//!   code, modulo a checked-in allowlist that may only shrink.
+//! * **R2 — replay determinism**: no `HashMap` / `HashSet` in simulator-
+//!   or estimator-visible crates (`core`, `stats`, `sampling`, `net`,
+//!   `db`, `sim`, `workload`) outside `#[cfg(test)]` — use `BTreeMap` /
+//!   `BTreeSet` or an explicit sort so iteration order is stable.
+//! * **R3 — float discipline**: no bare `==` / `!=` against float
+//!   operands and no narrowing `as` casts (`u8`/`u16`/`u32`/`i8`/`i16`/
+//!   `i32`/`f32`) in `stats` / `core` numeric code.
+//! * **R4 — paper traceability**: every top-level public item in the
+//!   estimator/scheduler modules must carry a paper-section (`§`) or
+//!   equation (`Eq.`) doc reference.
+//!
+//! The scanner is deliberately token-based (comments and string literals
+//! are scrubbed before matching, `#[cfg(test)]` regions are tracked by
+//! brace depth) rather than a full parser: the rules target textual
+//! constructs that survive that approximation, and a std-only pass keeps
+//! the gate runnable in the offline build environment.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+pub mod scrub;
+
+/// Crates whose library sources must be panic-free (R1).
+pub const R1_CRATES: &[&str] = &["core", "stats", "sampling", "net", "db"];
+
+/// Crates whose library sources feed the simulator or estimators and must
+/// avoid nondeterministic hash collections (R2).
+pub const R2_CRATES: &[&str] = &["core", "stats", "sampling", "net", "db", "sim", "workload"];
+
+/// Crates holding numeric estimator code subject to float discipline (R3).
+pub const R3_CRATES: &[&str] = &["stats", "core"];
+
+/// Estimator/scheduler modules whose public API must cite the paper (R4).
+pub const R4_FILES: &[&str] = &[
+    "crates/core/src/engine.rs",
+    "crates/core/src/scheduler.rs",
+    "crates/core/src/rpt.rs",
+    "crates/core/src/indep.rs",
+    "crates/core/src/baselines.rs",
+    "crates/core/src/quantile_est.rs",
+    "crates/core/src/grouped.rs",
+    "crates/sampling/src/metropolis.rs",
+    "crates/sampling/src/operator.rs",
+    "crates/sampling/src/baselines.rs",
+    "crates/sampling/src/size_estimate.rs",
+    "crates/sampling/src/mixing.rs",
+    "crates/stats/src/repeated.rs",
+    "crates/stats/src/clt.rs",
+];
+
+/// Path of the R1 allowlist, relative to the workspace root.
+pub const ALLOWLIST_PATH: &str = "crates/xtask/lint-allowlist.txt";
+
+/// Panic-capable constructs banned by R1 (matched against scrubbed code).
+const R1_TOKENS: &[(&str, &str)] = &[
+    ("unwrap", ".unwrap()"),
+    ("expect", ".expect("),
+    ("panic", "panic!"),
+    ("unreachable", "unreachable!"),
+    ("todo", "todo!"),
+    ("unimplemented", "unimplemented!"),
+];
+
+/// Narrowing cast targets banned by R3.
+const R3_NARROWING_TARGETS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32", "f32"];
+
+/// Which rule produced a finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// Panic-capable construct in library code.
+    R1Panic,
+    /// Nondeterministic hash collection in sim/estimator-visible code.
+    R2HashCollection,
+    /// Bare float comparison or narrowing cast in numeric code.
+    R3FloatDiscipline,
+    /// Public estimator/scheduler item without a paper reference.
+    R4PaperRef,
+    /// Problem with the allowlist itself (stale or loosened entry).
+    Allowlist,
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Rule::R1Panic => "R1(no-panic)",
+            Rule::R2HashCollection => "R2(determinism)",
+            Rule::R3FloatDiscipline => "R3(float-discipline)",
+            Rule::R4PaperRef => "R4(paper-ref)",
+            Rule::Allowlist => "allowlist",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One lint violation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The violated rule.
+    pub rule: Rule,
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line number (0 for file-level findings).
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// One parsed allowlist entry: `R1 <path> <token> <count> # justification`.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// Workspace-relative file the entry covers.
+    pub file: String,
+    /// R1 token name (`unwrap`, `expect`, ...).
+    pub token: String,
+    /// Exact number of occurrences the entry justifies.
+    pub count: usize,
+    /// Line of the allowlist file the entry came from.
+    pub line: usize,
+}
+
+/// Parses the R1 allowlist format.
+///
+/// Grammar per non-comment line:
+/// `R1 <workspace-relative-path> <token> <count> # <justification>` —
+/// the justification is mandatory, which is what "documented entries only"
+/// means mechanically.
+///
+/// # Errors
+///
+/// Returns a message naming the offending line on malformed entries.
+pub fn parse_allowlist(text: &str) -> Result<Vec<AllowEntry>, String> {
+    let mut entries = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (spec, justification) = match line.split_once('#') {
+            Some((spec, justification)) => (spec.trim(), justification.trim()),
+            None => {
+                return Err(format!(
+                    "allowlist line {line_no}: missing `# justification`"
+                ))
+            }
+        };
+        if justification.is_empty() {
+            return Err(format!("allowlist line {line_no}: empty justification"));
+        }
+        let fields: Vec<&str> = spec.split_whitespace().collect();
+        let [rule, file, token, count] = fields.as_slice() else {
+            return Err(format!(
+                "allowlist line {line_no}: expected `R1 <path> <token> <count>`, got `{spec}`"
+            ));
+        };
+        if *rule != "R1" {
+            return Err(format!(
+                "allowlist line {line_no}: only R1 entries are supported, got `{rule}`"
+            ));
+        }
+        if !R1_TOKENS.iter().any(|(name, _)| name == token) {
+            return Err(format!("allowlist line {line_no}: unknown token `{token}`"));
+        }
+        let count: usize = count
+            .parse()
+            .map_err(|_| format!("allowlist line {line_no}: bad count `{count}`"))?;
+        if count == 0 {
+            return Err(format!(
+                "allowlist line {line_no}: zero-count entry — delete it instead"
+            ));
+        }
+        entries.push(AllowEntry {
+            file: (*file).to_string(),
+            token: (*token).to_string(),
+            count,
+            line: line_no,
+        });
+    }
+    Ok(entries)
+}
+
+/// R1: panic-capable constructs outside `#[cfg(test)]`.
+///
+/// `file` is the workspace-relative label used in findings; `source` is the
+/// file contents. Allowlisting happens in [`lint_workspace`], not here.
+pub fn lint_no_panic(file: &str, source: &str) -> Vec<Finding> {
+    let lines = scrub::scrub(source);
+    let mut findings = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for (name, needle) in R1_TOKENS {
+            for _ in 0..count_occurrences(&line.code, needle) {
+                findings.push(Finding {
+                    rule: Rule::R1Panic,
+                    file: file.to_string(),
+                    line: idx + 1,
+                    message: format!("`{needle}` can panic; thread a typed error instead ({name})"),
+                });
+            }
+        }
+    }
+    findings
+}
+
+/// R2: `HashMap` / `HashSet` outside `#[cfg(test)]`.
+pub fn lint_no_hash_collections(file: &str, source: &str) -> Vec<Finding> {
+    let lines = scrub::scrub(source);
+    let mut findings = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for ty in ["HashMap", "HashSet"] {
+            if contains_word(&line.code, ty) {
+                findings.push(Finding {
+                    rule: Rule::R2HashCollection,
+                    file: file.to_string(),
+                    line: idx + 1,
+                    message: format!(
+                        "`{ty}` iteration order is nondeterministic; use BTree{} or sort explicitly",
+                        &ty[4..]
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}
+
+/// R3: bare float `==` / `!=` and narrowing `as` casts.
+pub fn lint_float_discipline(file: &str, source: &str) -> Vec<Finding> {
+    let lines = scrub::scrub(source);
+    let mut findings = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for op in ["==", "!="] {
+            let mut search_from = 0;
+            while let Some(pos) = line.code[search_from..].find(op) {
+                let at = search_from + pos;
+                search_from = at + op.len();
+                // Skip `<=`, `>=`, `=>`, `+=`-style compounds and pattern
+                // guards: only a standalone `==`/`!=` counts.
+                let before = line.code[..at].chars().next_back();
+                if op == "==" && matches!(before, Some('=' | '!' | '<' | '>')) {
+                    continue;
+                }
+                let left = last_token(&line.code[..at]);
+                let right = first_token(&line.code[at + op.len()..]);
+                if is_floatish(left) || is_floatish(right) {
+                    findings.push(Finding {
+                        rule: Rule::R3FloatDiscipline,
+                        file: file.to_string(),
+                        line: idx + 1,
+                        message: format!(
+                            "bare `{op}` on float operands (`{left}` {op} `{right}`); \
+                             compare with an explicit tolerance"
+                        ),
+                    });
+                }
+            }
+        }
+        let mut search_from = 0;
+        while let Some(pos) = line.code[search_from..].find(" as ") {
+            let at = search_from + pos;
+            search_from = at + 4;
+            let target = first_token(&line.code[at + 4..]);
+            if R3_NARROWING_TARGETS.contains(&target) {
+                findings.push(Finding {
+                    rule: Rule::R3FloatDiscipline,
+                    file: file.to_string(),
+                    line: idx + 1,
+                    message: format!(
+                        "narrowing cast `as {target}` can silently truncate; \
+                         use `try_from` or a checked conversion"
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}
+
+/// R4: top-level public items must cite a paper section or equation.
+///
+/// The doc block (contiguous `///` lines, skipping attributes) above each
+/// top-level `pub fn|struct|enum|trait` must mention `§` or `Eq.`/
+/// `equation`.
+pub fn lint_paper_refs(file: &str, source: &str) -> Vec<Finding> {
+    let raw_lines: Vec<&str> = source.lines().collect();
+    let scrubbed = scrub::scrub(source);
+    let mut findings = Vec::new();
+    for (idx, line) in raw_lines.iter().enumerate() {
+        if scrubbed.get(idx).is_some_and(|l| l.in_test) {
+            continue;
+        }
+        let Some(item) = public_item_name(line) else {
+            continue;
+        };
+        // Collect the doc block above, skipping attribute lines.
+        let mut doc = String::new();
+        let mut cursor = idx;
+        while cursor > 0 {
+            cursor -= 1;
+            let above = raw_lines[cursor].trim_start();
+            if above.starts_with("#[") || above.starts_with("#![") {
+                continue;
+            }
+            if let Some(text) = above.strip_prefix("///") {
+                doc.push_str(text);
+                doc.push('\n');
+                continue;
+            }
+            break;
+        }
+        let cited = doc.contains('§')
+            || doc.contains("Eq.")
+            || doc.to_ascii_lowercase().contains("equation");
+        if !cited {
+            findings.push(Finding {
+                rule: Rule::R4PaperRef,
+                file: file.to_string(),
+                line: idx + 1,
+                message: format!(
+                    "public item `{item}` lacks a paper reference (§ section or Eq. number) \
+                     in its doc comment"
+                ),
+            });
+        }
+    }
+    findings
+}
+
+/// Returns the item name when `line` declares a top-level public item
+/// subject to R4.
+fn public_item_name(line: &str) -> Option<&str> {
+    // Top level only: declarations start at column 0.
+    if line.starts_with(' ') || line.starts_with('\t') {
+        return None;
+    }
+    let rest = line.strip_prefix("pub ")?;
+    let rest = rest.strip_prefix("const ").map_or(rest, |r| r); // `pub const fn`
+    for kw in ["fn ", "struct ", "enum ", "trait "] {
+        if let Some(decl) = rest.strip_prefix(kw) {
+            let name: &str = decl
+                .split(|c: char| !c.is_alphanumeric() && c != '_')
+                .next()
+                .unwrap_or_default();
+            if !name.is_empty() {
+                return Some(name);
+            }
+        }
+    }
+    None
+}
+
+fn count_occurrences(haystack: &str, needle: &str) -> usize {
+    let mut count = 0;
+    let mut from = 0;
+    while let Some(pos) = haystack[from..].find(needle) {
+        count += 1;
+        from += pos + needle.len();
+    }
+    count
+}
+
+/// Whole-word containment (neighbours must not be identifier chars).
+fn contains_word(haystack: &str, word: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = haystack[from..].find(word) {
+        let at = from + pos;
+        let before_ok = at == 0
+            || !haystack[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = haystack[at + word.len()..].chars().next();
+        let after_ok = !after.is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        from = at + word.len();
+    }
+    false
+}
+
+/// Trailing operand token of an expression fragment.
+fn last_token(fragment: &str) -> &str {
+    let trimmed = fragment.trim_end();
+    let start = trimmed
+        .rfind(|c: char| !(c.is_alphanumeric() || c == '_' || c == '.' || c == ':'))
+        .map_or(0, |p| p + 1);
+    &trimmed[start..]
+}
+
+/// Leading operand token of an expression fragment.
+fn first_token(fragment: &str) -> &str {
+    let trimmed = fragment.trim_start();
+    let end = trimmed
+        .find(|c: char| !(c.is_alphanumeric() || c == '_' || c == '.' || c == ':'))
+        .unwrap_or(trimmed.len());
+    &trimmed[..end]
+}
+
+/// Heuristic: does this operand token denote a float?
+fn is_floatish(token: &str) -> bool {
+    if token.ends_with("f64") || token.ends_with("f32") {
+        return true;
+    }
+    if token.starts_with("f64::") || token.starts_with("f32::") {
+        return true;
+    }
+    // A digit followed by `.` followed by a digit anywhere in the token
+    // (covers 0.0, 1e-3 is exponent-only so also check eE with digits).
+    let bytes = token.as_bytes();
+    bytes
+        .windows(3)
+        .any(|w| w[0].is_ascii_digit() && w[1] == b'.' && w[2].is_ascii_digit())
+}
+
+/// Everything `cargo xtask lint` checks, rolled into one call.
+///
+/// Scans the workspace rooted at `root`, applies the R1 allowlist, and
+/// returns all findings (empty ⇒ the gate passes).
+///
+/// # Errors
+///
+/// Propagates IO errors reading sources, and allowlist syntax errors as a
+/// boxed message.
+pub fn lint_workspace(root: &Path) -> Result<Vec<Finding>, String> {
+    let allow_text = std::fs::read_to_string(root.join(ALLOWLIST_PATH)).unwrap_or_default();
+    let allow = parse_allowlist(&allow_text)?;
+
+    let mut findings = Vec::new();
+    let mut r1_counts: Vec<(String, String, usize, usize)> = Vec::new(); // file, token, count, first line
+
+    let lint_crate = |krate: &str,
+                      findings: &mut Vec<Finding>,
+                      r1_counts: &mut Vec<(String, String, usize, usize)>|
+     -> Result<(), String> {
+        let dir = root.join("crates").join(krate).join("src");
+        for path in rust_sources(&dir)? {
+            let source = std::fs::read_to_string(&path)
+                .map_err(|e| format!("read {}: {e}", path.display()))?;
+            let rel = relative_label(root, &path);
+
+            if R1_CRATES.contains(&krate) {
+                for finding in lint_no_panic(&rel, &source) {
+                    let token = R1_TOKENS
+                        .iter()
+                        .find(|(name, _)| finding.message.contains(&format!("({name})")))
+                        .map(|(name, _)| (*name).to_string())
+                        .unwrap_or_default();
+                    match r1_counts
+                        .iter_mut()
+                        .find(|(f, t, _, _)| *f == rel && *t == token)
+                    {
+                        Some(entry) => entry.2 += 1,
+                        None => r1_counts.push((rel.clone(), token, 1, finding.line)),
+                    }
+                    findings.push(finding);
+                }
+            }
+            if R2_CRATES.contains(&krate) {
+                findings.extend(lint_no_hash_collections(&rel, &source));
+            }
+            if R3_CRATES.contains(&krate) {
+                findings.extend(lint_float_discipline(&rel, &source));
+            }
+            if R4_FILES.contains(&rel.as_str()) {
+                findings.extend(lint_paper_refs(&rel, &source));
+            }
+        }
+        Ok(())
+    };
+
+    let mut crates_to_scan: Vec<&str> = Vec::new();
+    for set in [R1_CRATES, R2_CRATES, R3_CRATES] {
+        for krate in set {
+            if !crates_to_scan.contains(krate) {
+                crates_to_scan.push(krate);
+            }
+        }
+    }
+    for krate in crates_to_scan {
+        lint_crate(krate, &mut findings, &mut r1_counts)?;
+    }
+
+    // Apply the R1 allowlist: drop exactly-covered findings, flag drift.
+    let mut kept = Vec::new();
+    'finding: for finding in findings {
+        if finding.rule == Rule::R1Panic {
+            for entry in &allow {
+                if entry.file == finding.file
+                    && finding.message.contains(&format!("({})", entry.token))
+                {
+                    let actual = r1_counts
+                        .iter()
+                        .find(|(f, t, _, _)| *f == entry.file && *t == entry.token)
+                        .map_or(0, |(_, _, n, _)| *n);
+                    if actual <= entry.count {
+                        continue 'finding; // justified occurrence
+                    }
+                }
+            }
+        }
+        kept.push(finding);
+    }
+    let mut findings = kept;
+
+    // The allowlist may only shrink: stale or slack entries are themselves
+    // violations.
+    for entry in &allow {
+        let actual = r1_counts
+            .iter()
+            .find(|(f, t, _, _)| *f == entry.file && *t == entry.token)
+            .map_or(0, |(_, _, n, _)| *n);
+        if actual == 0 {
+            findings.push(Finding {
+                rule: Rule::Allowlist,
+                file: ALLOWLIST_PATH.to_string(),
+                line: entry.line,
+                message: format!(
+                    "stale entry: no `{}` occurrences remain in {} — delete the entry",
+                    entry.token, entry.file
+                ),
+            });
+        } else if actual < entry.count {
+            findings.push(Finding {
+                rule: Rule::Allowlist,
+                file: ALLOWLIST_PATH.to_string(),
+                line: entry.line,
+                message: format!(
+                    "slack entry: {} `{}` occurrences remain in {} but {} are allowed — \
+                     tighten the count",
+                    actual, entry.token, entry.file, entry.count
+                ),
+            });
+        }
+    }
+
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(findings)
+}
+
+/// All `.rs` files under `dir`, recursively, in sorted (deterministic)
+/// order.
+///
+/// # Errors
+///
+/// Propagates directory-walk IO errors with path context.
+pub fn rust_sources(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut files = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(current) = stack.pop() {
+        let entries = std::fs::read_dir(&current)
+            .map_err(|e| format!("read_dir {}: {e}", current.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("read_dir {}: {e}", current.display()))?;
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|ext| ext == "rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn relative_label(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_item_names_are_extracted() {
+        assert_eq!(public_item_name("pub fn step(&mut self) {"), Some("step"));
+        assert_eq!(public_item_name("pub struct Walk {"), Some("Walk"));
+        assert_eq!(public_item_name("pub enum Kind {"), Some("Kind"));
+        assert_eq!(public_item_name("pub const fn n() -> usize {"), Some("n"));
+        assert_eq!(public_item_name("    pub fn indented() {"), None);
+        assert_eq!(public_item_name("pub use foo::bar;"), None);
+        assert_eq!(public_item_name("pub mod quux;"), None);
+    }
+
+    #[test]
+    fn floatish_tokens() {
+        assert!(is_floatish("0.0"));
+        assert!(is_floatish("1.25"));
+        assert!(is_floatish("f64::NAN"));
+        assert!(is_floatish("1f64"));
+        assert!(!is_floatish("count"));
+        assert!(!is_floatish("0"));
+        assert!(!is_floatish("a.b"));
+    }
+
+    #[test]
+    fn word_boundaries_respected() {
+        assert!(contains_word("use std::collections::HashMap;", "HashMap"));
+        assert!(!contains_word("MyHashMapLike", "HashMap"));
+        assert!(!contains_word("HashMapper", "HashMap"));
+    }
+
+    #[test]
+    fn allowlist_parses_and_validates() {
+        let good = "# comment\nR1 crates/db/src/store.rs unwrap 2 # slot invariant\n";
+        let entries = parse_allowlist(good).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].count, 2);
+
+        assert!(parse_allowlist("R1 f unwrap 2").is_err()); // no justification
+        assert!(parse_allowlist("R2 f unwrap 2 # x").is_err()); // not R1
+        assert!(parse_allowlist("R1 f frob 2 # x").is_err()); // unknown token
+        assert!(parse_allowlist("R1 f unwrap 0 # x").is_err()); // zero count
+    }
+}

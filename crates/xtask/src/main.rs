@@ -1,0 +1,203 @@
+//! `cargo xtask` — workspace automation for Digest.
+//!
+//! Subcommands:
+//!
+//! * `lint` — run the custom static-analysis pass (rules R1–R4; see the
+//!   library crate docs). Exits non-zero on any finding.
+//! * `determinism` — build the CLI, run a fixed-seed scenario twice, and
+//!   byte-diff the traces. Exits non-zero on any divergence.
+//!
+//! Both are wired into CI; `cargo xtask lint` is also the local
+//! pre-commit gate.
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, ExitCode};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: cargo xtask <command>\n\
+         \n\
+         commands:\n\
+           lint           run the R1–R4 static-analysis pass over the workspace\n\
+           determinism    run a fixed-seed scenario twice and byte-diff the traces\n\
+           help           show this message"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(command) = args.next() else {
+        return usage();
+    };
+    let root = workspace_root();
+    match command.as_str() {
+        "lint" => run_lint(&root),
+        "determinism" => run_determinism(&root),
+        "help" | "--help" | "-h" => {
+            usage();
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("unknown xtask command `{other}`");
+            usage()
+        }
+    }
+}
+
+/// The workspace root: two levels up from this crate's manifest.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map_or(manifest.clone(), Path::to_path_buf)
+}
+
+fn run_lint(root: &Path) -> ExitCode {
+    println!("xtask lint: scanning workspace at {}", root.display());
+    match xtask::lint_workspace(root) {
+        Ok(findings) if findings.is_empty() => {
+            println!(
+                "xtask lint: OK — R1 (no-panic), R2 (determinism), R3 (float discipline), \
+                 R4 (paper refs) all clean"
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for finding in &findings {
+                eprintln!("{finding}");
+            }
+            eprintln!("xtask lint: {} violation(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(message) => {
+            eprintln!("xtask lint: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The fixed-seed scenario replayed twice by `cargo xtask determinism`.
+///
+/// Exercises both worlds, both estimator kinds, and the PRED scheduler so
+/// the diff covers the whole sim → sampling → estimator → scheduler stack.
+const DETERMINISM_RUNS: &[(&str, &[&str])] = &[
+    (
+        "temperature/rpt",
+        &[
+            "--world",
+            "temperature",
+            "--ticks",
+            "60",
+            "--seed",
+            "20080402",
+            "--scheduler",
+            "pred3",
+            "--estimator",
+            "rpt",
+            "SELECT AVG(temperature) FROM R WITH delta=8, epsilon=2, p=0.95",
+        ],
+    ),
+    (
+        "memory/indep",
+        &[
+            "--world",
+            "memory",
+            "--ticks",
+            "40",
+            "--seed",
+            "8675309",
+            "--scheduler",
+            "all",
+            "--estimator",
+            "indep",
+            "SELECT AVG(memory) FROM R WITH delta=200, epsilon=50, p=0.9",
+        ],
+    ),
+];
+
+fn run_determinism(root: &Path) -> ExitCode {
+    println!("xtask determinism: building digest-cli (release)");
+    let build = Command::new("cargo")
+        .args(["build", "--release", "--bin", "digest-cli"])
+        .current_dir(root)
+        .status();
+    match build {
+        Ok(status) if status.success() => {}
+        Ok(status) => {
+            eprintln!("xtask determinism: cargo build failed with {status}");
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("xtask determinism: failed to spawn cargo: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let cli = root.join("target/release/digest-cli");
+
+    let mut all_identical = true;
+    for (label, args) in DETERMINISM_RUNS {
+        print!("xtask determinism: scenario {label} ... ");
+        let first = capture(&cli, args, root);
+        let second = capture(&cli, args, root);
+        match (first, second) {
+            (Ok(a), Ok(b)) if a == b => {
+                println!("identical ({} trace bytes)", a.len());
+            }
+            (Ok(a), Ok(b)) => {
+                println!("DIVERGED");
+                report_divergence(&a, &b);
+                all_identical = false;
+            }
+            (Err(e), _) | (_, Err(e)) => {
+                println!("ERROR");
+                eprintln!("xtask determinism: scenario {label}: {e}");
+                all_identical = false;
+            }
+        }
+    }
+    if all_identical {
+        println!("xtask determinism: OK — all same-seed traces byte-identical");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("xtask determinism: FAILED — same-seed replay diverged");
+        ExitCode::FAILURE
+    }
+}
+
+/// Runs the CLI once and returns its stdout bytes (the trace).
+fn capture(cli: &Path, args: &[&str], root: &Path) -> Result<Vec<u8>, String> {
+    let output = Command::new(cli)
+        .args(args)
+        .current_dir(root)
+        .output()
+        .map_err(|e| format!("failed to run {}: {e}", cli.display()))?;
+    if !output.status.success() {
+        return Err(format!(
+            "digest-cli exited with {}: {}",
+            output.status,
+            String::from_utf8_lossy(&output.stderr)
+        ));
+    }
+    Ok(output.stdout)
+}
+
+fn report_divergence(a: &[u8], b: &[u8]) {
+    if a.len() != b.len() {
+        eprintln!("  trace lengths differ: {} vs {} bytes", a.len(), b.len());
+    }
+    let text_a = String::from_utf8_lossy(a);
+    let text_b = String::from_utf8_lossy(b);
+    for (idx, (la, lb)) in text_a.lines().zip(text_b.lines()).enumerate() {
+        if la != lb {
+            eprintln!("  first divergence at line {}:", idx + 1);
+            eprintln!("    run 1: {la}");
+            eprintln!("    run 2: {lb}");
+            return;
+        }
+    }
+    eprintln!("  one trace is a strict prefix of the other");
+}

@@ -1,0 +1,313 @@
+//! Source scrubbing: blanks comments and string literals, and tracks
+//! `#[cfg(test)]` regions by brace depth, so rule matching never fires on
+//! prose, test helpers, or literals.
+
+/// One source line after scrubbing.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// The line with comment bodies and string/char literal contents
+    /// replaced by spaces (delimiters preserved).
+    pub code: String,
+    /// True when the line sits inside a `#[cfg(test)]`-gated item.
+    pub in_test: bool,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum State {
+    Normal,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+/// Scrubs `source` into per-line records.
+#[must_use]
+pub fn scrub(source: &str) -> Vec<Line> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut out = String::with_capacity(source.len());
+    let mut state = State::Normal;
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match state {
+            State::Normal => match c {
+                '/' if next == Some('/') => {
+                    state = State::LineComment;
+                    out.push_str("  ");
+                    i += 2;
+                    continue;
+                }
+                '/' if next == Some('*') => {
+                    state = State::BlockComment(1);
+                    out.push_str("  ");
+                    i += 2;
+                    continue;
+                }
+                'r' if matches!(next, Some('"' | '#')) && is_raw_string_start(&chars, i) => {
+                    let hashes = count_hashes(&chars, i + 1);
+                    state = State::RawStr(hashes);
+                    out.push('r');
+                    for _ in 0..hashes {
+                        out.push('#');
+                    }
+                    out.push('"');
+                    i += 2 + hashes as usize;
+                    continue;
+                }
+                '"' => {
+                    state = State::Str;
+                    out.push('"');
+                }
+                '\'' => {
+                    // Distinguish char literals from lifetimes: a lifetime
+                    // is `'ident` NOT followed by a closing quote.
+                    let is_lifetime = next.is_some_and(|n| n.is_alphabetic() || n == '_')
+                        && chars.get(i + 2).copied() != Some('\'');
+                    if is_lifetime {
+                        out.push('\'');
+                    } else {
+                        state = State::Char;
+                        out.push('\'');
+                    }
+                }
+                _ => out.push(c),
+            },
+            State::LineComment => {
+                if c == '\n' {
+                    state = State::Normal;
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+            }
+            State::BlockComment(depth) => {
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    out.push_str("  ");
+                    i += 2;
+                    continue;
+                }
+                if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Normal
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    out.push_str("  ");
+                    i += 2;
+                    continue;
+                }
+                out.push(if c == '\n' { '\n' } else { ' ' });
+            }
+            State::Str => match c {
+                '\\' => {
+                    // Preserve newlines so line numbering survives string
+                    // continuations (`\` at end of line).
+                    if next == Some('\n') {
+                        out.push_str(" \n");
+                    } else {
+                        out.push_str("  ");
+                    }
+                    i += 2;
+                    continue;
+                }
+                '"' => {
+                    state = State::Normal;
+                    out.push('"');
+                }
+                '\n' => out.push('\n'),
+                _ => out.push(' '),
+            },
+            State::RawStr(hashes) => {
+                if c == '"' && closing_hashes(&chars, i + 1) >= hashes {
+                    state = State::Normal;
+                    out.push('"');
+                    for _ in 0..hashes {
+                        out.push('#');
+                    }
+                    i += 1 + hashes as usize;
+                    continue;
+                }
+                out.push(if c == '\n' { '\n' } else { ' ' });
+            }
+            State::Char => match c {
+                '\\' => {
+                    out.push_str("  ");
+                    i += 2;
+                    continue;
+                }
+                '\'' => {
+                    state = State::Normal;
+                    out.push('\'');
+                }
+                _ => out.push(' '),
+            },
+        }
+        i += 1;
+    }
+
+    mark_test_regions(&out)
+}
+
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    // `r"` or `r#...#"`; reject identifiers ending in r (checked by caller
+    // context: previous char must not be identifier-ish).
+    if i > 0 {
+        let prev = chars[i - 1];
+        if prev.is_alphanumeric() || prev == '_' {
+            return false;
+        }
+    }
+    let mut j = i + 1;
+    while chars.get(j).copied() == Some('#') {
+        j += 1;
+    }
+    chars.get(j).copied() == Some('"')
+}
+
+fn count_hashes(chars: &[char], mut i: usize) -> u32 {
+    let mut n = 0;
+    while chars.get(i).copied() == Some('#') {
+        n += 1;
+        i += 1;
+    }
+    n
+}
+
+fn closing_hashes(chars: &[char], mut i: usize) -> u32 {
+    let mut n = 0;
+    while chars.get(i).copied() == Some('#') {
+        n += 1;
+        i += 1;
+    }
+    n
+}
+
+/// Test-region attribute markers.
+const TEST_CFGS: &[&str] = &["#[cfg(test)]", "#[cfg(all(test", "#[cfg(any(test"];
+
+fn mark_test_regions(scrubbed: &str) -> Vec<Line> {
+    let mut lines = Vec::new();
+    let mut depth: usize = 0;
+    // Depths at which a cfg(test) region's braces opened.
+    let mut test_stack: Vec<usize> = Vec::new();
+    let mut pending_cfg_test = false;
+
+    for raw_line in scrubbed.lines() {
+        let started_in_test = !test_stack.is_empty();
+        let bytes: Vec<char> = raw_line.chars().collect();
+        let mut i = 0;
+        while i < bytes.len() {
+            if TEST_CFGS
+                .iter()
+                .any(|cfg| raw_line[char_to_byte(raw_line, i)..].starts_with(cfg))
+            {
+                pending_cfg_test = true;
+            }
+            match bytes[i] {
+                '{' => {
+                    depth += 1;
+                    if pending_cfg_test {
+                        test_stack.push(depth);
+                        pending_cfg_test = false;
+                    }
+                }
+                '}' => {
+                    if test_stack.last() == Some(&depth) {
+                        test_stack.pop();
+                    }
+                    depth = depth.saturating_sub(1);
+                }
+                // `#[cfg(test)] use ...;` — attribute consumed by a
+                // braceless item.
+                ';' if pending_cfg_test && test_stack.last() != Some(&depth) => {
+                    pending_cfg_test = false;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        let ended_in_test = !test_stack.is_empty();
+        lines.push(Line {
+            code: raw_line.to_string(),
+            in_test: started_in_test || ended_in_test || pending_cfg_test,
+        });
+    }
+    lines
+}
+
+fn char_to_byte(s: &str, char_idx: usize) -> usize {
+    s.char_indices()
+        .nth(char_idx)
+        .map_or(s.len(), |(byte_idx, _)| byte_idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(src: &str) -> Vec<String> {
+        scrub(src).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_blanked() {
+        let src = "let x = \"unwrap() inside\"; // .unwrap() comment\nlet y = 1;";
+        let lines = codes(src);
+        assert!(!lines[0].contains("unwrap"));
+        assert!(lines[0].contains("let x = \""));
+        assert_eq!(lines[1], "let y = 1;");
+    }
+
+    #[test]
+    fn raw_strings_and_chars_are_blanked() {
+        let src = "let p = r#\"panic!(\"x\")\"#; let c = '\"'; let l: &'static str = \"\";";
+        let lines = codes(src);
+        assert!(!lines[0].contains("panic!"));
+        assert!(lines[0].contains("&'static str"));
+    }
+
+    #[test]
+    fn block_comments_nest() {
+        let src = "/* outer /* inner unwrap() */ still comment */ let a = 1;";
+        let lines = codes(src);
+        assert!(!lines[0].contains("unwrap"));
+        assert!(lines[0].contains("let a = 1;"));
+    }
+
+    #[test]
+    fn cfg_test_regions_are_marked() {
+        let src = "fn prod() { x.unwrap(); }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn t() { y.unwrap(); }\n\
+                   }\n\
+                   fn prod2() {}\n";
+        let lines = scrub(src);
+        assert!(!lines[0].in_test);
+        assert!(lines[1].in_test); // attribute line
+        assert!(lines[2].in_test);
+        assert!(lines[3].in_test);
+        assert!(lines[4].in_test); // closing brace
+        assert!(!lines[5].in_test);
+    }
+
+    #[test]
+    fn cfg_test_on_braceless_item_does_not_leak() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn prod() { baz(); }\n";
+        let lines = scrub(src);
+        assert!(!lines[2].in_test);
+    }
+
+    #[test]
+    fn lifetimes_do_not_open_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }\nlet c = 'x';\n";
+        let lines = codes(src);
+        assert!(lines[0].contains("&'a str"));
+        assert!(lines[1].contains("let c = '"));
+        assert!(!lines[1].contains('x'));
+    }
+}

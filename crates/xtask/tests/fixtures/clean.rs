@@ -1,0 +1,40 @@
+//! Negative fixture: passes every rule.
+
+use std::collections::BTreeMap;
+
+/// Accumulates per-key counts in deterministic order (paper §VI-A cost
+/// accounting).
+pub struct CleanAccumulator {
+    counts: BTreeMap<u32, u64>,
+}
+
+/// Creates an empty accumulator (paper §VI-A).
+pub fn new_accumulator() -> CleanAccumulator {
+    CleanAccumulator {
+        counts: BTreeMap::new(),
+    }
+}
+
+/// Looks a count up, threading the miss as an Option (paper §VI-A).
+pub fn lookup(acc: &CleanAccumulator, key: u32) -> Option<u64> {
+    acc.counts.get(&key).copied()
+}
+
+/// Tolerance-based float equality (paper §II fixed-precision semantics).
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol
+}
+
+/// Checked narrowing (paper §III handle encoding).
+pub fn checked_narrow(n: usize) -> Option<u64> {
+    u64::try_from(n).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_do_anything() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -1,0 +1,42 @@
+//! R1 fixture: panic-capable constructs in library-position code.
+//! Each seeded violation is marked `SEEDED:` for the test assertions.
+
+pub fn lookup(map: &std::collections::BTreeMap<u32, f64>, key: u32) -> f64 {
+    // SEEDED: unwrap outside cfg(test).
+    *map.get(&key).unwrap()
+}
+
+pub fn must_have(opt: Option<u64>) -> u64 {
+    // SEEDED: expect outside cfg(test).
+    opt.expect("value required")
+}
+
+pub fn crash() {
+    // SEEDED: explicit panic.
+    panic!("boom");
+}
+
+pub fn impossible(x: u8) -> u8 {
+    match x {
+        0 => 1,
+        // SEEDED: unreachable outside cfg(test).
+        _ => unreachable!(),
+    }
+}
+
+// The string below must NOT count: it only *mentions* ".unwrap()".
+pub fn docs() -> &'static str {
+    "never call .unwrap() in library code"
+}
+
+#[cfg(test)]
+mod tests {
+    // Panics in test code are fine and must NOT be flagged.
+    #[test]
+    fn unwrap_in_tests_is_allowed() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+        let w: Option<u32> = Some(4);
+        assert_eq!(w.expect("present"), 4);
+    }
+}

@@ -1,0 +1,26 @@
+//! R2 fixture: nondeterministic hash collections in sim-visible code.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub struct Accumulator {
+    // SEEDED: HashMap field — iteration order varies across runs.
+    pub counts: HashMap<u32, u64>,
+    // SEEDED: HashSet field.
+    pub seen: HashSet<u32>,
+}
+
+// `MyHashMapLike` must NOT match: word-boundary check.
+pub struct MyHashMapLike;
+
+#[cfg(test)]
+mod tests {
+    // Hash collections in test-only code are fine.
+    use std::collections::HashMap;
+
+    #[test]
+    fn hash_in_tests_is_allowed() {
+        let m: HashMap<u32, u32> = HashMap::new();
+        assert!(m.is_empty());
+    }
+}

@@ -1,0 +1,31 @@
+//! R3 fixture: bare float comparisons and narrowing casts.
+
+pub fn is_zero(x: f64) -> bool {
+    // SEEDED: bare `==` against a float literal.
+    x == 0.0
+}
+
+pub fn differs(x: f64) -> bool {
+    // SEEDED: bare `!=` against a float literal.
+    x != 1.5
+}
+
+pub fn narrow(n: usize) -> u32 {
+    // SEEDED: narrowing `as` cast.
+    n as u32
+}
+
+pub fn widen(n: u32) -> u64 {
+    // Widening casts are fine and must NOT be flagged.
+    n as u64
+}
+
+pub fn int_compare(a: u64, b: u64) -> bool {
+    // Integer comparisons are fine.
+    a == b
+}
+
+pub fn bounded(a: f64, b: f64) -> bool {
+    // `<=` / `>=` are compound operators, not bare `==`.
+    a <= b && a >= 0.0
+}

@@ -1,0 +1,25 @@
+//! R4 fixture: public estimator items without paper references.
+
+/// The snapshot estimator configuration (paper §IV-B1, Eq. 6).
+pub struct CitedConfig {
+    /// Pilot sample size.
+    pub pilot: usize,
+}
+
+/// Sizes the sample for the requested precision.
+// SEEDED: doc comment above lacks a `§` or `Eq.` reference.
+pub fn uncited_sample_size(epsilon: f64) -> usize {
+    epsilon.recip().max(1.0) as usize
+}
+
+/// The repeated estimator panel (undocumented provenance).
+// SEEDED: struct doc lacks a paper reference.
+pub struct UncitedPanel {
+    /// Retained handles.
+    pub retained: Vec<u64>,
+}
+
+/// Combines two occasions per the regression estimator (Eq. 7).
+pub fn cited_combine(a: f64, b: f64) -> f64 {
+    0.5 * (a + b)
+}

@@ -1,0 +1,212 @@
+//! Fixture tests for the `cargo xtask lint` rules: each seeded violation
+//! in `tests/fixtures/` must be flagged, the clean fixture must pass, and
+//! the allowlist must enforce its shrink-only contract.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use xtask::{
+    lint_float_discipline, lint_no_hash_collections, lint_no_panic, lint_paper_refs,
+    lint_workspace, Rule,
+};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("read fixture {}: {e}", path.display()))
+}
+
+#[test]
+fn r1_flags_each_seeded_panic_construct() {
+    let findings = lint_no_panic("fixtures/r1_panic.rs", &fixture("r1_panic.rs"));
+    assert!(findings.iter().all(|f| f.rule == Rule::R1Panic));
+    for needle in [".unwrap()", ".expect(", "panic!", "unreachable!"] {
+        assert!(
+            findings.iter().any(|f| f.message.contains(needle)),
+            "seeded `{needle}` violation not flagged: {findings:?}"
+        );
+    }
+    // Exactly the four seeded sites: the string literal mention and the
+    // unwrap/expect inside `#[cfg(test)]` must not count.
+    assert_eq!(findings.len(), 4, "{findings:?}");
+}
+
+#[test]
+fn r2_flags_hash_collections_outside_tests() {
+    let findings = lint_no_hash_collections("fixtures/r2_hash.rs", &fixture("r2_hash.rs"));
+    assert!(findings.iter().all(|f| f.rule == Rule::R2HashCollection));
+    assert!(findings.iter().any(|f| f.message.contains("HashMap")));
+    assert!(findings.iter().any(|f| f.message.contains("HashSet")));
+    // Two `use` lines + two field declarations; the `MyHashMapLike` name
+    // and the test-module HashMap must not count.
+    assert_eq!(findings.len(), 4, "{findings:?}");
+}
+
+#[test]
+fn r3_flags_float_compares_and_narrowing_casts() {
+    let findings = lint_float_discipline("fixtures/r3_float.rs", &fixture("r3_float.rs"));
+    assert!(findings.iter().all(|f| f.rule == Rule::R3FloatDiscipline));
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.message.contains("`==`") && f.message.contains("0.0")),
+        "seeded float `==` not flagged: {findings:?}"
+    );
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.message.contains("`!=`") && f.message.contains("1.5")),
+        "seeded float `!=` not flagged: {findings:?}"
+    );
+    assert!(
+        findings.iter().any(|f| f.message.contains("as u32")),
+        "seeded narrowing cast not flagged: {findings:?}"
+    );
+    // The widening cast, integer compare, and `<=`/`>=` bounds are clean.
+    assert_eq!(findings.len(), 3, "{findings:?}");
+}
+
+#[test]
+fn r4_flags_uncited_public_items_only() {
+    let findings = lint_paper_refs("fixtures/r4_missing_ref.rs", &fixture("r4_missing_ref.rs"));
+    assert!(findings.iter().all(|f| f.rule == Rule::R4PaperRef));
+    let named: Vec<&str> = findings
+        .iter()
+        .filter_map(|f| {
+            f.message
+                .split('`')
+                .nth(1)
+                .filter(|_| f.message.contains("lacks a paper reference"))
+        })
+        .collect();
+    assert!(named.contains(&"uncited_sample_size"), "{findings:?}");
+    assert!(named.contains(&"UncitedPanel"), "{findings:?}");
+    // `CitedConfig` (§) and `cited_combine` (Eq.) are properly referenced.
+    assert_eq!(findings.len(), 2, "{findings:?}");
+}
+
+#[test]
+fn clean_fixture_passes_every_rule() {
+    let source = fixture("clean.rs");
+    assert!(lint_no_panic("fixtures/clean.rs", &source).is_empty());
+    assert!(lint_no_hash_collections("fixtures/clean.rs", &source).is_empty());
+    assert!(lint_float_discipline("fixtures/clean.rs", &source).is_empty());
+    assert!(lint_paper_refs("fixtures/clean.rs", &source).is_empty());
+}
+
+/// Builds a throwaway workspace skeleton (every crate `lint_workspace`
+/// scans, with empty lib sources) under the OS temp dir.
+struct TempWorkspace {
+    root: PathBuf,
+}
+
+impl TempWorkspace {
+    fn new(tag: &str) -> Self {
+        let root = std::env::temp_dir().join(format!("xtask-lint-{}-{tag}", std::process::id()));
+        if root.exists() {
+            fs::remove_dir_all(&root).expect("clear stale temp workspace");
+        }
+        for krate in ["core", "stats", "sampling", "net", "db", "sim", "workload"] {
+            let src = root.join("crates").join(krate).join("src");
+            fs::create_dir_all(&src).expect("create temp crate dir");
+            fs::write(src.join("lib.rs"), "// empty\n").expect("write empty lib");
+        }
+        fs::create_dir_all(root.join("crates/xtask")).expect("create xtask dir");
+        Self { root }
+    }
+
+    fn write(&self, rel: &str, contents: &str) {
+        fs::write(self.root.join(rel), contents).expect("write temp file");
+    }
+}
+
+impl Drop for TempWorkspace {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+#[test]
+fn workspace_scan_reports_seeded_violation_and_clean_tree_passes() {
+    let ws = TempWorkspace::new("scan");
+    let findings = lint_workspace(&ws.root).expect("lint clean tree");
+    assert!(findings.is_empty(), "clean tree must pass: {findings:?}");
+
+    ws.write(
+        "crates/net/src/lib.rs",
+        "pub fn f(o: Option<u32>) -> u32 {\n    o.unwrap()\n}\n",
+    );
+    let findings = lint_workspace(&ws.root).expect("lint seeded tree");
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].rule, Rule::R1Panic);
+    assert_eq!(findings[0].file, "crates/net/src/lib.rs");
+    assert_eq!(findings[0].line, 2);
+}
+
+#[test]
+fn allowlist_justifies_exact_counts_and_flags_drift() {
+    let ws = TempWorkspace::new("allow");
+    ws.write(
+        "crates/db/src/lib.rs",
+        "pub fn f(o: Option<u32>) -> u32 {\n    o.unwrap()\n}\n",
+    );
+
+    // Exact-count entry: the finding is justified, the gate passes.
+    ws.write(
+        "crates/xtask/lint-allowlist.txt",
+        "R1 crates/db/src/lib.rs unwrap 1 # legacy slot invariant\n",
+    );
+    let findings = lint_workspace(&ws.root).expect("lint with exact allowlist");
+    assert!(findings.is_empty(), "{findings:?}");
+
+    // Slack entry (allows 3, only 1 remains): shrink-only rule fires.
+    ws.write(
+        "crates/xtask/lint-allowlist.txt",
+        "R1 crates/db/src/lib.rs unwrap 3 # legacy slot invariant\n",
+    );
+    let findings = lint_workspace(&ws.root).expect("lint with slack allowlist");
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].rule, Rule::Allowlist);
+    assert!(findings[0].message.contains("slack entry"), "{findings:?}");
+
+    // Stale entry (violation fixed, entry left behind): also a finding.
+    ws.write("crates/db/src/lib.rs", "// fixed\n");
+    ws.write(
+        "crates/xtask/lint-allowlist.txt",
+        "R1 crates/db/src/lib.rs unwrap 1 # legacy slot invariant\n",
+    );
+    let findings = lint_workspace(&ws.root).expect("lint with stale allowlist");
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].rule, Rule::Allowlist);
+    assert!(findings[0].message.contains("stale entry"), "{findings:?}");
+
+    // Undocumented entry: allowlist syntax error surfaces as Err.
+    ws.write(
+        "crates/xtask/lint-allowlist.txt",
+        "R1 crates/db/src/lib.rs unwrap 1\n",
+    );
+    let err = lint_workspace(&ws.root).expect_err("undocumented entry must be rejected");
+    assert!(err.contains("justification"), "{err}");
+}
+
+#[test]
+fn allowlist_does_not_mask_count_growth() {
+    let ws = TempWorkspace::new("growth");
+    // Two unwraps, but only one is allowlisted: the gate must fail.
+    ws.write(
+        "crates/db/src/lib.rs",
+        "pub fn f(o: Option<u32>) -> u32 {\n    o.unwrap()\n}\n\
+         pub fn g(o: Option<u32>) -> u32 {\n    o.unwrap()\n}\n",
+    );
+    ws.write(
+        "crates/xtask/lint-allowlist.txt",
+        "R1 crates/db/src/lib.rs unwrap 1 # legacy slot invariant\n",
+    );
+    let findings = lint_workspace(&ws.root).expect("lint grown tree");
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == Rule::R1Panic && f.file == "crates/db/src/lib.rs"),
+        "count growth past the allowlisted budget must fail: {findings:?}"
+    );
+}

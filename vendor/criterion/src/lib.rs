@@ -1,0 +1,166 @@
+//! Vendored, dependency-free micro-benchmark harness.
+//!
+//! Implements the slice of the `criterion` API that Digest's benches use:
+//! [`Criterion::bench_function`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BatchSize`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Measurements are a
+//! simple median-of-runs over `std::time::Instant`; there is no statistical
+//! regression analysis, plots, or baselines — just honest per-iteration
+//! timings printed to stdout so `cargo bench` works offline.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped between setup calls.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs; large batches.
+    SmallInput,
+    /// Large per-iteration inputs; modest batches.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+impl BatchSize {
+    fn iters_per_batch(self) -> u64 {
+        match self {
+            BatchSize::SmallInput => 64,
+            BatchSize::LargeInput => 8,
+            BatchSize::PerIteration => 1,
+        }
+    }
+}
+
+/// Collects timing samples for a single benchmark.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iterations: u64,
+}
+
+/// Target measurement runs per benchmark (kept small: this harness is a
+/// smoke-level timer, not a statistics engine).
+const MEASUREMENT_RUNS: usize = 15;
+
+impl Bencher {
+    fn new() -> Self {
+        Self {
+            samples: Vec::new(),
+            iterations: 0,
+        }
+    }
+
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..MEASUREMENT_RUNS {
+            let start = Instant::now();
+            let out = routine();
+            self.samples.push(start.elapsed());
+            self.iterations += 1;
+            drop(out);
+        }
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let per_batch = size.iters_per_batch();
+        let mut done = 0u64;
+        while done < MEASUREMENT_RUNS as u64 {
+            let inputs: Vec<I> = (0..per_batch).map(|_| setup()).collect();
+            for input in inputs {
+                let start = Instant::now();
+                let out = routine(input);
+                self.samples.push(start.elapsed());
+                drop(out);
+                done += 1;
+                self.iterations += 1;
+                if done >= MEASUREMENT_RUNS as u64 {
+                    break;
+                }
+            }
+        }
+    }
+
+    fn median_ns(&self) -> u128 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        let mut ns: Vec<u128> = self.samples.iter().map(Duration::as_nanos).collect();
+        ns.sort_unstable();
+        ns[ns.len() / 2]
+    }
+}
+
+/// Benchmark registry / runner.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one named benchmark and prints its median per-iteration time.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new();
+        f(&mut bencher);
+        println!(
+            "bench {name:<40} {:>12} ns/iter ({} iterations)",
+            bencher.median_ns(),
+            bencher.iterations
+        );
+        self
+    }
+}
+
+/// Declares a benchmark group function calling each target with a shared
+/// [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut calls = 0u64;
+        Criterion::default().bench_function("noop", |b| {
+            b.iter(|| calls += 1);
+        });
+        assert!(calls >= MEASUREMENT_RUNS as u64);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut criterion = Criterion::default();
+        criterion.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::LargeInput);
+        });
+        criterion.bench_function("per_iteration", |b| {
+            b.iter_batched(|| 1u8, |x| x, BatchSize::PerIteration);
+        });
+    }
+}

@@ -1,0 +1,589 @@
+//! Vendored, dependency-free property-testing harness.
+//!
+//! Implements the subset of the `proptest` API that Digest's test suites
+//! use: the [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] /
+//! [`prop_oneof!`] macros, [`strategy::Strategy`] with `prop_map`, range and
+//! tuple strategies, [`strategy::Just`], `prop::collection::vec`, and
+//! [`ProptestConfig::with_cases`].
+//!
+//! Differences from upstream: no shrinking (a failing case reports the case
+//! index and seed instead of a minimised input) and sampling is driven by a
+//! fixed per-test seed derived from the test name, so runs are fully
+//! deterministic — in line with Digest's determinism policy.
+
+#![forbid(unsafe_code)]
+// Boxed-closure strategy types mirror the upstream API surface; aliasing
+// them here would just rename the complexity.
+#![allow(clippy::type_complexity)]
+
+pub mod test_runner {
+    //! Deterministic random source for strategy sampling.
+
+    /// SplitMix64-based test RNG. Good distribution, trivially seedable.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates an RNG seeded from an explicit value.
+        #[must_use]
+        pub fn from_seed(seed: u64) -> Self {
+            Self { state: seed }
+        }
+
+        /// Creates an RNG deterministically seeded from a test name
+        /// (FNV-1a hash), so every test gets its own reproducible stream.
+        #[must_use]
+        pub fn for_test(name: &str) -> Self {
+            let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+            for byte in name.as_bytes() {
+                hash ^= u64::from(*byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            Self { state: hash }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform integer in `[0, span)`; `span` must be positive.
+        pub fn below(&mut self, span: u64) -> u64 {
+            assert!(span > 0, "below(0) is undefined");
+            loop {
+                let x = self.next_u64();
+                let m = u128::from(x) * u128::from(span);
+                let low = m as u64;
+                if low >= span.wrapping_neg() % span {
+                    return (m >> 64) as u64;
+                }
+            }
+        }
+    }
+}
+
+/// Runner configuration (`#![proptest_config(...)]`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use super::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::Range;
+
+    /// A recipe for generating random values of one type.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    /// Uniform choice between boxed alternative strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<Box<dyn Fn(&mut TestRng) -> T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union from sampler closures; must be non-empty.
+        #[must_use]
+        pub fn new(arms: Vec<Box<dyn Fn(&mut TestRng) -> T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! requires at least one arm");
+            Self { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            let arm = rng.below(self.arms.len() as u64) as usize;
+            (self.arms[arm])(rng)
+        }
+    }
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn new_value(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            let v = self.start + rng.unit_f64() * (self.end - self.start);
+            if v >= self.end {
+                self.start
+            } else {
+                v
+            }
+        }
+    }
+
+    macro_rules! impl_uint_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + rng.below(span) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_uint_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty => $u:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as $u).wrapping_sub(self.start as $u) as u64;
+                    let off = rng.below(span);
+                    ((self.start as $u).wrapping_add(off as $u)) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.new_value(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+    }
+
+    /// `&str` strategies are regex patterns generating matching strings
+    /// (upstream proptest behaviour). Only the subset needed here is
+    /// supported: literal chars, `.`, escaped chars, `[...]` classes with
+    /// ranges, and the quantifiers `{m}` / `{m,n}` / `*` / `+` / `?`.
+    /// Unsupported syntax panics with a clear message at sampling time.
+    impl Strategy for &str {
+        type Value = String;
+        fn new_value(&self, rng: &mut TestRng) -> String {
+            generate_from_pattern(self, rng)
+        }
+    }
+
+    const PRINTABLE: &[u8] =
+        b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 _-+*/().,";
+
+    fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            // One atom: a character class, an escaped char, `.`, or a literal.
+            let alphabet: Vec<char> = match chars[i] {
+                '[' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .unwrap_or_else(|| panic!("unclosed [ in pattern {pattern:?}"));
+                    let class: Vec<char> = chars[i + 1..i + close].to_vec();
+                    i += close + 1;
+                    expand_class(&class, pattern)
+                }
+                '\\' => {
+                    i += 2;
+                    vec![*chars
+                        .get(i - 1)
+                        .unwrap_or_else(|| panic!("dangling \\ in pattern {pattern:?}"))]
+                }
+                '.' => {
+                    i += 1;
+                    PRINTABLE.iter().map(|&b| b as char).collect()
+                }
+                c if "(){}*+?|^$".contains(c) => {
+                    panic!("unsupported regex syntax {c:?} in pattern {pattern:?}")
+                }
+                c => {
+                    i += 1;
+                    vec![c]
+                }
+            };
+            // Optional quantifier.
+            let (min, max) = match chars.get(i) {
+                Some('{') => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"));
+                    let spec: String = chars[i + 1..i + close].iter().collect();
+                    i += close + 1;
+                    match spec.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.trim().parse::<usize>().unwrap_or(0),
+                            hi.trim().parse::<usize>().unwrap_or(8),
+                        ),
+                        None => {
+                            let n = spec.trim().parse::<usize>().unwrap_or(1);
+                            (n, n)
+                        }
+                    }
+                }
+                Some('*') => {
+                    i += 1;
+                    (0, 8)
+                }
+                Some('+') => {
+                    i += 1;
+                    (1, 8)
+                }
+                Some('?') => {
+                    i += 1;
+                    (0, 1)
+                }
+                _ => (1, 1),
+            };
+            let count = min + rng.below((max - min + 1) as u64) as usize;
+            for _ in 0..count {
+                let pick = rng.below(alphabet.len() as u64) as usize;
+                out.push(alphabet[pick]);
+            }
+        }
+        out
+    }
+
+    fn expand_class(class: &[char], pattern: &str) -> Vec<char> {
+        assert!(
+            class.first() != Some(&'^'),
+            "negated classes unsupported in pattern {pattern:?}"
+        );
+        let mut alphabet = Vec::new();
+        let mut j = 0;
+        while j < class.len() {
+            match class[j] {
+                '\\' => {
+                    j += 1;
+                    if let Some(&c) = class.get(j) {
+                        alphabet.push(c);
+                        j += 1;
+                    }
+                }
+                c if class.get(j + 1) == Some(&'-') && j + 2 < class.len() => {
+                    let hi = class[j + 2];
+                    for code in (c as u32)..=(hi as u32) {
+                        if let Some(ch) = char::from_u32(code) {
+                            alphabet.push(ch);
+                        }
+                    }
+                    j += 3;
+                }
+                c => {
+                    alphabet.push(c);
+                    j += 1;
+                }
+            }
+        }
+        assert!(!alphabet.is_empty(), "empty class in pattern {pattern:?}");
+        alphabet
+    }
+
+    /// Strategy producing `Vec`s with length drawn from `len` and elements
+    /// from `element`.
+    pub struct VecStrategy<S> {
+        pub(crate) element: S,
+        pub(crate) len: Range<usize>,
+        pub(crate) _marker: PhantomData<S>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.len.end.saturating_sub(self.len.start).max(1) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`prop::collection::vec`).
+
+    use super::strategy::{Strategy, VecStrategy};
+    use std::marker::PhantomData;
+    use std::ops::Range;
+
+    /// `Vec` strategy with element strategy `element` and length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            len,
+            _marker: PhantomData,
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+
+    pub use crate as prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests. See the crate docs for supported syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg) $($rest)*);
+    };
+    (@run ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            for case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::new_value(&($strat), &mut rng);)+
+                let outcome: ::std::result::Result<(), ::std::string::String> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(message) = outcome {
+                    ::std::panic!(
+                        "property `{}` failed on case {}/{}: {}",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                        message
+                    );
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside `proptest!`, failing the case (not panicking
+/// directly) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!($($fmt)*));
+        }
+    };
+}
+
+/// Asserts equality inside `proptest!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?} == {:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?} == {:?}`: {}",
+            left,
+            right,
+            ::std::format!($($fmt)+)
+        );
+    }};
+}
+
+/// Asserts inequality inside `proptest!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{:?} != {:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Uniform choice among several strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![$(
+            {
+                let arm = $arm;
+                ::std::boxed::Box::new(move |rng: &mut $crate::test_runner::TestRng| {
+                    $crate::strategy::Strategy::new_value(&arm, rng)
+                }) as ::std::boxed::Box<dyn Fn(&mut $crate::test_runner::TestRng) -> _>
+            }
+        ),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Tag {
+        A,
+        B(u32),
+    }
+
+    fn tag_strategy() -> impl Strategy<Value = Tag> {
+        prop_oneof![Just(Tag::A), (1u32..5).prop_map(Tag::B)]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3usize..9, f in -1.0f64..1.0) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths_respect_bounds(v in prop::collection::vec(0u32..10, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn oneof_covers_arms(tags in prop::collection::vec(tag_strategy(), 8..32)) {
+            for t in &tags {
+                match t {
+                    Tag::A => {}
+                    Tag::B(k) => prop_assert!((1..5).contains(k)),
+                }
+            }
+        }
+
+        #[test]
+        fn regex_strategies_match_their_class(s in "[a-c0-2+\\-. ]{2,10}") {
+            prop_assert!(s.len() >= 2 && s.len() <= 10);
+            prop_assert!(s.chars().all(|c| "abc012+-. ".contains(c)));
+        }
+
+        #[test]
+        fn tuples_compose(pair in (0u32..4, -2i64..2)) {
+            prop_assert!(pair.0 < 4);
+            prop_assert!((-2..2).contains(&pair.1));
+        }
+    }
+
+    #[test]
+    fn failing_property_panics_with_case_info() {
+        let result = std::panic::catch_unwind(|| {
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(8))]
+                #[allow(unused)]
+                fn always_fails(x in 0u32..4) {
+                    prop_assert!(x > 100, "x was {x}");
+                }
+            }
+            always_fails();
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let mut a = crate::test_runner::TestRng::for_test("det");
+        let mut b = crate::test_runner::TestRng::for_test("det");
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! Vendored, dependency-free stand-in for the subset of the `rand` 0.8 API
+//! that Digest uses.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! the three trait surfaces it needs — [`RngCore`], [`SeedableRng`], and the
+//! [`Rng`] extension trait — together with unbiased range sampling and the
+//! [`seq::SliceRandom`] helpers. The implementations are deliberately small,
+//! deterministic, and allocation-free; every consumer in the workspace drives
+//! them through an explicit, seeded `rand_chacha::ChaCha8Rng`-style
+//! generator, so no thread-local or OS entropy source is provided at all
+//! (which is exactly what Digest's determinism policy wants).
+
+#![forbid(unsafe_code)]
+
+/// The core of a random number generator: a stream of `u32`/`u64` words.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            let take = rem.len();
+            rem.copy_from_slice(&bytes[..take]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest);
+    }
+}
+
+/// A generator that can be instantiated from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// Byte-array seed type (e.g. `[u8; 32]`).
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Builds the generator from the full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed via SplitMix64 (same construction as
+    /// upstream `rand 0.8`) and builds the generator from it.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut sm = SplitMix64 { state };
+        let mut seed = Self::Seed::default();
+        let mut chunks = seed.as_mut().chunks_exact_mut(4);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&sm.next_u32().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = sm.next_u32().to_le_bytes();
+            let take = rem.len();
+            rem.copy_from_slice(&bytes[..take]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// SplitMix64 — used only for seed expansion in [`SeedableRng::seed_from_u64`].
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// A half-open range that knows how to draw a uniform sample from itself.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample; the range must be non-empty.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Types that support uniform sampling from a half-open range.
+pub trait SampleUniform: Sized + PartialOrd {
+    /// Uniform sample from `[low, high)`; the range must be non-empty.
+    fn sample_range<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+// The single generic impl ties the sampled type to the range's element type,
+// which is what lets integer/float literal inference work (`0.0..1.0` ⇒
+// `f64` without annotations), mirroring upstream `rand`.
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(self.start, self.end, rng)
+    }
+}
+
+/// Converts 64 random bits into a uniform `f64` in `[0, 1)`.
+#[inline]
+fn unit_f64(bits: u64) -> f64 {
+    // 53 mantissa bits, the standard conversion.
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Unbiased integer sampling in `[0, span)` via widening multiply + rejection
+/// (Lemire's method).
+#[inline]
+fn uniform_u64_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    loop {
+        let x = rng.next_u64();
+        let m = u128::from(x) * u128::from(span);
+        let low = m as u64;
+        if low >= span.wrapping_neg() % span {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+        assert!(low < high, "cannot sample empty range");
+        let u = unit_f64(rng.next_u64());
+        let v = low + u * (high - low);
+        // Guard against round-up to `high` at the boundary.
+        if v >= high {
+            low
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_range<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+        assert!(low < high, "cannot sample empty range");
+        let u = unit_f64(rng.next_u64()) as f32;
+        let v = low + u * (high - low);
+        if v >= high {
+            low
+        } else {
+            v
+        }
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                assert!(low < high, "cannot sample empty range");
+                let span = (high as $u).wrapping_sub(low as $u) as u64;
+                let off = uniform_u64_below(rng, span);
+                ((low as $u).wrapping_add(off as $u)) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize
+);
+
+/// Convenience extension methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from a half-open range.
+    fn gen_range<T, Rr>(&mut self, range: Rr) -> T
+    where
+        Rr: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli trial: `true` with probability `p`.
+    ///
+    /// `p` outside `[0, 1]` saturates (`p <= 0` → always false, `p >= 1` →
+    /// always true), matching how Digest's callers clamp probabilities.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(p.is_finite(), "gen_bool called with non-finite probability");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod seq {
+    //! Sequence-related helpers (`shuffle`, `choose`).
+
+    use super::{uniform_u64_below, RngCore};
+
+    /// Extension methods for slices, mirroring `rand::seq::SliceRandom`.
+    pub trait SliceRandom {
+        /// Element type of the slice.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// Uniformly random element reference (`None` when empty).
+        fn choose<'a, R: RngCore + ?Sized>(&'a self, rng: &mut R) -> Option<&'a Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = uniform_u64_below(rng, (i + 1) as u64) as usize;
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<'a, R: RngCore + ?Sized>(&'a self, rng: &mut R) -> Option<&'a T> {
+            if self.is_empty() {
+                None
+            } else {
+                let i = uniform_u64_below(rng, self.len() as u64) as usize;
+                self.get(i)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::seq::SliceRandom;
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix so the stream is well distributed.
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Counter(7);
+        for _ in 0..2000 {
+            let x: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&x));
+            let f: f64 = rng.gen_range(-2.0..5.0);
+            assert!((-2.0..5.0).contains(&f));
+            let i: i64 = rng.gen_range(-8..-2);
+            assert!((-8..-2).contains(&i));
+        }
+    }
+
+    #[test]
+    fn gen_bool_saturates() {
+        let mut rng = Counter(11);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+        let hits = (0..4000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((600..1400).contains(&hits), "p=0.25 hits {hits}/4000");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation_and_choose_covers() {
+        let mut rng = Counter(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert!(v.choose(&mut rng).is_some());
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}

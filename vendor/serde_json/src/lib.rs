@@ -1,0 +1,772 @@
+//! Vendored, dependency-free JSON value type and serialiser.
+//!
+//! Implements the subset of the `serde_json` API used by Digest's
+//! experiment harness: [`Value`], [`Map`], the [`json!`] macro,
+//! [`to_string`] and [`to_string_pretty`]. Object keys are stored in a
+//! `BTreeMap`, so serialisation order is always sorted and deterministic
+//! (matching upstream `serde_json` without its `preserve_order` feature —
+//! and matching Digest's determinism policy).
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON object: string keys to values, sorted by key.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Map {
+    entries: BTreeMap<String, Value>,
+}
+
+impl Map {
+    /// Creates an empty object.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a key/value pair, returning the previous value if any.
+    ///
+    /// Takes `String` (not `impl Into<String>`) to match upstream
+    /// `serde_json`, whose callers rely on `"key".into()` inference.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        self.entries.insert(key, value)
+    }
+
+    /// Looks up a key.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.get(key)
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the object has no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates entries in sorted key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter()
+    }
+}
+
+impl FromIterator<(String, Value)> for Map {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Self {
+        Self {
+            entries: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number (stored as `f64`; non-finite values serialise as `null`).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(Map),
+}
+
+/// Shared `null` for missing-key indexing.
+const NULL: Value = Value::Null;
+
+impl Value {
+    /// The value as `f64` when it is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64` when it is a non-negative integral number.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if *n >= 0.0 && *n == n.trunc() => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64` when it is an integral number.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) if *n == n.trunc() => Some(*n as i64),
+            _ => None,
+        }
+    }
+
+    /// The value as `bool` when it is a boolean.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str` when it is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array when it is one.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as an object when it is one.
+    #[must_use]
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    /// Object field lookup; `None` unless this is an object with the key.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    fn write_indented(&self, out: &mut String, indent: usize, pretty: bool) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => write_number(out, *n),
+            Value::String(s) => write_escaped(out, s),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent + 1, pretty);
+                    item.write_indented(out, indent + 1, pretty);
+                }
+                newline_indent(out, indent, pretty);
+                out.push(']');
+            }
+            Value::Object(map) => {
+                if map.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent + 1, pretty);
+                    write_escaped(out, key);
+                    out.push(':');
+                    if pretty {
+                        out.push(' ');
+                    }
+                    value.write_indented(out, indent + 1, pretty);
+                }
+                newline_indent(out, indent, pretty);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: usize, pretty: bool) {
+    if pretty {
+        out.push('\n');
+        for _ in 0..indent {
+            out.push_str("  ");
+        }
+    }
+}
+
+fn write_number(out: &mut String, n: f64) {
+    use fmt::Write as _;
+    if !n.is_finite() {
+        out.push_str("null");
+    } else if n == n.trunc() && n.abs() < 9_007_199_254_740_992.0 {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        let _ = write!(out, "{n}");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    use fmt::Write as _;
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        self.write_indented(&mut out, 0, false);
+        f.write_str(&out)
+    }
+}
+
+/// Serialisation error type. This vendored serialiser is infallible, but the
+/// upstream-compatible signatures return `Result`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("json serialisation error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialises a value to a compact JSON string.
+///
+/// # Errors
+///
+/// Never fails in this vendored implementation.
+pub fn to_string(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    value.write_indented(&mut out, 0, false);
+    Ok(out)
+}
+
+/// Serialises a value to a 2-space-indented JSON string.
+///
+/// # Errors
+///
+/// Never fails in this vendored implementation.
+pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    value.write_indented(&mut out, 0, true);
+    Ok(out)
+}
+
+macro_rules! impl_from_number {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            #[allow(clippy::cast_precision_loss, clippy::cast_lossless)]
+            fn from(n: $t) -> Self {
+                Value::Number(n as f64)
+            }
+        }
+    )*};
+}
+
+impl_from_number!(f32, f64, i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::String(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::String(s)
+    }
+}
+
+impl From<&String> for Value {
+    fn from(s: &String) -> Self {
+        Value::String(s.clone())
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(items: Vec<T>) -> Self {
+        Value::Array(items.into_iter().map(Into::into).collect())
+    }
+}
+
+impl From<Map> for Value {
+    fn from(map: Map) -> Self {
+        Value::Object(map)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    /// Object field access; yields `Null` for missing keys or non-objects,
+    /// matching upstream `serde_json` indexing semantics.
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    /// Array element access; yields `Null` out of bounds or for non-arrays.
+    fn index(&self, index: usize) -> &Value {
+        match self {
+            Value::Array(items) => items.get(index).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+/// Parses a JSON document into a [`Value`].
+///
+/// # Errors
+///
+/// Returns [`Error`] when the input is not valid JSON (the message carries
+/// a byte offset).
+pub fn from_str(text: &str) -> Result<Value, Error> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_whitespace();
+    let value = parser.parse_value()?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error);
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_whitespace(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, token: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(token.as_bytes()) {
+            self.pos += token.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_whitespace();
+        match self.peek() {
+            Some(b'n') => {
+                if self.eat("null") {
+                    Ok(Value::Null)
+                } else {
+                    Err(Error)
+                }
+            }
+            Some(b't') => {
+                if self.eat("true") {
+                    Ok(Value::Bool(true))
+                } else {
+                    Err(Error)
+                }
+            }
+            Some(b'f') => {
+                if self.eat("false") {
+                    Ok(Value::Bool(false))
+                } else {
+                    Err(Error)
+                }
+            }
+            Some(b'"') => self.parse_string().map(Value::String),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(_) => self.parse_number(),
+            None => Err(Error),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        if self.peek() != Some(b'"') {
+            return Err(Error);
+        }
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            let b = self.peek().ok_or(Error)?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = self.peek().ok_or(Error)?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self.bytes.get(self.pos..self.pos + 4).ok_or(Error)?;
+                            let hex = std::str::from_utf8(hex).map_err(|_| Error)?;
+                            let code = u32::from_str_radix(hex, 16).map_err(|_| Error)?;
+                            self.pos += 4;
+                            // Surrogate pairs are not reconstructed; lone
+                            // surrogates map to the replacement character.
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        }
+                        _ => return Err(Error),
+                    }
+                }
+                _ => {
+                    // Re-sync to char boundaries for multi-byte UTF-8.
+                    let start = self.pos - 1;
+                    while self.peek().is_some_and(|b| b & 0xC0 == 0x80) {
+                        self.pos += 1;
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| Error)?;
+                    out.push_str(s);
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| Error)?;
+        text.parse::<f64>().map(Value::Number).map_err(|_| Error)
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.pos += 1; // consume '['
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.pos += 1; // consume '{'
+        let mut map = Map::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            if self.peek() != Some(b':') {
+                return Err(Error);
+            }
+            self.pos += 1;
+            map.insert(key, self.parse_value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(Error),
+            }
+        }
+    }
+}
+
+/// Builds a [`Value`] from JSON-like syntax (objects, arrays, literals, and
+/// interpolated Rust expressions).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([]) => { $crate::Value::Array(::std::vec::Vec::new()) };
+    ([ $($tt:tt)+ ]) => {
+        $crate::json_internal!(@array [] $($tt)+)
+    };
+    ({}) => { $crate::Value::Object($crate::Map::new()) };
+    ({ $($tt:tt)+ }) => {{
+        let mut object = $crate::Map::new();
+        $crate::json_internal!(@object object () $($tt)+);
+        $crate::Value::Object(object)
+    }};
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+/// Internal token muncher for [`json!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    // ---- Arrays: accumulate element exprs, splitting on top-level commas.
+    (@array [$($elems:expr),*]) => {
+        $crate::Value::Array(::std::vec![$($elems),*])
+    };
+    (@array [$($elems:expr),*] null $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json!(null)] $($($rest)*)?)
+    };
+    (@array [$($elems:expr),*] [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json!([ $($inner)* ])] $($($rest)*)?)
+    };
+    (@array [$($elems:expr),*] { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json!({ $($inner)* })] $($($rest)*)?)
+    };
+    (@array [$($elems:expr),*] $value:expr $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::Value::from($value)] $($($rest)*)?)
+    };
+
+    // ---- Objects: `@object <map ident> (<pending key tokens>) <rest>`.
+    (@object $map:ident ()) => {};
+    // Key collected, value is a nested object literal.
+    (@object $map:ident ($key:expr) : { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $map.insert(($key).to_string(), $crate::json!({ $($inner)* }));
+        $crate::json_internal!(@object $map () $($($rest)*)?);
+    };
+    // Key collected, value is a nested array literal.
+    (@object $map:ident ($key:expr) : [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $map.insert(($key).to_string(), $crate::json!([ $($inner)* ]));
+        $crate::json_internal!(@object $map () $($($rest)*)?);
+    };
+    // Key collected, value is `null`.
+    (@object $map:ident ($key:expr) : null $(, $($rest:tt)*)?) => {
+        $map.insert(($key).to_string(), $crate::Value::Null);
+        $crate::json_internal!(@object $map () $($($rest)*)?);
+    };
+    // Key collected, value is a general expression up to the next top-level
+    // comma.
+    (@object $map:ident ($key:expr) : $value:expr $(, $($rest:tt)*)?) => {
+        $map.insert(($key).to_string(), $crate::Value::from($value));
+        $crate::json_internal!(@object $map () $($($rest)*)?);
+    };
+    // Collect the key (a literal) then continue at the colon.
+    (@object $map:ident () $key:literal $($rest:tt)*) => {
+        $crate::json_internal!(@object $map ($key) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_and_literals() {
+        assert_eq!(json!(null), Value::Null);
+        assert_eq!(json!(true), Value::Bool(true));
+        assert_eq!(json!(2.5), Value::Number(2.5));
+        assert_eq!(json!("hi"), Value::String("hi".into()));
+        let n = 3u64;
+        assert_eq!(json!(n), Value::Number(3.0));
+    }
+
+    #[test]
+    fn objects_serialise_sorted_and_nested() {
+        let rows = vec![json!(1), json!(2)];
+        let v = json!({
+            "b": 2,
+            "a": { "inner": [1, 2.5, "x"], "empty": {} },
+            "rows": rows,
+            "maybe": null,
+        });
+        let s = to_string(&v).unwrap();
+        assert_eq!(
+            s,
+            r#"{"a":{"empty":{},"inner":[1,2.5,"x"]},"b":2,"maybe":null,"rows":[1,2]}"#
+        );
+    }
+
+    #[test]
+    fn pretty_output_is_indented_and_stable() {
+        let v = json!({ "k": [1, 2], "s": "line\nbreak" });
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\n  \"k\": [\n    1,\n    2\n  ]"));
+        assert!(pretty.contains("\\n"));
+        assert_eq!(to_string_pretty(&v).unwrap(), pretty);
+    }
+
+    #[test]
+    fn map_api_matches_usage() {
+        let mut m = Map::new();
+        m.insert("x".to_string(), json!(1));
+        m.insert("y".into(), json!({"z": 2}));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get("x"), Some(&Value::Number(1.0)));
+        let v = Value::Object(m);
+        assert_eq!(to_string(&v).unwrap(), r#"{"x":1,"y":{"z":2}}"#);
+    }
+
+    #[test]
+    fn numbers_format_like_json() {
+        assert_eq!(to_string(&json!(1.0)).unwrap(), "1");
+        assert_eq!(to_string(&json!(0.5)).unwrap(), "0.5");
+        assert_eq!(to_string(&json!(f64::NAN)).unwrap(), "null");
+        assert_eq!(to_string(&json!(-3i64)).unwrap(), "-3");
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        let v = json!({
+            "a": [1, -2.5, "x\ny", true, null],
+            "b": { "nested": 1e3 },
+        });
+        let text = to_string_pretty(&v).unwrap();
+        assert_eq!(from_str(&text).unwrap(), v);
+        assert_eq!(from_str(&to_string(&v).unwrap()).unwrap(), v);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(from_str("").is_err());
+        assert!(from_str("{").is_err());
+        assert!(from_str("[1,]").is_err());
+        assert!(from_str("nul").is_err());
+        assert!(from_str("{\"a\" 1}").is_err());
+        assert!(from_str("1 trailing").is_err());
+    }
+
+    #[test]
+    fn indexing_yields_null_for_missing() {
+        let v = json!({ "rows": [ {"x": 1} ] });
+        assert_eq!(v["rows"][0]["x"], Value::Number(1.0));
+        assert_eq!(v["rows"][7], Value::Null);
+        assert_eq!(v["nope"]["deep"], Value::Null);
+        assert_eq!(v["rows"][0]["x"].as_f64(), Some(1.0));
+        assert_eq!(v["rows"].as_array().map(Vec::len), Some(1));
+    }
+
+    #[test]
+    fn accessors_discriminate_types() {
+        assert_eq!(json!(3).as_u64(), Some(3));
+        assert_eq!(json!(-3).as_u64(), None);
+        assert_eq!(json!(-3).as_i64(), Some(-3));
+        assert_eq!(json!(0.5).as_i64(), None);
+        assert_eq!(json!("s").as_str(), Some("s"));
+        assert_eq!(json!(true).as_bool(), Some(true));
+        assert!(json!({"k": 1}).as_object().is_some());
+        assert_eq!(json!({"k": 1}).get("k"), Some(&Value::Number(1.0)));
+        assert_eq!(json!([1]).get("k"), None);
+    }
+
+    #[test]
+    fn expressions_with_calls_and_conditionals() {
+        fn double(x: u32) -> u32 {
+            x * 2
+        }
+        let nan = f64::NAN;
+        let v = json!({
+            "call": double(4),
+            "cond": if nan.is_nan() { Value::Null } else { json!(nan) },
+        });
+        assert_eq!(to_string(&v).unwrap(), r#"{"call":8,"cond":null}"#);
+    }
+}
