@@ -1,0 +1,126 @@
+//! Stage-profiling benchmark: wall-clock time per pipeline stage.
+//!
+//! Runs the canonical TEMPERATURE scenario (PRED-3 + RPT, fixed seed)
+//! with telemetry spans in [`ClockMode::Wall`], then reports where the
+//! time goes — workload advance, engine tick, size estimation, estimator
+//! evaluation, scheduler decision, sampling walks — next to the global
+//! counters, and writes everything to `BENCH_telemetry.json`.
+//!
+//! Timings are wall-clock and therefore machine-dependent; the JSON is a
+//! profiling artefact, not a determinism surface (the determinism gate
+//! runs spans in tick mode instead).
+
+use digest_bench::{banner, temperature, Scale};
+use digest_core::{EstimatorKind, SchedulerKind};
+use digest_sim::{run, RunConfig};
+use digest_telemetry::{ClockMode, MetricHandle};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde_json::json;
+use std::io::Write as _;
+
+fn main() {
+    let scale = Scale::from_args();
+    banner("BENCH_telemetry", "per-stage wall-clock profile", scale);
+
+    digest_telemetry::set_clock_mode(ClockMode::Wall);
+    digest_telemetry::reset_run_state();
+
+    let mut workload = temperature(scale, 0);
+    let mut engine = digest_bench::engine_for(
+        &workload,
+        SchedulerKind::Pred(3),
+        EstimatorKind::Repeated,
+        8.0,
+        2.0,
+        0.95,
+    )
+    .expect("valid engine config");
+    let mut rng = ChaCha8Rng::seed_from_u64(20080402);
+    let report = run(
+        &mut workload,
+        &mut engine,
+        RunConfig::for_ticks(120),
+        8.0,
+        2.0,
+        &mut rng,
+    )
+    .expect("benchmark run");
+
+    println!(
+        "ran {} ticks: {} snapshots, {} samples, {} messages",
+        report.ticks(),
+        report.total_snapshots(),
+        report.total_samples(),
+        report.total_messages(),
+    );
+    println!();
+    println!(
+        "{:<20} {:>10} {:>14} {:>12}",
+        "stage", "spans", "total_ns", "mean_ns"
+    );
+
+    let mut stages = Vec::new();
+    for s in digest_telemetry::stage_reports() {
+        if s.count == 0 {
+            continue;
+        }
+        println!(
+            "{:<20} {:>10} {:>14} {:>12.0}",
+            s.stage.name(),
+            s.count,
+            s.total,
+            s.mean(),
+        );
+        stages.push(json!({
+            "stage": s.stage.name(),
+            "spans": s.count,
+            "total_ns": s.total,
+            "mean_ns": s.mean(),
+        }));
+    }
+
+    let mut counters = serde_json::Map::new();
+    for d in digest_telemetry::descriptors() {
+        match d.handle {
+            MetricHandle::Counter(c) if c.get() != 0 => {
+                counters.insert(d.name.to_owned(), json!(c.get()));
+            }
+            MetricHandle::Gauge(g) if g.get() != 0.0 => {
+                counters.insert(d.name.to_owned(), json!(g.get()));
+            }
+            MetricHandle::Histogram(h) if h.count() != 0 => {
+                counters.insert(
+                    d.name.to_owned(),
+                    json!({"count": h.count(), "mean": h.mean(), "max": h.max()}),
+                );
+            }
+            _ => {}
+        }
+    }
+
+    let out = json!({
+        "benchmark": "BENCH_telemetry",
+        "scale": scale.label(),
+        "clock": "wall",
+        "ticks": report.ticks(),
+        "stages": stages,
+        "metrics": serde_json::Value::Object(counters),
+    });
+    let path = std::path::Path::new("BENCH_telemetry.json");
+    match std::fs::File::create(path) {
+        Ok(mut f) => {
+            if let Err(e) = writeln!(
+                f,
+                "{}",
+                serde_json::to_string_pretty(&out).expect("valid json")
+            ) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+            } else {
+                println!();
+                println!("[profile written to {}]", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: cannot create {}: {e}", path.display()),
+    }
+}

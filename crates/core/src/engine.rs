@@ -19,6 +19,7 @@ use crate::scheduler::{AllScheduler, PredScheduler, SnapshotScheduler};
 use crate::system::{QuerySystem, TickContext, TickOutcome};
 use crate::Result;
 use digest_sampling::{uniform_weight, SamplingConfig, SamplingOperator, SizeEstimator};
+use digest_telemetry::{registry as telemetry, Field, Stage};
 use rand::RngCore;
 
 /// Which continual-querying policy to run (paper §IV-A).
@@ -215,6 +216,8 @@ impl DigestEngine {
         ctx: &TickContext<'_>,
         rng: &mut dyn RngCore,
     ) -> Result<u64> {
+        let _span = digest_telemetry::span(Stage::SizeEstimate);
+        telemetry::CORE_SIZE_REFRESHES.inc();
         let mut est = SizeEstimator::new();
         let mut messages = 0u64;
         let w = uniform_weight();
@@ -286,11 +289,16 @@ impl QuerySystem for DigestEngine {
     }
 
     fn on_tick(&mut self, ctx: &TickContext<'_>, rng: &mut dyn RngCore) -> Result<TickOutcome> {
+        // Keep the telemetry clock in sync even when the engine is driven
+        // directly (unit tests, library embedding) rather than by a
+        // tick-stamping driver.
+        digest_telemetry::set_tick(ctx.tick);
         if self.started && ctx.tick < self.next_snapshot_tick {
             return Ok(TickOutcome::idle(self.current_estimate));
         }
 
         // --- Execute a snapshot query. ---
+        let _tick_span = digest_telemetry::span(Stage::EngineTick);
         let mut messages = 0u64;
 
         // Relation size, if the aggregate needs it.
@@ -301,6 +309,7 @@ impl QuerySystem for DigestEngine {
             messages += self.refresh_size_estimate(ctx, rng)?;
         }
 
+        let eval_span = digest_telemetry::span(Stage::EstimatorEval);
         let evaluated = match &mut self.estimator {
             EstimatorImpl::Indep(e) => e.evaluate(
                 ctx,
@@ -327,6 +336,7 @@ impl QuerySystem for DigestEngine {
                 rng,
             ),
         };
+        drop(eval_span);
         let snapshot = match evaluated {
             Ok(snapshot) => snapshot,
             // A transiently empty relation (every content-bearing node
@@ -400,7 +410,10 @@ impl QuerySystem for DigestEngine {
 
         // Schedule the next occasion.
         self.scheduler.observe(ctx.tick as f64, scaled);
-        let delay = self.scheduler.next_delay(self.query.precision.delta)?;
+        let delay = {
+            let _span = digest_telemetry::span(Stage::SchedulerDecide);
+            self.scheduler.next_delay(self.query.precision.delta)?
+        };
         self.next_snapshot_tick = ctx.tick + delay;
 
         let samples = snapshot.total_samples();
@@ -408,6 +421,21 @@ impl QuerySystem for DigestEngine {
         self.total_samples += samples;
         self.total_fresh_samples += snapshot.fresh_samples;
         self.total_snapshots += 1;
+
+        telemetry::CORE_ENGINE_SNAPSHOTS.inc();
+        telemetry::CORE_ENGINE_MESSAGES.add(messages);
+        telemetry::CORE_ENGINE_SAMPLES.add(samples);
+        if digest_telemetry::events_enabled() {
+            digest_telemetry::emit(
+                "engine.snapshot",
+                &[
+                    ("system", Field::Str(&self.name)),
+                    ("estimate", Field::F64(scaled)),
+                    ("messages", Field::U64(messages)),
+                    ("samples", Field::U64(samples)),
+                ],
+            );
+        }
 
         Ok(TickOutcome {
             estimate: scaled,

@@ -20,6 +20,9 @@ pub enum CoreError {
         /// Description of the problem.
         message: String,
     },
+    /// A simulation workload's overlay graph has no live nodes, so no
+    /// querying node can be elected.
+    EmptyWorkload,
     /// An error from the database substrate.
     Db(digest_db::DbError),
     /// An error from the sampling operator.
@@ -35,6 +38,9 @@ impl fmt::Display for CoreError {
             CoreError::InvalidConfig { reason } => write!(f, "invalid engine config: {reason}"),
             CoreError::InvalidStatement { message } => {
                 write!(f, "invalid query statement: {message}")
+            }
+            CoreError::EmptyWorkload => {
+                write!(f, "workload graph has no live nodes to query from")
             }
             CoreError::Db(e) => write!(f, "database error: {e}"),
             CoreError::Sampling(e) => write!(f, "sampling error: {e}"),
@@ -94,5 +100,8 @@ mod tests {
             reason: "delta must be positive",
         };
         assert!(e.to_string().contains("delta"));
+        let e = CoreError::EmptyWorkload;
+        assert!(e.to_string().contains("no live nodes"));
+        assert!(std::error::Error::source(&e).is_none());
     }
 }

@@ -167,6 +167,18 @@ impl IndependentEstimator {
             }
         }
 
+        if digest_telemetry::events_enabled() {
+            digest_telemetry::emit(
+                "estimator.snapshot",
+                &[
+                    ("estimator", digest_telemetry::Field::Str("INDEP")),
+                    ("estimate", digest_telemetry::Field::F64(moments.mean())),
+                    ("fresh", digest_telemetry::Field::U64(drawn)),
+                    ("retained", digest_telemetry::Field::U64(0)),
+                ],
+            );
+        }
+
         let n = moments.count().max(1) as f64;
         Ok(SnapshotEstimate {
             estimate: moments.mean(),

@@ -28,6 +28,7 @@ use crate::Result;
 use digest_db::{Expr, Predicate};
 use digest_sampling::SamplingOperator;
 use digest_stats::repeated::{combined_estimate, optimal_partition, required_panel_size};
+use digest_telemetry::{registry as telemetry, Field};
 use rand::RngCore;
 
 /// Tuning of the repeated-sampling estimator (`RPT`, paper §IV-B2).
@@ -357,6 +358,28 @@ impl RepeatedEstimator {
         let mut next_panel = revisit.survivors;
         next_panel.extend(fresh_entries);
         self.panel.replace(next_panel);
+
+        let retained_fraction = if n == 0 {
+            0.0
+        } else {
+            partition.retained as f64 / n as f64
+        };
+        telemetry::CORE_RPT_RETAINED.add(g_live as u64);
+        telemetry::CORE_RPT_FRESH.add(fresh_drawn);
+        telemetry::CORE_RPT_RETAINED_FRACTION.set(retained_fraction);
+        if digest_telemetry::events_enabled() {
+            let mut fields = vec![
+                ("estimator", Field::Str("RPT")),
+                ("estimate", Field::F64(combined.estimate)),
+                ("fresh", Field::U64(fresh_drawn)),
+                ("retained", Field::U64(g_live as u64)),
+                ("retained_fraction", Field::F64(retained_fraction)),
+            ];
+            if use_regression {
+                fields.push(("rho", Field::F64(combined.rho_hat)));
+            }
+            digest_telemetry::emit("estimator.snapshot", &fields);
+        }
 
         let qualifying = fresh_values.len() as u64 + g_live as u64;
         Ok(SnapshotEstimate {

@@ -10,6 +10,7 @@
 use crate::error::CoreError;
 use crate::Result;
 use digest_stats::{Extrapolator, ExtrapolatorConfig};
+use digest_telemetry::{registry as telemetry, Field};
 
 /// Decides the gap (in ticks) until the next snapshot query (the
 /// continual-querying half of paper §IV-A).
@@ -53,6 +54,14 @@ impl SnapshotScheduler for AllScheduler {
     fn observe(&mut self, _t: f64, _estimate: f64) {}
 
     fn next_delay(&mut self, _delta: f64) -> Result<u64> {
+        telemetry::CORE_SCHEDULER_DECISIONS.inc();
+        telemetry::CORE_SCHEDULER_DELAY.record(1);
+        if digest_telemetry::events_enabled() {
+            digest_telemetry::emit(
+                "scheduler.decision",
+                &[("scheduler", Field::Str("ALL")), ("delay", Field::U64(1))],
+            );
+        }
         Ok(1)
     }
 
@@ -107,7 +116,22 @@ impl SnapshotScheduler for PredScheduler {
 
     fn next_delay(&mut self, delta: f64) -> Result<u64> {
         let prediction = self.extrapolator.predict(delta)?;
-        Ok(prediction.next_update_in.max(1))
+        let delay = prediction.next_update_in.max(1);
+        telemetry::CORE_SCHEDULER_DECISIONS.inc();
+        telemetry::CORE_SCHEDULER_DELAY.record(delay);
+        if digest_telemetry::events_enabled() {
+            let mut fields = vec![
+                ("scheduler", Field::Str(&self.name)),
+                ("delay", Field::U64(delay)),
+                ("bootstrapping", Field::Bool(prediction.bootstrapping)),
+            ];
+            // During bootstrap the bound is +∞, which JSON cannot carry.
+            if prediction.derivative_bound.is_finite() {
+                fields.push(("derivative_bound", Field::F64(prediction.derivative_bound)));
+            }
+            digest_telemetry::emit("scheduler.decision", &fields);
+        }
+        Ok(delay)
     }
 
     fn reset(&mut self) {

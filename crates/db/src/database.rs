@@ -147,6 +147,7 @@ impl P2PDatabase {
             .get_mut(handle.slot, handle.generation)
             .ok_or(DbError::StaleHandle)?;
         tuple.values_mut().copy_from_slice(values);
+        digest_telemetry::registry::DB_UPDATES.inc();
         Ok(())
     }
 
@@ -176,6 +177,7 @@ impl P2PDatabase {
     ) -> Option<(TupleHandle, &Tuple)> {
         let store = self.fragments.get(node.0 as usize)?.as_ref()?;
         let (slot, generation, tuple) = store.sample_uniform(rng)?;
+        digest_telemetry::registry::DB_LOCAL_SAMPLES.inc();
         Some((
             TupleHandle {
                 node,

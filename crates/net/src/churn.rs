@@ -17,6 +17,7 @@
 use crate::error::NetError;
 use crate::graph::{Graph, NodeId};
 use crate::Result;
+use digest_telemetry::{registry as telemetry, Field};
 use rand::Rng;
 
 /// Configuration of the churn process.
@@ -147,6 +148,20 @@ impl ChurnProcess {
 
         if cfg.repair_partitions {
             repair(g, rng);
+        }
+
+        let joined = events
+            .iter()
+            .filter(|e| matches!(e, ChurnEvent::Joined(_)))
+            .count() as u64;
+        let left = events.len() as u64 - joined;
+        telemetry::NET_CHURN_JOINS.add(joined);
+        telemetry::NET_CHURN_LEAVES.add(left);
+        if !events.is_empty() && digest_telemetry::events_enabled() {
+            digest_telemetry::emit(
+                "net.churn",
+                &[("joins", Field::U64(joined)), ("leaves", Field::U64(left))],
+            );
         }
         events
     }

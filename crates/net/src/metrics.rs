@@ -9,6 +9,8 @@
 use crate::error::NetError;
 use crate::graph::Graph;
 use crate::Result;
+use digest_telemetry::registry as telemetry;
+use rand::{Rng, RngCore};
 
 /// Summary statistics of a degree distribution.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -152,18 +154,27 @@ pub fn estimate_diameter(g: &Graph) -> Result<u32> {
     Ok(diameter)
 }
 
-/// Mean shortest-path hop count from `samples` random sources to all
-/// reachable nodes — the expected per-push routing cost used to meter the
-/// push-based baselines.
+/// Mean shortest-path hop count from `samples` *uniformly random* sources
+/// to all reachable nodes — the expected per-push routing cost used to
+/// meter the push-based baselines.
+///
+/// Sources are drawn without replacement by a partial Fisher–Yates
+/// shuffle, so `samples >= node_count` sweeps every node exactly once
+/// (making the result exact and source-order independent) and smaller
+/// budgets give an unbiased subsample. The previous behaviour of walking
+/// the first `samples` nodes in id order systematically favoured the
+/// oldest nodes, which on preferentially-grown topologies are the hubs.
 #[must_use]
-pub fn mean_path_length(g: &Graph, samples: usize) -> f64 {
+pub fn mean_path_length(g: &Graph, samples: usize, rng: &mut dyn RngCore) -> f64 {
+    let mut sources: Vec<_> = g.nodes().collect();
+    let picks = samples.min(sources.len());
     let mut total = 0u64;
     let mut count = 0u64;
-    for (i, v) in g.nodes().enumerate() {
-        if i >= samples {
-            break;
-        }
-        if let Ok(dists) = g.bfs_distances(v) {
+    for i in 0..picks {
+        let j = rng.gen_range(i..sources.len());
+        sources.swap(i, j);
+        telemetry::NET_PATH_BFS_RUNS.inc();
+        if let Ok(dists) = g.bfs_distances(sources[i]) {
             for (_, d) in dists {
                 total += u64::from(d);
                 count += 1;
@@ -265,8 +276,41 @@ mod tests {
     #[test]
     fn mean_path_length_of_path_graph() {
         let g = topology::mesh(1, 3, false).unwrap();
+        // Budget covers all nodes → exact regardless of source order.
         // From node 0: 0+1+2; node 1: 1+0+1; node 2: 2+1+0 → mean = 8/9.
-        let mpl = mean_path_length(&g, 10);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+        let mpl = mean_path_length(&g, 10, &mut rng);
         assert!((mpl - 8.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_path_length_samples_sources_uniformly() {
+        // On a 1×20 path, node 0 is the most eccentric source (mean
+        // distance 9.5); a single *uniform* source must not always be it.
+        let g = topology::mesh(1, 20, false).unwrap();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(2);
+        let exact = mean_path_length(&g, 20, &mut rng);
+        let endpoint_mean = 9.5;
+        assert!(exact < endpoint_mean, "population mean must beat node 0's");
+
+        // Averaging many single-source draws must approach the population
+        // mean, not node 0's — the signature of uniform source choice.
+        let trials = 400;
+        let mut sum = 0.0;
+        let mut saw_non_endpoint = false;
+        for seed in 0..trials {
+            let mut r = rand_chacha::ChaCha8Rng::seed_from_u64(1000 + seed);
+            let one = mean_path_length(&g, 1, &mut r);
+            if (one - endpoint_mean).abs() > 1e-9 {
+                saw_non_endpoint = true;
+            }
+            sum += one;
+        }
+        assert!(saw_non_endpoint, "sources were never anything but node 0");
+        let mean_of_means = sum / trials as f64;
+        assert!(
+            (mean_of_means - exact).abs() < 0.5,
+            "single-source average {mean_of_means} vs population {exact}"
+        );
     }
 }

@@ -24,6 +24,7 @@ use crate::error::SamplingError;
 use crate::weight::NodeWeight;
 use crate::Result;
 use digest_net::{Graph, NodeId};
+use digest_telemetry::registry as telemetry;
 use rand::Rng;
 
 /// A zero-weight node is treated as having this weight when it is the
@@ -116,9 +117,11 @@ impl MetropolisWalk {
             return Err(SamplingError::UnknownNode(self.current));
         }
         self.steps += 1;
+        telemetry::SAMPLING_WALK_STEPS.inc();
 
         // Laziness ½.
         if rng.gen_bool(0.5) {
+            telemetry::SAMPLING_MH_LAZY.inc();
             return Ok(false);
         }
         let neighbors = g.neighbors(self.current);
@@ -126,6 +129,7 @@ impl MetropolisWalk {
             return Ok(false);
         }
         let proposal = neighbors[rng.gen_range(0..neighbors.len())];
+        telemetry::SAMPLING_MH_PROPOSALS.inc();
 
         let w_i = checked_weight(w, self.current)?.max(ZERO_WEIGHT_FLOOR);
         let w_j = checked_weight(w, proposal)?;
@@ -136,6 +140,8 @@ impl MetropolisWalk {
         if accept >= 1.0 || rng.gen_bool(accept.max(0.0)) {
             self.current = proposal;
             self.messages += 1;
+            telemetry::SAMPLING_MH_ACCEPTS.inc();
+            telemetry::SAMPLING_WALK_HOPS.inc();
             return Ok(true);
         }
         Ok(false)

@@ -23,6 +23,7 @@ use crate::weight::{content_size_weight, uniform_weight, NodeWeight};
 use crate::Result;
 use digest_db::{P2PDatabase, Tuple, TupleHandle};
 use digest_net::{Graph, NodeId};
+use digest_telemetry::{registry as telemetry, Field, Stage};
 use rand::Rng;
 
 /// Tuning of the sampling operator `S` (paper §III, §V).
@@ -213,13 +214,35 @@ impl SamplingOperator {
             (MetropolisWalk::new(g, origin)?, self.config.walk_length)
         };
 
+        if reuse {
+            telemetry::SAMPLING_WALKS_CONTINUED.inc();
+        } else {
+            telemetry::SAMPLING_WALKS_FRESH.inc();
+        }
+        telemetry::SAMPLING_BURN_IN.record(steps);
+
         let before = walk.messages();
-        walk.run(g, w, steps, rng)?;
+        {
+            let _span = digest_telemetry::span(Stage::SamplingWalk);
+            walk.run(g, w, steps, rng)?;
+        }
         let cost = SampleCost {
             walk_messages: walk.messages() - before,
             report_messages: 1,
         };
         let sampled = walk.current();
+        telemetry::SAMPLING_SAMPLES.inc();
+        telemetry::SAMPLING_MESSAGES.add(cost.total());
+        if digest_telemetry::events_enabled() {
+            digest_telemetry::emit(
+                "sampling.walk",
+                &[
+                    ("fresh", Field::Bool(!reuse)),
+                    ("steps", Field::U64(steps)),
+                    ("hops", Field::U64(cost.walk_messages)),
+                ],
+            );
+        }
 
         if self.config.continue_walks {
             if slot < self.walkers.len() {

@@ -10,6 +10,7 @@
 use crate::runner::{run, RunConfig};
 use crate::trace::RunReport;
 use digest_core::{QuerySystem, Result};
+use digest_telemetry::{registry as telemetry, Field, Stage};
 use digest_workload::Workload;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -89,8 +90,47 @@ where
 {
     let workers = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(replications.max(1) as usize);
+        .unwrap_or(1);
+    run_replications_with_workers(
+        workers,
+        replications,
+        make_workload,
+        make_system,
+        config,
+        delta,
+        epsilon,
+    )
+}
+
+/// [`run_replications`] with an explicit worker-thread count.
+///
+/// Results are identical for any `workers >= 1` — each replication is
+/// seeded by its index, workers only steal indices, and reports are
+/// re-assembled in seed order — which the test suite pins down.
+///
+/// # Errors
+///
+/// The first engine error from any replication (remaining replications
+/// still complete).
+#[allow(clippy::too_many_arguments)]
+pub fn run_replications_with_workers<W, S, FW, FS>(
+    workers: usize,
+    replications: u64,
+    make_workload: FW,
+    make_system: FS,
+    config: RunConfig,
+    delta: f64,
+    epsilon: f64,
+) -> Result<Vec<RunReport>>
+where
+    W: Workload,
+    S: QuerySystem,
+    FW: Fn(u64) -> W + Sync,
+    FS: Fn(u64) -> S + Sync,
+{
+    let workers = workers
+        .max(1)
+        .min(usize::try_from(replications.max(1)).unwrap_or(usize::MAX));
 
     let next = AtomicU64::new(0);
     let results: Mutex<Vec<Option<std::result::Result<RunReport, digest_core::CoreError>>>> =
@@ -109,11 +149,21 @@ where
                 let mut system = make_system(seed);
                 let mut rng =
                     ChaCha8Rng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(1));
+                // Workers would interleave per-tick events nondeterministically,
+                // so event emission is suppressed inside the replication; the
+                // deterministic rollups are emitted post-join in seed order.
+                let _quiet = digest_telemetry::suppress_events();
+                let _span = digest_telemetry::span(Stage::Replication);
                 let outcome = run(&mut workload, &mut system, config, delta, epsilon, &mut rng);
                 let mut slots = results
                     .lock()
                     .unwrap_or_else(std::sync::PoisonError::into_inner);
-                slots[seed as usize] = Some(outcome);
+                // `seed < replications`, whose range built `slots`, so the
+                // index is always in bounds (and fits usize for the same
+                // reason).
+                if let Some(slot) = usize::try_from(seed).ok().and_then(|i| slots.get_mut(i)) {
+                    *slot = Some(outcome);
+                }
             });
         }
     });
@@ -121,7 +171,7 @@ where
     let slots = results
         .into_inner()
         .unwrap_or_else(std::sync::PoisonError::into_inner);
-    let mut reports = Vec::with_capacity(replications as usize);
+    let mut reports = Vec::with_capacity(usize::try_from(replications).unwrap_or(0));
     for slot in slots {
         match slot {
             Some(outcome) => reports.push(outcome?),
@@ -135,6 +185,21 @@ where
             }
         }
     }
+    for (seed, report) in reports.iter().enumerate() {
+        telemetry::SIM_REPLICATIONS.inc();
+        if digest_telemetry::events_enabled() {
+            digest_telemetry::emit(
+                "replication",
+                &[
+                    ("seed", Field::U64(seed as u64)),
+                    ("ticks", Field::U64(report.ticks())),
+                    ("snapshots", Field::U64(report.total_snapshots())),
+                    ("samples", Field::U64(report.total_samples())),
+                    ("messages", Field::U64(report.total_messages())),
+                ],
+            );
+        }
+    }
     Ok(reports)
 }
 
@@ -146,6 +211,12 @@ pub fn summarize<F: Fn(&RunReport) -> f64>(reports: &[RunReport], metric: F) -> 
 }
 
 #[cfg(test)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)]
 mod tests {
     use super::*;
     use digest_core::{
@@ -225,10 +296,55 @@ mod tests {
     fn metric_summary_edge_cases() {
         let empty = MetricSummary::of(&[]);
         assert_eq!(empty.replications, 0);
+        assert_eq!(empty.mean, 0.0);
+        assert_eq!(empty.std, 0.0);
         let single = MetricSummary::of(&[3.5]);
         assert_eq!(single.mean, 3.5);
         assert_eq!(single.std, 0.0);
         assert_eq!(single.min, 3.5);
         assert_eq!(single.max, 3.5);
+    }
+
+    #[test]
+    fn metric_summary_of_constant_slice_has_zero_std() {
+        let s = MetricSummary::of(&[7.0, 7.0, 7.0, 7.0]);
+        assert_eq!(s.replications, 4);
+        assert_eq!(s.mean, 7.0);
+        assert_eq!(s.std, 0.0, "constant values must have zero spread");
+        assert_eq!(s.min, 7.0);
+        assert_eq!(s.max, 7.0);
+    }
+
+    #[test]
+    fn results_do_not_depend_on_worker_count() {
+        let run_with = |workers: usize| {
+            run_replications_with_workers(
+                workers,
+                5,
+                make_workload,
+                make_system,
+                RunConfig::for_ticks(30),
+                8.0,
+                2.0,
+            )
+            .unwrap()
+        };
+        let serial = run_with(1);
+        for workers in [2, 4, 16] {
+            let parallel = run_with(workers);
+            assert_eq!(serial.len(), parallel.len());
+            for (a, b) in serial.iter().zip(parallel.iter()) {
+                assert_eq!(a.total_samples(), b.total_samples(), "{workers} workers");
+                assert_eq!(a.total_messages(), b.total_messages(), "{workers} workers");
+                assert_eq!(
+                    a.total_snapshots(),
+                    b.total_snapshots(),
+                    "{workers} workers"
+                );
+                for (ra, rb) in a.records.iter().zip(b.records.iter()) {
+                    assert_eq!(ra.estimate.to_bits(), rb.estimate.to_bits());
+                }
+            }
+        }
     }
 }

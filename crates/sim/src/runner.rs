@@ -1,8 +1,9 @@
 //! Driving one query system over one workload.
 
 use crate::trace::{RunReport, TraceRecord};
-use digest_core::{QuerySystem, Result, TickContext};
+use digest_core::{CoreError, QuerySystem, Result, TickContext};
 use digest_net::NodeId;
+use digest_telemetry::{registry as telemetry, Field, Stage};
 use digest_workload::Workload;
 use rand::RngCore;
 
@@ -48,7 +49,9 @@ impl RunConfig {
 ///
 /// # Errors
 ///
-/// Propagates any engine error.
+/// * [`CoreError::EmptyWorkload`] if the workload's graph has no live
+///   nodes (at start, or after churn drained it mid-run).
+/// * Propagates any engine error.
 pub fn run<W: Workload, S: QuerySystem + ?Sized>(
     workload: &mut W,
     system: &mut S,
@@ -61,7 +64,7 @@ pub fn run<W: Workload, S: QuerySystem + ?Sized>(
         .graph()
         .nodes()
         .next()
-        .expect("workload graph must be non-empty");
+        .ok_or(CoreError::EmptyWorkload)?;
 
     let horizon = if config.respect_duration {
         config.ticks.min(workload.duration())
@@ -69,13 +72,19 @@ pub fn run<W: Workload, S: QuerySystem + ?Sized>(
         config.ticks
     };
 
-    let mut records = Vec::with_capacity(horizon as usize);
+    // Capacity is only a hint; a clamped value is fine on 32-bit targets.
+    let mut records = Vec::with_capacity(usize::try_from(horizon).unwrap_or(0));
     for tick in 0..horizon {
-        workload.advance(rng);
+        digest_telemetry::set_tick(tick);
+        telemetry::SIM_TICKS.inc();
+        {
+            let _span = digest_telemetry::span(Stage::WorkloadAdvance);
+            workload.advance(rng);
+        }
 
         // Re-elect the querying node if churn removed it.
         if !workload.graph().contains(origin) {
-            origin = elect_origin(workload, rng);
+            origin = elect_origin(workload, rng)?;
         }
 
         let (outcome, exact) = {
@@ -93,6 +102,21 @@ pub fn run<W: Workload, S: QuerySystem + ?Sized>(
                 .unwrap_or_else(|| workload.exact_aggregate());
             (outcome, exact)
         };
+
+        if digest_telemetry::events_enabled() {
+            digest_telemetry::emit(
+                "tick",
+                &[
+                    ("estimate", Field::F64(outcome.estimate)),
+                    ("exact", Field::F64(exact)),
+                    ("snapshot", Field::Bool(outcome.snapshot_executed)),
+                    ("samples", Field::U64(outcome.samples_this_tick)),
+                    ("fresh", Field::U64(outcome.fresh_samples_this_tick)),
+                    ("messages", Field::U64(outcome.messages_this_tick)),
+                    ("updated", Field::U64(u64::from(outcome.updated))),
+                ],
+            );
+        }
 
         records.push(TraceRecord {
             tick,
@@ -115,14 +139,20 @@ pub fn run<W: Workload, S: QuerySystem + ?Sized>(
     })
 }
 
-fn elect_origin<W: Workload>(workload: &W, rng: &mut dyn RngCore) -> NodeId {
+fn elect_origin<W: Workload>(workload: &W, rng: &mut dyn RngCore) -> Result<NodeId> {
     workload
         .graph()
         .random_node(rng)
-        .expect("workload graph must stay non-empty")
+        .map_err(|_| CoreError::EmptyWorkload)
 }
 
 #[cfg(test)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)]
 mod tests {
     use super::*;
     use digest_core::{

@@ -207,7 +207,9 @@ impl Extrapolator {
                 value: delta,
             });
         }
+        digest_telemetry::registry::STATS_PRED_PREDICTIONS.inc();
         if !self.is_ready() {
+            digest_telemetry::registry::STATS_PRED_BOOTSTRAPS.inc();
             return Ok(Prediction {
                 next_update_in: 1,
                 polynomial: None,
@@ -222,6 +224,7 @@ impl Extrapolator {
             self.window.iter().rev().take(k).rev().copied().unzip();
         // `is_ready()` above guarantees a full window.
         let Some(&t_u) = ts.last() else {
+            digest_telemetry::registry::STATS_PRED_BOOTSTRAPS.inc();
             return Ok(Prediction {
                 next_update_in: 1,
                 polynomial: None,

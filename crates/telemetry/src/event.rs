@@ -1,0 +1,241 @@
+//! Structured events and sinks.
+//!
+//! An event is a `kind` (a `&'static str` naming its schema, see
+//! [`crate::schema`]), the current simulation tick, and a small slice of
+//! typed key/value fields. Emission goes through a process-wide sink
+//! installed with [`crate::install_sink`]; when no sink is installed the
+//! emit path is a single relaxed atomic load and an early return, so
+//! instrumented library code pays near-zero cost by default.
+//!
+//! Events carry **no wall-clock values** in any mode — every field is a
+//! pure function of the (seeded) simulation state — which is what makes
+//! same-seed runs produce byte-identical JSONL streams and lets
+//! `cargo xtask determinism` run with telemetry enabled.
+
+use serde_json::{Map, Value};
+use std::io::Write;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// One typed event field value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Field<'a> {
+    /// An unsigned integer (counts, ticks, sizes).
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A float (estimates, fractions, bounds).
+    F64(f64),
+    /// A boolean flag.
+    Bool(bool),
+    /// A short string label (system/scheduler names).
+    Str(&'a str),
+}
+
+impl Field<'_> {
+    fn to_value(self) -> Value {
+        match self {
+            Field::U64(v) => Value::Number(v as f64),
+            Field::I64(v) => Value::Number(v as f64),
+            Field::F64(v) => Value::Number(v),
+            Field::Bool(v) => Value::Bool(v),
+            Field::Str(v) => Value::String(v.to_owned()),
+        }
+    }
+}
+
+/// Where emitted events go.
+///
+/// Implementations must be internally synchronised (`emit` takes `&self`)
+/// and must not panic: telemetry is an observer, never a failure source.
+pub trait EventSink: Send + Sync {
+    /// Delivers one event.
+    fn emit(&self, kind: &'static str, tick: u64, fields: &[(&'static str, Field<'_>)]);
+
+    /// Flushes any buffering (end of run).
+    fn flush(&self);
+}
+
+/// Renders an event as one canonical JSON line (no trailing newline).
+///
+/// Keys serialise in sorted order (the vendored `serde_json` stores
+/// objects in a `BTreeMap`), so the rendering of a given event is a pure
+/// function of its fields — the byte-level determinism the JSONL trace
+/// format relies on.
+#[must_use]
+pub fn render_json_line(
+    kind: &'static str,
+    tick: u64,
+    fields: &[(&'static str, Field<'_>)],
+) -> String {
+    let mut map = Map::new();
+    map.insert("kind".to_owned(), Value::String(kind.to_owned()));
+    map.insert("tick".to_owned(), Value::Number(tick as f64));
+    for (name, field) in fields {
+        map.insert((*name).to_owned(), field.to_value());
+    }
+    // The vendored serialiser is infallible for object/number/string
+    // values; fall back to an empty object rather than propagating.
+    serde_json::to_string(&Value::Object(map)).unwrap_or_else(|_| "{}".to_owned())
+}
+
+/// A sink that appends one JSON line per event to an `io::Write` stream
+/// (typically a buffered file — see [`JsonlSink::create`]).
+pub struct JsonlSink<W: Write + Send> {
+    writer: Mutex<W>,
+}
+
+impl<W: Write + Send> std::fmt::Debug for JsonlSink<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlSink").finish_non_exhaustive()
+    }
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wraps an arbitrary writer.
+    pub fn new(writer: W) -> Self {
+        Self {
+            writer: Mutex::new(writer),
+        }
+    }
+}
+
+impl JsonlSink<std::io::BufWriter<std::fs::File>> {
+    /// Creates (truncating) a JSONL trace file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying file-creation error.
+    pub fn create(path: &std::path::Path) -> std::io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(Self::new(std::io::BufWriter::new(file)))
+    }
+}
+
+impl<W: Write + Send> EventSink for JsonlSink<W> {
+    fn emit(&self, kind: &'static str, tick: u64, fields: &[(&'static str, Field<'_>)]) {
+        let line = render_json_line(kind, tick, fields);
+        let mut writer = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        // Telemetry IO failures are swallowed by design: losing trace
+        // lines must never abort a simulation.
+        let _ = writeln!(writer, "{line}");
+    }
+
+    fn flush(&self) {
+        let mut writer = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        let _ = writer.flush();
+    }
+}
+
+/// An in-memory sink for tests: collects rendered JSON lines.
+///
+/// Clones share the same buffer, so a test can keep one handle and
+/// install the other.
+#[derive(Debug, Clone, Default)]
+pub struct MemorySink {
+    lines: Arc<Mutex<Vec<String>>>,
+}
+
+impl MemorySink {
+    /// Creates an empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot of the collected lines.
+    #[must_use]
+    pub fn lines(&self) -> Vec<String> {
+        self.lines
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Number of collected lines.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lines
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// True when nothing has been collected.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl EventSink for MemorySink {
+    fn emit(&self, kind: &'static str, tick: u64, fields: &[(&'static str, Field<'_>)]) {
+        let line = render_json_line(kind, tick, fields);
+        self.lines
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(line);
+    }
+
+    fn flush(&self) {}
+}
+
+#[cfg(test)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendering_is_canonical_and_sorted() {
+        let line = render_json_line(
+            "tick",
+            7,
+            &[
+                ("zeta", Field::Bool(true)),
+                ("alpha", Field::U64(3)),
+                ("mid", Field::Str("x")),
+            ],
+        );
+        // BTreeMap ordering: alpha < kind < mid < tick < zeta.
+        assert_eq!(
+            line,
+            r#"{"alpha":3,"kind":"tick","mid":"x","tick":7,"zeta":true}"#
+        );
+        // Same inputs, same bytes.
+        let again = render_json_line(
+            "tick",
+            7,
+            &[
+                ("zeta", Field::Bool(true)),
+                ("alpha", Field::U64(3)),
+                ("mid", Field::Str("x")),
+            ],
+        );
+        assert_eq!(line, again);
+    }
+
+    #[test]
+    fn memory_sink_collects() {
+        let sink = MemorySink::new();
+        let handle = sink.clone();
+        sink.emit("tick", 0, &[("estimate", Field::F64(1.5))]);
+        assert_eq!(handle.len(), 1);
+        assert!(handle.lines()[0].contains("\"estimate\":1.5"));
+    }
+
+    #[test]
+    fn jsonl_sink_writes_lines() {
+        let sink = JsonlSink::new(Vec::new());
+        sink.emit("tick", 1, &[]);
+        sink.emit("tick", 2, &[]);
+        sink.flush();
+        let buffer = sink.writer.lock().unwrap().clone();
+        let text = String::from_utf8(buffer).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.ends_with('\n'));
+    }
+}

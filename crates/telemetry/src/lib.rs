@@ -1,0 +1,261 @@
+//! # digest-telemetry
+//!
+//! Deterministic structured tracing, metric registry, and stage
+//! profiling for the Digest workspace (fixed-precision approximate
+//! continuous aggregates over P2P databases, Kashani & Shahabi,
+//! ICDE 2008).
+//!
+//! Three facilities, all std-only and allocation-free on the hot path:
+//!
+//! * **Metrics** ([`metric`], [`registry`]) — every counter, gauge, and
+//!   log₂-bucketed histogram in the workspace is a `static` handle
+//!   declared centrally in [`registry`]; bumping one is a single relaxed
+//!   atomic op.
+//! * **Spans** ([`span()`]) — RAII guards timing the fixed pipeline stages
+//!   against a wall clock (profiling) or the simulation tick counter
+//!   (deterministic mode, the default).
+//! * **Events** ([`event`], [`schema`]) — structured facts about the run
+//!   ("this walk took 31 hops", "PRED-3 scheduled the next snapshot in
+//!   7 ticks") rendered as canonical JSONL through an installable sink.
+//!
+//! ## Determinism contract
+//!
+//! With a fixed seed, the emitted JSONL stream is **byte-identical**
+//! across runs: events never carry wall-clock values in any mode, field
+//! keys serialise sorted, and floats render canonically. Deterministic
+//! clock mode extends the same guarantee to the stage-profile table by
+//! measuring spans in simulation ticks. `cargo xtask determinism`
+//! re-runs its fixed-seed scenarios with telemetry enabled and byte-
+//! compares both the stdout and the traces.
+//!
+//! ## Cost when disabled
+//!
+//! With no sink installed (the default), [`events_enabled`] is a single
+//! relaxed atomic load returning `false`, and instrumentation sites
+//! skip field construction entirely. Metrics and spans always run, but
+//! each is only one or two relaxed atomic ops.
+
+pub mod event;
+pub mod metric;
+pub mod registry;
+pub mod schema;
+pub mod span;
+
+pub use event::{EventSink, Field, JsonlSink, MemorySink};
+pub use metric::{Counter, Gauge, Histogram, HISTOGRAM_BUCKETS};
+pub use registry::{descriptors, reset_metrics, Descriptor, MetricHandle};
+pub use span::{
+    clock_mode, reset_stages, set_clock_mode, span, stage_reports, ClockMode, SpanGuard, Stage,
+    StageReport, STAGES,
+};
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+/// The current simulation tick, stamped onto every event and read by
+/// deterministic-mode spans. Drivers (the sim runner, the CLI loop) call
+/// [`set_tick`] once per tick.
+static TICK: AtomicU64 = AtomicU64::new(0);
+
+/// Sets the global simulation tick.
+#[inline]
+pub fn set_tick(tick: u64) {
+    TICK.store(tick, Ordering::Relaxed);
+}
+
+/// The current global simulation tick.
+#[inline]
+#[must_use]
+pub fn tick() -> u64 {
+    TICK.load(Ordering::Relaxed)
+}
+
+/// Fast-path gate: true only when a sink is installed AND emission is
+/// not suppressed. Kept in sync by [`install_sink`]/[`take_sink`] and
+/// the suppression guard.
+static EVENTS_ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Nesting depth of active [`suppress_events`] guards.
+static SUPPRESS_DEPTH: AtomicUsize = AtomicUsize::new(0);
+
+/// The installed sink. A `Mutex` (not `RwLock`): `emit` is already off
+/// the disabled fast path, and sinks serialise writes internally anyway.
+static SINK: Mutex<Option<Box<dyn EventSink>>> = Mutex::new(None);
+
+fn refresh_enabled_flag(installed: bool) {
+    let enabled = installed && SUPPRESS_DEPTH.load(Ordering::Relaxed) == 0;
+    EVENTS_ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+/// Installs the process-wide event sink, returning the previous one.
+pub fn install_sink(sink: Box<dyn EventSink>) -> Option<Box<dyn EventSink>> {
+    let mut slot = SINK.lock().unwrap_or_else(PoisonError::into_inner);
+    let previous = slot.replace(sink);
+    refresh_enabled_flag(true);
+    previous
+}
+
+/// Removes and returns the installed sink (flushing is the caller's
+/// choice — the sink is handed back intact).
+pub fn take_sink() -> Option<Box<dyn EventSink>> {
+    let mut slot = SINK.lock().unwrap_or_else(PoisonError::into_inner);
+    let previous = slot.take();
+    refresh_enabled_flag(false);
+    previous
+}
+
+/// True when [`emit`] would deliver an event. Instrumentation sites
+/// check this before building field slices so the disabled path costs
+/// one relaxed load.
+#[inline]
+#[must_use]
+pub fn events_enabled() -> bool {
+    EVENTS_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Emits one structured event to the installed sink (no-op when
+/// disabled or suppressed). The event is stamped with the global
+/// [`tick`].
+pub fn emit(kind: &'static str, fields: &[(&'static str, Field<'_>)]) {
+    if !events_enabled() {
+        return;
+    }
+    let tick = tick();
+    let slot = SINK.lock().unwrap_or_else(PoisonError::into_inner);
+    if let Some(sink) = slot.as_ref() {
+        sink.emit(kind, tick, fields);
+    }
+}
+
+/// Flushes the installed sink (end of run).
+pub fn flush() {
+    let slot = SINK.lock().unwrap_or_else(PoisonError::into_inner);
+    if let Some(sink) = slot.as_ref() {
+        sink.flush();
+    }
+}
+
+/// RAII guard from [`suppress_events`]; re-enables emission on drop.
+#[derive(Debug)]
+pub struct SuppressGuard(());
+
+impl Drop for SuppressGuard {
+    fn drop(&mut self) {
+        SUPPRESS_DEPTH.fetch_sub(1, Ordering::Relaxed);
+        let installed = SINK
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .is_some();
+        refresh_enabled_flag(installed);
+    }
+}
+
+/// Suppresses event emission until the returned guard drops. Used by
+/// the parallel replication harness: worker threads run suppressed (so
+/// interleaving can't leak into the trace) and deterministic rollups
+/// are emitted after joining, in seed order. Guards nest.
+#[must_use]
+pub fn suppress_events() -> SuppressGuard {
+    SUPPRESS_DEPTH.fetch_add(1, Ordering::Relaxed);
+    EVENTS_ENABLED.store(false, Ordering::Relaxed);
+    SuppressGuard(())
+}
+
+/// Resets every metric, stage accumulator, and the global tick — the
+/// full "fresh run" reset used between CLI invocations in one process
+/// (tests, the bench harness) and by replication workers.
+pub fn reset_run_state() {
+    reset_metrics();
+    reset_stages();
+    set_tick(0);
+}
+
+#[cfg(test)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex as StdMutex, OnceLock};
+
+    /// The sink slot is process-global; tests that install sinks must
+    /// not interleave.
+    fn sink_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: OnceLock<StdMutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| StdMutex::new(()))
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    #[test]
+    fn emit_is_noop_without_sink() {
+        let _guard = sink_lock();
+        assert!(!events_enabled());
+        // Must not panic or block.
+        emit("tick", &[("estimate", Field::F64(1.0))]);
+    }
+
+    #[test]
+    fn install_emit_take_round_trip() {
+        let _guard = sink_lock();
+        let sink = MemorySink::new();
+        let handle = sink.clone();
+        assert!(install_sink(Box::new(sink)).is_none());
+        assert!(events_enabled());
+
+        set_tick(42);
+        emit(
+            "net.churn",
+            &[("joins", Field::U64(2)), ("leaves", Field::U64(1))],
+        );
+        assert_eq!(handle.len(), 1);
+        assert_eq!(
+            handle.lines()[0],
+            r#"{"joins":2,"kind":"net.churn","leaves":1,"tick":42}"#
+        );
+        assert_eq!(crate::schema::validate_line(&handle.lines()[0]), Ok(()));
+
+        assert!(take_sink().is_some());
+        assert!(!events_enabled());
+        emit(
+            "net.churn",
+            &[("joins", Field::U64(9)), ("leaves", Field::U64(9))],
+        );
+        assert_eq!(handle.len(), 1);
+    }
+
+    #[test]
+    fn suppression_nests_and_restores() {
+        let _guard = sink_lock();
+        let sink = MemorySink::new();
+        let handle = sink.clone();
+        let previous = install_sink(Box::new(sink));
+        assert!(previous.is_none());
+
+        {
+            let _outer = suppress_events();
+            assert!(!events_enabled());
+            {
+                let _inner = suppress_events();
+                emit(
+                    "net.churn",
+                    &[("joins", Field::U64(1)), ("leaves", Field::U64(0))],
+                );
+                assert!(!events_enabled());
+            }
+            // Still suppressed by the outer guard.
+            assert!(!events_enabled());
+        }
+        assert!(events_enabled());
+        emit(
+            "net.churn",
+            &[("joins", Field::U64(1)), ("leaves", Field::U64(0))],
+        );
+        assert_eq!(handle.len(), 1);
+
+        assert!(take_sink().is_some());
+    }
+}

@@ -1,0 +1,292 @@
+//! The JSONL trace schema and its validator.
+//!
+//! Every event kind emitted by the workspace is declared here with its
+//! full field list; [`validate_line`] checks one JSONL line strictly —
+//! unknown kinds, unknown fields, missing required fields, and
+//! type-mismatched values are all errors. `cargo xtask telemetry-schema`
+//! runs this validator over a real trace, so the table below *is* the
+//! wire format contract documented in the README.
+//!
+//! Shared envelope (present on every event):
+//!
+//! * `kind` — string, the schema name;
+//! * `tick` — unsigned integer, the simulation tick of emission.
+
+use serde_json::Value;
+
+/// Field value types the schema can require.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FieldType {
+    /// Non-negative integral number.
+    U64,
+    /// Any number.
+    F64,
+    /// Boolean.
+    Bool,
+    /// String.
+    Str,
+}
+
+impl FieldType {
+    fn matches(self, value: &Value) -> bool {
+        match self {
+            FieldType::U64 => value.as_u64().is_some(),
+            FieldType::F64 => value.as_f64().is_some(),
+            FieldType::Bool => value.as_bool().is_some(),
+            FieldType::Str => value.as_str().is_some(),
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            FieldType::U64 => "u64",
+            FieldType::F64 => "f64",
+            FieldType::Bool => "bool",
+            FieldType::Str => "string",
+        }
+    }
+}
+
+/// One field slot of an event schema.
+#[derive(Debug, Clone, Copy)]
+pub struct FieldSpec {
+    /// Field name as it appears on the wire.
+    pub name: &'static str,
+    /// Required value type.
+    pub ty: FieldType,
+    /// Whether the field may be omitted.
+    pub required: bool,
+}
+
+const fn req(name: &'static str, ty: FieldType) -> FieldSpec {
+    FieldSpec {
+        name,
+        ty,
+        required: true,
+    }
+}
+
+const fn opt(name: &'static str, ty: FieldType) -> FieldSpec {
+    FieldSpec {
+        name,
+        ty,
+        required: false,
+    }
+}
+
+/// Schema of one event kind.
+#[derive(Debug, Clone, Copy)]
+pub struct EventSchema {
+    /// The `kind` discriminator value.
+    pub kind: &'static str,
+    /// All fields beyond the `kind`/`tick` envelope.
+    pub fields: &'static [FieldSpec],
+}
+
+use FieldType::{Bool, Str, F64, U64};
+
+/// Every event kind the workspace emits, with its full field list.
+pub const EVENT_SCHEMAS: &[EventSchema] = &[
+    // One sampling-operator walk: fresh (burn-in) or continued (reset).
+    EventSchema {
+        kind: "sampling.walk",
+        fields: &[req("fresh", Bool), req("steps", U64), req("hops", U64)],
+    },
+    // One scheduler next_delay decision (PRED-k adds the extrapolation
+    // diagnostics; ALL omits them).
+    EventSchema {
+        kind: "scheduler.decision",
+        fields: &[
+            req("scheduler", Str),
+            req("delay", U64),
+            opt("bootstrapping", Bool),
+            opt("derivative_bound", F64),
+        ],
+    },
+    // One estimator snapshot evaluation (RPT adds the panel split).
+    EventSchema {
+        kind: "estimator.snapshot",
+        fields: &[
+            req("estimator", Str),
+            req("estimate", F64),
+            req("fresh", U64),
+            req("retained", U64),
+            opt("retained_fraction", F64),
+            opt("rho", F64),
+        ],
+    },
+    // One engine on_tick that executed a snapshot query.
+    EventSchema {
+        kind: "engine.snapshot",
+        fields: &[
+            req("system", Str),
+            req("estimate", F64),
+            req("messages", U64),
+            req("samples", U64),
+        ],
+    },
+    // Churn applied to the overlay in one tick (only emitted when
+    // something actually changed).
+    EventSchema {
+        kind: "net.churn",
+        fields: &[req("joins", U64), req("leaves", U64)],
+    },
+    // Per-tick rollup from the simulation driver (one per engine per
+    // tick; `query` disambiguates multi-query runs).
+    EventSchema {
+        kind: "tick",
+        fields: &[
+            req("estimate", F64),
+            req("exact", F64),
+            req("snapshot", Bool),
+            req("samples", U64),
+            req("fresh", U64),
+            req("messages", U64),
+            req("updated", U64),
+            opt("query", U64),
+        ],
+    },
+    // Per-replication rollup from the parallel harness (emitted after
+    // joins, in seed order).
+    EventSchema {
+        kind: "replication",
+        fields: &[
+            req("seed", U64),
+            req("ticks", U64),
+            req("snapshots", U64),
+            req("samples", U64),
+            req("messages", U64),
+        ],
+    },
+];
+
+/// Looks up the schema for a kind.
+#[must_use]
+pub fn schema_for(kind: &str) -> Option<&'static EventSchema> {
+    EVENT_SCHEMAS.iter().find(|s| s.kind == kind)
+}
+
+/// Validates one JSONL trace line strictly.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first problem found:
+/// parse failure, non-object line, missing/mistyped envelope, unknown
+/// `kind`, missing required field, unknown field, or type mismatch.
+pub fn validate_line(line: &str) -> Result<(), String> {
+    let value = serde_json::from_str(line).map_err(|_| format!("not valid JSON: {line}"))?;
+    let object = value
+        .as_object()
+        .ok_or_else(|| format!("not a JSON object: {line}"))?;
+
+    let kind = object
+        .get("kind")
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("missing string `kind`: {line}"))?;
+    if object.get("tick").and_then(Value::as_u64).is_none() {
+        return Err(format!("missing u64 `tick`: {line}"));
+    }
+
+    let schema = schema_for(kind).ok_or_else(|| format!("unknown event kind `{kind}`"))?;
+
+    for spec in schema.fields {
+        match object.get(spec.name) {
+            Some(value) if spec.ty.matches(value) => {}
+            Some(_) => {
+                return Err(format!(
+                    "`{kind}` field `{}` is not {}: {line}",
+                    spec.name,
+                    spec.ty.name()
+                ));
+            }
+            None if spec.required => {
+                return Err(format!("`{kind}` missing required field `{}`", spec.name));
+            }
+            None => {}
+        }
+    }
+
+    for (key, _) in object.iter() {
+        let envelope = key == "kind" || key == "tick";
+        if !envelope && !schema.fields.iter().any(|spec| spec.name == key) {
+            return Err(format!("`{kind}` has unknown field `{key}`"));
+        }
+    }
+
+    Ok(())
+}
+
+#[cfg(test)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)]
+mod tests {
+    use super::*;
+    use crate::event::{render_json_line, Field};
+
+    #[test]
+    fn kinds_are_unique() {
+        let mut seen = std::collections::BTreeSet::new();
+        for schema in EVENT_SCHEMAS {
+            assert!(seen.insert(schema.kind), "{} duplicated", schema.kind);
+        }
+    }
+
+    #[test]
+    fn rendered_events_validate() {
+        let line = render_json_line(
+            "sampling.walk",
+            4,
+            &[
+                ("fresh", Field::Bool(true)),
+                ("steps", Field::U64(50)),
+                ("hops", Field::U64(31)),
+            ],
+        );
+        assert_eq!(validate_line(&line), Ok(()));
+
+        let line = render_json_line(
+            "scheduler.decision",
+            9,
+            &[
+                ("scheduler", Field::Str("pred3")),
+                ("delay", Field::U64(7)),
+                ("bootstrapping", Field::Bool(false)),
+                ("derivative_bound", Field::F64(0.25)),
+            ],
+        );
+        assert_eq!(validate_line(&line), Ok(()));
+    }
+
+    #[test]
+    fn optional_fields_may_be_omitted() {
+        let line = render_json_line(
+            "scheduler.decision",
+            0,
+            &[("scheduler", Field::Str("all")), ("delay", Field::U64(1))],
+        );
+        assert_eq!(validate_line(&line), Ok(()));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(validate_line("not json").is_err());
+        assert!(validate_line("[1,2]").is_err());
+        assert!(validate_line(r#"{"tick":0}"#).is_err());
+        assert!(validate_line(r#"{"kind":"tick"}"#).is_err());
+        assert!(validate_line(r#"{"kind":"nope","tick":0}"#).is_err());
+        // Missing required field.
+        assert!(validate_line(r#"{"kind":"net.churn","tick":0,"joins":1}"#).is_err());
+        // Unknown field.
+        assert!(
+            validate_line(r#"{"joins":1,"kind":"net.churn","leaves":0,"tick":0,"x":1}"#).is_err()
+        );
+        // Type mismatch.
+        assert!(validate_line(r#"{"joins":true,"kind":"net.churn","leaves":0,"tick":0}"#).is_err());
+        // Negative tick.
+        assert!(validate_line(r#"{"joins":1,"kind":"net.churn","leaves":0,"tick":-1}"#).is_err());
+    }
+}

@@ -7,12 +7,14 @@
 //!
 //! * **R1 — panic-free library crates**: no `unwrap()` / `expect()` /
 //!   `panic!` / `unreachable!` / `todo!` / `unimplemented!` in
-//!   `core`, `stats`, `sampling`, `net`, `db` outside `#[cfg(test)]`
-//!   code, modulo a checked-in allowlist that may only shrink.
+//!   `core`, `stats`, `sampling`, `net`, `db`, `sim`, `telemetry`
+//!   outside `#[cfg(test)]` code, modulo a checked-in allowlist that may
+//!   only shrink.
 //! * **R2 — replay determinism**: no `HashMap` / `HashSet` in simulator-
 //!   or estimator-visible crates (`core`, `stats`, `sampling`, `net`,
-//!   `db`, `sim`, `workload`) outside `#[cfg(test)]` — use `BTreeMap` /
-//!   `BTreeSet` or an explicit sort so iteration order is stable.
+//!   `db`, `sim`, `workload`, `telemetry`) outside `#[cfg(test)]` — use
+//!   `BTreeMap` / `BTreeSet` or an explicit sort so iteration order is
+//!   stable.
 //! * **R3 — float discipline**: no bare `==` / `!=` against float
 //!   operands and no narrowing `as` casts (`u8`/`u16`/`u32`/`i8`/`i16`/
 //!   `i32`/`f32`) in `stats` / `core` numeric code.
@@ -34,11 +36,20 @@ use std::path::{Path, PathBuf};
 pub mod scrub;
 
 /// Crates whose library sources must be panic-free (R1).
-pub const R1_CRATES: &[&str] = &["core", "stats", "sampling", "net", "db"];
+pub const R1_CRATES: &[&str] = &["core", "stats", "sampling", "net", "db", "sim", "telemetry"];
 
 /// Crates whose library sources feed the simulator or estimators and must
 /// avoid nondeterministic hash collections (R2).
-pub const R2_CRATES: &[&str] = &["core", "stats", "sampling", "net", "db", "sim", "workload"];
+pub const R2_CRATES: &[&str] = &[
+    "core",
+    "stats",
+    "sampling",
+    "net",
+    "db",
+    "sim",
+    "workload",
+    "telemetry",
+];
 
 /// Crates holding numeric estimator code subject to float discipline (R3).
 pub const R3_CRATES: &[&str] = &["stats", "core"];

@@ -4,10 +4,15 @@
 //!
 //! * `lint` — run the custom static-analysis pass (rules R1–R4; see the
 //!   library crate docs). Exits non-zero on any finding.
-//! * `determinism` — build the CLI, run a fixed-seed scenario twice, and
-//!   byte-diff the traces. Exits non-zero on any divergence.
+//! * `determinism` — build the CLI, run a fixed-seed scenario twice —
+//!   both with and without `--telemetry` — and byte-diff the stdout
+//!   traces and the JSONL event streams. Exits non-zero on any
+//!   divergence (including telemetry perturbing the plain trace).
+//! * `telemetry-schema` — run a fixed-seed scenario with `--telemetry`
+//!   and validate every emitted JSONL line against the event schema,
+//!   requiring coverage of the core event kinds.
 //!
-//! Both are wired into CI; `cargo xtask lint` is also the local
+//! All are wired into CI; `cargo xtask lint` is also the local
 //! pre-commit gate.
 
 #![forbid(unsafe_code)]
@@ -20,9 +25,11 @@ fn usage() -> ExitCode {
         "usage: cargo xtask <command>\n\
          \n\
          commands:\n\
-           lint           run the R1–R4 static-analysis pass over the workspace\n\
-           determinism    run a fixed-seed scenario twice and byte-diff the traces\n\
-           help           show this message"
+           lint              run the R1–R4 static-analysis pass over the workspace\n\
+           determinism       run fixed-seed scenarios twice (with and without\n\
+                             --telemetry) and byte-diff traces and event streams\n\
+           telemetry-schema  validate a --telemetry JSONL stream against the schema\n\
+           help              show this message"
     );
     ExitCode::from(2)
 }
@@ -36,6 +43,7 @@ fn main() -> ExitCode {
     match command.as_str() {
         "lint" => run_lint(&root),
         "determinism" => run_determinism(&root),
+        "telemetry-schema" => run_telemetry_schema(&root),
         "help" | "--help" | "-h" => {
             usage();
             ExitCode::SUCCESS
@@ -119,52 +127,210 @@ const DETERMINISM_RUNS: &[(&str, &[&str])] = &[
     ),
 ];
 
-fn run_determinism(root: &Path) -> ExitCode {
-    println!("xtask determinism: building digest-cli (release)");
+fn build_cli(root: &Path, gate: &str) -> Result<PathBuf, ExitCode> {
+    println!("xtask {gate}: building digest-cli (release)");
     let build = Command::new("cargo")
         .args(["build", "--release", "--bin", "digest-cli"])
         .current_dir(root)
         .status();
     match build {
-        Ok(status) if status.success() => {}
+        Ok(status) if status.success() => Ok(root.join("target/release/digest-cli")),
         Ok(status) => {
-            eprintln!("xtask determinism: cargo build failed with {status}");
-            return ExitCode::FAILURE;
+            eprintln!("xtask {gate}: cargo build failed with {status}");
+            Err(ExitCode::FAILURE)
         }
         Err(e) => {
-            eprintln!("xtask determinism: failed to spawn cargo: {e}");
-            return ExitCode::FAILURE;
+            eprintln!("xtask {gate}: failed to spawn cargo: {e}");
+            Err(ExitCode::FAILURE)
         }
     }
-    let cli = root.join("target/release/digest-cli");
+}
+
+/// A scenario's scratch JSONL path under `target/` (labels contain `/`).
+fn telemetry_scratch(root: &Path, label: &str, run: usize) -> PathBuf {
+    root.join("target").join(format!(
+        "xtask-telemetry-{}-{run}.jsonl",
+        label.replace('/', "-")
+    ))
+}
+
+fn run_determinism(root: &Path) -> ExitCode {
+    let cli = match build_cli(root, "determinism") {
+        Ok(cli) => cli,
+        Err(code) => return code,
+    };
 
     let mut all_identical = true;
     for (label, args) in DETERMINISM_RUNS {
         print!("xtask determinism: scenario {label} ... ");
         let first = capture(&cli, args, root);
         let second = capture(&cli, args, root);
-        match (first, second) {
+        let plain = match (first, second) {
             (Ok(a), Ok(b)) if a == b => {
                 println!("identical ({} trace bytes)", a.len());
+                Some(a)
             }
             (Ok(a), Ok(b)) => {
                 println!("DIVERGED");
                 report_divergence(&a, &b);
                 all_identical = false;
+                None
             }
             (Err(e), _) | (_, Err(e)) => {
                 println!("ERROR");
                 eprintln!("xtask determinism: scenario {label}: {e}");
                 all_identical = false;
+                None
+            }
+        };
+
+        // Re-run with --telemetry: the JSONL streams must be
+        // byte-identical across same-seed runs, and telemetry must not
+        // perturb the plain trace (its stdout extends the plain stdout).
+        print!("xtask determinism: scenario {label} (+telemetry) ... ");
+        match capture_with_telemetry(&cli, label, args, root) {
+            Ok((stdout_a, events_a)) => match capture_with_telemetry(&cli, label, args, root) {
+                Ok((stdout_b, events_b)) => {
+                    if stdout_a != stdout_b {
+                        println!("DIVERGED (stdout)");
+                        report_divergence(&stdout_a, &stdout_b);
+                        all_identical = false;
+                    } else if events_a != events_b {
+                        println!("DIVERGED (event stream)");
+                        report_divergence(&events_a, &events_b);
+                        all_identical = false;
+                    } else if plain
+                        .as_ref()
+                        .is_some_and(|plain| !stdout_a.starts_with(plain))
+                    {
+                        println!("PERTURBED");
+                        eprintln!(
+                            "  --telemetry changed the trace itself: telemetry stdout is \
+                             not an extension of the plain stdout"
+                        );
+                        all_identical = false;
+                    } else {
+                        println!(
+                            "identical ({} trace bytes, {} event bytes)",
+                            stdout_a.len(),
+                            events_a.len()
+                        );
+                    }
+                }
+                Err(e) => {
+                    println!("ERROR");
+                    eprintln!("xtask determinism: scenario {label} (+telemetry): {e}");
+                    all_identical = false;
+                }
+            },
+            Err(e) => {
+                println!("ERROR");
+                eprintln!("xtask determinism: scenario {label} (+telemetry): {e}");
+                all_identical = false;
             }
         }
     }
     if all_identical {
-        println!("xtask determinism: OK — all same-seed traces byte-identical");
+        println!(
+            "xtask determinism: OK — all same-seed traces and telemetry streams byte-identical"
+        );
         ExitCode::SUCCESS
     } else {
         eprintln!("xtask determinism: FAILED — same-seed replay diverged");
         ExitCode::FAILURE
+    }
+}
+
+/// Runs the CLI with `--telemetry` and returns `(stdout, jsonl bytes)`.
+fn capture_with_telemetry(
+    cli: &Path,
+    label: &str,
+    args: &[&str],
+    root: &Path,
+) -> Result<(Vec<u8>, Vec<u8>), String> {
+    // Alternate between two scratch paths so consecutive runs cannot
+    // accidentally compare a file against itself.
+    static RUN: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+    let run = RUN.fetch_add(1, std::sync::atomic::Ordering::Relaxed) % 2;
+    let path = telemetry_scratch(root, label, run);
+    let path_str = path.to_string_lossy().into_owned();
+    let mut full_args: Vec<&str> = vec!["--telemetry", &path_str];
+    full_args.extend_from_slice(args);
+    let stdout = capture(cli, &full_args, root)?;
+    let events = std::fs::read(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    Ok((stdout, events))
+}
+
+/// The scenario used by `cargo xtask telemetry-schema` (the first
+/// determinism scenario: temperature world, PRED-3 + RPT).
+const SCHEMA_REQUIRED_KINDS: &[&str] = &["sampling.walk", "scheduler.decision", "tick"];
+
+fn run_telemetry_schema(root: &Path) -> ExitCode {
+    let cli = match build_cli(root, "telemetry-schema") {
+        Ok(cli) => cli,
+        Err(code) => return code,
+    };
+    let (label, args) = DETERMINISM_RUNS[0];
+    println!("xtask telemetry-schema: scenario {label}");
+    let (_, events) = match capture_with_telemetry(&cli, label, args, root) {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("xtask telemetry-schema: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let text = String::from_utf8_lossy(&events);
+    let mut kind_counts: Vec<(String, usize)> = Vec::new();
+    let mut violations = 0usize;
+    let mut lines = 0usize;
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        lines += 1;
+        if let Err(message) = digest_telemetry::schema::validate_line(line) {
+            violations += 1;
+            if violations <= 10 {
+                eprintln!("  line {}: {message}", idx + 1);
+            }
+            continue;
+        }
+        // validate_line guarantees a `"kind":"..."` member exists.
+        let kind = line
+            .split("\"kind\":\"")
+            .nth(1)
+            .and_then(|rest| rest.split('"').next())
+            .unwrap_or("?");
+        match kind_counts.iter_mut().find(|(k, _)| k == kind) {
+            Some(entry) => entry.1 += 1,
+            None => kind_counts.push((kind.to_owned(), 1)),
+        }
+    }
+    kind_counts.sort();
+    for (kind, count) in &kind_counts {
+        println!("  {kind:<24} {count:>8} event(s)");
+    }
+    let mut missing = Vec::new();
+    for required in SCHEMA_REQUIRED_KINDS {
+        if !kind_counts.iter().any(|(k, _)| k == required) {
+            missing.push(*required);
+        }
+    }
+    if violations > 0 {
+        eprintln!("xtask telemetry-schema: FAILED — {violations} invalid line(s) out of {lines}");
+        ExitCode::FAILURE
+    } else if !missing.is_empty() {
+        eprintln!(
+            "xtask telemetry-schema: FAILED — required event kind(s) missing: {}",
+            missing.join(", ")
+        );
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "xtask telemetry-schema: OK — {lines} line(s) schema-valid, \
+             all required kinds present"
+        );
+        ExitCode::SUCCESS
     }
 }
 

@@ -6,7 +6,7 @@ use std::fs;
 use std::path::{Path, PathBuf};
 use xtask::{
     lint_float_discipline, lint_no_hash_collections, lint_no_panic, lint_paper_refs,
-    lint_workspace, Rule,
+    lint_workspace, Rule, R1_CRATES, R2_CRATES, R3_CRATES,
 };
 
 fn fixture(name: &str) -> String {
@@ -106,7 +106,17 @@ impl TempWorkspace {
         if root.exists() {
             fs::remove_dir_all(&root).expect("clear stale temp workspace");
         }
-        for krate in ["core", "stats", "sampling", "net", "db", "sim", "workload"] {
+        // Every crate any rule scans, derived from the rule constants so
+        // the skeleton tracks future crate-list growth.
+        let mut crates: Vec<&str> = Vec::new();
+        for set in [R1_CRATES, R2_CRATES, R3_CRATES] {
+            for krate in set {
+                if !crates.contains(krate) {
+                    crates.push(krate);
+                }
+            }
+        }
+        for krate in crates {
             let src = root.join("crates").join(krate).join("src");
             fs::create_dir_all(&src).expect("create temp crate dir");
             fs::write(src.join("lib.rs"), "// empty\n").expect("write empty lib");

@@ -17,6 +17,11 @@
 //! The CLI builds the requested synthetic world, runs every query
 //! side-by-side, prints each δ-update as it happens next to the oracle
 //! truth, and closes with a cost summary.
+//!
+//! `--telemetry <path.jsonl>` additionally streams structured events
+//! (one JSON object per line, sorted keys — see README "Telemetry") to
+//! `path.jsonl` and appends a deterministic counter/stage summary table
+//! to stdout.
 
 use digest::core::{
     ContinuousQuery, DigestEngine, EngineConfig, EstimatorKind, QuerySystem, SchedulerKind,
@@ -26,6 +31,7 @@ use digest::sampling::SamplingConfig;
 use digest::workload::{
     MemoryConfig, MemoryWorkload, TemperatureConfig, TemperatureWorkload, Workload,
 };
+use digest_telemetry::{Field, JsonlSink, MetricHandle};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -35,6 +41,7 @@ struct Options {
     scheduler: SchedulerKind,
     estimator: EstimatorKind,
     seed: u64,
+    telemetry: Option<String>,
     statements: Vec<String>,
 }
 
@@ -42,7 +49,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: digest-cli [--world temperature|memory] [--ticks N] \
          [--scheduler all|pred<K>] [--estimator indep|rpt] [--seed S] \
-         \"SELECT ...\" [\"SELECT ...\"]"
+         [--telemetry out.jsonl] \"SELECT ...\" [\"SELECT ...\"]"
     );
     std::process::exit(2);
 }
@@ -54,12 +61,14 @@ fn parse_args() -> Options {
         scheduler: SchedulerKind::Pred(3),
         estimator: EstimatorKind::Repeated,
         seed: 42,
+        telemetry: None,
         statements: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--world" => opts.world = args.next().unwrap_or_else(|| usage()),
+            "--telemetry" => opts.telemetry = Some(args.next().unwrap_or_else(|| usage())),
             "--ticks" => {
                 opts.ticks = Some(
                     args.next()
@@ -102,7 +111,55 @@ fn parse_args() -> Options {
     opts
 }
 
+/// Prints the deterministic end-of-run telemetry summary: every non-zero
+/// counter/gauge (registry order), then per-stage span counts and totals.
+fn print_telemetry_summary() {
+    println!();
+    println!("--- telemetry summary ---");
+    for d in digest_telemetry::descriptors() {
+        match d.handle {
+            MetricHandle::Counter(c) => {
+                let v = c.get();
+                if v != 0 {
+                    println!("  {:<32} {v:>12}", d.name);
+                }
+            }
+            MetricHandle::Gauge(g) => {
+                let v = g.get();
+                if v != 0.0 {
+                    println!("  {:<32} {v:>12.4}", d.name);
+                }
+            }
+            MetricHandle::Histogram(h) => {
+                let n = h.count();
+                if n != 0 {
+                    println!(
+                        "  {:<32} {n:>12} obs  mean {:.2}  p99<= {}",
+                        d.name,
+                        h.mean(),
+                        h.quantile_upper_bound(0.99),
+                    );
+                }
+            }
+        }
+    }
+    for report in digest_telemetry::stage_reports() {
+        if report.count != 0 {
+            println!(
+                "  stage {:<26} {:>12} spans  {:>12} units",
+                report.stage.name(),
+                report.count,
+                report.total,
+            );
+        }
+    }
+}
+
 fn run<W: Workload>(mut world: W, opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    if let Some(path) = &opts.telemetry {
+        digest_telemetry::reset_run_state();
+        digest_telemetry::install_sink(Box::new(JsonlSink::create(std::path::Path::new(path))?));
+    }
     let schema = world.db().schema().clone();
     println!(
         "world: {} ({} nodes, {} tuples, σ̂≈{:.1})",
@@ -143,6 +200,7 @@ fn run<W: Workload>(mut world: W, opts: &Options) -> Result<(), Box<dyn std::err
     let mut rng = ChaCha8Rng::seed_from_u64(opts.seed);
     let mut origin = world.graph().nodes().next().ok_or("world has no nodes")?;
     for tick in 0..ticks {
+        digest_telemetry::set_tick(tick);
         world.advance(&mut rng);
         if !world.graph().contains(origin) {
             origin = world.graph().random_node(&mut rng)?;
@@ -157,6 +215,21 @@ fn run<W: Workload>(mut world: W, opts: &Options) -> Result<(), Box<dyn std::err
                 };
                 engine.on_tick(&ctx, &mut rng)?
             };
+            if digest_telemetry::events_enabled() {
+                digest_telemetry::emit(
+                    "tick",
+                    &[
+                        ("estimate", Field::F64(outcome.estimate)),
+                        ("exact", Field::F64(world.exact_aggregate())),
+                        ("snapshot", Field::Bool(outcome.snapshot_executed)),
+                        ("samples", Field::U64(outcome.samples_this_tick)),
+                        ("fresh", Field::U64(outcome.fresh_samples_this_tick)),
+                        ("messages", Field::U64(outcome.messages_this_tick)),
+                        ("updated", Field::U64(u64::from(outcome.updated))),
+                        ("query", Field::U64(i as u64)),
+                    ],
+                );
+            }
             if outcome.updated {
                 println!(
                     "t={tick:>5}  [{i}] UPDATE  X̂ = {:>12.3}   (oracle AVG = {:>10.3})",
@@ -177,6 +250,11 @@ fn run<W: Workload>(mut world: W, opts: &Options) -> Result<(), Box<dyn std::err
             engine.total_samples(),
             engine.total_messages(),
         );
+    }
+    if opts.telemetry.is_some() {
+        digest_telemetry::flush();
+        digest_telemetry::take_sink();
+        print_telemetry_summary();
     }
     Ok(())
 }
