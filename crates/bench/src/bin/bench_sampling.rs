@@ -1,0 +1,231 @@
+//! Parallel sampling-executor benchmark: occasion latency vs worker count.
+//!
+//! Builds a Barabási–Albert overlay (≥1000 nodes), fills every node with
+//! tuples, then draws the same batch panels through the sampling operator
+//! at 1, 2, 4, and 8 workers. For each worker count it measures the
+//! wall-clock latency per occasion (best of several repetitions) and
+//! verifies the panels are **byte-identical** to the single-worker run —
+//! the executor's determinism contract — before reporting speedups and
+//! writing `BENCH_sampling.json`.
+//!
+//! `--scale quick` (default) is the CI smoke configuration; `--scale
+//! full` runs a larger world with more repetitions. Timings are
+//! wall-clock and machine-dependent; only the equality check is a
+//! correctness surface.
+
+use digest_bench::{banner, Scale};
+use digest_db::{P2PDatabase, Schema, Tuple};
+use digest_net::{topology, NodeId};
+use digest_sampling::{SamplingConfig, SamplingOperator};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde_json::json;
+use std::io::Write as _;
+use std::time::Instant;
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+struct BenchParams {
+    nodes: usize,
+    panel: usize,
+    occasions: usize,
+    reps: usize,
+}
+
+impl BenchParams {
+    fn for_scale(scale: Scale) -> Self {
+        match scale {
+            Scale::Quick => Self {
+                nodes: 1_500,
+                panel: 128,
+                occasions: 4,
+                reps: 3,
+            },
+            Scale::Full => Self {
+                nodes: 10_000,
+                panel: 256,
+                occasions: 8,
+                reps: 5,
+            },
+        }
+    }
+}
+
+/// One worker-count measurement: best-of-reps latency plus the exact
+/// bytes of every panel drawn (for the cross-worker equality check).
+struct Measurement {
+    workers: usize,
+    best_ns: u128,
+    fingerprint: Vec<u8>,
+    total_messages: u64,
+}
+
+fn operator_for(nodes: usize, workers: usize) -> SamplingOperator {
+    // Fresh walks each occasion (no pooling) keep per-occasion work
+    // constant, so the latency comparison across worker counts is clean.
+    SamplingOperator::new(SamplingConfig {
+        workers,
+        continue_walks: false,
+        ..SamplingConfig::recommended(nodes)
+    })
+    .expect("valid sampling config")
+}
+
+/// Draws `occasions` panels of `panel` tuples and returns the elapsed
+/// time plus a byte fingerprint of everything the operator returned.
+fn run_once(
+    g: &digest_net::Graph,
+    db: &P2PDatabase,
+    origin: NodeId,
+    params: &BenchParams,
+    workers: usize,
+) -> (u128, Vec<u8>, u64) {
+    let mut op = operator_for(params.nodes, workers);
+    let mut rng = ChaCha8Rng::seed_from_u64(0x00D1_6E57);
+    let mut fingerprint = Vec::new();
+    let start = Instant::now();
+    for _ in 0..params.occasions {
+        let batch = op
+            .sample_tuples(g, db, origin, params.panel, &mut rng)
+            .expect("benchmark batch");
+        for (handle, tuple, cost) in batch {
+            fingerprint.extend_from_slice(handle.to_string().as_bytes());
+            for v in tuple.values() {
+                fingerprint.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+            fingerprint.extend_from_slice(&cost.walk_messages.to_le_bytes());
+            fingerprint.extend_from_slice(&cost.report_messages.to_le_bytes());
+        }
+    }
+    let elapsed = start.elapsed().as_nanos();
+    (elapsed, fingerprint, op.total_messages())
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let params = BenchParams::for_scale(scale);
+    banner("BENCH_sampling", "parallel walk executor latency", scale);
+
+    let mut world_rng = ChaCha8Rng::seed_from_u64(20080402);
+    let g = topology::barabasi_albert(params.nodes, 3, &mut world_rng).expect("topology");
+    let mut db = P2PDatabase::new(Schema::single("a"));
+    for node in g.nodes() {
+        db.register_node(node);
+        let tuples = world_rng.gen_range(1..5_u32);
+        for _ in 0..tuples {
+            let value = world_rng.gen_range(0.0..100.0_f64);
+            db.insert(node, Tuple::single(value)).expect("insert");
+        }
+    }
+    let origin = g.nodes().next().expect("non-empty graph");
+    let hardware_threads =
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    println!(
+        "world: BA graph, {} nodes, {} tuples; panel {} × {} occasions, best of {} reps",
+        g.node_count(),
+        db.total_tuples(),
+        params.panel,
+        params.occasions,
+        params.reps,
+    );
+    println!("hardware threads: {hardware_threads}");
+    if hardware_threads < 2 {
+        println!("note: single-core host — expect no speedup, only the equality check matters");
+    }
+    println!();
+
+    let mut measurements: Vec<Measurement> = Vec::new();
+    for &workers in &WORKER_COUNTS {
+        let mut best_ns = u128::MAX;
+        let mut fingerprint = Vec::new();
+        let mut total_messages = 0;
+        for _ in 0..params.reps {
+            let (ns, fp, messages) = run_once(&g, &db, origin, &params, workers);
+            best_ns = best_ns.min(ns);
+            fingerprint = fp;
+            total_messages = messages;
+        }
+        measurements.push(Measurement {
+            workers,
+            best_ns,
+            fingerprint,
+            total_messages,
+        });
+    }
+
+    let baseline = &measurements[0];
+    let identical = measurements.iter().all(|m| {
+        m.fingerprint == baseline.fingerprint && m.total_messages == baseline.total_messages
+    });
+
+    println!(
+        "{:>8} {:>14} {:>14} {:>9} {:>10}",
+        "workers", "total_ns", "occasion_ns", "speedup", "panels"
+    );
+    let mut runs = Vec::new();
+    for m in &measurements {
+        let speedup = if m.best_ns > 0 {
+            (baseline.best_ns as f64) / (m.best_ns as f64)
+        } else {
+            f64::INFINITY
+        };
+        let occasion_ns = m.best_ns / (params.occasions as u128);
+        println!(
+            "{:>8} {:>14} {:>14} {:>8.2}x {:>10}",
+            m.workers,
+            m.best_ns,
+            occasion_ns,
+            speedup,
+            if m.fingerprint == baseline.fingerprint {
+                "identical"
+            } else {
+                "DIVERGED"
+            },
+        );
+        runs.push(json!({
+            "workers": m.workers,
+            "total_ns": m.best_ns as u64,
+            "occasion_ns": occasion_ns as u64,
+            "speedup": speedup,
+            "total_messages": m.total_messages,
+            "panel_identical": m.fingerprint == baseline.fingerprint,
+        }));
+    }
+    println!();
+    if identical {
+        println!("panels byte-identical across all worker counts");
+    } else {
+        println!("ERROR: panels diverged across worker counts");
+    }
+
+    let out = json!({
+        "benchmark": "BENCH_sampling",
+        "scale": scale.label(),
+        "nodes": params.nodes,
+        "panel": params.panel,
+        "occasions": params.occasions,
+        "reps": params.reps,
+        "hardware_threads": hardware_threads,
+        "runs": runs,
+        "panels_identical": identical,
+    });
+    let path = std::path::Path::new("BENCH_sampling.json");
+    match std::fs::File::create(path) {
+        Ok(mut f) => {
+            if let Err(e) = writeln!(
+                f,
+                "{}",
+                serde_json::to_string_pretty(&out).expect("valid json")
+            ) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+            } else {
+                println!("[results written to {}]", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: cannot create {}: {e}", path.display()),
+    }
+
+    if !identical {
+        std::process::exit(1);
+    }
+}

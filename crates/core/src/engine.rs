@@ -157,6 +157,7 @@ impl DigestEngine {
             walk_length: config.sampling.walk_length.saturating_mul(4),
             reset_length: config.sampling.reset_length.saturating_mul(2),
             continue_walks: config.sampling.continue_walks,
+            workers: config.sampling.workers,
         })?;
         let est_name = if matches!(query.op, AggregateOp::Median) {
             "QUANTILE"
@@ -449,6 +450,12 @@ impl QuerySystem for DigestEngine {
 
     fn total_messages(&self) -> u64 {
         self.total_messages
+    }
+
+    fn set_sampling_workers(&mut self, workers: usize) {
+        self.config.sampling.workers = workers;
+        self.operator.set_workers(workers);
+        self.size_operator.set_workers(workers);
     }
 
     fn total_samples(&self) -> u64 {

@@ -134,8 +134,11 @@ impl IndependentEstimator {
         } else {
             self.max_samples.saturating_mul(4)
         };
-        // Sequential loop: pilot first, then extend until the CLT size is
-        // satisfied by the running σ̂ (sizes count *qualifying* samples).
+        // Sequential rounds of batch draws: pilot first, then extend until
+        // the CLT size is satisfied by the running σ̂ (sizes count
+        // *qualifying* samples). Each round requests the current deficit
+        // in one `sample_tuples` batch, which runs the occasion's walks
+        // through the deterministic parallel executor.
         loop {
             let goal = if qualifying < self.pilot_size as u64 {
                 self.pilot_size
@@ -147,22 +150,26 @@ impl IndependentEstimator {
             if qualifying >= goal as u64 || drawn >= max_draws as u64 {
                 break;
             }
-            let (handle, tuple, cost) =
-                operator.sample_tuple(ctx.graph, ctx.db, ctx.origin, rng)?;
-            messages += cost.total();
-            drawn += 1;
-            if !trivial && !predicate.eval(&tuple).unwrap_or(false) {
-                continue;
-            }
-            let value = expr.eval(&tuple)?;
-            if value.is_finite() {
-                moments.push(value);
-                qualifying += 1;
-                if self.build_panel {
-                    panel.push(PanelEntry {
-                        handle,
-                        prev_value: value,
-                    });
+            let deficit = goal.saturating_sub(usize::try_from(qualifying).unwrap_or(usize::MAX));
+            let headroom = max_draws.saturating_sub(usize::try_from(drawn).unwrap_or(usize::MAX));
+            let want = deficit.min(headroom).max(1);
+            let batch = operator.sample_tuples(ctx.graph, ctx.db, ctx.origin, want, rng)?;
+            for (handle, tuple, cost) in batch {
+                messages += cost.total();
+                drawn += 1;
+                if !trivial && !predicate.eval(&tuple).unwrap_or(false) {
+                    continue;
+                }
+                let value = expr.eval(&tuple)?;
+                if value.is_finite() {
+                    moments.push(value);
+                    qualifying += 1;
+                    if self.build_panel {
+                        panel.push(PanelEntry {
+                            handle,
+                            prev_value: value,
+                        });
+                    }
                 }
             }
         }
@@ -248,6 +255,7 @@ mod tests {
             walk_length: 40,
             reset_length: 8,
             continue_walks: true,
+            workers: 1,
         })
         .unwrap()
     }

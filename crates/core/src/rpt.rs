@@ -268,23 +268,31 @@ impl RepeatedEstimator {
         } else {
             fresh_needed.saturating_mul(8).max(16)
         };
+        // Rounds of batch draws through the deterministic parallel
+        // executor: each round requests the remaining deficit (capped by
+        // the attempt budget) in one `sample_tuples` batch.
         let mut attempts = 0usize;
         while fresh_values.len() < fresh_needed && attempts < max_attempts {
-            attempts += 1;
-            let (handle, tuple, cost) =
-                operator.sample_tuple(ctx.graph, ctx.db, ctx.origin, rng)?;
-            messages += cost.total();
-            fresh_drawn += 1;
-            if !trivial && !predicate.eval(&tuple).unwrap_or(false) {
-                continue;
-            }
-            let value = expr.eval(&tuple)?;
-            if value.is_finite() {
-                fresh_values.push(value);
-                fresh_entries.push(PanelEntry {
-                    handle,
-                    prev_value: value,
-                });
+            let want = fresh_needed
+                .saturating_sub(fresh_values.len())
+                .min(max_attempts.saturating_sub(attempts))
+                .max(1);
+            attempts += want;
+            let batch = operator.sample_tuples(ctx.graph, ctx.db, ctx.origin, want, rng)?;
+            for (handle, tuple, cost) in batch {
+                messages += cost.total();
+                fresh_drawn += 1;
+                if !trivial && !predicate.eval(&tuple).unwrap_or(false) {
+                    continue;
+                }
+                let value = expr.eval(&tuple)?;
+                if value.is_finite() {
+                    fresh_values.push(value);
+                    fresh_entries.push(PanelEntry {
+                        handle,
+                        prev_value: value,
+                    });
+                }
             }
         }
 
@@ -468,6 +476,7 @@ mod tests {
             walk_length: 40,
             reset_length: 8,
             continue_walks: true,
+            workers: 1,
         })
         .unwrap()
     }

@@ -90,6 +90,14 @@ pub trait QuerySystem {
     fn oracle_truth(&self, _ctx: &TickContext<'_>) -> Option<f64> {
         None
     }
+
+    /// Sets the worker count used to execute sampling-walk batches.
+    ///
+    /// Results are byte-identical for every worker count (the sampling
+    /// executor derives one RNG stream per walk slot), so this only
+    /// changes wall-clock behaviour. Default: no-op — non-sampling
+    /// systems have no walk pool to parallelise.
+    fn set_sampling_workers(&mut self, _workers: usize) {}
 }
 
 #[cfg(test)]

@@ -1,0 +1,561 @@
+//! Deterministic parallel execution of one occasion's walk batch.
+//!
+//! The paper's batch mode invokes `S` n times *simultaneously* (§VI-A);
+//! this module is that simultaneity made real on threads without giving
+//! up replayability. The design mirrors the replication harness in
+//! `digest-sim::parallel`:
+//!
+//! * **Counter-derived RNG streams.** The caller draws exactly one
+//!   `u64` occasion seed from its own RNG; every walk slot then owns an
+//!   independent `ChaCha8Rng` seeded by a SplitMix64 mix of
+//!   `(occasion_seed, slot)`. No walk ever reads another walk's stream,
+//!   so the sampled panel is a pure function of `(occasion_seed, slot)`
+//!   — **byte-identical for any worker count, including 1**. The
+//!   sequential case is literally `workers == 1` running the same drain
+//!   loop inline, not a separate code path.
+//! * **Index stealing + slot-order reassembly.** Workers steal slot
+//!   indices from an atomic cursor and park results in a slot-indexed
+//!   table; after the scope joins, results are consumed in slot order,
+//!   so thread scheduling can influence neither the output order nor
+//!   which error surfaces first.
+//! * **An immutable occasion snapshot.** Adjacency (CSR), degrees, and
+//!   node weights are captured once per batch on the dispatching
+//!   thread; M–H proposals then read the snapshot instead of re-querying
+//!   [`Graph`] and re-evaluating the weight closure per step. Weights
+//!   are validated eagerly at capture, which is why the per-step walk
+//!   below is infallible.
+//! * **Deferred telemetry.** Workers run with events suppressed and
+//!   accumulate per-slot tallies locally; counters and the per-slot
+//!   `sampling.walk` / per-batch `sampling.batch` events are flushed
+//!   post-join in slot order, keeping traces deterministic.
+//!
+//! The batch is atomic: any slot error (or exhausted content-retry
+//! budget) fails the whole occasion batch and the operator's pool and
+//! accounting are left untouched.
+
+use crate::error::SamplingError;
+use crate::metropolis::{MetropolisWalk, ZERO_WEIGHT_FLOOR};
+use crate::operator::{SampleCost, SamplingConfig};
+use crate::weight::NodeWeight;
+use crate::Result;
+use digest_db::{P2PDatabase, Tuple, TupleHandle};
+use digest_net::{Graph, NodeId};
+use digest_telemetry::{registry as telemetry, Field, Stage};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+/// Retry budget for landing on a content-bearing node, matching the
+/// bounded loop in `SamplingOperator::sample_tuple`.
+const TUPLE_RETRY_LIMIT: usize = 64;
+
+/// SplitMix64 finalizer (Steele et al., "Fast splittable pseudorandom
+/// number generators") — used to derive well-separated per-slot seeds
+/// from the single occasion seed.
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The seed of walk slot `slot`'s private RNG stream for this occasion.
+pub(crate) fn walk_stream_seed(occasion_seed: u64, slot: usize) -> u64 {
+    splitmix64(occasion_seed.wrapping_add((slot as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+}
+
+/// Immutable per-occasion view of the overlay: CSR adjacency, degrees
+/// (implied), liveness, and pre-validated node weights, all indexed by
+/// raw node id. Built once on the dispatching thread; shared read-only
+/// by every walk slot.
+pub(crate) struct OccasionSnapshot {
+    /// CSR row offsets, `id_upper_bound + 1` entries.
+    offsets: Vec<usize>,
+    /// Concatenated neighbor lists.
+    adjacency: Vec<NodeId>,
+    /// Weight per id slot (0.0 for dead ids); every entry finite, ≥ 0.
+    weights: Vec<f64>,
+    /// Liveness per id slot.
+    live: Vec<bool>,
+}
+
+impl OccasionSnapshot {
+    /// Captures the graph topology and evaluates `w` over every live
+    /// node.
+    ///
+    /// # Errors
+    ///
+    /// [`SamplingError::InvalidWeight`] if `w` yields a negative or
+    /// non-finite weight for any live node (the same check the
+    /// sequential walk applies lazily per step, applied eagerly here).
+    pub(crate) fn build<W: NodeWeight>(g: &Graph, w: &W) -> Result<Self> {
+        let upper = g.id_upper_bound();
+        let mut offsets = vec![0usize; upper + 1];
+        let mut weights = vec![0.0f64; upper];
+        let mut live = vec![false; upper];
+        for v in g.nodes() {
+            let i = v.0 as usize;
+            live[i] = true;
+            offsets[i + 1] = g.neighbors(v).len();
+            let weight = w.weight(v);
+            if !weight.is_finite() || weight < 0.0 {
+                return Err(SamplingError::InvalidWeight { node: v, weight });
+            }
+            weights[i] = weight;
+        }
+        for i in 0..upper {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut adjacency = vec![NodeId(0); offsets[upper]];
+        for v in g.nodes() {
+            let i = v.0 as usize;
+            let row = offsets[i];
+            for (k, &neighbor) in g.neighbors(v).iter().enumerate() {
+                adjacency[row + k] = neighbor;
+            }
+        }
+        Ok(Self {
+            offsets,
+            adjacency,
+            weights,
+            live,
+        })
+    }
+
+    /// Whether `v` was live at capture time.
+    pub(crate) fn contains(&self, v: NodeId) -> bool {
+        self.live.get(v.0 as usize).copied().unwrap_or(false)
+    }
+
+    fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        let i = v.0 as usize;
+        match (self.offsets.get(i), self.offsets.get(i + 1)) {
+            (Some(&start), Some(&end)) => self.adjacency.get(start..end).unwrap_or(&[]),
+            _ => &[],
+        }
+    }
+
+    fn degree(&self, v: NodeId) -> usize {
+        self.neighbors(v).len()
+    }
+
+    fn weight(&self, v: NodeId) -> f64 {
+        self.weights.get(v.0 as usize).copied().unwrap_or(0.0)
+    }
+}
+
+/// Local (lock-free) telemetry tallies of one walk slot, flushed into
+/// the global counters post-join.
+#[derive(Debug, Default, Clone, Copy)]
+struct SlotTally {
+    steps: u64,
+    hops: u64,
+    lazy: u64,
+    proposals: u64,
+    accepts: u64,
+}
+
+/// A Metropolis walk advancing over an [`OccasionSnapshot`]. Must mirror
+/// [`MetropolisWalk::step`]'s RNG consumption order *exactly* — one
+/// `gen_bool(0.5)` laziness draw, then (non-lazy, with neighbors) one
+/// `gen_range` proposal draw and at most one acceptance draw — so the
+/// snapshot walk and the live-graph walk are interchangeable given the
+/// same stream (pinned by a unit test below).
+struct SnapshotWalk {
+    current: NodeId,
+    tally: SlotTally,
+}
+
+impl SnapshotWalk {
+    fn new(start: NodeId) -> Self {
+        Self {
+            current: start,
+            tally: SlotTally::default(),
+        }
+    }
+
+    /// One M–H step on the snapshot. Infallible: the snapshot never
+    /// changes under the walk and its weights were validated at build.
+    fn step<R: Rng + ?Sized>(&mut self, snap: &OccasionSnapshot, rng: &mut R) {
+        self.tally.steps += 1;
+
+        // Laziness ½.
+        if rng.gen_bool(0.5) {
+            self.tally.lazy += 1;
+            return;
+        }
+        let neighbors = snap.neighbors(self.current);
+        if neighbors.is_empty() {
+            return;
+        }
+        let proposal = neighbors[rng.gen_range(0..neighbors.len())];
+        self.tally.proposals += 1;
+
+        let w_i = snap.weight(self.current).max(ZERO_WEIGHT_FLOOR);
+        let w_j = snap.weight(proposal);
+        let d_i = snap.degree(self.current) as f64;
+        let d_j = snap.degree(proposal) as f64;
+
+        let accept = (w_j * d_i) / (w_i * d_j);
+        if accept >= 1.0 || rng.gen_bool(accept.max(0.0)) {
+            self.current = proposal;
+            self.tally.accepts += 1;
+            self.tally.hops += 1;
+        }
+    }
+
+    fn run<R: Rng + ?Sized>(&mut self, snap: &OccasionSnapshot, steps: u64, rng: &mut R) {
+        for _ in 0..steps {
+            self.step(snap, rng);
+        }
+    }
+}
+
+/// Work order for one walk slot, fully determined on the dispatching
+/// thread before any worker runs.
+struct SlotTask {
+    start: NodeId,
+    fresh: bool,
+    burn_in: u64,
+    seed: u64,
+}
+
+/// Everything one slot produced: the sampled tuple, the walk's final
+/// position for pool writeback, and the deferred telemetry tallies.
+#[derive(Debug, Clone)]
+pub(crate) struct SlotOutcome {
+    /// Whether the slot launched a fresh walk (vs continuing a pooled
+    /// one).
+    pub(crate) fresh: bool,
+    /// Where the walk ended (the pool writeback position).
+    pub(crate) end: NodeId,
+    /// Planned burn-in of the first segment (mixing or reset length).
+    pub(crate) burn_in: u64,
+    /// Extra reset-length segments walked to find a content-bearing
+    /// node.
+    pub(crate) retries: u64,
+    /// Total M–H steps taken across all segments.
+    pub(crate) steps: u64,
+    /// Accepted moves (= forwarding messages).
+    pub(crate) hops: u64,
+    lazy: u64,
+    proposals: u64,
+    accepts: u64,
+    /// Handle of the sampled tuple.
+    pub(crate) handle: TupleHandle,
+    /// Snapshot copy of the sampled tuple.
+    pub(crate) tuple: Tuple,
+    /// §VI-A message cost of this sample.
+    pub(crate) cost: SampleCost,
+}
+
+/// One occasion batch: which pool state to continue from and how many
+/// samples to draw.
+pub(crate) struct BatchRequest<'a> {
+    /// Operator configuration (lengths, continuation, worker count).
+    pub(crate) config: &'a SamplingConfig,
+    /// The operator's persistent walk pool.
+    pub(crate) pool: &'a [MetropolisWalk],
+    /// First pool slot this batch occupies.
+    pub(crate) cursor: usize,
+    /// Fallback start node for fresh walks.
+    pub(crate) origin: NodeId,
+    /// Samples to draw.
+    pub(crate) n: usize,
+    /// The single `u64` the caller's RNG contributed for this occasion.
+    pub(crate) occasion_seed: u64,
+}
+
+fn run_slot(
+    task: &SlotTask,
+    snap: &OccasionSnapshot,
+    db: &P2PDatabase,
+    reset_length: u64,
+) -> Result<SlotOutcome> {
+    let mut rng = ChaCha8Rng::seed_from_u64(task.seed);
+    let mut walk = SnapshotWalk::new(task.start);
+    let _span = digest_telemetry::span(Stage::SamplingWalk);
+    walk.run(snap, task.burn_in, &mut rng);
+    // Before convergence a walk can sit on an empty node; walk reset
+    // lengths until it lands on a content-bearing one (bounded, as in
+    // the sequential `sample_tuple`).
+    for retry in 0..TUPLE_RETRY_LIMIT {
+        if let Some((handle, tuple)) = db.sample_local(walk.current, &mut rng) {
+            return Ok(SlotOutcome {
+                fresh: task.fresh,
+                end: walk.current,
+                burn_in: task.burn_in,
+                retries: retry as u64,
+                steps: walk.tally.steps,
+                hops: walk.tally.hops,
+                lazy: walk.tally.lazy,
+                proposals: walk.tally.proposals,
+                accepts: walk.tally.accepts,
+                handle,
+                tuple: tuple.clone(),
+                cost: SampleCost {
+                    walk_messages: walk.tally.hops,
+                    report_messages: 1,
+                },
+            });
+        }
+        walk.run(snap, reset_length, &mut rng);
+    }
+    Err(SamplingError::ZeroTotalWeight)
+}
+
+/// Flushes one slot's deferred tallies into the global registry and
+/// emits its `sampling.walk` event. Called post-join, in slot order.
+fn flush_slot_telemetry(config: &SamplingConfig, outcome: &SlotOutcome) {
+    if outcome.fresh {
+        telemetry::SAMPLING_WALKS_FRESH.inc();
+    } else {
+        telemetry::SAMPLING_WALKS_CONTINUED.inc();
+    }
+    telemetry::SAMPLING_BURN_IN.record(outcome.burn_in);
+    for _ in 0..outcome.retries {
+        telemetry::SAMPLING_BURN_IN.record(config.reset_length);
+    }
+    telemetry::SAMPLING_WALK_STEPS.add(outcome.steps);
+    telemetry::SAMPLING_MH_LAZY.add(outcome.lazy);
+    telemetry::SAMPLING_MH_PROPOSALS.add(outcome.proposals);
+    telemetry::SAMPLING_MH_ACCEPTS.add(outcome.accepts);
+    telemetry::SAMPLING_WALK_HOPS.add(outcome.hops);
+    telemetry::SAMPLING_SAMPLES.inc();
+    telemetry::SAMPLING_MESSAGES.add(outcome.cost.total());
+    if digest_telemetry::events_enabled() {
+        digest_telemetry::emit(
+            "sampling.walk",
+            &[
+                ("fresh", Field::Bool(outcome.fresh)),
+                ("steps", Field::U64(outcome.steps)),
+                ("hops", Field::U64(outcome.hops)),
+            ],
+        );
+    }
+}
+
+/// Runs one occasion's walk batch and returns the slot outcomes in slot
+/// order. See the module docs for the determinism model.
+///
+/// # Errors
+///
+/// * [`SamplingError::UnknownNode`] if `origin` is not live.
+/// * [`SamplingError::InvalidWeight`] from snapshot capture.
+/// * [`SamplingError::ZeroTotalWeight`] if a slot exhausts its
+///   content-retry budget.
+/// * The lowest-slot error wins when several slots fail.
+pub(crate) fn run_tuple_batch<W: NodeWeight>(
+    g: &Graph,
+    db: &P2PDatabase,
+    w: &W,
+    request: &BatchRequest<'_>,
+) -> Result<Vec<SlotOutcome>> {
+    let _batch_span = digest_telemetry::span(Stage::SamplingBatch);
+    let snapshot = OccasionSnapshot::build(g, w)?;
+    if !snapshot.contains(request.origin) {
+        return Err(SamplingError::UnknownNode(request.origin));
+    }
+
+    let config = request.config;
+    let tasks: Vec<SlotTask> = (0..request.n)
+        .map(|i| {
+            let slot = request.cursor + i;
+            let pooled = config
+                .continue_walks
+                .then(|| request.pool.get(slot))
+                .flatten()
+                .filter(|walk| snapshot.contains(walk.current()));
+            let (start, fresh) = match pooled {
+                Some(walk) => (walk.current(), false),
+                None => (request.origin, true),
+            };
+            SlotTask {
+                start,
+                fresh,
+                burn_in: if fresh {
+                    config.walk_length
+                } else {
+                    config.reset_length
+                },
+                seed: walk_stream_seed(request.occasion_seed, slot),
+            }
+        })
+        .collect();
+
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<Result<SlotOutcome>>>> =
+        Mutex::new((0..request.n).map(|_| None).collect());
+    let drain = || loop {
+        let index = next.fetch_add(1, Ordering::Relaxed);
+        let Some(task) = tasks.get(index) else {
+            return;
+        };
+        let outcome = run_slot(task, &snapshot, db, config.reset_length);
+        let mut slots = results.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(slot) = slots.get_mut(index) {
+            *slot = Some(outcome);
+        }
+    };
+
+    {
+        // Workers could interleave events nondeterministically; run them
+        // suppressed and emit deterministic rollups post-join. The guard
+        // also covers the inline (single-worker) path so the emitted
+        // stream is identical for every worker count.
+        let _quiet = digest_telemetry::suppress_events();
+        let workers = config.workers.max(1).min(request.n.max(1));
+        if workers <= 1 {
+            drain();
+        } else {
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(drain);
+                }
+            });
+        }
+    }
+
+    let slots = results.into_inner().unwrap_or_else(PoisonError::into_inner);
+    let mut outcomes = Vec::with_capacity(request.n);
+    for slot in slots {
+        match slot {
+            Some(outcome) => outcomes.push(outcome?),
+            // Unreachable by construction (the scope joins all workers
+            // and every index below `n` is claimed exactly once), but
+            // surfaced as an error per the panic policy.
+            None => {
+                return Err(SamplingError::InvalidConfig {
+                    reason: "parallel walk worker exited without reporting a result",
+                })
+            }
+        }
+    }
+
+    let mut fresh = 0u64;
+    let mut continued = 0u64;
+    let mut messages = 0u64;
+    for outcome in &outcomes {
+        flush_slot_telemetry(config, outcome);
+        if outcome.fresh {
+            fresh += 1;
+        } else {
+            continued += 1;
+        }
+        messages = messages.saturating_add(outcome.cost.total());
+    }
+    telemetry::SAMPLING_WALK_BATCHES.inc();
+    telemetry::SAMPLING_BATCH_SLOTS.record(request.n as u64);
+    if digest_telemetry::events_enabled() {
+        digest_telemetry::emit(
+            "sampling.batch",
+            &[
+                ("slots", Field::U64(request.n as u64)),
+                ("workers", Field::U64(config.workers.max(1) as u64)),
+                ("fresh", Field::U64(fresh)),
+                ("continued", Field::U64(continued)),
+                ("messages", Field::U64(messages)),
+            ],
+        );
+    }
+    Ok(outcomes)
+}
+
+#[cfg(test)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)]
+mod tests {
+    use super::*;
+    use crate::weight::uniform_weight;
+    use digest_net::topology;
+    use rand::RngCore;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn snapshot_matches_graph_views() {
+        let mut g = topology::barabasi_albert(40, 2, &mut rng(7)).unwrap();
+        g.remove_node(NodeId(11)).unwrap();
+        let w = |v: NodeId| f64::from(v.0) + 0.5;
+        let snap = OccasionSnapshot::build(&g, &w).unwrap();
+        for v in g.nodes() {
+            assert!(snap.contains(v));
+            assert_eq!(snap.neighbors(v), g.neighbors(v));
+            assert_eq!(snap.degree(v), g.degree(v));
+            assert_eq!(snap.weight(v), f64::from(v.0) + 0.5);
+        }
+        assert!(!snap.contains(NodeId(11)));
+        assert!(snap.neighbors(NodeId(11)).is_empty());
+        assert!(!snap.contains(NodeId(999)));
+    }
+
+    #[test]
+    fn snapshot_rejects_invalid_weights_eagerly() {
+        let g = topology::ring(6).unwrap();
+        let w = |v: NodeId| if v.0 == 3 { f64::NAN } else { 1.0 };
+        assert!(matches!(
+            OccasionSnapshot::build(&g, &w),
+            Err(SamplingError::InvalidWeight {
+                node: NodeId(3),
+                ..
+            })
+        ));
+        let w = |v: NodeId| if v.0 == 2 { -1.0 } else { 1.0 };
+        assert!(OccasionSnapshot::build(&g, &w).is_err());
+    }
+
+    /// The snapshot walk must consume its RNG stream exactly like the
+    /// live-graph walk: same stream in, same trajectory out.
+    #[test]
+    fn snapshot_walk_is_byte_equivalent_to_metropolis_walk() {
+        let g = topology::barabasi_albert(60, 3, &mut rng(11)).unwrap();
+        let w = |v: NodeId| f64::from(v.0 % 5) + 1.0;
+        let snap = OccasionSnapshot::build(&g, &w).unwrap();
+        for seed in 0..20 {
+            let start = NodeId(seed % 60);
+            let mut live = MetropolisWalk::new(&g, start).unwrap();
+            let mut live_rng = rng(u64::from(seed));
+            live.run(&g, &w, 300, &mut live_rng).unwrap();
+
+            let mut snapped = SnapshotWalk::new(start);
+            let mut snap_rng = rng(u64::from(seed));
+            snapped.run(&snap, 300, &mut snap_rng);
+
+            assert_eq!(snapped.current, live.current(), "seed {seed}");
+            assert_eq!(snapped.tally.steps, live.steps(), "seed {seed}");
+            assert_eq!(snapped.tally.hops, live.messages(), "seed {seed}");
+            // Both walks must have drained the same amount of stream.
+            assert_eq!(live_rng.next_u64(), snap_rng.next_u64());
+        }
+    }
+
+    #[test]
+    fn walk_stream_seeds_are_distinct_across_slots_and_occasions() {
+        let mut seen = std::collections::BTreeSet::new();
+        for occasion in 0..8u64 {
+            for slot in 0..64usize {
+                assert!(seen.insert(walk_stream_seed(occasion, slot)));
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_node_walk_stays_put_on_snapshot() {
+        let mut g = digest_net::Graph::new();
+        let a = g.add_node();
+        let w = uniform_weight();
+        let snap = OccasionSnapshot::build(&g, &w).unwrap();
+        let mut walk = SnapshotWalk::new(a);
+        walk.run(&snap, 50, &mut rng(3));
+        assert_eq!(walk.current, a);
+        assert_eq!(walk.tally.hops, 0);
+        assert_eq!(walk.tally.steps, 50);
+    }
+}

@@ -18,7 +18,11 @@
 //! * [`operator`] — the sampling operator: fresh walks (mixing-length) and
 //!   continued walks (reset-length, §VI-A's "continue the random walk from
 //!   where it stops"), two-stage tuple sampling, cluster sampling (for the
-//!   ablation the paper argues against), batch mode.
+//!   ablation the paper argues against), batch mode. Occasion batches run
+//!   through a deterministic parallel executor
+//!   ([`SamplingConfig::workers`]): every walk slot owns a counter-derived
+//!   RNG stream, so sampled panels are byte-identical for any worker
+//!   count, including 1.
 //! * [`mixing`] — exact mixing analysis on small graphs: transition
 //!   matrices, `π_t = π_0 Pᵗ`, TVD curves, measured mixing time `τ(γ)`,
 //!   spectral-gap estimation (Theorem 3's `θ_P = 1 − |λ₂|`).
@@ -34,6 +38,7 @@
 
 pub mod baselines;
 pub mod error;
+mod executor;
 pub mod metropolis;
 pub mod mixing;
 pub mod operator;
@@ -47,7 +52,9 @@ pub use mixing::{
     calibrated_walk_length, mixing_time, sparse_spectral_diagnostics, transition_matrix, tvd_curve,
     SpectralDiagnostics,
 };
-pub use operator::{SampleCost, SamplingConfig, SamplingOperator};
+pub use operator::{
+    default_workers, SampleCost, SamplingConfig, SamplingOperator, WORKERS_ENV_VAR,
+};
 pub use size_estimate::SizeEstimator;
 pub use weight::{content_size_weight, degree_weight, uniform_weight, NodeWeight};
 

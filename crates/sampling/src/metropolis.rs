@@ -32,7 +32,7 @@ use rand::Rng;
 /// dividing by zero. (A zero-weight node still has stationary probability
 /// ~0 because every neighbor accepts a move away from it and essentially
 /// never accepts a move into it.)
-const ZERO_WEIGHT_FLOOR: f64 = 1e-300;
+pub(crate) const ZERO_WEIGHT_FLOOR: f64 = 1e-300;
 
 /// The state of one random-walking sampling agent (paper §V-A, Eq. 12).
 #[derive(Debug, Clone)]
@@ -59,6 +59,20 @@ impl MetropolisWalk {
             steps: 0,
             messages: 0,
         })
+    }
+
+    /// Rebuilds a pooled walk from executor state: the batch executor
+    /// advances walks on an immutable occasion snapshot and writes the
+    /// final positions back through this constructor (crate-internal; the
+    /// cumulative step/message tallies keep [`MetropolisWalk::steps`] and
+    /// [`MetropolisWalk::messages`] consistent with sequential stepping).
+    pub(crate) fn restore(current: NodeId, origin: NodeId, steps: u64, messages: u64) -> Self {
+        Self {
+            current,
+            origin,
+            steps,
+            messages,
+        }
     }
 
     /// The node the agent currently occupies.

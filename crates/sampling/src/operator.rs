@@ -18,6 +18,7 @@
 //!   back to the originator is one more.
 
 use crate::error::SamplingError;
+use crate::executor;
 use crate::metropolis::MetropolisWalk;
 use crate::weight::{content_size_weight, uniform_weight, NodeWeight};
 use crate::Result;
@@ -25,6 +26,25 @@ use digest_db::{P2PDatabase, Tuple, TupleHandle};
 use digest_net::{Graph, NodeId};
 use digest_telemetry::{registry as telemetry, Field, Stage};
 use rand::Rng;
+
+/// Environment override for [`SamplingConfig::workers`]'s default, so a
+/// whole test/CI run can be forced onto the parallel path without
+/// touching every construction site.
+pub const WORKERS_ENV_VAR: &str = "DIGEST_SAMPLING_WORKERS";
+
+/// The default occasion worker count for batch mode (the paper's §V
+/// "invoke `S` n times simultaneously"): `DIGEST_SAMPLING_WORKERS` when
+/// set to a positive integer, otherwise 1 (inline execution). The
+/// sampled panel is byte-identical for every worker count, so this only
+/// moves wall-clock time.
+#[must_use]
+pub fn default_workers() -> usize {
+    std::env::var(WORKERS_ENV_VAR)
+        .ok()
+        .and_then(|raw| raw.trim().parse::<usize>().ok())
+        .filter(|&w| w >= 1)
+        .unwrap_or(1)
+}
 
 /// Tuning of the sampling operator `S` (paper §III, §V).
 #[derive(Debug, Clone, Copy)]
@@ -39,6 +59,11 @@ pub struct SamplingConfig {
     /// continuation). Disabled, every sample pays the full mixing length —
     /// the ablation knob for that design choice.
     pub continue_walks: bool,
+    /// Worker threads for each occasion's walk batch (`0` and `1` both
+    /// mean inline execution). Sampled panels are **byte-identical for
+    /// every value** — each walk slot owns a counter-derived RNG stream —
+    /// so this knob trades wall-clock time only, never results.
+    pub workers: usize,
 }
 
 impl Default for SamplingConfig {
@@ -47,6 +72,7 @@ impl Default for SamplingConfig {
             walk_length: 64,
             reset_length: 16,
             continue_walks: true,
+            workers: default_workers(),
         }
     }
 }
@@ -65,6 +91,7 @@ impl SamplingConfig {
             walk_length: walk.max(8),
             reset_length: (walk / 4).max(2),
             continue_walks: true,
+            workers: default_workers(),
         }
     }
 
@@ -84,6 +111,7 @@ impl SamplingConfig {
             walk_length: walk.max(8),
             reset_length: (walk / 8).max(2),
             continue_walks: true,
+            workers: default_workers(),
         })
     }
 }
@@ -99,10 +127,12 @@ pub struct SampleCost {
 }
 
 impl SampleCost {
-    /// Total messages.
+    /// Total messages. Saturating: a pathological accumulation (e.g. a
+    /// caller summing costs into one `SampleCost`) pins at `u64::MAX`
+    /// instead of overflowing.
     #[must_use]
     pub fn total(&self) -> u64 {
-        self.walk_messages + self.report_messages
+        self.walk_messages.saturating_add(self.report_messages)
     }
 }
 
@@ -148,6 +178,12 @@ impl SamplingOperator {
     #[must_use]
     pub fn config(&self) -> &SamplingConfig {
         &self.config
+    }
+
+    /// Sets the occasion worker count (see [`SamplingConfig::workers`]).
+    /// Safe to change at any time: results never depend on it.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.config.workers = workers;
     }
 
     /// Total messages spent across all samples so far.
@@ -292,8 +328,20 @@ impl SamplingOperator {
     }
 
     /// Draws `n` uniformly random tuples ("batch mode": the paper invokes
-    /// `S` n times simultaneously; message cost is identical, wall-clock
-    /// overlap is the simulator's concern).
+    /// `S` n times simultaneously, and this is that simultaneity — the
+    /// occasion's walk slots run on [`SamplingConfig::workers`] threads
+    /// through the deterministic executor in `executor`).
+    ///
+    /// RNG contract: exactly **one** `u64` is drawn from `rng` per call
+    /// with `n > 0` (the occasion seed) and none when `n == 0`, so the
+    /// caller's stream advance — and hence everything downstream — is
+    /// independent of both `n`'s internals and the worker count. Each
+    /// walk slot derives its own `ChaCha8` stream from `(occasion_seed,
+    /// slot)`; the returned panel is byte-identical for every worker
+    /// count.
+    ///
+    /// The batch is atomic: on error no sample is returned and the walk
+    /// pool, cursor, and message accounting are left untouched.
     ///
     /// # Errors
     ///
@@ -306,10 +354,60 @@ impl SamplingOperator {
         n: usize,
         rng: &mut R,
     ) -> Result<Vec<(TupleHandle, Tuple, SampleCost)>> {
-        let mut out = Vec::with_capacity(n);
-        for _ in 0..n {
-            out.push(self.sample_tuple(g, db, origin, rng)?);
+        if n == 0 {
+            return Ok(Vec::new());
         }
+        if db.total_tuples() == 0 {
+            return Err(SamplingError::EmptyDatabase);
+        }
+        if g.is_empty() {
+            return Err(SamplingError::EmptyGraph);
+        }
+        if !g.contains(origin) {
+            return Err(SamplingError::UnknownNode(origin));
+        }
+        let occasion_seed = rng.next_u64();
+        let w = content_size_weight(db);
+        let request = executor::BatchRequest {
+            config: &self.config,
+            pool: &self.walkers,
+            cursor: self.cursor,
+            origin,
+            n,
+            occasion_seed,
+        };
+        let outcomes = executor::run_tuple_batch(g, db, &w, &request)?;
+
+        let mut out = Vec::with_capacity(n);
+        for (i, outcome) in outcomes.into_iter().enumerate() {
+            let slot = self.cursor + i;
+            if self.config.continue_walks {
+                // Fold the batch walk's tallies back into the pooled
+                // walk so `steps()`/`messages()` read as if the walk had
+                // been advanced sequentially.
+                let (walk_origin, prior_steps, prior_messages) = if outcome.fresh {
+                    (origin, 0, 0)
+                } else {
+                    let prev = &self.walkers[slot];
+                    (prev.origin(), prev.steps(), prev.messages())
+                };
+                let walk = MetropolisWalk::restore(
+                    outcome.end,
+                    walk_origin,
+                    prior_steps.saturating_add(outcome.steps),
+                    prior_messages.saturating_add(outcome.hops),
+                );
+                if slot < self.walkers.len() {
+                    self.walkers[slot] = walk;
+                } else {
+                    self.walkers.push(walk);
+                }
+            }
+            self.total_messages = self.total_messages.saturating_add(outcome.cost.total());
+            self.samples_drawn += 1;
+            out.push((outcome.handle, outcome.tuple, outcome.cost));
+        }
+        self.cursor += n;
         Ok(out)
     }
 
@@ -350,6 +448,7 @@ mod tests {
     use super::*;
     use digest_db::Schema;
     use digest_net::topology;
+    use rand::RngCore;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 
@@ -404,6 +503,7 @@ mod tests {
             walk_length: 60,
             reset_length: 20,
             continue_walks: true,
+            workers: 1,
         })
         .unwrap();
         let mut r = rng(1);
@@ -432,6 +532,7 @@ mod tests {
             walk_length: 60,
             reset_length: 20,
             continue_walks: true,
+            workers: 1,
         })
         .unwrap();
         let mut r = rng(2);
@@ -460,12 +561,14 @@ mod tests {
             walk_length: 100,
             reset_length: 10,
             continue_walks: true,
+            workers: 1,
         })
         .unwrap();
         let mut fresh = SamplingOperator::new(SamplingConfig {
             walk_length: 100,
             reset_length: 10,
             continue_walks: false,
+            workers: 1,
         })
         .unwrap();
 
@@ -495,6 +598,7 @@ mod tests {
             walk_length: 40,
             reset_length: 10,
             continue_walks: false,
+            workers: 1,
         })
         .unwrap();
         let mut r = rng(4);
@@ -526,6 +630,7 @@ mod tests {
             walk_length: 30,
             reset_length: 5,
             continue_walks: true,
+            workers: 1,
         })
         .unwrap();
         let mut r = rng(6);
@@ -553,6 +658,106 @@ mod tests {
     }
 
     #[test]
+    fn sample_cost_total_saturates_instead_of_overflowing() {
+        let cost = SampleCost {
+            walk_messages: u64::MAX - 1,
+            report_messages: 5,
+        };
+        assert_eq!(cost.total(), u64::MAX);
+        let cost = SampleCost {
+            walk_messages: u64::MAX,
+            report_messages: u64::MAX,
+        };
+        assert_eq!(cost.total(), u64::MAX);
+        // The ordinary regime is unchanged.
+        let cost = SampleCost {
+            walk_messages: 7,
+            report_messages: 1,
+        };
+        assert_eq!(cost.total(), 8);
+    }
+
+    #[test]
+    fn batch_empty_request_consumes_no_rng() {
+        let g = topology::complete(4).unwrap();
+        let db = skewed_db(4);
+        let mut op = SamplingOperator::new(SamplingConfig::default()).unwrap();
+        let mut a = rng(11);
+        let mut b = rng(11);
+        assert!(op
+            .sample_tuples(&g, &db, NodeId(0), 0, &mut a)
+            .unwrap()
+            .is_empty());
+        assert_eq!(a.next_u64(), b.next_u64(), "n == 0 must not touch rng");
+    }
+
+    #[test]
+    fn batch_panels_are_identical_for_any_worker_count() {
+        let g = topology::complete(5).unwrap();
+        let db = skewed_db(5);
+        let draw = |workers: usize| {
+            let mut op = SamplingOperator::new(SamplingConfig {
+                walk_length: 40,
+                reset_length: 8,
+                continue_walks: true,
+                workers,
+            })
+            .unwrap();
+            let mut r = rng(12);
+            let mut panels = Vec::new();
+            for _ in 0..4 {
+                op.begin_occasion();
+                panels.push(op.sample_tuples(&g, &db, NodeId(0), 17, &mut r).unwrap());
+            }
+            (panels, op.total_messages(), r.next_u64())
+        };
+        let (base, base_messages, base_next) = draw(1);
+        for workers in [2, 4, 8] {
+            let (panels, messages, next) = draw(workers);
+            assert_eq!(messages, base_messages, "{workers} workers");
+            assert_eq!(next, base_next, "caller rng advance, {workers} workers");
+            for (pa, pb) in base.iter().zip(panels.iter()) {
+                assert_eq!(pa.len(), pb.len());
+                for ((ha, ta, ca), (hb, tb, cb)) in pa.iter().zip(pb.iter()) {
+                    assert_eq!(ha, hb, "{workers} workers");
+                    assert_eq!(
+                        ta.value(0).unwrap().to_bits(),
+                        tb.value(0).unwrap().to_bits(),
+                        "{workers} workers"
+                    );
+                    assert_eq!(ca, cb, "{workers} workers");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_continuation_is_cheaper_and_maintains_the_pool() {
+        let g = topology::ring(30).unwrap();
+        let db = skewed_db(30);
+        let mut op = SamplingOperator::new(SamplingConfig {
+            walk_length: 100,
+            reset_length: 10,
+            continue_walks: true,
+            workers: 2,
+        })
+        .unwrap();
+        let mut r = rng(13);
+        op.sample_tuples(&g, &db, NodeId(0), 8, &mut r).unwrap();
+        assert_eq!(op.pool_size(), 8);
+        let after_first = op.total_messages();
+        op.begin_occasion();
+        op.sample_tuples(&g, &db, NodeId(0), 8, &mut r).unwrap();
+        let second_cost = op.total_messages() - after_first;
+        assert!(
+            second_cost < after_first / 2,
+            "continued occasion {second_cost} vs fresh {after_first}"
+        );
+        assert_eq!(op.pool_size(), 8, "pool slots are reused, not regrown");
+        assert_eq!(op.samples_drawn(), 16);
+    }
+
+    #[test]
     fn cluster_sample_returns_whole_fragment() {
         let g = topology::complete(3).unwrap();
         let db = skewed_db(3);
@@ -560,6 +765,7 @@ mod tests {
             walk_length: 50,
             reset_length: 10,
             continue_walks: false,
+            workers: 1,
         })
         .unwrap();
         let mut r = rng(8);

@@ -15,6 +15,10 @@ pub struct RunConfig {
     pub ticks: u64,
     /// Stop at the workload's own duration even if `ticks` is larger.
     pub respect_duration: bool,
+    /// Worker threads for sampling-walk batches (`None` keeps the
+    /// system's own setting). Results are byte-identical for every
+    /// value; only wall-clock time changes.
+    pub sampling_workers: Option<usize>,
 }
 
 impl Default for RunConfig {
@@ -22,6 +26,7 @@ impl Default for RunConfig {
         Self {
             ticks: u64::MAX,
             respect_duration: true,
+            sampling_workers: None,
         }
     }
 }
@@ -33,6 +38,7 @@ impl RunConfig {
         Self {
             ticks,
             respect_duration: true,
+            sampling_workers: None,
         }
     }
 }
@@ -60,6 +66,10 @@ pub fn run<W: Workload, S: QuerySystem + ?Sized>(
     epsilon: f64,
     rng: &mut dyn RngCore,
 ) -> Result<RunReport> {
+    if let Some(workers) = config.sampling_workers {
+        system.set_sampling_workers(workers);
+    }
+
     let mut origin = workload
         .graph()
         .nodes()

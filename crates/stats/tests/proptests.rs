@@ -139,3 +139,42 @@ proptest! {
         prop_assert!(total_variation_distance(&a, &a).unwrap() < 1e-12);
     }
 }
+
+// Pins on the Eq. 9 partition used by the repeated partial-testing
+// estimator: the retained share stays in `[⌈n/2⌉, n]` for every
+// correlation, the partition always covers the panel exactly, and the
+// combined estimator never does worse than independent sampling's σ²/n.
+proptest! {
+    #[test]
+    fn optimal_partition_stays_in_the_eq9_band(
+        n in 1usize..2000,
+        rho in -0.999f64..0.999,
+        sigma2 in 0.01f64..100.0,
+    ) {
+        let p = optimal_partition(n, rho);
+        prop_assert_eq!(p.retained + p.fresh, n);
+        prop_assert_eq!(p.total(), n);
+        let half_up = n.div_ceil(2);
+        prop_assert!(
+            p.retained >= half_up,
+            "g = {} below ⌈n/2⌉ = {half_up} for n = {n}, ρ = {rho}",
+            p.retained
+        );
+        prop_assert!(p.retained <= n);
+        if n >= 2 {
+            // |ρ| < 1 here, so the panel must keep at least one fresh
+            // sample to repair itself against churn.
+            prop_assert!(p.fresh >= 1, "no fresh samples at n = {n}, ρ = {rho}");
+        }
+
+        let indep = sigma2 / n as f64;
+        let v = combined_variance(sigma2, n, p.retained, rho).unwrap();
+        prop_assert!(
+            v <= indep + 1e-12,
+            "combined variance {v} at g_opt exceeds independent {indep}"
+        );
+        let vmin = min_combined_variance(sigma2, n, rho).unwrap();
+        prop_assert!(vmin <= indep + 1e-12);
+        prop_assert!(vmin <= v + 1e-12);
+    }
+}

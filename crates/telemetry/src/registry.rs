@@ -38,6 +38,10 @@ pub static SAMPLING_MESSAGES: Counter = Counter::new();
 /// Burn-in steps paid per sample (mixing length for fresh walks, reset
 /// length for continued ones).
 pub static SAMPLING_BURN_IN: Histogram = Histogram::new();
+/// Occasion walk batches executed by the parallel executor.
+pub static SAMPLING_WALK_BATCHES: Counter = Counter::new();
+/// Walk slots per executed batch (the occasion panel size).
+pub static SAMPLING_BATCH_SLOTS: Histogram = Histogram::new();
 
 // --- digest-core -------------------------------------------------------
 
@@ -158,6 +162,14 @@ static DESCRIPTORS: &[Descriptor] = &[
     Descriptor {
         name: "sampling.burn_in",
         handle: H::Histogram(&SAMPLING_BURN_IN),
+    },
+    Descriptor {
+        name: "sampling.walk_batches",
+        handle: H::Counter(&SAMPLING_WALK_BATCHES),
+    },
+    Descriptor {
+        name: "sampling.batch.slots",
+        handle: H::Histogram(&SAMPLING_BATCH_SLOTS),
     },
     Descriptor {
         name: "core.scheduler.decisions",

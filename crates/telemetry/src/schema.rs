@@ -92,6 +92,19 @@ pub const EVENT_SCHEMAS: &[EventSchema] = &[
         kind: "sampling.walk",
         fields: &[req("fresh", Bool), req("steps", U64), req("hops", U64)],
     },
+    // One occasion walk batch run through the deterministic parallel
+    // executor (emitted after workers join, alongside the per-slot
+    // `sampling.walk` rollups).
+    EventSchema {
+        kind: "sampling.batch",
+        fields: &[
+            req("slots", U64),
+            req("workers", U64),
+            req("fresh", U64),
+            req("continued", U64),
+            req("messages", U64),
+        ],
+    },
     // One scheduler next_delay decision (PRED-k adds the extrapolation
     // diagnostics; ALL omits them).
     EventSchema {

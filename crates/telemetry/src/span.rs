@@ -68,6 +68,9 @@ pub enum Stage {
     SchedulerDecide,
     /// One sampling-operator walk (burn-in or reset continuation).
     SamplingWalk,
+    /// One occasion walk batch through the parallel executor (snapshot
+    /// build + all slot walks + reassembly).
+    SamplingBatch,
     /// One full simulation replication (parallel harness).
     Replication,
 }
@@ -80,6 +83,7 @@ pub const STAGES: &[Stage] = &[
     Stage::EstimatorEval,
     Stage::SchedulerDecide,
     Stage::SamplingWalk,
+    Stage::SamplingBatch,
     Stage::Replication,
 ];
 
@@ -94,6 +98,7 @@ impl Stage {
             Stage::EstimatorEval => "estimator_eval",
             Stage::SchedulerDecide => "scheduler_decide",
             Stage::SamplingWalk => "sampling_walk",
+            Stage::SamplingBatch => "sampling_batch",
             Stage::Replication => "replication",
         }
     }
@@ -106,7 +111,8 @@ impl Stage {
             Stage::EstimatorEval => 3,
             Stage::SchedulerDecide => 4,
             Stage::SamplingWalk => 5,
-            Stage::Replication => 6,
+            Stage::SamplingBatch => 6,
+            Stage::Replication => 7,
         }
     }
 }
@@ -132,7 +138,7 @@ impl StageStat {
 /// `STATS` table below, never borrowed as a const.
 #[allow(clippy::declare_interior_mutable_const)]
 const STAGE_STAT: StageStat = StageStat::new();
-static STATS: [StageStat; 7] = [STAGE_STAT; 7];
+static STATS: [StageStat; 8] = [STAGE_STAT; 8];
 
 /// Accumulated totals for one stage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -247,7 +253,7 @@ mod tests {
 
     #[test]
     fn stage_names_are_stable() {
-        assert_eq!(STAGES.len(), 7);
+        assert_eq!(STAGES.len(), 8);
         for (i, stage) in STAGES.iter().enumerate() {
             assert_eq!(stage.index(), i);
             assert!(!stage.name().is_empty());

@@ -6,8 +6,11 @@
 //!   library crate docs). Exits non-zero on any finding.
 //! * `determinism` — build the CLI, run a fixed-seed scenario twice —
 //!   both with and without `--telemetry` — and byte-diff the stdout
-//!   traces and the JSONL event streams. Exits non-zero on any
-//!   divergence (including telemetry perturbing the plain trace).
+//!   traces and the JSONL event streams. Also replays each scenario
+//!   with `--sampling-workers 4` and requires the trace to match the
+//!   inline run byte-for-byte (worker-count independence). Exits
+//!   non-zero on any divergence (including telemetry perturbing the
+//!   plain trace).
 //! * `telemetry-schema` — run a fixed-seed scenario with `--telemetry`
 //!   and validate every emitted JSONL line against the event schema,
 //!   requiring coverage of the core event kinds.
@@ -183,6 +186,31 @@ fn run_determinism(root: &Path) -> ExitCode {
                 None
             }
         };
+
+        // Re-run with a parallel sampling executor: worker count must
+        // never leak into results, so the trace must be byte-identical
+        // to the plain (inline) run.
+        print!("xtask determinism: scenario {label} (workers=4) ... ");
+        let mut workers_args: Vec<&str> = vec!["--sampling-workers", "4"];
+        workers_args.extend_from_slice(args);
+        match capture(&cli, &workers_args, root) {
+            Ok(parallel) => match &plain {
+                Some(plain) if *plain == parallel => {
+                    println!("identical ({} trace bytes)", parallel.len());
+                }
+                Some(plain) => {
+                    println!("DIVERGED (worker count leaked into the trace)");
+                    report_divergence(plain, &parallel);
+                    all_identical = false;
+                }
+                None => println!("skipped (no plain trace to compare against)"),
+            },
+            Err(e) => {
+                println!("ERROR");
+                eprintln!("xtask determinism: scenario {label} (workers=4): {e}");
+                all_identical = false;
+            }
+        }
 
         // Re-run with --telemetry: the JSONL streams must be
         // byte-identical across same-seed runs, and telemetry must not

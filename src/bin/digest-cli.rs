@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! digest-cli [--world temperature|memory] [--ticks N] [--scheduler all|predK]
-//!            [--estimator indep|rpt] "<STATEMENT>" ["<STATEMENT>" ...]
+//!            [--estimator indep|rpt] [--sampling-workers N]
+//!            "<STATEMENT>" ["<STATEMENT>" ...]
 //! ```
 //!
 //! Each statement is a full continuous query, e.g.
@@ -41,6 +42,7 @@ struct Options {
     scheduler: SchedulerKind,
     estimator: EstimatorKind,
     seed: u64,
+    sampling_workers: Option<usize>,
     telemetry: Option<String>,
     statements: Vec<String>,
 }
@@ -49,7 +51,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: digest-cli [--world temperature|memory] [--ticks N] \
          [--scheduler all|pred<K>] [--estimator indep|rpt] [--seed S] \
-         [--telemetry out.jsonl] \"SELECT ...\" [\"SELECT ...\"]"
+         [--sampling-workers N] [--telemetry out.jsonl] \"SELECT ...\" \
+         [\"SELECT ...\"]"
     );
     std::process::exit(2);
 }
@@ -61,6 +64,7 @@ fn parse_args() -> Options {
         scheduler: SchedulerKind::Pred(3),
         estimator: EstimatorKind::Repeated,
         seed: 42,
+        sampling_workers: None,
         telemetry: None,
         statements: Vec::new(),
     };
@@ -81,6 +85,14 @@ fn parse_args() -> Options {
                     .next()
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage());
+            }
+            "--sampling-workers" => {
+                opts.sampling_workers = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&w: &usize| w >= 1)
+                        .unwrap_or_else(|| usage()),
+                );
             }
             "--scheduler" => {
                 let v = args.next().unwrap_or_else(|| usage());
@@ -182,7 +194,12 @@ fn run<W: Workload>(mut world: W, opts: &Options) -> Result<(), Box<dyn std::err
                 EngineConfig {
                     scheduler: opts.scheduler,
                     estimator: opts.estimator,
-                    sampling: SamplingConfig::recommended(world.graph().node_count()),
+                    sampling: SamplingConfig {
+                        workers: opts
+                            .sampling_workers
+                            .unwrap_or_else(digest::sampling::default_workers),
+                        ..SamplingConfig::recommended(world.graph().node_count())
+                    },
                     ..Default::default()
                 },
             )
