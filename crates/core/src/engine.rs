@@ -156,8 +156,7 @@ impl DigestEngine {
         let size_operator = SamplingOperator::new(SamplingConfig {
             walk_length: config.sampling.walk_length.saturating_mul(4),
             reset_length: config.sampling.reset_length.saturating_mul(2),
-            continue_walks: config.sampling.continue_walks,
-            workers: config.sampling.workers,
+            ..config.sampling
         })?;
         let est_name = if matches!(query.op, AggregateOp::Median) {
             "QUANTILE"

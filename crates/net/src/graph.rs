@@ -26,7 +26,20 @@ impl fmt::Display for NodeId {
     }
 }
 
+/// Capacity of the structural-change journal. Past this many entries
+/// between two snapshot captures the journal overflows and consumers
+/// fall back to a full rebuild — the cap bounds Graph memory while
+/// keeping every realistic per-tick churn delta patchable.
+const JOURNAL_CAP: usize = 1024;
+
 /// An undirected simple graph over [`NodeId`]s.
+///
+/// Every structural mutation (node join/leave, edge add/remove) bumps a
+/// monotonically increasing **mutation epoch** and records the touched
+/// node ids in a bounded journal, so consumers that cache derived views
+/// of the topology (e.g. the sampling operator's per-occasion CSR
+/// snapshot) can detect staleness in O(1) via [`Graph::epoch`] and
+/// patch incrementally via [`Graph::changes_since`].
 #[derive(Debug, Clone, Default)]
 pub struct Graph {
     /// Slot per ever-allocated id; `None` = departed.
@@ -36,6 +49,13 @@ pub struct Graph {
     /// Position of each live id inside `live` (usize::MAX = not live).
     live_pos: Vec<usize>,
     edge_count: usize,
+    /// Monotonic mutation counter; bumped by every structural change.
+    epoch: u64,
+    /// `(epoch, node)` entries for nodes whose adjacency/liveness changed.
+    journal: Vec<(u64, NodeId)>,
+    /// Earliest epoch from which `journal` is complete; requests for
+    /// changes since an older epoch must fall back to a full rebuild.
+    journal_floor: u64,
 }
 
 impl Graph {
@@ -53,7 +73,60 @@ impl Graph {
             live: Vec::with_capacity(n),
             live_pos: Vec::with_capacity(n),
             edge_count: 0,
+            epoch: 0,
+            journal: Vec::new(),
+            journal_floor: 0,
         }
+    }
+
+    /// The current mutation epoch: 0 for a fresh graph, bumped by every
+    /// structural change (node add/remove, edge add/remove). Two reads
+    /// returning the same epoch guarantee the topology did not change in
+    /// between, so derived views captured at one epoch stay valid while
+    /// the epoch holds.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The node ids whose adjacency or liveness changed since `since`
+    /// (an epoch previously read from [`Graph::epoch`]), sorted and
+    /// deduplicated — or `None` if the bounded journal no longer reaches
+    /// back that far and the caller must rebuild its view from scratch.
+    #[must_use]
+    pub fn changes_since(&self, since: u64) -> Option<Vec<NodeId>> {
+        if since >= self.epoch {
+            return Some(Vec::new());
+        }
+        if since < self.journal_floor {
+            return None;
+        }
+        let mut out: Vec<NodeId> = self
+            .journal
+            .iter()
+            .filter(|&&(epoch, _)| epoch > since)
+            .map(|&(_, id)| id)
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        Some(out)
+    }
+
+    /// Bumps the mutation epoch (one structural change is being applied).
+    fn bump_epoch(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// Records `id` as touched by the current epoch's change. On
+    /// overflow the journal restarts from the current epoch: dropped
+    /// entries all carry epochs ≤ the new floor, so completeness for
+    /// `since ≥ floor` is preserved.
+    fn record_change(&mut self, id: NodeId) {
+        if self.journal.len() >= JOURNAL_CAP {
+            self.journal.clear();
+            self.journal_floor = self.epoch;
+        }
+        self.journal.push((self.epoch, id));
     }
 
     /// Adds a new node and returns its id. Ids are never reused.
@@ -62,6 +135,8 @@ impl Graph {
         self.slots.push(Some(Vec::new()));
         self.live_pos.push(self.live.len());
         self.live.push(id);
+        self.bump_epoch();
+        self.record_change(id);
         id
     }
 
@@ -77,10 +152,13 @@ impl Graph {
             .and_then(Option::take)
             .ok_or(NetError::UnknownNode(id))?;
         self.edge_count -= neighbors.len();
+        self.bump_epoch();
+        self.record_change(id);
         for nb in neighbors {
             if let Some(Some(list)) = self.slots.get_mut(nb.0 as usize) {
                 if let Some(pos) = list.iter().position(|&x| x == id) {
                     list.swap_remove(pos);
+                    self.record_change(nb);
                 }
             }
         }
@@ -132,6 +210,9 @@ impl Graph {
         };
         lb.push(a);
         self.edge_count += 1;
+        self.bump_epoch();
+        self.record_change(a);
+        self.record_change(b);
         Ok(true)
     }
 
@@ -162,6 +243,9 @@ impl Graph {
             lb.swap_remove(pos);
         }
         self.edge_count -= 1;
+        self.bump_epoch();
+        self.record_change(a);
+        self.record_change(b);
         Ok(true)
     }
 
@@ -516,6 +600,74 @@ mod tests {
         let g = Graph::new();
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
         assert_eq!(g.random_node(&mut rng).unwrap_err(), NetError::EmptyGraph);
+    }
+
+    #[test]
+    fn epoch_advances_only_on_structural_change() {
+        let mut g = Graph::new();
+        assert_eq!(g.epoch(), 0);
+        let a = g.add_node();
+        let b = g.add_node();
+        let e = g.epoch();
+        assert_eq!(e, 2);
+        g.add_edge(a, b).unwrap();
+        assert_eq!(g.epoch(), e + 1);
+        // Duplicate edge is a no-op: no bump.
+        g.add_edge(a, b).unwrap();
+        assert_eq!(g.epoch(), e + 1);
+        // Removing an absent edge is a no-op: no bump.
+        let c = g.add_node();
+        let after_c = g.epoch();
+        g.remove_edge(a, c).unwrap();
+        assert_eq!(g.epoch(), after_c);
+        g.remove_edge(a, b).unwrap();
+        assert_eq!(g.epoch(), after_c + 1);
+        g.remove_node(a).unwrap();
+        assert_eq!(g.epoch(), after_c + 2);
+        // Read-only queries never bump.
+        let _ = g.degree(b);
+        let _ = g.is_connected();
+        assert_eq!(g.epoch(), after_c + 2);
+    }
+
+    #[test]
+    fn changes_since_reports_touched_nodes() {
+        let (mut g, a, b, c) = triangle();
+        let mark = g.epoch();
+        assert_eq!(g.changes_since(mark).unwrap(), Vec::<NodeId>::new());
+
+        g.remove_edge(a, b).unwrap();
+        assert_eq!(g.changes_since(mark).unwrap(), vec![a, b]);
+
+        // Removing a node dirties it and all its (remaining) neighbors.
+        g.remove_node(c).unwrap();
+        assert_eq!(g.changes_since(mark).unwrap(), vec![a, b, c]);
+
+        // A fresh mark sees only later changes.
+        let mark2 = g.epoch();
+        let d = g.add_node();
+        g.add_edge(a, d).unwrap();
+        assert_eq!(g.changes_since(mark2).unwrap(), vec![a, d]);
+    }
+
+    #[test]
+    fn journal_overflow_forces_full_rebuild_only_for_old_marks() {
+        let mut g = Graph::new();
+        let ids: Vec<NodeId> = (0..4).map(|_| g.add_node()).collect();
+        let old_mark = g.epoch();
+        // Far more than JOURNAL_CAP changes: toggle one edge repeatedly.
+        for _ in 0..2000 {
+            g.add_edge(ids[0], ids[1]).unwrap();
+            g.remove_edge(ids[0], ids[1]).unwrap();
+        }
+        assert!(
+            g.changes_since(old_mark).is_none(),
+            "overflowed journal must demand a full rebuild"
+        );
+        // A mark taken now is trackable again.
+        let new_mark = g.epoch();
+        g.add_edge(ids[2], ids[3]).unwrap();
+        assert_eq!(g.changes_since(new_mark).unwrap(), vec![ids[2], ids[3]]);
     }
 
     #[test]

@@ -18,30 +18,35 @@
 //!   table; after the scope joins, results are consumed in slot order,
 //!   so thread scheduling can influence neither the output order nor
 //!   which error surfaces first.
-//! * **An immutable occasion snapshot.** Adjacency (CSR), degrees, and
-//!   node weights are captured once per batch on the dispatching
-//!   thread; M–H proposals then read the snapshot instead of re-querying
-//!   [`Graph`] and re-evaluating the weight closure per step. Weights
-//!   are validated eagerly at capture, which is why the per-step walk
-//!   below is infallible.
+//! * **A cached occasion snapshot.** The operator refreshes a
+//!   [`OccasionSnapshot`] through its [`crate::snapshot::SnapshotCache`]
+//!   (reuse / patch / rebuild, see that module) and lends it here;
+//!   M–H proposals read the snapshot's CSR rows and precomputed
+//!   acceptance table instead of re-querying [`digest_net::Graph`] and
+//!   re-evaluating weights per step. Weights were validated at capture,
+//!   which is why the per-step walk below is infallible.
+//! * **Arena-recycled buffers.** Task, result, and outcome vectors live
+//!   in the operator's [`WalkArena`] and are reused across batches —
+//!   the steady-state dispatch path allocates nothing.
 //! * **Deferred telemetry.** Workers run with events suppressed and
 //!   accumulate per-slot tallies locally; counters and the per-slot
 //!   `sampling.walk` / per-batch `sampling.batch` events are flushed
 //!   post-join in slot order, keeping traces deterministic.
 //!
 //! The batch is atomic: any slot error (or exhausted content-retry
-//! budget) fails the whole occasion batch and the operator's pool and
-//! accounting are left untouched.
+//! budget) fails the whole occasion batch, `arena.outcomes` is left
+//! empty, and the operator's pool and accounting are untouched.
 
+use crate::arena::WalkArena;
 use crate::error::SamplingError;
-use crate::metropolis::{MetropolisWalk, ZERO_WEIGHT_FLOOR};
+use crate::metropolis::MetropolisWalk;
 use crate::operator::{SampleCost, SamplingConfig};
-use crate::weight::NodeWeight;
+use crate::snapshot::{OccasionSnapshot, ACCEPT_ALWAYS};
 use crate::Result;
 use digest_db::{P2PDatabase, Tuple, TupleHandle};
-use digest_net::{Graph, NodeId};
+use digest_net::NodeId;
 use digest_telemetry::{registry as telemetry, Field, Stage};
-use rand::{Rng, SeedableRng};
+use rand::{RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, PoisonError};
@@ -65,86 +70,6 @@ pub(crate) fn walk_stream_seed(occasion_seed: u64, slot: usize) -> u64 {
     splitmix64(occasion_seed.wrapping_add((slot as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
 }
 
-/// Immutable per-occasion view of the overlay: CSR adjacency, degrees
-/// (implied), liveness, and pre-validated node weights, all indexed by
-/// raw node id. Built once on the dispatching thread; shared read-only
-/// by every walk slot.
-pub(crate) struct OccasionSnapshot {
-    /// CSR row offsets, `id_upper_bound + 1` entries.
-    offsets: Vec<usize>,
-    /// Concatenated neighbor lists.
-    adjacency: Vec<NodeId>,
-    /// Weight per id slot (0.0 for dead ids); every entry finite, ≥ 0.
-    weights: Vec<f64>,
-    /// Liveness per id slot.
-    live: Vec<bool>,
-}
-
-impl OccasionSnapshot {
-    /// Captures the graph topology and evaluates `w` over every live
-    /// node.
-    ///
-    /// # Errors
-    ///
-    /// [`SamplingError::InvalidWeight`] if `w` yields a negative or
-    /// non-finite weight for any live node (the same check the
-    /// sequential walk applies lazily per step, applied eagerly here).
-    pub(crate) fn build<W: NodeWeight>(g: &Graph, w: &W) -> Result<Self> {
-        let upper = g.id_upper_bound();
-        let mut offsets = vec![0usize; upper + 1];
-        let mut weights = vec![0.0f64; upper];
-        let mut live = vec![false; upper];
-        for v in g.nodes() {
-            let i = v.0 as usize;
-            live[i] = true;
-            offsets[i + 1] = g.neighbors(v).len();
-            let weight = w.weight(v);
-            if !weight.is_finite() || weight < 0.0 {
-                return Err(SamplingError::InvalidWeight { node: v, weight });
-            }
-            weights[i] = weight;
-        }
-        for i in 0..upper {
-            offsets[i + 1] += offsets[i];
-        }
-        let mut adjacency = vec![NodeId(0); offsets[upper]];
-        for v in g.nodes() {
-            let i = v.0 as usize;
-            let row = offsets[i];
-            for (k, &neighbor) in g.neighbors(v).iter().enumerate() {
-                adjacency[row + k] = neighbor;
-            }
-        }
-        Ok(Self {
-            offsets,
-            adjacency,
-            weights,
-            live,
-        })
-    }
-
-    /// Whether `v` was live at capture time.
-    pub(crate) fn contains(&self, v: NodeId) -> bool {
-        self.live.get(v.0 as usize).copied().unwrap_or(false)
-    }
-
-    fn neighbors(&self, v: NodeId) -> &[NodeId] {
-        let i = v.0 as usize;
-        match (self.offsets.get(i), self.offsets.get(i + 1)) {
-            (Some(&start), Some(&end)) => self.adjacency.get(start..end).unwrap_or(&[]),
-            _ => &[],
-        }
-    }
-
-    fn degree(&self, v: NodeId) -> usize {
-        self.neighbors(v).len()
-    }
-
-    fn weight(&self, v: NodeId) -> f64 {
-        self.weights.get(v.0 as usize).copied().unwrap_or(0.0)
-    }
-}
-
 /// Local (lock-free) telemetry tallies of one walk slot, flushed into
 /// the global counters post-join.
 #[derive(Debug, Default, Clone, Copy)]
@@ -156,56 +81,117 @@ struct SlotTally {
     accepts: u64,
 }
 
+/// Integer threshold reproducing the laziness draw. The vendored
+/// `gen_bool(0.5)` computes `unit_f64(v) < 0.5` where `unit_f64(v) =
+/// ((v >> 11) as f64)·2⁻⁵³` is the exact rational `(v >> 11)/2⁵³`; the
+/// comparison holds iff `v >> 11 < 2⁵²`, i.e. iff `v < 2⁶³`. Unrolling
+/// it removes the per-step float conversion without touching the
+/// stream.
+const LAZY_THRESHOLD: u64 = 1 << 63;
+
+/// One cached walk position: the CSR row `(start, span)` of the current
+/// node plus its precomputed Lemire rejection threshold for the uniform
+/// proposal draw. Refreshed only when the walk actually moves, so lazy
+/// steps touch no snapshot memory at all.
+#[derive(Clone, Copy)]
+struct CachedRow {
+    start: usize,
+    /// Degree as the `span` of the vendored `uniform_u64_below`.
+    span: u64,
+    /// `span.wrapping_neg() % span` — the modulo the vendored
+    /// `gen_range` recomputes per draw, precomputed per node by the
+    /// snapshot.
+    reject: u64,
+}
+
+/// Draws a uniform offset in `0..span` (`span ≥ 1`), consuming the
+/// stream exactly like the vendored `rng.gen_range(0..span)`
+/// (`uniform_u64_below`: Lemire widening-multiply rejection, one `u64`
+/// draw per attempt) but with the per-attempt modulo replaced by the
+/// snapshot's precomputed `reject` threshold. Equivalence is pinned by
+/// `reject_table_matches_vendored_gen_range` in the snapshot module and
+/// by `snapshot_walk_is_byte_equivalent_to_metropolis_walk` below,
+/// which drains both streams.
+#[inline]
+fn sample_uniform_offset<R: RngCore + ?Sized>(rng: &mut R, span: u64, reject: u64) -> usize {
+    loop {
+        let x = rng.next_u64();
+        if x.wrapping_mul(span) >= reject {
+            let hi = (u128::from(x) * u128::from(span)) >> 64;
+            // `hi < span` = a node degree, so this cannot actually fail.
+            return usize::try_from(hi).unwrap_or(usize::MAX);
+        }
+    }
+}
+
 /// A Metropolis walk advancing over an [`OccasionSnapshot`]. Must mirror
 /// [`MetropolisWalk::step`]'s RNG consumption order *exactly* — one
-/// `gen_bool(0.5)` laziness draw, then (non-lazy, with neighbors) one
-/// `gen_range` proposal draw and at most one acceptance draw — so the
-/// snapshot walk and the live-graph walk are interchangeable given the
-/// same stream (pinned by a unit test below).
+/// laziness draw, then (non-lazy, with neighbors) one proposal draw and
+/// at most one acceptance draw — so the snapshot walk and the
+/// live-graph walk are interchangeable given the same stream (pinned by
+/// a unit test below). Every distribution call of the live step is
+/// unrolled to its integer core: laziness is a raw compare against
+/// [`LAZY_THRESHOLD`], the proposal is [`sample_uniform_offset`] over
+/// the cached row, and acceptance compares the 53 mantissa bits of one
+/// draw against the snapshot's precomputed per-edge threshold (which
+/// the snapshot module pins bit-identical to the live
+/// `gen_bool(ratio)`).
 struct SnapshotWalk {
     current: NodeId,
+    row: CachedRow,
     tally: SlotTally,
 }
 
 impl SnapshotWalk {
-    fn new(start: NodeId) -> Self {
+    fn cached_row(snap: &OccasionSnapshot, v: NodeId) -> CachedRow {
+        let (start, degree) = snap.row(v);
+        CachedRow {
+            start,
+            span: u64::try_from(degree).unwrap_or(u64::MAX),
+            reject: snap.reject_threshold_of(v),
+        }
+    }
+
+    fn new(start: NodeId, snap: &OccasionSnapshot) -> Self {
         Self {
             current: start,
+            row: Self::cached_row(snap, start),
             tally: SlotTally::default(),
         }
     }
 
     /// One M–H step on the snapshot. Infallible: the snapshot never
     /// changes under the walk and its weights were validated at build.
-    fn step<R: Rng + ?Sized>(&mut self, snap: &OccasionSnapshot, rng: &mut R) {
+    #[inline]
+    fn step<R: RngCore + ?Sized>(&mut self, snap: &OccasionSnapshot, rng: &mut R) {
         self.tally.steps += 1;
 
         // Laziness ½.
-        if rng.gen_bool(0.5) {
+        if rng.next_u64() < LAZY_THRESHOLD {
             self.tally.lazy += 1;
             return;
         }
-        let neighbors = snap.neighbors(self.current);
-        if neighbors.is_empty() {
+        let CachedRow {
+            start,
+            span,
+            reject,
+        } = self.row;
+        if span == 0 {
             return;
         }
-        let proposal = neighbors[rng.gen_range(0..neighbors.len())];
+        let pick = start + sample_uniform_offset(rng, span, reject);
         self.tally.proposals += 1;
 
-        let w_i = snap.weight(self.current).max(ZERO_WEIGHT_FLOOR);
-        let w_j = snap.weight(proposal);
-        let d_i = snap.degree(self.current) as f64;
-        let d_j = snap.degree(proposal) as f64;
-
-        let accept = (w_j * d_i) / (w_i * d_j);
-        if accept >= 1.0 || rng.gen_bool(accept.max(0.0)) {
-            self.current = proposal;
+        let threshold = snap.accept_threshold_at(pick);
+        if threshold == ACCEPT_ALWAYS || (rng.next_u64() >> 11) < threshold {
+            self.current = snap.neighbor_at(pick);
+            self.row = Self::cached_row(snap, self.current);
             self.tally.accepts += 1;
             self.tally.hops += 1;
         }
     }
 
-    fn run<R: Rng + ?Sized>(&mut self, snap: &OccasionSnapshot, steps: u64, rng: &mut R) {
+    fn run<R: RngCore + ?Sized>(&mut self, snap: &OccasionSnapshot, steps: u64, rng: &mut R) {
         for _ in 0..steps {
             self.step(snap, rng);
         }
@@ -214,7 +200,8 @@ impl SnapshotWalk {
 
 /// Work order for one walk slot, fully determined on the dispatching
 /// thread before any worker runs.
-struct SlotTask {
+#[derive(Debug, Clone)]
+pub(crate) struct SlotTask {
     start: NodeId,
     fresh: bool,
     burn_in: u64,
@@ -274,7 +261,7 @@ fn run_slot(
     reset_length: u64,
 ) -> Result<SlotOutcome> {
     let mut rng = ChaCha8Rng::seed_from_u64(task.seed);
-    let mut walk = SnapshotWalk::new(task.start);
+    let mut walk = SnapshotWalk::new(task.start, snap);
     let _span = digest_telemetry::span(Stage::SamplingWalk);
     walk.run(snap, task.burn_in, &mut rng);
     // Before convergence a walk can sit on an empty node; walk reset
@@ -336,63 +323,67 @@ fn flush_slot_telemetry(config: &SamplingConfig, outcome: &SlotOutcome) {
     }
 }
 
-/// Runs one occasion's walk batch and returns the slot outcomes in slot
-/// order. See the module docs for the determinism model.
+/// Runs one occasion's walk batch over the (cache-refreshed) snapshot,
+/// leaving the slot outcomes in `arena.outcomes` in slot order. See the
+/// module docs for the determinism model.
 ///
 /// # Errors
 ///
-/// * [`SamplingError::UnknownNode`] if `origin` is not live.
-/// * [`SamplingError::InvalidWeight`] from snapshot capture.
+/// * [`SamplingError::UnknownNode`] if `origin` is not live in the
+///   snapshot.
 /// * [`SamplingError::ZeroTotalWeight`] if a slot exhausts its
 ///   content-retry budget.
-/// * The lowest-slot error wins when several slots fail.
-pub(crate) fn run_tuple_batch<W: NodeWeight>(
-    g: &Graph,
+/// * The lowest-slot error wins when several slots fail; on any error
+///   `arena.outcomes` is empty.
+pub(crate) fn run_tuple_batch(
     db: &P2PDatabase,
-    w: &W,
     request: &BatchRequest<'_>,
-) -> Result<Vec<SlotOutcome>> {
+    snapshot: &OccasionSnapshot,
+    arena: &mut WalkArena,
+) -> Result<()> {
     let _batch_span = digest_telemetry::span(Stage::SamplingBatch);
-    let snapshot = OccasionSnapshot::build(g, w)?;
+    arena.outcomes.clear();
     if !snapshot.contains(request.origin) {
         return Err(SamplingError::UnknownNode(request.origin));
     }
 
     let config = request.config;
-    let tasks: Vec<SlotTask> = (0..request.n)
-        .map(|i| {
-            let slot = request.cursor + i;
-            let pooled = config
-                .continue_walks
-                .then(|| request.pool.get(slot))
-                .flatten()
-                .filter(|walk| snapshot.contains(walk.current()));
-            let (start, fresh) = match pooled {
-                Some(walk) => (walk.current(), false),
-                None => (request.origin, true),
-            };
-            SlotTask {
-                start,
-                fresh,
-                burn_in: if fresh {
-                    config.walk_length
-                } else {
-                    config.reset_length
-                },
-                seed: walk_stream_seed(request.occasion_seed, slot),
-            }
-        })
-        .collect();
+    arena.tasks.clear();
+    arena.tasks.extend((0..request.n).map(|i| {
+        let slot = request.cursor + i;
+        let pooled = config
+            .continue_walks
+            .then(|| request.pool.get(slot))
+            .flatten()
+            .filter(|walk| snapshot.contains(walk.current()));
+        let (start, fresh) = match pooled {
+            Some(walk) => (walk.current(), false),
+            None => (request.origin, true),
+        };
+        SlotTask {
+            start,
+            fresh,
+            burn_in: if fresh {
+                config.walk_length
+            } else {
+                config.reset_length
+            },
+            seed: walk_stream_seed(request.occasion_seed, slot),
+        }
+    }));
 
+    let mut table = std::mem::take(&mut arena.results);
+    table.clear();
+    table.resize_with(request.n, || None);
+    let tasks = &arena.tasks;
     let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<Result<SlotOutcome>>>> =
-        Mutex::new((0..request.n).map(|_| None).collect());
+    let results: Mutex<Vec<Option<Result<SlotOutcome>>>> = Mutex::new(table);
     let drain = || loop {
         let index = next.fetch_add(1, Ordering::Relaxed);
         let Some(task) = tasks.get(index) else {
             return;
         };
-        let outcome = run_slot(task, &snapshot, db, config.reset_length);
+        let outcome = run_slot(task, snapshot, db, config.reset_length);
         let mut slots = results.lock().unwrap_or_else(PoisonError::into_inner);
         if let Some(slot) = slots.get_mut(index) {
             *slot = Some(outcome);
@@ -417,26 +408,40 @@ pub(crate) fn run_tuple_batch<W: NodeWeight>(
         }
     }
 
-    let slots = results.into_inner().unwrap_or_else(PoisonError::into_inner);
-    let mut outcomes = Vec::with_capacity(request.n);
-    for slot in slots {
-        match slot {
-            Some(outcome) => outcomes.push(outcome?),
+    let mut slots = results.into_inner().unwrap_or_else(PoisonError::into_inner);
+    // Lowest-slot problem wins; the table returns to the arena all-None
+    // with its capacity intact either way.
+    let mut failure: Option<SamplingError> = None;
+    for slot in slots.iter_mut() {
+        match slot.take() {
+            Some(Ok(outcome)) => {
+                if failure.is_none() {
+                    arena.outcomes.push(outcome);
+                }
+            }
+            Some(Err(err)) => {
+                failure.get_or_insert(err);
+            }
             // Unreachable by construction (the scope joins all workers
             // and every index below `n` is claimed exactly once), but
             // surfaced as an error per the panic policy.
             None => {
-                return Err(SamplingError::InvalidConfig {
+                failure.get_or_insert(SamplingError::InvalidConfig {
                     reason: "parallel walk worker exited without reporting a result",
-                })
+                });
             }
         }
+    }
+    arena.results = slots;
+    if let Some(err) = failure {
+        arena.outcomes.clear();
+        return Err(err);
     }
 
     let mut fresh = 0u64;
     let mut continued = 0u64;
     let mut messages = 0u64;
-    for outcome in &outcomes {
+    for outcome in &arena.outcomes {
         flush_slot_telemetry(config, outcome);
         if outcome.fresh {
             fresh += 1;
@@ -459,7 +464,7 @@ pub(crate) fn run_tuple_batch<W: NodeWeight>(
             ],
         );
     }
-    Ok(outcomes)
+    Ok(())
 }
 
 #[cfg(test)]
@@ -479,40 +484,10 @@ mod tests {
         ChaCha8Rng::seed_from_u64(seed)
     }
 
-    #[test]
-    fn snapshot_matches_graph_views() {
-        let mut g = topology::barabasi_albert(40, 2, &mut rng(7)).unwrap();
-        g.remove_node(NodeId(11)).unwrap();
-        let w = |v: NodeId| f64::from(v.0) + 0.5;
-        let snap = OccasionSnapshot::build(&g, &w).unwrap();
-        for v in g.nodes() {
-            assert!(snap.contains(v));
-            assert_eq!(snap.neighbors(v), g.neighbors(v));
-            assert_eq!(snap.degree(v), g.degree(v));
-            assert_eq!(snap.weight(v), f64::from(v.0) + 0.5);
-        }
-        assert!(!snap.contains(NodeId(11)));
-        assert!(snap.neighbors(NodeId(11)).is_empty());
-        assert!(!snap.contains(NodeId(999)));
-    }
-
-    #[test]
-    fn snapshot_rejects_invalid_weights_eagerly() {
-        let g = topology::ring(6).unwrap();
-        let w = |v: NodeId| if v.0 == 3 { f64::NAN } else { 1.0 };
-        assert!(matches!(
-            OccasionSnapshot::build(&g, &w),
-            Err(SamplingError::InvalidWeight {
-                node: NodeId(3),
-                ..
-            })
-        ));
-        let w = |v: NodeId| if v.0 == 2 { -1.0 } else { 1.0 };
-        assert!(OccasionSnapshot::build(&g, &w).is_err());
-    }
-
     /// The snapshot walk must consume its RNG stream exactly like the
-    /// live-graph walk: same stream in, same trajectory out.
+    /// live-graph walk: same stream in, same trajectory out. With the
+    /// acceptance table this also pins that table lookups decide
+    /// identically to the live ratio computation.
     #[test]
     fn snapshot_walk_is_byte_equivalent_to_metropolis_walk() {
         let g = topology::barabasi_albert(60, 3, &mut rng(11)).unwrap();
@@ -524,7 +499,7 @@ mod tests {
             let mut live_rng = rng(u64::from(seed));
             live.run(&g, &w, 300, &mut live_rng).unwrap();
 
-            let mut snapped = SnapshotWalk::new(start);
+            let mut snapped = SnapshotWalk::new(start, &snap);
             let mut snap_rng = rng(u64::from(seed));
             snapped.run(&snap, 300, &mut snap_rng);
 
@@ -552,10 +527,53 @@ mod tests {
         let a = g.add_node();
         let w = uniform_weight();
         let snap = OccasionSnapshot::build(&g, &w).unwrap();
-        let mut walk = SnapshotWalk::new(a);
+        let mut walk = SnapshotWalk::new(a, &snap);
         walk.run(&snap, 50, &mut rng(3));
         assert_eq!(walk.current, a);
         assert_eq!(walk.tally.hops, 0);
         assert_eq!(walk.tally.steps, 50);
+    }
+
+    /// The arena's result table and task list must be recycled: after a
+    /// successful batch the table is all-None with capacity `n`, and a
+    /// second batch of the same size performs no buffer growth.
+    #[test]
+    fn arena_buffers_are_recycled_across_batches() {
+        let g = topology::barabasi_albert(30, 2, &mut rng(4)).unwrap();
+        let mut db = P2PDatabase::new(digest_db::Schema::single("a"));
+        for v in g.nodes() {
+            db.register_node(v);
+            db.insert(v, Tuple::single(f64::from(v.0))).unwrap();
+        }
+        let w = uniform_weight();
+        let snap = OccasionSnapshot::build(&g, &w).unwrap();
+        let config = SamplingConfig {
+            walk_length: 10,
+            reset_length: 4,
+            continue_walks: false,
+            workers: 1,
+            cache_snapshots: true,
+        };
+        let mut arena = WalkArena::new();
+        let request = BatchRequest {
+            config: &config,
+            pool: &[],
+            cursor: 0,
+            origin: NodeId(0),
+            n: 8,
+            occasion_seed: 99,
+        };
+        run_tuple_batch(&db, &request, &snap, &mut arena).unwrap();
+        assert_eq!(arena.outcomes.len(), 8);
+        assert_eq!(arena.results.len(), 8);
+        assert!(arena.results.iter().all(Option::is_none));
+        let results_cap = arena.results.capacity();
+        let tasks_cap = arena.tasks.capacity();
+        let outcomes_cap = arena.outcomes.capacity();
+        run_tuple_batch(&db, &request, &snap, &mut arena).unwrap();
+        assert_eq!(arena.outcomes.len(), 8);
+        assert_eq!(arena.results.capacity(), results_cap);
+        assert_eq!(arena.tasks.capacity(), tasks_cap);
+        assert_eq!(arena.outcomes.capacity(), outcomes_cap);
     }
 }

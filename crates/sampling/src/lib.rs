@@ -22,7 +22,12 @@
 //!   through a deterministic parallel executor
 //!   ([`SamplingConfig::workers`]): every walk slot owns a counter-derived
 //!   RNG stream, so sampled panels are byte-identical for any worker
-//!   count, including 1.
+//!   count, including 1. Per-occasion overlay snapshots are cached and
+//!   incrementally patched across occasions
+//!   ([`SamplingConfig::cache_snapshots`]): cost is proportional to
+//!   *change*, not overlay size, and the M–H acceptance ratios are
+//!   precomputed into the snapshot (bit-equivalent to the live Eq. 12
+//!   expression, so RNG streams and panels are unaffected).
 //! * [`mixing`] — exact mixing analysis on small graphs: transition
 //!   matrices, `π_t = π_0 Pᵗ`, TVD curves, measured mixing time `τ(γ)`,
 //!   spectral-gap estimation (Theorem 3's `θ_P = 1 − |λ₂|`).
@@ -36,6 +41,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+mod arena;
 pub mod baselines;
 pub mod error;
 mod executor;
@@ -43,6 +49,7 @@ pub mod metropolis;
 pub mod mixing;
 pub mod operator;
 pub mod size_estimate;
+mod snapshot;
 pub mod weight;
 
 pub use baselines::{NaiveWalkSampler, OracleSampler};
@@ -53,7 +60,8 @@ pub use mixing::{
     SpectralDiagnostics,
 };
 pub use operator::{
-    default_workers, SampleCost, SamplingConfig, SamplingOperator, WORKERS_ENV_VAR,
+    default_cache_snapshots, default_workers, SampleCost, SamplingConfig, SamplingOperator,
+    SnapshotStats, SNAPSHOT_CACHE_ENV_VAR, WORKERS_ENV_VAR,
 };
 pub use size_estimate::SizeEstimator;
 pub use weight::{content_size_weight, degree_weight, uniform_weight, NodeWeight};

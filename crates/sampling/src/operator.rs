@@ -17,9 +17,11 @@
 //! * each accepted hop is one message, and delivering the sampled node id
 //!   back to the originator is one more.
 
+use crate::arena::WalkArena;
 use crate::error::SamplingError;
 use crate::executor;
 use crate::metropolis::MetropolisWalk;
+use crate::snapshot::{SnapshotCache, SnapshotRefresh};
 use crate::weight::{content_size_weight, uniform_weight, NodeWeight};
 use crate::Result;
 use digest_db::{P2PDatabase, Tuple, TupleHandle};
@@ -46,6 +48,24 @@ pub fn default_workers() -> usize {
         .unwrap_or(1)
 }
 
+/// Environment escape hatch for [`SamplingConfig::cache_snapshots`]'s
+/// default: set `DIGEST_SNAPSHOT_CACHE=0` to force a cold snapshot
+/// rebuild every occasion (the PR 3 behavior). Panels are byte-identical
+/// either way — the cache only skips rebuild work, never RNG draws — so
+/// this exists for A/B benchmarking and the determinism audit.
+pub const SNAPSHOT_CACHE_ENV_VAR: &str = "DIGEST_SNAPSHOT_CACHE";
+
+/// Default for [`SamplingConfig::cache_snapshots`]: on, unless
+/// [`SNAPSHOT_CACHE_ENV_VAR`] is set to `0`. Caching the §VI-A occasion
+/// snapshot is a pure cost optimisation — sample distributions and RNG
+/// streams are unaffected.
+#[must_use]
+pub fn default_cache_snapshots() -> bool {
+    std::env::var(SNAPSHOT_CACHE_ENV_VAR)
+        .map(|raw| raw.trim() != "0")
+        .unwrap_or(true)
+}
+
 /// Tuning of the sampling operator `S` (paper §III, §V).
 #[derive(Debug, Clone, Copy)]
 pub struct SamplingConfig {
@@ -64,6 +84,12 @@ pub struct SamplingConfig {
     /// every value** — each walk slot owns a counter-derived RNG stream —
     /// so this knob trades wall-clock time only, never results.
     pub workers: usize,
+    /// Reuse / incrementally patch the per-occasion overlay snapshot
+    /// across occasions (keyed by graph mutation epoch and weight
+    /// fingerprint; see `crate::snapshot`) instead of rebuilding it per
+    /// batch. Byte-identical panels either way; off reproduces the cold
+    /// PR 3 path for A/B runs.
+    pub cache_snapshots: bool,
 }
 
 impl Default for SamplingConfig {
@@ -73,6 +99,7 @@ impl Default for SamplingConfig {
             reset_length: 16,
             continue_walks: true,
             workers: default_workers(),
+            cache_snapshots: default_cache_snapshots(),
         }
     }
 }
@@ -92,6 +119,7 @@ impl SamplingConfig {
             reset_length: (walk / 4).max(2),
             continue_walks: true,
             workers: default_workers(),
+            cache_snapshots: default_cache_snapshots(),
         }
     }
 
@@ -112,6 +140,7 @@ impl SamplingConfig {
             reset_length: (walk / 8).max(2),
             continue_walks: true,
             workers: default_workers(),
+            cache_snapshots: default_cache_snapshots(),
         })
     }
 }
@@ -151,6 +180,29 @@ pub struct SamplingOperator {
     cursor: usize,
     total_messages: u64,
     samples_drawn: u64,
+    /// Epoch-keyed occasion-snapshot cache (see `crate::snapshot`). The
+    /// cache is bound to the graph instance the operator samples from;
+    /// [`SamplingOperator::reset`] drops it, which is what makes
+    /// re-pointing a reset operator at a different graph safe.
+    cache: SnapshotCache,
+    /// Recycled batch buffers (see `crate::arena`).
+    arena: WalkArena,
+    stats: SnapshotStats,
+}
+
+/// Per-operator tally of how its occasion snapshots were produced
+/// (paper §VI-A batch occasions; one entry per `sample_tuples` call).
+/// Mirrors the global `sampling.snapshot.{built,reused,patched}`
+/// telemetry counters but is race-free per operator, which is what the
+/// benchmarks and tests read.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SnapshotStats {
+    /// Full cold builds of the CSR + weight + acceptance tables.
+    pub built: u64,
+    /// Zero-write reuses of the cached snapshot.
+    pub reused: u64,
+    /// Incremental patches (dirty CSR rows only).
+    pub patched: u64,
 }
 
 impl SamplingOperator {
@@ -171,6 +223,9 @@ impl SamplingOperator {
             cursor: 0,
             total_messages: 0,
             samples_drawn: 0,
+            cache: SnapshotCache::new(),
+            arena: WalkArena::new(),
+            stats: SnapshotStats::default(),
         })
     }
 
@@ -198,10 +253,24 @@ impl SamplingOperator {
         self.samples_drawn
     }
 
-    /// Discards all persistent walks (e.g. after a topology upheaval).
+    /// How this operator's occasion snapshots were produced so far.
+    #[must_use]
+    pub fn snapshot_stats(&self) -> SnapshotStats {
+        self.stats
+    }
+
+    /// Discards all persistent walks **and** the cached occasion
+    /// snapshot / arena buffers (e.g. after a topology upheaval, or
+    /// before pointing the operator at a different graph). Dropping the
+    /// cache here is load-bearing: graph mutation epochs are
+    /// per-instance, so a *different* graph can coincidentally report
+    /// the same epoch as the one the cache was built against — a reset
+    /// operator must never serve that stale snapshot.
     pub fn reset(&mut self) {
         self.walkers.clear();
         self.cursor = 0;
+        self.cache.invalidate();
+        self.arena.release();
     }
 
     /// Marks an occasion boundary: the next samples reuse the pooled
@@ -368,6 +437,12 @@ impl SamplingOperator {
         }
         let occasion_seed = rng.next_u64();
         let w = content_size_weight(db);
+        let (snapshot, refresh) = self.cache.refresh(g, &w, self.config.cache_snapshots)?;
+        match refresh {
+            SnapshotRefresh::Built => self.stats.built += 1,
+            SnapshotRefresh::Reused => self.stats.reused += 1,
+            SnapshotRefresh::Patched => self.stats.patched += 1,
+        }
         let request = executor::BatchRequest {
             config: &self.config,
             pool: &self.walkers,
@@ -376,10 +451,10 @@ impl SamplingOperator {
             n,
             occasion_seed,
         };
-        let outcomes = executor::run_tuple_batch(g, db, &w, &request)?;
+        executor::run_tuple_batch(db, &request, snapshot, &mut self.arena)?;
 
         let mut out = Vec::with_capacity(n);
-        for (i, outcome) in outcomes.into_iter().enumerate() {
+        for (i, outcome) in self.arena.outcomes.drain(..).enumerate() {
             let slot = self.cursor + i;
             if self.config.continue_walks {
                 // Fold the batch walk's tallies back into the pooled
@@ -504,6 +579,7 @@ mod tests {
             reset_length: 20,
             continue_walks: true,
             workers: 1,
+            cache_snapshots: true,
         })
         .unwrap();
         let mut r = rng(1);
@@ -533,6 +609,7 @@ mod tests {
             reset_length: 20,
             continue_walks: true,
             workers: 1,
+            cache_snapshots: true,
         })
         .unwrap();
         let mut r = rng(2);
@@ -562,6 +639,7 @@ mod tests {
             reset_length: 10,
             continue_walks: true,
             workers: 1,
+            cache_snapshots: true,
         })
         .unwrap();
         let mut fresh = SamplingOperator::new(SamplingConfig {
@@ -569,6 +647,7 @@ mod tests {
             reset_length: 10,
             continue_walks: false,
             workers: 1,
+            cache_snapshots: true,
         })
         .unwrap();
 
@@ -599,6 +678,7 @@ mod tests {
             reset_length: 10,
             continue_walks: false,
             workers: 1,
+            cache_snapshots: true,
         })
         .unwrap();
         let mut r = rng(4);
@@ -631,6 +711,7 @@ mod tests {
             reset_length: 5,
             continue_walks: true,
             workers: 1,
+            cache_snapshots: true,
         })
         .unwrap();
         let mut r = rng(6);
@@ -701,6 +782,7 @@ mod tests {
                 reset_length: 8,
                 continue_walks: true,
                 workers,
+                cache_snapshots: true,
             })
             .unwrap();
             let mut r = rng(12);
@@ -740,6 +822,7 @@ mod tests {
             reset_length: 10,
             continue_walks: true,
             workers: 2,
+            cache_snapshots: true,
         })
         .unwrap();
         let mut r = rng(13);
@@ -757,6 +840,161 @@ mod tests {
         assert_eq!(op.samples_drawn(), 16);
     }
 
+    /// Snapshot caching across occasions: unchanged overlay → reuse.
+    #[test]
+    fn snapshot_cache_reuses_across_unchanged_occasions() {
+        let g = topology::complete(6).unwrap();
+        let db = skewed_db(6);
+        let mut op = SamplingOperator::new(SamplingConfig {
+            walk_length: 30,
+            reset_length: 6,
+            continue_walks: true,
+            workers: 1,
+            cache_snapshots: true,
+        })
+        .unwrap();
+        let mut r = rng(21);
+        for _ in 0..5 {
+            op.begin_occasion();
+            op.sample_tuples(&g, &db, NodeId(0), 6, &mut r).unwrap();
+        }
+        let stats = op.snapshot_stats();
+        assert_eq!(stats.built, 1, "one cold build");
+        assert_eq!(stats.reused, 4, "all later occasions reuse");
+        assert_eq!(stats.patched, 0);
+    }
+
+    /// With caching disabled every occasion pays a cold build, and the
+    /// panel is byte-identical to the cached run (same caller RNG).
+    #[test]
+    fn cache_off_rebuilds_every_occasion_with_identical_panels() {
+        let g = topology::complete(6).unwrap();
+        let db = skewed_db(6);
+        let draw = |cache_snapshots: bool| {
+            let mut op = SamplingOperator::new(SamplingConfig {
+                walk_length: 30,
+                reset_length: 6,
+                continue_walks: true,
+                workers: 1,
+                cache_snapshots,
+            })
+            .unwrap();
+            let mut r = rng(22);
+            let mut panels = Vec::new();
+            for _ in 0..3 {
+                op.begin_occasion();
+                panels.push(op.sample_tuples(&g, &db, NodeId(0), 5, &mut r).unwrap());
+            }
+            (panels, op.snapshot_stats(), r.next_u64())
+        };
+        let (cached, cached_stats, cached_next) = draw(true);
+        let (cold, cold_stats, cold_next) = draw(false);
+        assert_eq!(cold_stats.built, 3);
+        assert_eq!(cold_stats.reused + cold_stats.patched, 0);
+        assert!(cached_stats.reused > 0);
+        assert_eq!(cached_next, cold_next, "caller RNG advance must match");
+        for (pa, pb) in cached.iter().zip(cold.iter()) {
+            for ((ha, ta, ca), (hb, tb, cb)) in pa.iter().zip(pb.iter()) {
+                assert_eq!(ha, hb);
+                assert_eq!(
+                    ta.value(0).unwrap().to_bits(),
+                    tb.value(0).unwrap().to_bits()
+                );
+                assert_eq!(ca, cb);
+            }
+        }
+    }
+
+    /// Regression test for the stale-cache-after-reset bug: graph
+    /// epochs are per-instance, so a *different* graph can report the
+    /// same epoch and weight fingerprint as the one the cache was built
+    /// against. `reset()` must drop the cache so the next occasion
+    /// rebuilds from the new graph.
+    #[test]
+    fn reset_drops_cached_snapshot_before_graph_swap() {
+        // Graph A: ring(8) — 8 add_node + 8 add_edge = 16 epoch bumps.
+        let a = topology::ring(8).unwrap();
+        // Graph B: 8 nodes, a path 0-…-7 plus edge 0-4 — also exactly
+        // 16 mutations, so `epoch(A) == epoch(B)`, same id range, and
+        // (uniform content below) the same weight fingerprint.
+        let mut b = digest_net::Graph::new();
+        let ids: Vec<NodeId> = (0..8).map(|_| b.add_node()).collect();
+        for pair in ids.windows(2) {
+            b.add_edge(pair[0], pair[1]).unwrap();
+        }
+        b.add_edge(ids[0], ids[4]).unwrap();
+        assert_eq!(a.epoch(), b.epoch(), "the trap this test depends on");
+
+        let db = {
+            let mut db = P2PDatabase::new(Schema::single("a"));
+            for i in 0..8 {
+                db.register_node(NodeId(i));
+                db.insert(NodeId(i), Tuple::single(f64::from(i))).unwrap();
+            }
+            db
+        };
+        let config = SamplingConfig {
+            walk_length: 40,
+            reset_length: 8,
+            continue_walks: true,
+            workers: 1,
+            cache_snapshots: true,
+        };
+
+        let mut op = SamplingOperator::new(config).unwrap();
+        let mut r = rng(23);
+        op.sample_tuples(&a, &db, NodeId(0), 6, &mut r).unwrap();
+        op.reset();
+        op.begin_occasion();
+        let mut r2 = rng(24);
+        let swapped = op.sample_tuples(&b, &db, NodeId(0), 6, &mut r2).unwrap();
+
+        let mut fresh_op = SamplingOperator::new(config).unwrap();
+        let mut r3 = rng(24);
+        let fresh = fresh_op
+            .sample_tuples(&b, &db, NodeId(0), 6, &mut r3)
+            .unwrap();
+
+        assert_eq!(
+            op.snapshot_stats().built,
+            2,
+            "post-reset occasion must cold-build, not reuse"
+        );
+        for ((ha, ta, ca), (hb, tb, cb)) in swapped.iter().zip(fresh.iter()) {
+            assert_eq!(ha, hb, "reset operator must match a fresh one on graph B");
+            assert_eq!(
+                ta.value(0).unwrap().to_bits(),
+                tb.value(0).unwrap().to_bits()
+            );
+            assert_eq!(ca, cb);
+        }
+    }
+
+    /// Churn between occasions takes the incremental patch path and
+    /// never a false reuse.
+    #[test]
+    fn churn_between_occasions_patches_snapshot() {
+        let mut g = topology::complete(8).unwrap();
+        let db = skewed_db(9);
+        let mut op = SamplingOperator::new(SamplingConfig {
+            walk_length: 30,
+            reset_length: 6,
+            continue_walks: true,
+            workers: 1,
+            cache_snapshots: true,
+        })
+        .unwrap();
+        let mut r = rng(25);
+        op.sample_tuples(&g, &db, NodeId(0), 6, &mut r).unwrap();
+        let v = g.add_node();
+        g.add_edge(v, NodeId(0)).unwrap();
+        op.begin_occasion();
+        op.sample_tuples(&g, &db, NodeId(0), 6, &mut r).unwrap();
+        let stats = op.snapshot_stats();
+        assert_eq!(stats.built, 1);
+        assert_eq!(stats.patched, 1);
+    }
+
     #[test]
     fn cluster_sample_returns_whole_fragment() {
         let g = topology::complete(3).unwrap();
@@ -766,6 +1004,7 @@ mod tests {
             reset_length: 10,
             continue_walks: false,
             workers: 1,
+            cache_snapshots: true,
         })
         .unwrap();
         let mut r = rng(8);

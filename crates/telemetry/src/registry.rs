@@ -42,6 +42,15 @@ pub static SAMPLING_BURN_IN: Histogram = Histogram::new();
 pub static SAMPLING_WALK_BATCHES: Counter = Counter::new();
 /// Walk slots per executed batch (the occasion panel size).
 pub static SAMPLING_BATCH_SLOTS: Histogram = Histogram::new();
+/// Occasion snapshots built from scratch (full CSR + weight + proposal
+/// table materialisation).
+pub static SAMPLING_SNAPSHOT_BUILT: Counter = Counter::new();
+/// Occasion snapshots served verbatim from the operator's cache (graph
+/// epoch and weight fingerprint both unchanged).
+pub static SAMPLING_SNAPSHOT_REUSED: Counter = Counter::new();
+/// Occasion snapshots incrementally patched in place (small churn delta
+/// or weight-only change; allocations and clean CSR rows reused).
+pub static SAMPLING_SNAPSHOT_PATCHED: Counter = Counter::new();
 
 // --- digest-core -------------------------------------------------------
 
@@ -170,6 +179,18 @@ static DESCRIPTORS: &[Descriptor] = &[
     Descriptor {
         name: "sampling.batch.slots",
         handle: H::Histogram(&SAMPLING_BATCH_SLOTS),
+    },
+    Descriptor {
+        name: "sampling.snapshot.built",
+        handle: H::Counter(&SAMPLING_SNAPSHOT_BUILT),
+    },
+    Descriptor {
+        name: "sampling.snapshot.reused",
+        handle: H::Counter(&SAMPLING_SNAPSHOT_REUSED),
+    },
+    Descriptor {
+        name: "sampling.snapshot.patched",
+        handle: H::Counter(&SAMPLING_SNAPSHOT_PATCHED),
     },
     Descriptor {
         name: "core.scheduler.decisions",

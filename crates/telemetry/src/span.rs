@@ -68,8 +68,11 @@ pub enum Stage {
     SchedulerDecide,
     /// One sampling-operator walk (burn-in or reset continuation).
     SamplingWalk,
+    /// One occasion-snapshot refresh (cache probe + build/patch/reuse of
+    /// the CSR, weight, and M–H proposal tables).
+    SnapshotBuild,
     /// One occasion walk batch through the parallel executor (snapshot
-    /// build + all slot walks + reassembly).
+    /// refresh + all slot walks + reassembly).
     SamplingBatch,
     /// One full simulation replication (parallel harness).
     Replication,
@@ -83,6 +86,7 @@ pub const STAGES: &[Stage] = &[
     Stage::EstimatorEval,
     Stage::SchedulerDecide,
     Stage::SamplingWalk,
+    Stage::SnapshotBuild,
     Stage::SamplingBatch,
     Stage::Replication,
 ];
@@ -98,6 +102,7 @@ impl Stage {
             Stage::EstimatorEval => "estimator_eval",
             Stage::SchedulerDecide => "scheduler_decide",
             Stage::SamplingWalk => "sampling_walk",
+            Stage::SnapshotBuild => "snapshot_build",
             Stage::SamplingBatch => "sampling_batch",
             Stage::Replication => "replication",
         }
@@ -111,8 +116,9 @@ impl Stage {
             Stage::EstimatorEval => 3,
             Stage::SchedulerDecide => 4,
             Stage::SamplingWalk => 5,
-            Stage::SamplingBatch => 6,
-            Stage::Replication => 7,
+            Stage::SnapshotBuild => 6,
+            Stage::SamplingBatch => 7,
+            Stage::Replication => 8,
         }
     }
 }
@@ -138,7 +144,7 @@ impl StageStat {
 /// `STATS` table below, never borrowed as a const.
 #[allow(clippy::declare_interior_mutable_const)]
 const STAGE_STAT: StageStat = StageStat::new();
-static STATS: [StageStat; 8] = [STAGE_STAT; 8];
+static STATS: [StageStat; 9] = [STAGE_STAT; 9];
 
 /// Accumulated totals for one stage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -253,7 +259,7 @@ mod tests {
 
     #[test]
     fn stage_names_are_stable() {
-        assert_eq!(STAGES.len(), 8);
+        assert_eq!(STAGES.len(), 9);
         for (i, stage) in STAGES.iter().enumerate() {
             assert_eq!(stage.index(), i);
             assert!(!stage.name().is_empty());

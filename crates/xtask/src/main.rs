@@ -8,9 +8,10 @@
 //!   both with and without `--telemetry` — and byte-diff the stdout
 //!   traces and the JSONL event streams. Also replays each scenario
 //!   with `--sampling-workers 4` and requires the trace to match the
-//!   inline run byte-for-byte (worker-count independence). Exits
-//!   non-zero on any divergence (including telemetry perturbing the
-//!   plain trace).
+//!   inline run byte-for-byte (worker-count independence), and with
+//!   `DIGEST_SNAPSHOT_CACHE=0` to prove the occasion-snapshot cache
+//!   never moves a byte of output even under churn. Exits non-zero on
+//!   any divergence (including telemetry perturbing the plain trace).
 //! * `telemetry-schema` — run a fixed-seed scenario with `--telemetry`
 //!   and validate every emitted JSONL line against the event schema,
 //!   requiring coverage of the core event kinds.
@@ -212,6 +213,31 @@ fn run_determinism(root: &Path) -> ExitCode {
             }
         }
 
+        // Re-run with the occasion-snapshot cache disabled: caching is a
+        // pure perf optimisation, so forcing a cold snapshot rebuild at
+        // every occasion must not move a single byte of the trace. The
+        // memory world churns the overlay every tick, so this leg also
+        // replays the cache's patch/rebuild invalidation paths.
+        print!("xtask determinism: scenario {label} (DIGEST_SNAPSHOT_CACHE=0) ... ");
+        match capture_with_env(&cli, args, root, "DIGEST_SNAPSHOT_CACHE", "0") {
+            Ok(uncached) => match &plain {
+                Some(plain) if *plain == uncached => {
+                    println!("identical ({} trace bytes)", uncached.len());
+                }
+                Some(plain) => {
+                    println!("DIVERGED (snapshot cache leaked into the trace)");
+                    report_divergence(plain, &uncached);
+                    all_identical = false;
+                }
+                None => println!("skipped (no plain trace to compare against)"),
+            },
+            Err(e) => {
+                println!("ERROR");
+                eprintln!("xtask determinism: scenario {label} (DIGEST_SNAPSHOT_CACHE=0): {e}");
+                all_identical = false;
+            }
+        }
+
         // Re-run with --telemetry: the JSONL streams must be
         // byte-identical across same-seed runs, and telemetry must not
         // perturb the plain trace (its stdout extends the plain stdout).
@@ -366,6 +392,30 @@ fn run_telemetry_schema(root: &Path) -> ExitCode {
 fn capture(cli: &Path, args: &[&str], root: &Path) -> Result<Vec<u8>, String> {
     let output = Command::new(cli)
         .args(args)
+        .current_dir(root)
+        .output()
+        .map_err(|e| format!("failed to run {}: {e}", cli.display()))?;
+    if !output.status.success() {
+        return Err(format!(
+            "digest-cli exited with {}: {}",
+            output.status,
+            String::from_utf8_lossy(&output.stderr)
+        ));
+    }
+    Ok(output.stdout)
+}
+
+/// As [`capture`], with one extra environment variable set for the run.
+fn capture_with_env(
+    cli: &Path,
+    args: &[&str],
+    root: &Path,
+    key: &str,
+    value: &str,
+) -> Result<Vec<u8>, String> {
+    let output = Command::new(cli)
+        .args(args)
+        .env(key, value)
         .current_dir(root)
         .output()
         .map_err(|e| format!("failed to run {}: {e}", cli.display()))?;

@@ -1,6 +1,6 @@
 //! Integration: the deterministic parallel walk executor.
 //!
-//! Two pins on the sampling operator's batch mode:
+//! Three pins on the sampling operator's batch mode:
 //!
 //! 1. **Worker-count independence** — the sampled panel (handles, tuple
 //!    values, per-sample costs, caller-RNG advance) is byte-identical at
@@ -8,11 +8,21 @@
 //! 2. **Statistical correctness** — panels drawn through the parallel
 //!    executor stay uniform over tuples (the §V guarantee), measured by
 //!    total-variation distance exactly like the sequential suite.
+//! 3. **Snapshot-cache invisibility** — overlay churn between occasions
+//!    (joins, departures, rewired edges) must leave the cached /
+//!    incrementally-patched snapshot path byte-identical to cold
+//!    rebuilds, for every worker count and seed, and caching must not
+//!    move a single caller-RNG draw (estimators consume that stream).
 
-use digest::db::{P2PDatabase, Schema, Tuple};
-use digest::net::{topology, Graph};
+use digest::core::{
+    ContinuousQuery, DigestEngine, EngineConfig, EstimatorKind, Precision, SchedulerKind,
+};
+use digest::db::{Expr, P2PDatabase, Schema, Tuple};
+use digest::net::{topology, Graph, NodeId};
 use digest::sampling::{SamplingConfig, SamplingOperator};
+use digest::sim::{run, RunConfig};
 use digest::stats::{total_variation_distance, DiscreteDistribution};
+use digest::workload::{MemoryConfig, MemoryWorkload, Workload};
 use rand::{RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -104,6 +114,164 @@ fn parallel_panels_are_byte_identical_on_a_mesh_overlay() {
             );
         }
     }
+}
+
+/// Appends one occasion's observable bytes to `fp`.
+fn draw_occasion(
+    g: &Graph,
+    db: &P2PDatabase,
+    op: &mut SamplingOperator,
+    origin: NodeId,
+    panel: usize,
+    rng: &mut ChaCha8Rng,
+    fp: &mut Vec<u64>,
+) {
+    op.begin_occasion();
+    let batch = op.sample_tuples(g, db, origin, panel, rng).unwrap();
+    assert_eq!(batch.len(), panel);
+    for (handle, tuple, cost) in batch {
+        fp.push(u64::from(handle.node.0));
+        fp.push(u64::from(handle.slot));
+        fp.push(u64::from(handle.generation));
+        for v in tuple.values() {
+            fp.push(v.to_bits());
+        }
+        fp.push(cost.walk_messages);
+        fp.push(cost.report_messages);
+    }
+    fp.push(op.pool_size() as u64);
+    fp.push(op.total_messages());
+}
+
+/// Replays a fixed churn script — two quiet occasions, then a join
+/// (node + two edges), a departure, and an edge rewire, each followed by
+/// an occasion — and fingerprints everything the operator returned plus
+/// the caller RNG's final position. The graph, database, and mutation
+/// sequence are reconstructed identically on every call, so any
+/// fingerprint difference is the snapshot cache's fault.
+fn churned_fingerprint(seed: u64, workers: usize, cache_snapshots: bool) -> Vec<u64> {
+    let mut topo_rng = ChaCha8Rng::seed_from_u64(0xC0FF_EE00 ^ seed);
+    let mut g = topology::barabasi_albert(100, 2, &mut topo_rng).unwrap();
+    let mut db = skewed_db(&g);
+    let mut op = SamplingOperator::new(SamplingConfig {
+        workers,
+        cache_snapshots,
+        ..SamplingConfig::recommended(g.node_count())
+    })
+    .unwrap();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let origin = g.nodes().next().unwrap();
+    let mut fp = Vec::new();
+
+    // Two quiet occasions: the second is the cache's reuse case.
+    draw_occasion(&g, &db, &mut op, origin, 20, &mut rng, &mut fp);
+    draw_occasion(&g, &db, &mut op, origin, 20, &mut rng, &mut fp);
+
+    // Join: a new node with content and two edges.
+    let joined = g.add_node();
+    db.register_node(joined);
+    db.insert(joined, Tuple::single(9_999.0)).unwrap();
+    g.add_edge(joined, origin).unwrap();
+    let anchor = g.nodes().find(|&u| u != joined && u != origin).unwrap();
+    g.add_edge(joined, anchor).unwrap();
+    draw_occasion(&g, &db, &mut op, origin, 20, &mut rng, &mut fp);
+
+    // Departure: remove a node (its tuples become unreachable).
+    let victim = g
+        .nodes()
+        .find(|&u| u != origin && u != joined && u != anchor)
+        .unwrap();
+    g.remove_node(victim).unwrap();
+    draw_occasion(&g, &db, &mut op, origin, 20, &mut rng, &mut fp);
+
+    // Rewire: detach one edge and attach its endpoint elsewhere.
+    let a = g
+        .nodes()
+        .find(|&u| u != origin && g.degree(u) >= 2)
+        .unwrap();
+    let b = g.neighbors(a)[0];
+    let c = g
+        .nodes()
+        .find(|&u| u != a && u != b && !g.has_edge(a, u))
+        .unwrap();
+    g.remove_edge(a, b).unwrap();
+    g.add_edge(a, c).unwrap();
+    draw_occasion(&g, &db, &mut op, origin, 20, &mut rng, &mut fp);
+
+    if cache_snapshots {
+        let stats = op.snapshot_stats();
+        assert_eq!(stats.built, 1, "seed {seed}: one cold build");
+        assert_eq!(stats.reused, 1, "seed {seed}: quiet occasion reuses");
+        assert_eq!(stats.patched, 3, "seed {seed}: churn occasions patch");
+    }
+    fp.push(rng.next_u64());
+    fp
+}
+
+/// Churn-invalidation suite: cached/patched snapshots must be invisible
+/// — byte-identical panels versus a cold-build run — across {1,2,4,8}
+/// workers and 8 seeds, with joins, departures, and rewires between
+/// occasions.
+#[test]
+fn churned_overlay_panels_match_cold_builds_across_workers_and_seeds() {
+    for seed in [2, 3, 5, 7, 11, 13, 17, 19] {
+        let cold = churned_fingerprint(seed, 1, false);
+        for workers in [1, 2, 4, 8] {
+            let cached = churned_fingerprint(seed, workers, true);
+            assert_eq!(
+                cold, cached,
+                "seed {seed}, {workers} workers: cached snapshot diverged from cold build"
+            );
+        }
+    }
+}
+
+/// Estimator-level RNG pin: a full Digest run over a churning MEMORY
+/// world must consume the caller RNG stream identically with snapshot
+/// caching on and off — the cache may only skip rebuild work, never
+/// move a draw. (Estimators sit between the RNG and the operator, so
+/// equality here pins their draws too.)
+#[test]
+fn snapshot_caching_does_not_change_estimator_rng_draws() {
+    let run_once = |cache_snapshots: bool| {
+        let mut w = MemoryWorkload::new(MemoryConfig {
+            leave_prob: 0.002,
+            join_rate: 0.8,
+            seed: 5,
+            ..MemoryConfig::reduced(200, 100, 2_400)
+        });
+        let query = ContinuousQuery::avg(
+            Expr::first_attr(w.db().schema()),
+            Precision::new(10.0, 3.0, 0.95).unwrap(),
+        );
+        let mut sys = DigestEngine::new(
+            query,
+            EngineConfig {
+                scheduler: SchedulerKind::Pred(3),
+                estimator: EstimatorKind::Repeated,
+                sampling: SamplingConfig {
+                    cache_snapshots,
+                    ..SamplingConfig::recommended(w.graph().node_count())
+                },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        let report = run(&mut w, &mut sys, RunConfig::default(), 10.0, 3.0, &mut rng).unwrap();
+        (
+            report.ticks(),
+            report.total_snapshots(),
+            report.confidence_violation_rate().to_bits(),
+            report.resolution_violation_rate().to_bits(),
+            rng.next_u64(),
+        )
+    };
+    assert_eq!(
+        run_once(true),
+        run_once(false),
+        "snapshot caching moved an estimator RNG draw or a result"
+    );
 }
 
 #[test]
