@@ -13,11 +13,16 @@
 //!   — **byte-identical for any worker count, including 1**. The
 //!   sequential case is literally `workers == 1` running the same drain
 //!   loop inline, not a separate code path.
-//! * **Index stealing + slot-order reassembly.** Workers steal slot
-//!   indices from an atomic cursor and park results in a slot-indexed
-//!   table; after the scope joins, results are consumed in slot order,
-//!   so thread scheduling can influence neither the output order nor
-//!   which error surfaces first.
+//! * **Index stealing + slot-order reassembly, lock-free.** Workers
+//!   claim slot indices from an atomic cursor ([`claim_slot`]) and
+//!   publish results into a slot-indexed table of `OnceLock` cells
+//!   ([`publish_slot`]) — each cell is written by exactly one worker, so
+//!   the substrate holds no lock anywhere (R6). After the scope joins,
+//!   cells are drained in slot order, so thread scheduling can influence
+//!   neither the output order nor which error surfaces first. The
+//!   claim/publish protocol is model-checked against the vendored loom
+//!   stand-in under `RUSTFLAGS="--cfg loom"` (see [`crate::sync`] and
+//!   DESIGN.md §13).
 //! * **A cached occasion snapshot.** The operator refreshes a
 //!   [`OccasionSnapshot`] through its [`crate::snapshot::SnapshotCache`]
 //!   (reuse / patch / rebuild, see that module) and lends it here;
@@ -42,14 +47,13 @@ use crate::error::SamplingError;
 use crate::metropolis::MetropolisWalk;
 use crate::operator::{SampleCost, SamplingConfig};
 use crate::snapshot::{OccasionSnapshot, ACCEPT_ALWAYS};
+use crate::sync::{AtomicUsize, OnceLock, Ordering};
 use crate::Result;
 use digest_db::{P2PDatabase, Tuple, TupleHandle};
 use digest_net::NodeId;
 use digest_telemetry::{registry as telemetry, Field, Stage};
 use rand::{RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, PoisonError};
 
 /// Retry budget for landing on a content-bearing node, matching the
 /// bounded loop in `SamplingOperator::sample_tuple`.
@@ -58,6 +62,7 @@ const TUPLE_RETRY_LIMIT: usize = 64;
 /// SplitMix64 finalizer (Steele et al., "Fast splittable pseudorandom
 /// number generators") — used to derive well-separated per-slot seeds
 /// from the single occasion seed.
+/// xtask: no-alloc
 fn splitmix64(seed: u64) -> u64 {
     let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -66,8 +71,31 @@ fn splitmix64(seed: u64) -> u64 {
 }
 
 /// The seed of walk slot `slot`'s private RNG stream for this occasion.
+/// xtask: no-alloc
 pub(crate) fn walk_stream_seed(occasion_seed: u64, slot: usize) -> u64 {
     splitmix64(occasion_seed.wrapping_add((slot as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+}
+
+/// Claims the next unprocessed slot index from the batch cursor, or
+/// `None` once the batch is drained. Lock-free index stealing: each
+/// index in `0..limit` is handed to exactly one caller because
+/// `fetch_add` is atomic.
+/// xtask: no-alloc
+pub(crate) fn claim_slot(cursor: &AtomicUsize, limit: usize) -> Option<usize> {
+    // relaxed-ok: claim uniqueness needs only the atomicity of fetch_add;
+    // slot results are published through `OnceLock::set` and the scope
+    // join, so no ordering rides on this counter.
+    let index = cursor.fetch_add(1, Ordering::Relaxed);
+    (index < limit).then_some(index)
+}
+
+/// Publishes one slot's result into its reassembly cell. Returns `false`
+/// when the cell was already filled — impossible while [`claim_slot`]
+/// hands out each index once (model-checked under `--cfg loom`), and
+/// surfaced as a batch error rather than a panic if the protocol is ever
+/// broken.
+pub(crate) fn publish_slot<T>(cell: &OnceLock<T>, value: T) -> bool {
+    cell.set(value).is_ok()
 }
 
 /// Local (lock-free) telemetry tallies of one walk slot, flushed into
@@ -112,6 +140,7 @@ struct CachedRow {
 /// `reject_table_matches_vendored_gen_range` in the snapshot module and
 /// by `snapshot_walk_is_byte_equivalent_to_metropolis_walk` below,
 /// which drains both streams.
+/// xtask: no-alloc
 #[inline]
 fn sample_uniform_offset<R: RngCore + ?Sized>(rng: &mut R, span: u64, reject: u64) -> usize {
     loop {
@@ -143,6 +172,7 @@ struct SnapshotWalk {
 }
 
 impl SnapshotWalk {
+    /// xtask: no-alloc
     fn cached_row(snap: &OccasionSnapshot, v: NodeId) -> CachedRow {
         let (start, degree) = snap.row(v);
         CachedRow {
@@ -152,6 +182,7 @@ impl SnapshotWalk {
         }
     }
 
+    /// xtask: no-alloc
     fn new(start: NodeId, snap: &OccasionSnapshot) -> Self {
         Self {
             current: start,
@@ -162,6 +193,7 @@ impl SnapshotWalk {
 
     /// One M–H step on the snapshot. Infallible: the snapshot never
     /// changes under the walk and its weights were validated at build.
+    /// xtask: no-alloc
     #[inline]
     fn step<R: RngCore + ?Sized>(&mut self, snap: &OccasionSnapshot, rng: &mut R) {
         self.tally.steps += 1;
@@ -191,6 +223,7 @@ impl SnapshotWalk {
         }
     }
 
+    /// xtask: no-alloc
     fn run<R: RngCore + ?Sized>(&mut self, snap: &OccasionSnapshot, steps: u64, rng: &mut R) {
         for _ in 0..steps {
             self.step(snap, rng);
@@ -372,21 +405,20 @@ pub(crate) fn run_tuple_batch(
         }
     }));
 
-    let mut table = std::mem::take(&mut arena.results);
-    table.clear();
-    table.resize_with(request.n, || None);
+    let mut results = std::mem::take(&mut arena.results);
+    results.clear();
+    results.resize_with(request.n, OnceLock::new);
     let tasks = &arena.tasks;
     let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<Result<SlotOutcome>>>> = Mutex::new(table);
-    let drain = || loop {
-        let index = next.fetch_add(1, Ordering::Relaxed);
-        let Some(task) = tasks.get(index) else {
-            return;
-        };
-        let outcome = run_slot(task, snapshot, db, config.reset_length);
-        let mut slots = results.lock().unwrap_or_else(PoisonError::into_inner);
-        if let Some(slot) = slots.get_mut(index) {
-            *slot = Some(outcome);
+    let table = &results;
+    let drain = || {
+        while let Some(index) = claim_slot(&next, tasks.len()) {
+            let Some(task) = tasks.get(index) else {
+                return;
+            };
+            let outcome = run_slot(task, snapshot, db, config.reset_length);
+            // Always true: `claim_slot` hands each index to one worker.
+            let _ = publish_slot(&table[index], outcome);
         }
     };
 
@@ -408,11 +440,10 @@ pub(crate) fn run_tuple_batch(
         }
     }
 
-    let mut slots = results.into_inner().unwrap_or_else(PoisonError::into_inner);
-    // Lowest-slot problem wins; the table returns to the arena all-None
+    // Lowest-slot problem wins; the table returns to the arena all-empty
     // with its capacity intact either way.
     let mut failure: Option<SamplingError> = None;
-    for slot in slots.iter_mut() {
+    for slot in results.iter_mut() {
         match slot.take() {
             Some(Ok(outcome)) => {
                 if failure.is_none() {
@@ -432,7 +463,7 @@ pub(crate) fn run_tuple_batch(
             }
         }
     }
-    arena.results = slots;
+    arena.results = results;
     if let Some(err) = failure {
         arena.outcomes.clear();
         return Err(err);
@@ -467,7 +498,84 @@ pub(crate) fn run_tuple_batch(
     Ok(())
 }
 
-#[cfg(test)]
+#[cfg(all(test, loom))]
+#[allow(clippy::unwrap_used)]
+mod loom_tests {
+    use super::{claim_slot, publish_slot};
+    use crate::sync::{AtomicUsize, OnceLock};
+    use loom::sync::Arc;
+    use loom::thread;
+
+    /// Exhaustively interleaves two workers draining a three-slot batch
+    /// through the production `claim_slot` / `publish_slot` protocol:
+    /// under every schedule each slot is claimed exactly once, every
+    /// publish lands in a previously-empty cell, and after the join the
+    /// table holds each slot's result exactly once.
+    #[test]
+    fn loom_claim_publish_fills_every_slot_exactly_once() {
+        loom::model(|| {
+            const SLOTS: usize = 3;
+            let cursor = Arc::new(AtomicUsize::new(0));
+            let table: Arc<Vec<OnceLock<usize>>> =
+                Arc::new((0..SLOTS).map(|_| OnceLock::new()).collect());
+
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let cursor = Arc::clone(&cursor);
+                    let table = Arc::clone(&table);
+                    thread::spawn(move || {
+                        while let Some(index) = claim_slot(&cursor, SLOTS) {
+                            assert!(
+                                publish_slot(&table[index], index * 10),
+                                "slot {index} was claimed twice"
+                            );
+                        }
+                    })
+                })
+                .collect();
+            for handle in handles {
+                handle.join().unwrap();
+            }
+
+            let mut table = Arc::try_unwrap(table).ok().unwrap();
+            for (index, cell) in table.iter_mut().enumerate() {
+                assert_eq!(cell.take(), Some(index * 10), "slot {index} missing");
+            }
+        });
+    }
+
+    /// A cursor overshooting the slot count (more workers than work)
+    /// never yields an in-range index twice and never blocks: late
+    /// claimers see `None` and exit.
+    #[test]
+    fn loom_overshooting_claims_return_none() {
+        loom::model(|| {
+            let cursor = Arc::new(AtomicUsize::new(0));
+            let claimed = Arc::new(OnceLock::new());
+
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let cursor = Arc::clone(&cursor);
+                    let claimed = Arc::clone(&claimed);
+                    thread::spawn(move || match claim_slot(&cursor, 1) {
+                        Some(index) => {
+                            assert!(claimed.set(index).is_ok(), "single slot claimed twice");
+                        }
+                        None => {}
+                    })
+                })
+                .collect();
+            for handle in handles {
+                handle.join().unwrap();
+            }
+
+            let mut claimed = Arc::try_unwrap(claimed).ok().unwrap();
+            assert_eq!(claimed.take(), Some(0));
+        });
+    }
+}
+
+#[cfg(all(test, not(loom)))]
 #[allow(
     clippy::unwrap_used,
     clippy::expect_used,
@@ -535,7 +643,7 @@ mod tests {
     }
 
     /// The arena's result table and task list must be recycled: after a
-    /// successful batch the table is all-None with capacity `n`, and a
+    /// successful batch every cell is empty with capacity `n`, and a
     /// second batch of the same size performs no buffer growth.
     #[test]
     fn arena_buffers_are_recycled_across_batches() {
@@ -566,7 +674,7 @@ mod tests {
         run_tuple_batch(&db, &request, &snap, &mut arena).unwrap();
         assert_eq!(arena.outcomes.len(), 8);
         assert_eq!(arena.results.len(), 8);
-        assert!(arena.results.iter().all(Option::is_none));
+        assert!(arena.results.iter().all(|cell| cell.get().is_none()));
         let results_cap = arena.results.capacity();
         let tasks_cap = arena.tasks.capacity();
         let outcomes_cap = arena.outcomes.capacity();

@@ -50,6 +50,7 @@ pub mod mixing;
 pub mod operator;
 pub mod size_estimate;
 mod snapshot;
+mod sync;
 pub mod weight;
 
 pub use baselines::{NaiveWalkSampler, OracleSampler};

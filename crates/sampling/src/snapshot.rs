@@ -93,11 +93,13 @@ impl OccasionSnapshot {
     }
 
     /// Whether `v` was live at capture time.
+    /// xtask: no-alloc
     pub(crate) fn contains(&self, v: NodeId) -> bool {
         self.live.get(v.0 as usize).copied().unwrap_or(false)
     }
 
     /// CSR row of `v` as `(start, degree)`; `(0, 0)` for unknown ids.
+    /// xtask: no-alloc
     #[inline]
     pub(crate) fn row(&self, v: NodeId) -> (usize, usize) {
         let i = v.0 as usize;
@@ -109,6 +111,7 @@ impl OccasionSnapshot {
 
     /// The neighbor stored at CSR index `idx` (caller guarantees `idx`
     /// lies inside a row obtained from [`Self::row`]).
+    /// xtask: no-alloc
     #[inline]
     pub(crate) fn neighbor_at(&self, idx: usize) -> NodeId {
         self.adjacency.get(idx).copied().unwrap_or(NodeId(0))
@@ -119,6 +122,7 @@ impl OccasionSnapshot {
     /// consuming randomness), otherwise [`accept_threshold`]'s
     /// `⌈ratio·2⁵³⌉` so that `(next_u64() >> 11) < threshold`
     /// reproduces `gen_bool(ratio)` bit-for-bit.
+    /// xtask: no-alloc
     #[inline]
     pub(crate) fn accept_threshold_at(&self, idx: usize) -> u64 {
         self.accept.get(idx).copied().unwrap_or(0)
@@ -126,6 +130,7 @@ impl OccasionSnapshot {
 
     /// The precomputed per-node Lemire rejection threshold for `v`'s
     /// uniform proposal draw (see [`lemire_reject_threshold`]).
+    /// xtask: no-alloc
     #[inline]
     pub(crate) fn reject_threshold_of(&self, v: NodeId) -> u64 {
         self.reject.get(v.0 as usize).copied().unwrap_or(0)

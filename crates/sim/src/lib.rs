@@ -20,6 +20,7 @@
 
 pub mod parallel;
 pub mod runner;
+mod sync;
 pub mod trace;
 
 pub use parallel::{run_replications, summarize, MetricSummary};

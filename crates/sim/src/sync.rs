@@ -1,0 +1,18 @@
+//! Sync primitives for the parallel replication runner, swappable for
+//! the vendored loom model checker under `RUSTFLAGS="--cfg loom"` (see
+//! DESIGN.md §13).
+//!
+//! The runner's claim/publish/reassembly protocol
+//! (`claim_replication` / `publish_report` in [`crate::parallel`]) is
+//! written against these aliases, so the very functions the production
+//! path runs are the ones the loom tests exhaustively interleave.
+
+#[cfg(not(loom))]
+pub(crate) use std::sync::atomic::{AtomicU64, Ordering};
+#[cfg(not(loom))]
+pub(crate) use std::sync::OnceLock;
+
+#[cfg(loom)]
+pub(crate) use loom::sync::atomic::{AtomicU64, Ordering};
+#[cfg(loom)]
+pub(crate) use loom::sync::OnceLock;

@@ -60,6 +60,8 @@ static TICK: AtomicU64 = AtomicU64::new(0);
 /// Sets the global simulation tick.
 #[inline]
 pub fn set_tick(tick: u64) {
+    // relaxed-ok: single-writer tick stamp; readers tolerate staleness
+    // and events are serialised by the sink lock anyway.
     TICK.store(tick, Ordering::Relaxed);
 }
 
@@ -67,6 +69,7 @@ pub fn set_tick(tick: u64) {
 #[inline]
 #[must_use]
 pub fn tick() -> u64 {
+    // relaxed-ok: monotone stamp read for labelling, not synchronisation.
     TICK.load(Ordering::Relaxed)
 }
 
@@ -83,8 +86,10 @@ static SUPPRESS_DEPTH: AtomicUsize = AtomicUsize::new(0);
 static SINK: Mutex<Option<Box<dyn EventSink>>> = Mutex::new(None);
 
 fn refresh_enabled_flag(installed: bool) {
+    // relaxed-ok: the flag is a fast-path hint; authoritative state is
+    // behind the sink mutex and a stale read only costs one extra check.
     let enabled = installed && SUPPRESS_DEPTH.load(Ordering::Relaxed) == 0;
-    EVENTS_ENABLED.store(enabled, Ordering::Relaxed);
+    EVENTS_ENABLED.store(enabled, Ordering::Relaxed); // relaxed-ok: advisory flag
 }
 
 /// Installs the process-wide event sink, returning the previous one.
@@ -110,6 +115,7 @@ pub fn take_sink() -> Option<Box<dyn EventSink>> {
 #[inline]
 #[must_use]
 pub fn events_enabled() -> bool {
+    // relaxed-ok: fast-path hint; `emit` re-checks under the sink lock.
     EVENTS_ENABLED.load(Ordering::Relaxed)
 }
 
@@ -141,6 +147,8 @@ pub struct SuppressGuard(());
 
 impl Drop for SuppressGuard {
     fn drop(&mut self) {
+        // relaxed-ok: guard nesting depth; the flag refresh below
+        // re-reads it and suppression is advisory, not synchronising.
         SUPPRESS_DEPTH.fetch_sub(1, Ordering::Relaxed);
         let installed = SINK
             .lock()
@@ -156,8 +164,10 @@ impl Drop for SuppressGuard {
 /// are emitted after joining, in seed order. Guards nest.
 #[must_use]
 pub fn suppress_events() -> SuppressGuard {
+    // relaxed-ok: guard nesting depth plus an advisory fast-path flag;
+    // neither is used to synchronise data.
     SUPPRESS_DEPTH.fetch_add(1, Ordering::Relaxed);
-    EVENTS_ENABLED.store(false, Ordering::Relaxed);
+    EVENTS_ENABLED.store(false, Ordering::Relaxed); // relaxed-ok: advisory flag
     SuppressGuard(())
 }
 

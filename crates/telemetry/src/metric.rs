@@ -24,6 +24,7 @@ impl Counter {
     /// Adds `n` to the counter.
     #[inline]
     pub fn add(&self, n: u64) {
+        // relaxed-ok: monotone tally; read only at quiescent points.
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
@@ -36,11 +37,13 @@ impl Counter {
     /// Current value.
     #[must_use]
     pub fn get(&self) -> u64 {
+        // relaxed-ok: read at quiescent points (end of run / post-join).
         self.0.load(Ordering::Relaxed)
     }
 
     /// Resets the counter to zero (between runs; not a hot-path call).
     pub fn reset(&self) {
+        // relaxed-ok: reset happens between runs, never concurrently.
         self.0.store(0, Ordering::Relaxed);
     }
 }
@@ -60,17 +63,20 @@ impl Gauge {
     /// Sets the gauge.
     #[inline]
     pub fn set(&self, value: f64) {
+        // relaxed-ok: last-value-wins sample; read at quiescent points.
         self.0.store(value.to_bits(), Ordering::Relaxed);
     }
 
     /// Current value.
     #[must_use]
     pub fn get(&self) -> f64 {
+        // relaxed-ok: read at quiescent points (end of run / post-join).
         f64::from_bits(self.0.load(Ordering::Relaxed))
     }
 
     /// Resets the gauge to `0.0`.
     pub fn reset(&self) {
+        // relaxed-ok: reset happens between runs, never concurrently.
         self.0.store(0, Ordering::Relaxed);
     }
 }
@@ -139,27 +145,32 @@ impl Histogram {
     /// Records one observation.
     #[inline]
     pub fn record(&self, value: u64) {
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(value, Ordering::Relaxed);
-        self.max.fetch_max(value, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed); // relaxed-ok: monotone tally
+        self.sum.fetch_add(value, Ordering::Relaxed); // relaxed-ok: monotone tally
+        self.max.fetch_max(value, Ordering::Relaxed); // relaxed-ok: monotone max
+                                                      // relaxed-ok: monotone tally; fields are summarised independently
+                                                      // at quiescent points, so no cross-field ordering is needed.
         self.buckets[Self::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Number of observations.
     #[must_use]
     pub fn count(&self) -> u64 {
+        // relaxed-ok: read at quiescent points (end of run / post-join).
         self.count.load(Ordering::Relaxed)
     }
 
     /// Sum of all observations.
     #[must_use]
     pub fn sum(&self) -> u64 {
+        // relaxed-ok: read at quiescent points (end of run / post-join).
         self.sum.load(Ordering::Relaxed)
     }
 
     /// Largest observation (0 when empty).
     #[must_use]
     pub fn max(&self) -> u64 {
+        // relaxed-ok: read at quiescent points (end of run / post-join).
         self.max.load(Ordering::Relaxed)
     }
 
@@ -179,6 +190,7 @@ impl Histogram {
     pub fn bucket_counts(&self) -> [u64; HISTOGRAM_BUCKETS] {
         let mut out = [0u64; HISTOGRAM_BUCKETS];
         for (slot, bucket) in out.iter_mut().zip(self.buckets.iter()) {
+            // relaxed-ok: read at quiescent points (end of run / post-join).
             *slot = bucket.load(Ordering::Relaxed);
         }
         out
@@ -206,11 +218,11 @@ impl Histogram {
 
     /// Clears all observations.
     pub fn reset(&self) {
-        self.count.store(0, Ordering::Relaxed);
-        self.sum.store(0, Ordering::Relaxed);
-        self.max.store(0, Ordering::Relaxed);
+        self.count.store(0, Ordering::Relaxed); // relaxed-ok: between runs
+        self.sum.store(0, Ordering::Relaxed); // relaxed-ok: between runs
+        self.max.store(0, Ordering::Relaxed); // relaxed-ok: between runs
         for bucket in &self.buckets {
-            bucket.store(0, Ordering::Relaxed);
+            bucket.store(0, Ordering::Relaxed); // relaxed-ok: between runs
         }
     }
 }

@@ -40,12 +40,15 @@ pub fn set_clock_mode(mode: ClockMode) {
         ClockMode::Deterministic => 0,
         ClockMode::Wall => 1,
     };
+    // relaxed-ok: mode is set once before the run, never concurrently
+    // with spans; readers need no ordering.
     MODE.store(encoded, Ordering::Relaxed);
 }
 
 /// The current clock mode.
 #[must_use]
 pub fn clock_mode() -> ClockMode {
+    // relaxed-ok: read-mostly mode flag set before the run starts.
     if MODE.load(Ordering::Relaxed) == 0 {
         ClockMode::Deterministic
     } else {
@@ -179,6 +182,7 @@ pub fn stage_reports() -> Vec<StageReport> {
             StageReport {
                 stage,
                 count: stat.count.get(),
+                // relaxed-ok: read at quiescent points (post-join).
                 total: stat.total.load(Ordering::Relaxed),
             }
         })
@@ -189,7 +193,7 @@ pub fn stage_reports() -> Vec<StageReport> {
 pub fn reset_stages() {
     for stat in &STATS {
         stat.count.reset();
-        stat.total.store(0, Ordering::Relaxed);
+        stat.total.store(0, Ordering::Relaxed); // relaxed-ok: between runs
     }
 }
 
@@ -224,7 +228,7 @@ impl Drop for SpanGuard {
         };
         let stat = &STATS[self.stage.index()];
         stat.count.inc();
-        stat.total.fetch_add(elapsed, Ordering::Relaxed);
+        stat.total.fetch_add(elapsed, Ordering::Relaxed); // relaxed-ok: monotone tally
     }
 }
 

@@ -2,8 +2,11 @@
 //!
 //! Subcommands:
 //!
-//! * `lint` — run the custom static-analysis pass (rules R1–R4; see the
-//!   library crate docs). Exits non-zero on any finding.
+//! * `lint` — run the custom static-analysis pass (rules R1–R7; see the
+//!   library crate docs). Exits non-zero on any finding. `--json` emits a
+//!   machine-readable findings document on stdout; `--github` emits
+//!   GitHub Actions `::error` workflow annotations alongside the human
+//!   output so findings surface inline on pull-request diffs.
 //! * `determinism` — build the CLI, run a fixed-seed scenario twice —
 //!   both with and without `--telemetry` — and byte-diff the stdout
 //!   traces and the JSONL event streams. Also replays each scenario
@@ -29,7 +32,9 @@ fn usage() -> ExitCode {
         "usage: cargo xtask <command>\n\
          \n\
          commands:\n\
-           lint              run the R1–R4 static-analysis pass over the workspace\n\
+           lint              run the R1–R7 static-analysis pass over the workspace\n\
+                             (--json: machine-readable output; --github: emit\n\
+                             GitHub Actions ::error annotations)\n\
            determinism       run fixed-seed scenarios twice (with and without\n\
                              --telemetry) and byte-diff traces and event streams\n\
            telemetry-schema  validate a --telemetry JSONL stream against the schema\n\
@@ -45,7 +50,21 @@ fn main() -> ExitCode {
     };
     let root = workspace_root();
     match command.as_str() {
-        "lint" => run_lint(&root),
+        "lint" => {
+            let mut json = false;
+            let mut github = false;
+            for flag in args {
+                match flag.as_str() {
+                    "--json" => json = true,
+                    "--github" => github = true,
+                    other => {
+                        eprintln!("unknown lint flag `{other}`");
+                        return usage();
+                    }
+                }
+            }
+            run_lint(&root, json, github)
+        }
         "determinism" => run_determinism(&root),
         "telemetry-schema" => run_telemetry_schema(&root),
         "help" | "--help" | "-h" => {
@@ -68,28 +87,125 @@ fn workspace_root() -> PathBuf {
         .map_or(manifest.clone(), Path::to_path_buf)
 }
 
-fn run_lint(root: &Path) -> ExitCode {
-    println!("xtask lint: scanning workspace at {}", root.display());
+fn run_lint(root: &Path, json: bool, github: bool) -> ExitCode {
+    if !json {
+        println!("xtask lint: scanning workspace at {}", root.display());
+    }
     match xtask::lint_workspace(root) {
-        Ok(findings) if findings.is_empty() => {
-            println!(
-                "xtask lint: OK — R1 (no-panic), R2 (determinism), R3 (float discipline), \
-                 R4 (paper refs) all clean"
-            );
-            ExitCode::SUCCESS
-        }
         Ok(findings) => {
-            for finding in &findings {
-                eprintln!("{finding}");
+            if json {
+                println!("{}", findings_json(&findings));
+            } else if findings.is_empty() {
+                println!(
+                    "xtask lint: OK — rules {} all clean",
+                    xtask::RULES
+                        .iter()
+                        .filter(|info| info.code != "ALLOW")
+                        .map(|info| format!("{} ({})", info.code, info.name))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+            } else {
+                for finding in &findings {
+                    eprintln!("{finding}");
+                }
+                eprintln!("xtask lint: {} violation(s)", findings.len());
             }
-            eprintln!("xtask lint: {} violation(s)", findings.len());
-            ExitCode::FAILURE
+            if github {
+                for finding in &findings {
+                    println!("{}", github_annotation(finding));
+                }
+            }
+            if findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
         }
         Err(message) => {
             eprintln!("xtask lint: {message}");
+            if github {
+                println!(
+                    "::error title=xtask lint::{}",
+                    github_escape_message(&message)
+                );
+            }
             ExitCode::FAILURE
         }
     }
+}
+
+/// Renders findings as a stable machine-readable JSON document (used by
+/// CI tooling; hand-rolled so the gate stays std-only).
+fn findings_json(findings: &[xtask::Finding]) -> String {
+    let mut out = String::from("{\"version\":1,\"findings\":[");
+    for (idx, finding) in findings.iter().enumerate() {
+        if idx > 0 {
+            out.push(',');
+        }
+        let info = finding.rule.info();
+        out.push_str(&format!(
+            "{{\"rule\":{},\"name\":{},\"file\":{},\"line\":{},\"message\":{},\
+             \"remedy\":{},\"allow_token\":{}}}",
+            json_string(info.code),
+            json_string(info.name),
+            json_string(&finding.file),
+            finding.line,
+            json_string(&finding.message),
+            json_string(finding.remedy.label()),
+            finding
+                .allow_token
+                .map_or_else(|| "null".to_string(), json_string),
+        ));
+    }
+    out.push_str(&format!("],\"count\":{}}}", findings.len()));
+    out
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// One GitHub Actions workflow-command annotation per finding; the runner
+/// attaches these inline to the pull-request diff.
+fn github_annotation(finding: &xtask::Finding) -> String {
+    let info = finding.rule.info();
+    format!(
+        "::error file={},line={},title={}({})::{}",
+        github_escape_property(&finding.file),
+        finding.line.max(1),
+        info.code,
+        info.name,
+        github_escape_message(&finding.message),
+    )
+}
+
+/// Workflow-command data escaping (`%`, CR, LF).
+fn github_escape_message(s: &str) -> String {
+    s.replace('%', "%25")
+        .replace('\r', "%0D")
+        .replace('\n', "%0A")
+}
+
+/// Workflow-command property escaping (data escapes plus `:` and `,`).
+fn github_escape_property(s: &str) -> String {
+    github_escape_message(s)
+        .replace(':', "%3A")
+        .replace(',', "%2C")
 }
 
 /// The fixed-seed scenario replayed twice by `cargo xtask determinism`.

@@ -1,6 +1,9 @@
-//! Source scrubbing: blanks comments and string literals, and tracks
-//! `#[cfg(test)]` regions by brace depth, so rule matching never fires on
-//! prose, test helpers, or literals.
+//! Source scrubbing: separates each line into its code text and its
+//! comment text (each with the other blanked out), and tracks two kinds of
+//! brace-scoped regions — `#[cfg(test)]` items and `/// xtask: no-alloc`
+//! tagged function bodies — so rule matching never fires on prose, test
+//! helpers, or literals, while justification comments (`// relaxed-ok:`,
+//! `// SAFETY:`) and hot-path tags stay inspectable.
 
 /// One source line after scrubbing.
 #[derive(Debug, Clone)]
@@ -8,8 +11,17 @@ pub struct Line {
     /// The line with comment bodies and string/char literal contents
     /// replaced by spaces (delimiters preserved).
     pub code: String,
+    /// The line's comment text (line and block comments) with all code,
+    /// string, and char content replaced by spaces. The `//` / `/*`
+    /// delimiters are blanked too, so a doc comment `/// xtask: no-alloc`
+    /// surfaces here as `  / xtask: no-alloc`.
+    pub comment: String,
     /// True when the line sits inside a `#[cfg(test)]`-gated item.
     pub in_test: bool,
+    /// True when the line sits inside a brace-scoped region opened after a
+    /// `/// xtask: no-alloc` tag comment (hot-path allocation discipline,
+    /// rule R7).
+    pub no_alloc: bool,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -26,9 +38,12 @@ enum State {
 #[must_use]
 pub fn scrub(source: &str) -> Vec<Line> {
     let chars: Vec<char> = source.chars().collect();
-    let mut out = String::with_capacity(source.len());
+    let mut code = String::with_capacity(source.len());
+    let mut comment = String::with_capacity(source.len());
     let mut state = State::Normal;
     let mut i = 0;
+    // Invariant: `code` and `comment` receive the same number of chars per
+    // step (newlines mirrored), so their line structures are identical.
     while i < chars.len() {
         let c = chars[i];
         let next = chars.get(i + 1).copied();
@@ -36,57 +51,72 @@ pub fn scrub(source: &str) -> Vec<Line> {
             State::Normal => match c {
                 '/' if next == Some('/') => {
                     state = State::LineComment;
-                    out.push_str("  ");
+                    code.push_str("  ");
+                    comment.push_str("  ");
                     i += 2;
                     continue;
                 }
                 '/' if next == Some('*') => {
                     state = State::BlockComment(1);
-                    out.push_str("  ");
+                    code.push_str("  ");
+                    comment.push_str("  ");
                     i += 2;
                     continue;
                 }
                 'r' if matches!(next, Some('"' | '#')) && is_raw_string_start(&chars, i) => {
                     let hashes = count_hashes(&chars, i + 1);
                     state = State::RawStr(hashes);
-                    out.push('r');
+                    code.push('r');
+                    comment.push(' ');
                     for _ in 0..hashes {
-                        out.push('#');
+                        code.push('#');
+                        comment.push(' ');
                     }
-                    out.push('"');
+                    code.push('"');
+                    comment.push(' ');
                     i += 2 + hashes as usize;
                     continue;
                 }
                 '"' => {
                     state = State::Str;
-                    out.push('"');
+                    code.push('"');
+                    comment.push(' ');
                 }
                 '\'' => {
                     // Distinguish char literals from lifetimes: a lifetime
                     // is `'ident` NOT followed by a closing quote.
                     let is_lifetime = next.is_some_and(|n| n.is_alphabetic() || n == '_')
                         && chars.get(i + 2).copied() != Some('\'');
-                    if is_lifetime {
-                        out.push('\'');
-                    } else {
+                    if !is_lifetime {
                         state = State::Char;
-                        out.push('\'');
                     }
+                    code.push('\'');
+                    comment.push(' ');
                 }
-                _ => out.push(c),
+                '\n' => {
+                    code.push('\n');
+                    comment.push('\n');
+                }
+                _ => {
+                    code.push(c);
+                    comment.push(' ');
+                }
             },
             State::LineComment => {
                 if c == '\n' {
                     state = State::Normal;
-                    out.push('\n');
+                    code.push('\n');
+                    comment.push('\n');
                 } else {
-                    out.push(' ');
+                    code.push(' ');
+                    comment.push(c);
                 }
             }
             State::BlockComment(depth) => {
                 if c == '/' && next == Some('*') {
                     state = State::BlockComment(depth + 1);
-                    out.push_str("  ");
+                    code.push_str("  ");
+                    comment.push_str("  ");
                     i += 2;
                     continue;
                 }
@@ -96,68 +126,110 @@ pub fn scrub(source: &str) -> Vec<Line> {
                     } else {
                         State::BlockComment(depth - 1)
                     };
-                    out.push_str("  ");
+                    code.push_str("  ");
+                    comment.push_str("  ");
                     i += 2;
                     continue;
                 }
-                out.push(if c == '\n' { '\n' } else { ' ' });
+                if c == '\n' {
+                    code.push('\n');
+                    comment.push('\n');
+                } else {
+                    code.push(' ');
+                    comment.push(c);
+                }
             }
             State::Str => match c {
                 '\\' => {
                     // Preserve newlines so line numbering survives string
                     // continuations (`\` at end of line).
                     if next == Some('\n') {
-                        out.push_str(" \n");
+                        code.push_str(" \n");
+                        comment.push_str(" \n");
                     } else {
-                        out.push_str("  ");
+                        code.push_str("  ");
+                        comment.push_str("  ");
                     }
                     i += 2;
                     continue;
                 }
                 '"' => {
                     state = State::Normal;
-                    out.push('"');
+                    code.push('"');
+                    comment.push(' ');
                 }
-                '\n' => out.push('\n'),
-                _ => out.push(' '),
+                '\n' => {
+                    code.push('\n');
+                    comment.push('\n');
+                }
+                _ => {
+                    code.push(' ');
+                    comment.push(' ');
+                }
             },
             State::RawStr(hashes) => {
-                if c == '"' && closing_hashes(&chars, i + 1) >= hashes {
+                if c == '"' && count_hashes(&chars, i + 1) >= hashes {
                     state = State::Normal;
-                    out.push('"');
+                    code.push('"');
+                    comment.push(' ');
                     for _ in 0..hashes {
-                        out.push('#');
+                        code.push('#');
+                        comment.push(' ');
                     }
                     i += 1 + hashes as usize;
                     continue;
                 }
-                out.push(if c == '\n' { '\n' } else { ' ' });
+                if c == '\n' {
+                    code.push('\n');
+                    comment.push('\n');
+                } else {
+                    code.push(' ');
+                    comment.push(' ');
+                }
             }
             State::Char => match c {
                 '\\' => {
-                    out.push_str("  ");
+                    code.push_str("  ");
+                    comment.push_str("  ");
                     i += 2;
                     continue;
                 }
                 '\'' => {
                     state = State::Normal;
-                    out.push('\'');
+                    code.push('\'');
+                    comment.push(' ');
                 }
-                _ => out.push(' '),
+                '\n' => {
+                    code.push('\n');
+                    comment.push('\n');
+                }
+                _ => {
+                    code.push(' ');
+                    comment.push(' ');
+                }
             },
         }
         i += 1;
     }
 
-    mark_test_regions(&out)
+    mark_regions(&code, &comment)
 }
 
 fn is_raw_string_start(chars: &[char], i: usize) -> bool {
-    // `r"` or `r#...#"`; reject identifiers ending in r (checked by caller
-    // context: previous char must not be identifier-ish).
+    // `r"` or `r#...#"`, including as the tail of a byte raw string
+    // `br"..."` / `br#"..."#`; reject identifiers that merely end in `r`
+    // (or `br`) by requiring the char before the prefix to be
+    // non-identifier-ish.
     if i > 0 {
         let prev = chars[i - 1];
-        if prev.is_alphanumeric() || prev == '_' {
+        if prev == 'b' {
+            if i > 1 {
+                let before = chars[i - 2];
+                if before.is_alphanumeric() || before == '_' {
+                    return false;
+                }
+            }
+        } else if prev.is_alphanumeric() || prev == '_' {
             return false;
         }
     }
@@ -177,72 +249,88 @@ fn count_hashes(chars: &[char], mut i: usize) -> u32 {
     n
 }
 
-fn closing_hashes(chars: &[char], mut i: usize) -> u32 {
-    let mut n = 0;
-    while chars.get(i).copied() == Some('#') {
-        n += 1;
-        i += 1;
-    }
-    n
-}
-
 /// Test-region attribute markers.
 const TEST_CFGS: &[&str] = &["#[cfg(test)]", "#[cfg(all(test", "#[cfg(any(test"];
 
-fn mark_test_regions(scrubbed: &str) -> Vec<Line> {
+/// Hot-path tag recognized in comment text (rule R7). The tag must be the
+/// start of its comment line (after doc-comment `/` / `!` decoration), so
+/// prose that merely mentions it does not open a region.
+const NO_ALLOC_TAG: &str = "xtask: no-alloc";
+
+fn is_no_alloc_tag(comment_line: &str) -> bool {
+    comment_line
+        .trim()
+        .trim_start_matches(['/', '!'])
+        .trim_start()
+        .starts_with(NO_ALLOC_TAG)
+}
+
+fn mark_regions(code_src: &str, comment_src: &str) -> Vec<Line> {
     let mut lines = Vec::new();
     let mut depth: usize = 0;
-    // Depths at which a cfg(test) region's braces opened.
+    // Depths at which a cfg(test) / no-alloc region's braces opened.
     let mut test_stack: Vec<usize> = Vec::new();
+    let mut alloc_stack: Vec<usize> = Vec::new();
     let mut pending_cfg_test = false;
+    let mut pending_no_alloc = false;
 
-    for raw_line in scrubbed.lines() {
-        let started_in_test = !test_stack.is_empty();
-        let bytes: Vec<char> = raw_line.chars().collect();
-        let mut i = 0;
-        while i < bytes.len() {
-            if TEST_CFGS
-                .iter()
-                .any(|cfg| raw_line[char_to_byte(raw_line, i)..].starts_with(cfg))
-            {
-                pending_cfg_test = true;
-            }
-            match bytes[i] {
-                '{' => {
+    for (code_line, comment_line) in code_src.lines().zip(comment_src.lines()) {
+        let started_test = !test_stack.is_empty();
+        let started_alloc = !alloc_stack.is_empty();
+        if is_no_alloc_tag(comment_line) {
+            pending_no_alloc = true;
+        }
+        // Byte-wise walk: the markers of interest are all ASCII, and `#`
+        // is always a char boundary, so slicing at it is safe.
+        for (i, b) in code_line.bytes().enumerate() {
+            match b {
+                b'#' if TEST_CFGS.iter().any(|cfg| code_line[i..].starts_with(cfg)) => {
+                    pending_cfg_test = true;
+                }
+                b'{' => {
                     depth += 1;
                     if pending_cfg_test {
                         test_stack.push(depth);
                         pending_cfg_test = false;
                     }
+                    if pending_no_alloc {
+                        alloc_stack.push(depth);
+                        pending_no_alloc = false;
+                    }
                 }
-                '}' => {
+                b'}' => {
                     if test_stack.last() == Some(&depth) {
                         test_stack.pop();
                     }
+                    if alloc_stack.last() == Some(&depth) {
+                        alloc_stack.pop();
+                    }
                     depth = depth.saturating_sub(1);
                 }
-                // `#[cfg(test)] use ...;` — attribute consumed by a
-                // braceless item.
-                ';' if pending_cfg_test && test_stack.last() != Some(&depth) => {
-                    pending_cfg_test = false;
+                // `#[cfg(test)] use ...;` / a tagged trait method
+                // declaration `fn f(&self);` — the pending marker is
+                // consumed by a braceless item.
+                b';' => {
+                    if pending_cfg_test && test_stack.last() != Some(&depth) {
+                        pending_cfg_test = false;
+                    }
+                    if pending_no_alloc && alloc_stack.last() != Some(&depth) {
+                        pending_no_alloc = false;
+                    }
                 }
                 _ => {}
             }
-            i += 1;
         }
-        let ended_in_test = !test_stack.is_empty();
+        let ended_test = !test_stack.is_empty();
+        let ended_alloc = !alloc_stack.is_empty();
         lines.push(Line {
-            code: raw_line.to_string(),
-            in_test: started_in_test || ended_in_test || pending_cfg_test,
+            code: code_line.to_string(),
+            comment: comment_line.to_string(),
+            in_test: started_test || ended_test || pending_cfg_test,
+            no_alloc: started_alloc || ended_alloc || pending_no_alloc,
         });
     }
     lines
-}
-
-fn char_to_byte(s: &str, char_idx: usize) -> usize {
-    s.char_indices()
-        .nth(char_idx)
-        .map_or(s.len(), |(byte_idx, _)| byte_idx)
 }
 
 #[cfg(test)]
@@ -263,6 +351,32 @@ mod tests {
     }
 
     #[test]
+    fn comment_text_is_captured_with_code_blanked() {
+        let src = "x.store(1, Relaxed); // relaxed-ok: monotone counter\n";
+        let lines = scrub(src);
+        assert!(lines[0].comment.contains("relaxed-ok: monotone counter"));
+        assert!(!lines[0].comment.contains("store"));
+        assert!(!lines[0].code.contains("relaxed-ok"));
+    }
+
+    #[test]
+    fn comment_lines_mirror_code_lines() {
+        let src = "fn f() {\n    /* a\n       b */ g();\n}\n";
+        let lines = scrub(src);
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].comment.contains('a'));
+        assert!(lines[2].comment.contains('b'));
+        assert!(lines[2].code.contains("g();"));
+    }
+
+    #[test]
+    fn string_contents_do_not_leak_into_comments() {
+        let src = "let s = \"// not a comment\";\n";
+        let lines = scrub(src);
+        assert!(lines[0].comment.trim().is_empty());
+    }
+
+    #[test]
     fn raw_strings_and_chars_are_blanked() {
         let src = "let p = r#\"panic!(\"x\")\"#; let c = '\"'; let l: &'static str = \"\";";
         let lines = codes(src);
@@ -271,11 +385,48 @@ mod tests {
     }
 
     #[test]
+    fn byte_raw_strings_are_blanked() {
+        // Regression: `br#"..."#` — the `b` prefix must not make the raw
+        // string read as an identifier, which would leave the inner quote
+        // opening an ordinary string state and swallow following code.
+        let src = "let b = br#\"panic!(\"x\")\"#; after.unwrap();\nlet t = br\"y\";";
+        let lines = codes(src);
+        assert!(!lines[0].contains("panic!"));
+        assert!(lines[0].contains("after.unwrap();"));
+        assert!(!lines[1].contains('y'));
+    }
+
+    #[test]
+    fn identifiers_ending_in_r_are_not_raw_strings() {
+        let src = "let var\u{5f}br = 1; let x = var\u{5f}br\"tail\";";
+        let lines = codes(src);
+        // `var_br` keeps its letters; the quoted tail is a plain string.
+        assert!(lines[0].contains("var_br = 1"));
+        assert!(!lines[0].contains("tail"));
+    }
+
+    #[test]
+    fn multi_hash_raw_strings_close_on_matching_hashes() {
+        let src = "let p = r##\"inner \"# still inner\"##; done();";
+        let lines = codes(src);
+        assert!(!lines[0].contains("inner"));
+        assert!(lines[0].contains("done();"));
+    }
+
+    #[test]
     fn block_comments_nest() {
         let src = "/* outer /* inner unwrap() */ still comment */ let a = 1;";
         let lines = codes(src);
         assert!(!lines[0].contains("unwrap"));
         assert!(lines[0].contains("let a = 1;"));
+    }
+
+    #[test]
+    fn nested_block_comment_text_is_captured() {
+        let src = "/* outer /* SAFETY: nested */ tail */ let a = 1;";
+        let lines = scrub(src);
+        assert!(lines[0].comment.contains("SAFETY: nested"));
+        assert!(lines[0].code.contains("let a = 1;"));
     }
 
     #[test]
@@ -300,6 +451,41 @@ mod tests {
         let src = "#[cfg(test)]\nuse foo::bar;\nfn prod() { baz(); }\n";
         let lines = scrub(src);
         assert!(!lines[2].in_test);
+    }
+
+    #[test]
+    fn no_alloc_tag_marks_the_next_fn_body() {
+        let src = "/// Doc prose.\n\
+                   /// xtask: no-alloc\n\
+                   #[inline]\n\
+                   fn hot(x: u64) -> u64 {\n\
+                       let v = x + 1;\n\
+                       v\n\
+                   }\n\
+                   fn cold() { Vec::new(); }\n";
+        let lines = scrub(src);
+        assert!(!lines[0].no_alloc);
+        assert!(lines[1].no_alloc); // tag line
+        assert!(lines[2].no_alloc); // attribute between tag and fn
+        assert!(lines[3].no_alloc); // signature + open brace
+        assert!(lines[4].no_alloc);
+        assert!(lines[6].no_alloc); // closing brace
+        assert!(!lines[7].no_alloc);
+    }
+
+    #[test]
+    fn no_alloc_tag_in_prose_does_not_open_a_region() {
+        let src = "/// This fn is not tagged xtask: no-alloc on purpose.\n\
+                   fn normal() { Vec::new(); }\n";
+        let lines = scrub(src);
+        assert!(!lines[1].no_alloc);
+    }
+
+    #[test]
+    fn no_alloc_tag_is_consumed_by_braceless_declarations() {
+        let src = "/// xtask: no-alloc\nfn decl(x: u64) -> u64;\nfn other() { }\n";
+        let lines = scrub(src);
+        assert!(!lines[2].no_alloc);
     }
 
     #[test]

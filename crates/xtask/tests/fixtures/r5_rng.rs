@@ -1,0 +1,34 @@
+//! Fixture: seeded R5 RNG-discipline violations (text-only, never
+//! compiled). Scanned as a non-seeding-module file.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Draws OS entropy — banned outright, no allowlist escape.
+pub fn entropy_draws() -> u64 {
+    let mut a = rand::thread_rng();
+    let mut b = ChaCha8Rng::from_entropy();
+    a.gen::<u64>() ^ b.gen::<u64>()
+}
+
+/// Ad-hoc seeding outside a designated seeding module — allowlistable.
+pub fn ad_hoc_seeding(seed: u64) -> ChaCha8Rng {
+    let _scratch = ChaCha8Rng::from_seed([0u8; 32]);
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+/// Prose and literals must not count: thread_rng in a doc comment is fine.
+pub fn innocent() -> &'static str {
+    "call thread_rng() or seed_from_u64 here"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_rng_construction_is_fine() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let _ = ad_hoc_seeding(rng.gen());
+    }
+}

@@ -1,0 +1,61 @@
+//! Fixture: seeded R6 concurrency-hygiene violations (text-only, never
+//! compiled).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Mutex, RwLock};
+
+static EVENTS: AtomicU64 = AtomicU64::new(0);
+
+/// Monotone counter with a same-line justification — clean.
+pub fn justified_same_line() {
+    EVENTS.fetch_add(1, Ordering::Relaxed); // relaxed-ok: monotone event counter
+}
+
+/// Justification on the preceding line — also clean.
+pub fn justified_previous_line() {
+    // relaxed-ok: monotone event counter, read only at shutdown
+    EVENTS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Unjustified relaxed ordering — violation.
+pub fn unjustified() {
+    EVENTS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Marker without a reason — the `<why>` is mandatory; still a violation.
+pub fn empty_reason() {
+    EVENTS.fetch_add(1, Ordering::Relaxed); // relaxed-ok:
+}
+
+/// Blocking primitives in sim-visible code — violations (allowlistable).
+pub struct Locked {
+    table: Mutex<Vec<u64>>,
+    cache: RwLock<Vec<u64>>,
+}
+
+/// Channel construction — violation (`mpsc`, allowlist token `channel`).
+pub fn make_channel() -> (mpsc::Sender<u64>, mpsc::Receiver<u64>) {
+    mpsc::channel()
+}
+
+/// Commented unsafe — clean.
+pub fn commented_unsafe(p: *const u64) -> u64 {
+    // SAFETY: caller guarantees `p` is valid and aligned for reads.
+    unsafe { *p }
+}
+
+/// Uncommented unsafe — violation.
+pub fn uncommented_unsafe(p: *const u64) -> u64 {
+    unsafe { *p }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_use_locks_and_relaxed() {
+        EVENTS.store(0, Ordering::Relaxed);
+        let _guard = Mutex::new(0u8);
+    }
+}

@@ -1,0 +1,45 @@
+//! Fixture: seeded R7 hot-path allocation violations (text-only, never
+//! compiled).
+
+/// Hot-path walk step: arena buffers only, one violation per line below.
+/// xtask: no-alloc
+pub fn hot_step(buf: &mut [u64], x: u64) -> u64 {
+    let v: Vec<u64> = Vec::new();
+    let w = vec![0u64; 4];
+    let c: Vec<u64> = buf.iter().copied().collect();
+    let d = buf.to_vec();
+    let e = w.clone();
+    let b = Box::new(x);
+    let s = format!("{x}");
+    buf[0] + x + v.len() as u64 + c.len() as u64 + d.len() as u64 + e.len() as u64 + *b
+        + s.len() as u64
+}
+
+/// Tagged but allocation-free — clean.
+/// xtask: no-alloc
+pub fn hot_clean(buf: &mut [u64], x: u64) -> u64 {
+    buf[0] = buf[0].wrapping_add(x);
+    buf[0]
+}
+
+/// Untagged: allocation is fine here.
+pub fn cold(x: u64) -> Vec<u64> {
+    vec![x; 8]
+}
+
+/// Prose that merely mentions the xtask: no-alloc tag must not tag the
+/// next function.
+pub fn cold_after_prose(x: u64) -> Vec<u64> {
+    vec![x; 8]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// xtask: no-alloc
+    #[test]
+    fn tagged_test_code_is_exempt() {
+        let _ = cold(3).clone();
+    }
+}

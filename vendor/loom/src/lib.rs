@@ -1,0 +1,799 @@
+//! Std-only stand-in for the `loom` concurrency model checker.
+//!
+//! The build environment has no crates.io access, so — like the vendored
+//! `rand` / `proptest` / `criterion` stand-ins — this crate implements the
+//! API *subset* Digest's `--cfg loom` protocol tests use, not the full
+//! upstream crate:
+//!
+//! * [`model`] — runs a closure under every distinguishable thread
+//!   interleaving (depth-first schedule exploration).
+//! * [`thread::spawn`] / [`thread::JoinHandle`] — model threads.
+//! * [`sync::atomic::AtomicUsize`] / [`sync::atomic::AtomicU64`] /
+//!   [`sync::atomic::AtomicBool`] — atomics whose every operation is a
+//!   scheduling point.
+//! * [`sync::Mutex`] / [`sync::OnceLock`] / [`sync::Arc`] — blocking and
+//!   write-once cells with scheduling points.
+//!
+//! # How it works
+//!
+//! Each execution serializes the model's threads: exactly one thread runs
+//! at a time, and every visible operation (atomic access, lock, unlock,
+//! once-set, spawn, join) is a *decision point* where the scheduler picks
+//! which runnable thread performs the next operation. The scheduler
+//! records the runnable set at each decision; after the execution
+//! finishes, it backtracks depth-first to the last decision with an
+//! untried alternative and replays. The exploration therefore visits
+//! every interleaving of visible operations exactly once.
+//!
+//! # Divergence from upstream loom
+//!
+//! Upstream loom additionally models C11 weak-memory effects (stale
+//! `Relaxed` loads, store buffering). This stand-in explores
+//! *interleavings only* — every atomic op is effectively `SeqCst` — so it
+//! proves mutual-exclusion/uniqueness/lost-update properties but not
+//! memory-ordering-sensitivity. Digest pairs it with ThreadSanitizer in
+//! CI, which covers the data-race blind spot on real hardware.
+//!
+//! The exploration budget is bounded by `LOOM_MAX_ITERATIONS`
+//! (default 1 000 000 executions); exceeding it panics so an accidental
+//! state-space explosion fails loudly instead of hanging CI.
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc as StdArc, Condvar, Mutex as StdMutex, PoisonError};
+
+const OUTSIDE_MODEL: &str =
+    "loom primitive used outside loom::model — wrap the test body in loom::model(|| ...)";
+const ABANDONED: &str = "loom execution abandoned (another thread panicked or deadlocked)";
+
+/// Run state of one model thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Run {
+    /// Schedulable: may be picked at the next decision point.
+    Runnable,
+    /// Waiting for a mutex to be released.
+    BlockedOnMutex(usize),
+    /// Waiting for another thread to finish.
+    BlockedOnJoin(usize),
+    /// Completed.
+    Finished,
+}
+
+/// Mutable scheduler state of one execution.
+#[derive(Debug, Default)]
+struct ExecState {
+    threads: Vec<Run>,
+    /// The single thread currently allowed to run.
+    active: usize,
+    /// Thread chosen at each decision point. The prefix inherited from
+    /// the previous execution is replayed; the suffix is recorded fresh.
+    schedule: Vec<usize>,
+    /// The runnable set each decision chose from (for backtracking).
+    choices: Vec<Vec<usize>>,
+    /// Next position in `schedule`.
+    step: usize,
+    /// Held-state of each registered mutex.
+    mutexes: Vec<bool>,
+    /// Set when a thread panicked or a deadlock was detected: every
+    /// waiting thread wakes and unwinds.
+    abandoned: bool,
+}
+
+/// One execution's scheduler: a token (`active`) passed between OS
+/// threads at decision points.
+struct Execution {
+    state: StdMutex<ExecState>,
+    cond: Condvar,
+}
+
+impl Execution {
+    fn new(prefix: Vec<usize>) -> Self {
+        Self {
+            state: StdMutex::new(ExecState {
+                threads: vec![Run::Runnable], // thread 0: the model closure
+                schedule: prefix,
+                ..ExecState::default()
+            }),
+            cond: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, ExecState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Makes one scheduling decision: picks the next thread to run from
+    /// the current runnable set (replaying the inherited prefix when one
+    /// remains), records the choice, and wakes everyone so the chosen
+    /// thread can proceed.
+    fn reschedule(&self, s: &mut ExecState) {
+        let runnable: Vec<usize> = s
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| **r == Run::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        if runnable.is_empty() {
+            if s.threads.iter().all(|r| *r == Run::Finished) {
+                // Execution complete; nothing to schedule.
+                self.cond.notify_all();
+                return;
+            }
+            s.abandoned = true;
+            self.cond.notify_all();
+            panic!(
+                "loom: deadlock — no runnable thread (states: {:?}, schedule so far: {:?})",
+                s.threads, s.schedule
+            );
+        }
+        let chosen = if s.step < s.schedule.len() {
+            let c = s.schedule[s.step];
+            assert!(
+                runnable.contains(&c),
+                "loom: replay divergence — schedule wanted thread {c} but runnable set is \
+                 {runnable:?}; the model closure must be deterministic apart from scheduling"
+            );
+            c
+        } else {
+            let c = runnable[0];
+            s.schedule.push(c);
+            c
+        };
+        if s.step >= s.choices.len() {
+            s.choices.push(runnable);
+        }
+        s.step += 1;
+        s.active = chosen;
+        self.cond.notify_all();
+    }
+
+    /// A decision point before a visible operation by the current thread.
+    fn yield_point(&self, me: usize) {
+        let mut s = self.lock();
+        if s.abandoned {
+            panic!("{ABANDONED}");
+        }
+        self.reschedule(&mut s);
+        while s.active != me {
+            if s.abandoned {
+                panic!("{ABANDONED}");
+            }
+            s = self.cond.wait(s).unwrap_or_else(PoisonError::into_inner);
+        }
+        if s.abandoned {
+            panic!("{ABANDONED}");
+        }
+    }
+
+    /// Parks the current thread as `how` until it is both runnable again
+    /// and scheduled. The unblocking side flips the state to `Runnable`.
+    fn block(&self, me: usize, how: Run) {
+        let mut s = self.lock();
+        if s.abandoned {
+            panic!("{ABANDONED}");
+        }
+        s.threads[me] = how;
+        self.reschedule(&mut s);
+        while !(s.threads[me] == Run::Runnable && s.active == me) {
+            if s.abandoned {
+                panic!("{ABANDONED}");
+            }
+            s = self.cond.wait(s).unwrap_or_else(PoisonError::into_inner);
+        }
+        if s.abandoned {
+            panic!("{ABANDONED}");
+        }
+    }
+
+    /// Registers a freshly spawned model thread and returns its id.
+    fn register_thread(&self) -> usize {
+        let mut s = self.lock();
+        s.threads.push(Run::Runnable);
+        s.threads.len() - 1
+    }
+
+    /// A new thread's first wait: it may not run until first scheduled.
+    fn wait_first(&self, me: usize) {
+        let mut s = self.lock();
+        while s.active != me {
+            if s.abandoned {
+                panic!("{ABANDONED}");
+            }
+            s = self.cond.wait(s).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Joins `target`: a plain decision point when it already finished,
+    /// otherwise blocks until its [`Execution::finish`] wakes us.
+    fn join_thread(&self, me: usize, target: usize) {
+        let finished = { self.lock().threads[target] == Run::Finished };
+        // No decision point separates the check from the block, so the
+        // target's state cannot change in between (threads are
+        // serialized).
+        if finished {
+            self.yield_point(me);
+        } else {
+            self.block(me, Run::BlockedOnJoin(target));
+        }
+    }
+
+    /// Marks `me` finished, wakes its joiners, and schedules a successor.
+    fn finish(&self, me: usize) {
+        let mut s = self.lock();
+        s.threads[me] = Run::Finished;
+        for r in s.threads.iter_mut() {
+            if *r == Run::BlockedOnJoin(me) {
+                *r = Run::Runnable;
+            }
+        }
+        if s.abandoned {
+            self.cond.notify_all();
+            return;
+        }
+        self.reschedule(&mut s);
+    }
+
+    fn abandon(&self) {
+        let mut s = self.lock();
+        s.abandoned = true;
+        self.cond.notify_all();
+    }
+
+    fn register_mutex(&self) -> usize {
+        let mut s = self.lock();
+        s.mutexes.push(false);
+        s.mutexes.len() - 1
+    }
+
+    /// Decision point + blocking acquire of model mutex `id`.
+    fn acquire_mutex(&self, me: usize, id: usize) {
+        self.yield_point(me);
+        loop {
+            {
+                let mut s = self.lock();
+                if !s.mutexes[id] {
+                    s.mutexes[id] = true;
+                    return;
+                }
+            }
+            self.block(me, Run::BlockedOnMutex(id));
+        }
+    }
+
+    /// Releases model mutex `id`, waking its waiters (a decision point).
+    fn release_mutex(&self, me: usize, id: usize) {
+        {
+            let mut s = self.lock();
+            s.mutexes[id] = false;
+            for r in s.threads.iter_mut() {
+                if *r == Run::BlockedOnMutex(id) {
+                    *r = Run::Runnable;
+                }
+            }
+        }
+        self.yield_point(me);
+    }
+
+    /// Blocks until every model thread has finished (used by [`model`]
+    /// to close out one execution).
+    fn wait_all_finished(&self) {
+        let mut s = self.lock();
+        while !s.threads.iter().all(|r| *r == Run::Finished) {
+            if s.abandoned {
+                // Threads still unwind to Finished after abandonment;
+                // keep waiting so no OS thread outlives the execution.
+                let all_done = s.threads.iter().all(|r| *r == Run::Finished);
+                if all_done {
+                    break;
+                }
+            }
+            s = self.cond.wait(s).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    fn take_trace(&self) -> (Vec<usize>, Vec<Vec<usize>>) {
+        let mut s = self.lock();
+        (
+            std::mem::take(&mut s.schedule),
+            std::mem::take(&mut s.choices),
+        )
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(StdArc<Execution>, usize)>> = const { RefCell::new(None) };
+}
+
+fn current() -> (StdArc<Execution>, usize) {
+    CURRENT.with(|c| c.borrow().clone()).expect(OUTSIDE_MODEL)
+}
+
+fn set_current(exec: StdArc<Execution>, id: usize) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((exec, id)));
+}
+
+fn clear_current() {
+    CURRENT.with(|c| *c.borrow_mut() = None);
+}
+
+/// A decision point for the calling model thread.
+fn schedule_point() {
+    let (exec, me) = current();
+    exec.yield_point(me);
+}
+
+/// Computes the schedule prefix of the next unexplored execution, or
+/// `None` when the space is exhausted.
+fn next_prefix(mut schedule: Vec<usize>, mut choices: Vec<Vec<usize>>) -> Option<Vec<usize>> {
+    loop {
+        let chosen = schedule.pop()?;
+        let alts = choices.pop()?;
+        if let Some(pos) = alts.iter().position(|&t| t == chosen) {
+            if pos + 1 < alts.len() {
+                schedule.push(alts[pos + 1]);
+                return Some(schedule);
+            }
+        }
+    }
+}
+
+fn iteration_budget() -> u64 {
+    std::env::var("LOOM_MAX_ITERATIONS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_000_000)
+}
+
+/// Explores every thread interleaving of `f`.
+///
+/// `f` is re-run once per distinguishable schedule; any panic in any
+/// model thread fails the exploration with the offending schedule.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let f = StdArc::new(f);
+    let budget = iteration_budget();
+    let mut prefix: Vec<usize> = Vec::new();
+    let mut iterations: u64 = 0;
+    loop {
+        iterations += 1;
+        assert!(
+            iterations <= budget,
+            "loom: exploration exceeded {budget} executions — shrink the model or raise \
+             LOOM_MAX_ITERATIONS"
+        );
+        let exec = StdArc::new(Execution::new(prefix.clone()));
+        let exec_main = StdArc::clone(&exec);
+        let f_main = StdArc::clone(&f);
+        let main = std::thread::Builder::new()
+            .name("loom-main".into())
+            .spawn(move || {
+                set_current(StdArc::clone(&exec_main), 0);
+                let result = catch_unwind(AssertUnwindSafe(|| f_main()));
+                if result.is_err() {
+                    exec_main.abandon();
+                }
+                // `finish` can itself panic (deadlock detection fires in
+                // whichever thread observes it); fold that into the
+                // execution result instead of killing the OS thread.
+                let finished = catch_unwind(AssertUnwindSafe(|| exec_main.finish(0)));
+                clear_current();
+                match (result, finished) {
+                    (Ok(()), Err(payload)) => Err(payload),
+                    (result, _) => result,
+                }
+            })
+            .expect("spawn loom main thread");
+        let result = main.join().expect("loom main thread must not be killed");
+        exec.wait_all_finished();
+        let (schedule, choices) = exec.take_trace();
+        if let Err(payload) = result {
+            eprintln!("loom: model failed on execution #{iterations} with schedule {schedule:?}");
+            resume_unwind(payload);
+        }
+        match next_prefix(schedule, choices) {
+            Some(next) => prefix = next,
+            None => break,
+        }
+    }
+}
+
+pub mod thread {
+    //! Model threads: spawned threads are scheduled by the exploration,
+    //! not the OS.
+
+    use super::{
+        catch_unwind, clear_current, current, schedule_point, set_current, AssertUnwindSafe,
+        PoisonError, StdArc, StdMutex,
+    };
+
+    /// Handle to a spawned model thread (API subset of
+    /// `std::thread::JoinHandle`).
+    pub struct JoinHandle<T> {
+        id: usize,
+        os: std::thread::JoinHandle<()>,
+        result: StdArc<StdMutex<Option<std::thread::Result<T>>>>,
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Blocks (in model time) until the thread finishes, then
+        /// returns its result exactly like `std::thread::JoinHandle`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if the result slot is empty, which would mean the
+        /// model thread was killed rather than run to completion.
+        pub fn join(self) -> std::thread::Result<T> {
+            let (exec, me) = current();
+            exec.join_thread(me, self.id);
+            // The model thread has finished; its OS thread exits
+            // momentarily — this join never blocks on model state.
+            self.os.join().expect("loom worker OS thread");
+            self.result
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .take()
+                .expect("loom thread finished without storing a result")
+        }
+    }
+
+    /// Spawns a model thread. The child does not run until the
+    /// exploration schedules it.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let (exec, _me) = current();
+        let id = exec.register_thread();
+        let result = StdArc::new(StdMutex::new(None));
+        let result_slot = StdArc::clone(&result);
+        let exec_child = StdArc::clone(&exec);
+        let os = std::thread::Builder::new()
+            .name(format!("loom-{id}"))
+            .spawn(move || {
+                set_current(StdArc::clone(&exec_child), id);
+                // Catch the abandonment panic from `wait_first` too, so
+                // the result slot is always written and `finish` always
+                // runs — `wait_all_finished` depends on it.
+                let r = catch_unwind(AssertUnwindSafe(|| {
+                    exec_child.wait_first(id);
+                    f()
+                }));
+                if r.is_err() {
+                    exec_child.abandon();
+                }
+                *result_slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(r);
+                let _ = catch_unwind(AssertUnwindSafe(|| exec_child.finish(id)));
+                clear_current();
+            })
+            .expect("spawn loom worker thread");
+        // Spawning is itself a visible operation: give the scheduler a
+        // decision point so the child may run before the parent's next op.
+        schedule_point();
+        JoinHandle { id, os, result }
+    }
+}
+
+pub mod sync {
+    //! Synchronization primitives whose operations are scheduling points.
+
+    pub use std::sync::Arc;
+
+    use super::{current, schedule_point, PoisonError, StdMutex};
+
+    pub mod atomic {
+        //! Model atomics. Executions are serialized, so operations are
+        //! performed `SeqCst` on plain `std` atomics; the modelled
+        //! behaviour is the interleaving of operations, not C11 weak
+        //! memory (see the crate docs).
+
+        pub use std::sync::atomic::Ordering;
+
+        macro_rules! model_atomic {
+            ($name:ident, $std:ty, $prim:ty) => {
+                /// Atomic whose every operation is a loom decision point.
+                #[derive(Debug, Default)]
+                pub struct $name {
+                    v: $std,
+                }
+
+                impl $name {
+                    /// Creates the atomic (no decision point).
+                    #[must_use]
+                    pub fn new(v: $prim) -> Self {
+                        Self { v: <$std>::new(v) }
+                    }
+
+                    /// Atomic load (decision point; ordering recorded
+                    /// but executed `SeqCst`).
+                    pub fn load(&self, _order: Ordering) -> $prim {
+                        super::super::schedule_point();
+                        self.v.load(Ordering::SeqCst)
+                    }
+
+                    /// Atomic store (decision point).
+                    pub fn store(&self, v: $prim, _order: Ordering) {
+                        super::super::schedule_point();
+                        self.v.store(v, Ordering::SeqCst);
+                    }
+
+                    /// Atomic fetch-add (decision point).
+                    pub fn fetch_add(&self, v: $prim, _order: Ordering) -> $prim {
+                        super::super::schedule_point();
+                        self.v.fetch_add(v, Ordering::SeqCst)
+                    }
+
+                    /// Atomic swap (decision point).
+                    pub fn swap(&self, v: $prim, _order: Ordering) -> $prim {
+                        super::super::schedule_point();
+                        self.v.swap(v, Ordering::SeqCst)
+                    }
+
+                    /// Atomic compare-exchange (decision point).
+                    ///
+                    /// # Errors
+                    ///
+                    /// Returns the observed value when it differs from
+                    /// `currentv`.
+                    pub fn compare_exchange(
+                        &self,
+                        currentv: $prim,
+                        new: $prim,
+                        _ok: Ordering,
+                        _err: Ordering,
+                    ) -> Result<$prim, $prim> {
+                        super::super::schedule_point();
+                        self.v
+                            .compare_exchange(currentv, new, Ordering::SeqCst, Ordering::SeqCst)
+                    }
+                }
+            };
+        }
+
+        model_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+        model_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+
+        /// Atomic bool whose every operation is a loom decision point.
+        #[derive(Debug, Default)]
+        pub struct AtomicBool {
+            v: std::sync::atomic::AtomicBool,
+        }
+
+        impl AtomicBool {
+            /// Creates the atomic (no decision point).
+            #[must_use]
+            pub fn new(v: bool) -> Self {
+                Self {
+                    v: std::sync::atomic::AtomicBool::new(v),
+                }
+            }
+
+            /// Atomic load (decision point).
+            pub fn load(&self, _order: Ordering) -> bool {
+                super::super::schedule_point();
+                self.v.load(Ordering::SeqCst)
+            }
+
+            /// Atomic store (decision point).
+            pub fn store(&self, v: bool, _order: Ordering) {
+                super::super::schedule_point();
+                self.v.store(v, Ordering::SeqCst);
+            }
+
+            /// Atomic swap (decision point).
+            pub fn swap(&self, v: bool, _order: Ordering) -> bool {
+                super::super::schedule_point();
+                self.v.swap(v, Ordering::SeqCst)
+            }
+        }
+    }
+
+    /// Model mutex: acquisition order is explored by the scheduler.
+    #[derive(Debug)]
+    pub struct Mutex<T> {
+        id: usize,
+        data: StdMutex<T>,
+    }
+
+    /// Guard returned by [`Mutex::lock`]; releases at drop (a decision
+    /// point).
+    pub struct MutexGuard<'a, T> {
+        inner: Option<std::sync::MutexGuard<'a, T>>,
+        id: usize,
+    }
+
+    impl<T> Mutex<T> {
+        /// Creates and registers the mutex with the current execution.
+        #[must_use]
+        pub fn new(data: T) -> Self {
+            let (exec, _) = current();
+            Self {
+                id: exec.register_mutex(),
+                data: StdMutex::new(data),
+            }
+        }
+
+        /// Blocking lock (decision point; contention explored).
+        ///
+        /// # Errors
+        ///
+        /// Never errs — poisoning is not modelled; the signature matches
+        /// `std` so call sites stay identical.
+        pub fn lock(&self) -> Result<MutexGuard<'_, T>, std::convert::Infallible> {
+            let (exec, me) = current();
+            exec.acquire_mutex(me, self.id);
+            Ok(MutexGuard {
+                inner: Some(self.data.lock().unwrap_or_else(PoisonError::into_inner)),
+                id: self.id,
+            })
+        }
+    }
+
+    impl<T> std::ops::Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.inner.as_ref().expect("guard accessed after release")
+        }
+    }
+
+    impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            self.inner.as_mut().expect("guard accessed after release")
+        }
+    }
+
+    impl<T> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            drop(self.inner.take());
+            let (exec, me) = current();
+            exec.release_mutex(me, self.id);
+        }
+    }
+
+    /// Write-once cell (API subset of `std::sync::OnceLock`): concurrent
+    /// `set` races are explored; reads happen after joins via `&mut`.
+    #[derive(Debug, Default)]
+    pub struct OnceLock<T> {
+        data: StdMutex<Option<T>>,
+    }
+
+    impl<T> OnceLock<T> {
+        /// Creates an empty cell (no decision point).
+        #[must_use]
+        pub fn new() -> Self {
+            Self {
+                data: StdMutex::new(None),
+            }
+        }
+
+        /// Stores `v` if the cell is empty (decision point).
+        ///
+        /// # Errors
+        ///
+        /// Returns `v` back when the cell was already set — the signal a
+        /// claim protocol double-assigned a slot.
+        pub fn set(&self, v: T) -> Result<(), T> {
+            schedule_point();
+            let mut slot = self.data.lock().unwrap_or_else(PoisonError::into_inner);
+            if slot.is_some() {
+                return Err(v);
+            }
+            *slot = Some(v);
+            Ok(())
+        }
+
+        /// Takes the value out (exclusive access: no decision point).
+        pub fn take(&mut self) -> Option<T> {
+            self.data
+                .get_mut()
+                .unwrap_or_else(PoisonError::into_inner)
+                .take()
+        }
+
+        /// Whether the cell has been set (exclusive access: no decision
+        /// point — used by post-join assertions).
+        pub fn is_set(&mut self) -> bool {
+            self.data
+                .get_mut()
+                .unwrap_or_else(PoisonError::into_inner)
+                .is_some()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicUsize, Ordering};
+    use super::sync::{Arc, Mutex, OnceLock};
+
+    /// Two incrementing threads: the final count is always 2 because
+    /// fetch_add is atomic; the exploration must terminate.
+    #[test]
+    fn counter_increments_are_atomic() {
+        super::model(|| {
+            let c = Arc::new(AtomicUsize::new(0));
+            let h: Vec<_> = (0..2)
+                .map(|_| {
+                    let c = Arc::clone(&c);
+                    super::thread::spawn(move || {
+                        c.fetch_add(1, Ordering::Relaxed);
+                    })
+                })
+                .collect();
+            for handle in h {
+                handle.join().unwrap();
+            }
+            assert_eq!(c.load(Ordering::Relaxed), 2);
+        });
+    }
+
+    /// The canonical loom demo: a *non-atomic* read-modify-write (load
+    /// then store) CAN lose an update under some interleaving — the
+    /// explorer must find that schedule, proving it actually explores.
+    #[test]
+    fn exploration_finds_lost_updates() {
+        let found = std::panic::catch_unwind(|| {
+            super::model(|| {
+                let c = Arc::new(AtomicUsize::new(0));
+                let h: Vec<_> = (0..2)
+                    .map(|_| {
+                        let c = Arc::clone(&c);
+                        super::thread::spawn(move || {
+                            let v = c.load(Ordering::Relaxed);
+                            c.store(v + 1, Ordering::Relaxed);
+                        })
+                    })
+                    .collect();
+                for handle in h {
+                    handle.join().unwrap();
+                }
+                assert_eq!(c.load(Ordering::Relaxed), 2, "lost update");
+            });
+        });
+        assert!(found.is_err(), "the lost-update schedule must be found");
+    }
+
+    /// Mutual exclusion: a mutex-protected non-atomic counter never
+    /// loses updates under any schedule.
+    #[test]
+    fn mutex_provides_mutual_exclusion() {
+        super::model(|| {
+            let c = Arc::new(Mutex::new(0_usize));
+            let h: Vec<_> = (0..2)
+                .map(|_| {
+                    let c = Arc::clone(&c);
+                    super::thread::spawn(move || {
+                        let mut g = c.lock().unwrap();
+                        *g += 1;
+                    })
+                })
+                .collect();
+            for handle in h {
+                handle.join().unwrap();
+            }
+            assert_eq!(*c.lock().unwrap(), 2);
+        });
+    }
+
+    /// OnceLock: concurrent setters — exactly one wins in every
+    /// interleaving.
+    #[test]
+    fn once_lock_single_winner() {
+        super::model(|| {
+            let cell = Arc::new(OnceLock::new());
+            let h: Vec<_> = (0..2)
+                .map(|i| {
+                    let cell = Arc::clone(&cell);
+                    super::thread::spawn(move || usize::from(cell.set(i).is_ok()))
+                })
+                .collect();
+            let wins: usize = h.into_iter().map(|h| h.join().unwrap()).sum();
+            assert_eq!(wins, 1, "exactly one setter must win");
+            let mut cell = Arc::try_unwrap(cell).ok().expect("sole owner after joins");
+            assert!(cell.take().is_some());
+        });
+    }
+}
