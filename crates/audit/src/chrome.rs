@@ -1,0 +1,166 @@
+//! Chrome/Perfetto trace-event export of the telemetry JSONL stream.
+//!
+//! Converts the deterministic event stream (each line one schema-validated
+//! JSON object with `kind`, `tick`, optional `trace` envelope) into the
+//! [trace-event JSON format] both `chrome://tracing` and Perfetto open
+//! directly. Spans (`kind == "span"`) become complete (`ph: "X"`) events;
+//! everything else becomes a thread-scoped instant (`ph: "i"`). One
+//! simulation tick maps to one millisecond of trace time so occasion
+//! spacing is visible at the default zoom.
+//!
+//! The export is a pure function of the input lines — parsing, mapping,
+//! and the sorted-key serialiser introduce no nondeterminism, so two
+//! replays of the same run produce byte-identical trace files.
+//!
+//! [trace-event JSON format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use serde_json::{json, Map, Value};
+
+/// Microseconds of trace time per simulation tick (1 tick = 1 ms).
+const TICK_US: u64 = 1_000;
+
+/// Converts collected telemetry JSONL lines into a Chrome trace-event
+/// JSON document. Lines that fail to parse as objects are skipped (the
+/// schema gate catches malformed events separately).
+#[must_use]
+pub fn chrome_trace_json(lines: &[String]) -> String {
+    let mut events: Vec<Value> = Vec::with_capacity(lines.len());
+    for line in lines {
+        let Ok(value) = serde_json::from_str(line) else {
+            continue;
+        };
+        let Some(object) = value.as_object() else {
+            continue;
+        };
+        let kind = object.get("kind").and_then(Value::as_str).unwrap_or("?");
+        let tick = object.get("tick").and_then(Value::as_u64).unwrap_or(0);
+        let ts = tick * TICK_US;
+
+        let mut args = Map::new();
+        for (key, field) in object.iter() {
+            if key == "kind" || key == "tick" {
+                continue;
+            }
+            args.insert(key.clone(), field.clone());
+        }
+
+        let event = if kind == "span" {
+            let stage = object.get("stage").and_then(Value::as_str).unwrap_or("?");
+            // Zero-duration spans are invisible in the viewers; stretch
+            // them to 1 µs (still well under one tick).
+            let dur = object
+                .get("dur")
+                .and_then(Value::as_u64)
+                .unwrap_or(0)
+                .saturating_mul(TICK_US)
+                .max(1);
+            json!({
+                "name": stage,
+                "ph": "X",
+                "ts": ts,
+                "dur": dur,
+                "pid": 1,
+                "tid": 1,
+                "args": Value::Object(args),
+            })
+        } else {
+            json!({
+                "name": kind,
+                "ph": "i",
+                "s": "t",
+                "ts": ts,
+                "pid": 1,
+                "tid": 1,
+                "args": Value::Object(args),
+            })
+        };
+        events.push(event);
+    }
+    let document = json!({
+        "displayTimeUnit": "ms",
+        "traceEvents": Value::Array(events),
+    });
+    serde_json::to_string(&document).unwrap_or_default()
+}
+
+#[cfg(test)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_become_complete_events_and_others_instants() {
+        let lines = vec![
+            r#"{"dur":2,"kind":"span","stage":"engine_tick","tick":3,"trace":1}"#.to_string(),
+            r#"{"estimate":5.0,"kind":"tick","tick":3,"trace":1}"#.to_string(),
+        ];
+        let out = chrome_trace_json(&lines);
+        let doc = serde_json::from_str(&out).unwrap();
+        let events = doc.get("traceEvents").and_then(|e| e.as_array()).unwrap();
+        assert_eq!(events.len(), 2);
+
+        let span = &events[0];
+        assert_eq!(span.get("ph").and_then(Value::as_str), Some("X"));
+        assert_eq!(
+            span.get("name").and_then(Value::as_str),
+            Some("engine_tick")
+        );
+        assert_eq!(span.get("ts").and_then(Value::as_u64), Some(3_000));
+        assert_eq!(span.get("dur").and_then(Value::as_u64), Some(2_000));
+        // The trace envelope rides along in args.
+        assert_eq!(
+            span.get("args")
+                .and_then(|a| a.get("trace"))
+                .and_then(Value::as_u64),
+            Some(1)
+        );
+
+        let instant = &events[1];
+        assert_eq!(instant.get("ph").and_then(Value::as_str), Some("i"));
+        assert_eq!(instant.get("name").and_then(Value::as_str), Some("tick"));
+        assert_eq!(
+            instant
+                .get("args")
+                .and_then(|a| a.get("estimate"))
+                .and_then(Value::as_f64),
+            Some(5.0)
+        );
+    }
+
+    #[test]
+    fn zero_duration_spans_are_stretched_to_one_microsecond() {
+        let lines = vec![r#"{"dur":0,"kind":"span","stage":"sampling_walk","tick":0}"#.to_string()];
+        let out = chrome_trace_json(&lines);
+        let doc = serde_json::from_str(&out).unwrap();
+        let dur = doc
+            .get("traceEvents")
+            .and_then(|e| e.as_array())
+            .and_then(|e| e.first())
+            .and_then(|e| e.get("dur"))
+            .and_then(Value::as_u64);
+        assert_eq!(dur, Some(1));
+    }
+
+    #[test]
+    fn export_is_deterministic_and_skips_garbage() {
+        let lines = vec![
+            "not json at all".to_string(),
+            r#"{"kind":"tick","tick":1}"#.to_string(),
+        ];
+        let a = chrome_trace_json(&lines);
+        let b = chrome_trace_json(&lines);
+        assert_eq!(a, b);
+        let doc = serde_json::from_str(&a).unwrap();
+        assert_eq!(
+            doc.get("traceEvents")
+                .and_then(|e| e.as_array())
+                .map(Vec::len),
+            Some(1)
+        );
+    }
+}

@@ -1,0 +1,240 @@
+//! The message-cost ledger: what the push baselines would have spent.
+//!
+//! The paper's evaluation (§VI-B3) compares Digest against two push-based
+//! comparators: `ALL`, where every source ships every value change to the
+//! query origin, and `ALL+FILTER`, where each source holds an Olston-style
+//! adaptive filter of width `2ε` and ships only changes that escape it.
+//! Running those baselines as separate simulations introduces workload
+//! divergence; the ledger instead *re-accounts* the same run — it watches
+//! the oracle-visible database each tick and tallies exactly the messages
+//! each baseline would have sent on the identical data stream, giving a
+//! per-query cost comparison with zero cross-run noise.
+
+use digest_db::{Expr, P2PDatabase, Predicate, TupleHandle};
+use std::collections::BTreeMap;
+use std::mem;
+
+/// Per-tuple filter state.
+#[derive(Debug, Clone, Copy)]
+struct FilterEntry {
+    /// The value as of the previous tick (change detection for `ALL`).
+    last: f64,
+    /// The value last shipped through the `ALL+FILTER` filter (the
+    /// filter's centre; escape when `|v − shipped| > ε`).
+    shipped: f64,
+}
+
+/// Totals the ledger has accumulated.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LedgerTotals {
+    /// Messages the `ALL` baseline would have sent.
+    pub all_messages: u64,
+    /// Messages the `ALL+FILTER` baseline would have sent.
+    pub filter_messages: u64,
+    /// Ticks observed.
+    pub ticks: u64,
+}
+
+/// Same-run message accounting for the `ALL` / `ALL+FILTER` baselines.
+#[derive(Debug)]
+pub struct MessageLedger {
+    epsilon: f64,
+    expr: Expr,
+    predicate: Predicate,
+    entries: BTreeMap<TupleHandle, FilterEntry>,
+    scratch: BTreeMap<TupleHandle, FilterEntry>,
+    totals: LedgerTotals,
+}
+
+impl MessageLedger {
+    /// Builds a ledger for the query's expression/predicate with filter
+    /// half-width `epsilon`.
+    #[must_use]
+    pub fn new(expr: Expr, predicate: Predicate, epsilon: f64) -> Self {
+        Self {
+            epsilon,
+            expr,
+            predicate,
+            entries: BTreeMap::new(),
+            scratch: BTreeMap::new(),
+            totals: LedgerTotals::default(),
+        }
+    }
+
+    /// Observes one tick of database state and charges both baselines.
+    ///
+    /// A tuple's first appearance ships under both baselines (the initial
+    /// value must reach the origin either way); afterwards `ALL` pays for
+    /// every value change while `ALL+FILTER` pays only for changes that
+    /// escape the width-`2ε` filter, recentring the filter on each ship.
+    /// Departed tuples are dropped from the filter table.
+    pub fn observe(&mut self, db: &P2PDatabase) {
+        self.totals.ticks += 1;
+        // Rebuild the entry table each tick: surviving tuples carry their
+        // filter state over, departed tuples fall away.
+        let mut next = mem::take(&mut self.scratch);
+        next.clear();
+        for (handle, tuple) in db.iter() {
+            if !self.predicate.eval(tuple).unwrap_or(false) {
+                continue;
+            }
+            let Ok(value) = self.expr.eval(tuple) else {
+                continue;
+            };
+            let entry = match self.entries.get(&handle) {
+                None => {
+                    // New tuple: both baselines ship the initial value.
+                    self.totals.all_messages += 1;
+                    self.totals.filter_messages += 1;
+                    FilterEntry {
+                        last: value,
+                        shipped: value,
+                    }
+                }
+                Some(&prev) => {
+                    let mut entry = prev;
+                    // Bit comparison: any representational change is a
+                    // change the source would push (exact float equality
+                    // is the intended semantics here, not tolerance).
+                    if value.to_bits() != prev.last.to_bits() {
+                        self.totals.all_messages += 1;
+                    }
+                    if (value - prev.shipped).abs() > self.epsilon {
+                        self.totals.filter_messages += 1;
+                        entry.shipped = value;
+                    }
+                    entry.last = value;
+                    entry
+                }
+            };
+            next.insert(handle, entry);
+        }
+        self.scratch = mem::replace(&mut self.entries, next);
+    }
+
+    /// The accumulated baseline totals.
+    #[must_use]
+    pub fn totals(&self) -> LedgerTotals {
+        self.totals
+    }
+
+    /// Tuples currently tracked by the filter table.
+    #[must_use]
+    pub fn tracked(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)]
+mod tests {
+    use super::*;
+    use digest_db::{P2PDatabase, Schema, Tuple};
+    use digest_net::NodeId;
+
+    fn db_with(values: &[f64]) -> (P2PDatabase, Vec<TupleHandle>) {
+        let mut db = P2PDatabase::new(Schema::single("a"));
+        db.register_node(NodeId(0));
+        let handles = values
+            .iter()
+            .map(|&v| db.insert(NodeId(0), Tuple::single(v)).unwrap())
+            .collect();
+        (db, handles)
+    }
+
+    fn ledger_for(db: &P2PDatabase, epsilon: f64) -> MessageLedger {
+        MessageLedger::new(Expr::first_attr(db.schema()), Predicate::True, epsilon)
+    }
+
+    #[test]
+    fn initial_tick_ships_every_tuple_once() {
+        let (db, _) = db_with(&[1.0, 2.0, 3.0]);
+        let mut ledger = ledger_for(&db, 0.5);
+        ledger.observe(&db);
+        let t = ledger.totals();
+        assert_eq!(t.all_messages, 3);
+        assert_eq!(t.filter_messages, 3);
+        assert_eq!(ledger.tracked(), 3);
+    }
+
+    #[test]
+    fn steady_values_cost_nothing_after_the_first_ship() {
+        let (db, _) = db_with(&[1.0, 2.0]);
+        let mut ledger = ledger_for(&db, 0.5);
+        for _ in 0..5 {
+            ledger.observe(&db);
+        }
+        let t = ledger.totals();
+        assert_eq!(t.all_messages, 2);
+        assert_eq!(t.filter_messages, 2);
+        assert_eq!(t.ticks, 5);
+    }
+
+    #[test]
+    fn all_charges_every_change_filter_charges_escapes() {
+        let (mut db, handles) = db_with(&[10.0]);
+        let mut ledger = ledger_for(&db, 1.0);
+        ledger.observe(&db); // initial ship: all 1, filter 1
+
+        // Small drift inside the filter: ALL pays, FILTER holds.
+        db.update(handles[0], &[10.5]).unwrap();
+        ledger.observe(&db);
+        // Another small step, still within ε of the shipped 10.0.
+        db.update(handles[0], &[10.9]).unwrap();
+        ledger.observe(&db);
+        let t = ledger.totals();
+        assert_eq!(t.all_messages, 3);
+        assert_eq!(t.filter_messages, 1);
+
+        // Escape the filter: both pay, filter recentres at 11.5.
+        db.update(handles[0], &[11.5]).unwrap();
+        ledger.observe(&db);
+        let t = ledger.totals();
+        assert_eq!(t.all_messages, 4);
+        assert_eq!(t.filter_messages, 2);
+
+        // Drift within ε of the *new* centre: FILTER holds again.
+        db.update(handles[0], &[12.0]).unwrap();
+        ledger.observe(&db);
+        let t = ledger.totals();
+        assert_eq!(t.all_messages, 5);
+        assert_eq!(t.filter_messages, 2);
+    }
+
+    #[test]
+    fn departed_tuples_are_pruned_and_reinsertions_ship_again() {
+        let (mut db, handles) = db_with(&[1.0, 2.0]);
+        let mut ledger = ledger_for(&db, 0.5);
+        ledger.observe(&db);
+        assert_eq!(ledger.tracked(), 2);
+
+        db.delete(handles[0]).unwrap();
+        ledger.observe(&db);
+        assert_eq!(ledger.tracked(), 1);
+
+        // A fresh tuple (new handle) ships under both baselines.
+        db.insert(NodeId(0), Tuple::single(1.0)).unwrap();
+        ledger.observe(&db);
+        let t = ledger.totals();
+        assert_eq!(ledger.tracked(), 2);
+        assert_eq!(t.all_messages, 3);
+        assert_eq!(t.filter_messages, 3);
+    }
+
+    #[test]
+    fn predicate_restricts_the_accounted_population() {
+        let (db, _) = db_with(&[1.0, 5.0, 9.0]);
+        let schema = db.schema().clone();
+        let pred = Predicate::parse("a > 4", &schema).unwrap();
+        let mut ledger = MessageLedger::new(Expr::first_attr(&schema), pred, 0.5);
+        ledger.observe(&db);
+        let t = ledger.totals();
+        assert_eq!(t.all_messages, 2);
+        assert_eq!(ledger.tracked(), 2);
+    }
+}

@@ -1,0 +1,166 @@
+//! Auditor-overhead benchmark: what guarantee auditing costs per tick.
+//!
+//! Runs the canonical TEMPERATURE scenario (PRED-3 + RPT, fixed seed)
+//! twice — once plain, once with a [`digest_audit::QueryAudit`] observer
+//! attached (ground-truth oracle, confidence calibration, message-cost
+//! ledger) — and reports the wall-clock delta next to the audit findings.
+//! The per-tick traces of both legs must be bit-identical (the observer
+//! is passive by contract); the bench exits non-zero if they diverge, so
+//! the CI smoke run doubles as an enforcement point.
+//!
+//! Timings are wall-clock and therefore machine-dependent; the JSON is a
+//! profiling artefact, not a determinism surface.
+
+use digest_audit::QueryAudit;
+use digest_bench::{banner, temperature, Scale};
+use digest_core::{EstimatorKind, NoopObserver, SchedulerKind};
+use digest_sim::{run_observed, RunConfig, RunReport};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde_json::json;
+use std::io::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+const TICKS: u64 = 120;
+const SEED: u64 = 20080402;
+
+fn run_leg(scale: Scale, audit: Option<&mut QueryAudit>) -> (RunReport, f64) {
+    let mut workload = temperature(scale, 0);
+    let mut engine = digest_bench::engine_for(
+        &workload,
+        SchedulerKind::Pred(3),
+        EstimatorKind::Repeated,
+        8.0,
+        2.0,
+        0.95,
+    )
+    .expect("valid engine config");
+    let mut rng = ChaCha8Rng::seed_from_u64(SEED);
+    let mut noop = NoopObserver;
+    let observer: &mut dyn digest_core::TickObserver = match audit {
+        Some(audit) => audit,
+        None => &mut noop,
+    };
+    let start = Instant::now();
+    let report = run_observed(
+        &mut workload,
+        &mut engine,
+        RunConfig::for_ticks(TICKS),
+        8.0,
+        2.0,
+        &mut rng,
+        observer,
+    )
+    .expect("benchmark run");
+    (report, start.elapsed().as_secs_f64() * 1e9)
+}
+
+fn main() -> ExitCode {
+    let scale = Scale::from_args();
+    banner("BENCH_audit", "guarantee-auditor overhead", scale);
+
+    let (plain_report, plain_ns) = run_leg(scale, None);
+    let mut audit = {
+        let workload = temperature(scale, 0);
+        let engine = digest_bench::engine_for(
+            &workload,
+            SchedulerKind::Pred(3),
+            EstimatorKind::Repeated,
+            8.0,
+            2.0,
+            0.95,
+        )
+        .expect("valid engine config");
+        QueryAudit::new(engine.query(), 0).expect("valid audit config")
+    };
+    let (audited_report, audited_ns) = run_leg(scale, Some(&mut audit));
+
+    // Observer passivity: both legs must replay the same trace bit for
+    // bit (same estimates, same message counts, same occasions).
+    let identical = plain_report.records.len() == audited_report.records.len()
+        && plain_report
+            .records
+            .iter()
+            .zip(&audited_report.records)
+            .all(|(a, b)| {
+                a.tick == b.tick
+                    && a.estimate.to_bits() == b.estimate.to_bits()
+                    && a.messages == b.messages
+                    && a.snapshot == b.snapshot
+            });
+
+    let report = audit.report();
+    let ticks = plain_report.ticks().max(1);
+    #[allow(clippy::cast_precision_loss)]
+    let overhead_ns_per_tick = (audited_ns - plain_ns) / ticks as f64;
+    let overhead_pct = if plain_ns > 0.0 {
+        (audited_ns - plain_ns) / plain_ns * 100.0
+    } else {
+        0.0
+    };
+
+    println!("{:<28} {:>14} {:>14}", "leg", "total_ns", "ns_per_tick");
+    #[allow(clippy::cast_precision_loss)]
+    {
+        println!(
+            "{:<28} {:>14.0} {:>14.0}",
+            "plain (NoopObserver)",
+            plain_ns,
+            plain_ns / ticks as f64
+        );
+        println!(
+            "{:<28} {:>14.0} {:>14.0}",
+            "audited (QueryAudit)",
+            audited_ns,
+            audited_ns / ticks as f64
+        );
+    }
+    println!("auditor overhead: {overhead_ns_per_tick:.0} ns/tick ({overhead_pct:.1}% of plain)");
+    println!(
+        "audit: {} occasions, violation rate {:.4} (gate ≤ {:.4}), \
+         messages digest {} / ALL {} / ALL+FILTER {}",
+        report.occasions,
+        report.violation_rate,
+        report.violation_bound(),
+        report.digest_messages,
+        report.all_messages,
+        report.filter_messages,
+    );
+    println!("traces identical across legs: {identical}");
+
+    let out = json!({
+        "benchmark": "BENCH_audit",
+        "scale": scale.label(),
+        "ticks": plain_report.ticks(),
+        "plain_ns": plain_ns,
+        "audited_ns": audited_ns,
+        "overhead_ns_per_tick": overhead_ns_per_tick,
+        "overhead_pct": overhead_pct,
+        "traces_identical": identical,
+        "report": report.to_json_value(),
+    });
+    let path = std::path::Path::new("BENCH_audit.json");
+    match std::fs::File::create(path) {
+        Ok(mut f) => {
+            if let Err(e) = writeln!(
+                f,
+                "{}",
+                serde_json::to_string_pretty(&out).expect("valid json")
+            ) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+            } else {
+                println!();
+                println!("[profile written to {}]", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: cannot create {}: {e}", path.display()),
+    }
+
+    if identical {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("FAILED: the audit observer perturbed the run");
+        ExitCode::FAILURE
+    }
+}

@@ -94,6 +94,11 @@ pub struct DigestEngine {
 
     started: bool,
     next_snapshot_tick: u64,
+    /// Causal trace id of the current reporting occasion (0 before the
+    /// first snapshot). Allocated from the deterministic global counter
+    /// at each occasion start so every telemetry event downstream of the
+    /// scheduler decision carries the same id.
+    trace: u64,
     current_estimate: f64,
     last_reported: f64,
     size_estimate: Option<f64>,
@@ -177,6 +182,7 @@ impl DigestEngine {
             size_operator,
             started: false,
             next_snapshot_tick: 0,
+            trace: 0,
             current_estimate: 0.0,
             last_reported: f64::NAN,
             size_estimate: None,
@@ -298,6 +304,13 @@ impl QuerySystem for DigestEngine {
         }
 
         // --- Execute a snapshot query. ---
+        // A new reporting occasion begins: allocate its causal trace id so
+        // every event from the scheduler decision through snapshot, walk
+        // batches, estimate, and report carries the same envelope. The
+        // counter is bumped in deterministic engine order regardless of
+        // telemetry enablement or worker count, so tracing never perturbs
+        // a replay.
+        self.trace = digest_telemetry::begin_trace();
         let _tick_span = digest_telemetry::span(Stage::EngineTick);
         let mut messages = 0u64;
 
@@ -467,6 +480,10 @@ impl QuerySystem for DigestEngine {
 
     fn oracle_truth(&self, ctx: &TickContext<'_>) -> Option<f64> {
         self.query.oracle(ctx.db)
+    }
+
+    fn trace_id(&self) -> u64 {
+        self.trace
     }
 }
 

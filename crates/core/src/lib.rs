@@ -50,7 +50,7 @@ pub use quantile_est::QuantileEstimator;
 pub use query::{AggregateOp, ContinuousQuery, Precision};
 pub use rpt::{ForwardCorrection, RepeatedEstimator, RptConfig};
 pub use scheduler::{AllScheduler, PredScheduler, SnapshotScheduler};
-pub use system::{QuerySystem, TickContext, TickOutcome};
+pub use system::{NoopObserver, QuerySystem, TickContext, TickObserver, TickOutcome};
 pub use tag::{TagConfig, TreeAggregationEngine};
 
 /// Result alias used throughout the crate.

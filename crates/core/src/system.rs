@@ -98,6 +98,37 @@ pub trait QuerySystem {
     /// changes wall-clock behaviour. Default: no-op — non-sampling
     /// systems have no walk pool to parallelise.
     fn set_sampling_workers(&mut self, _workers: usize) {}
+
+    /// The causal trace id of the reporting occasion that produced the
+    /// current estimate (see `digest_telemetry::begin_trace`). Drivers
+    /// restore this per engine segment so multi-query runs attribute
+    /// every tick/audit event to the right occasion. Default: 0 (no
+    /// trace) — non-instrumented systems never allocate ids.
+    fn trace_id(&self) -> u64 {
+        0
+    }
+}
+
+/// Observes every simulation tick from the driver's vantage point —
+/// after the system reacted, with the oracle's exact aggregate in hand.
+/// This is the hook the guarantee auditor (`digest-audit`) attaches to:
+/// it sees the same `(estimate, exact)` pair the run trace records, plus
+/// full read access to the simulated database for baseline message
+/// accounting. Observers must be passive — they may not mutate shared
+/// state the system reads, and they consume no randomness, so attaching
+/// one never perturbs a replayed run.
+pub trait TickObserver {
+    /// Called once per tick, after the system's `on_tick`, with the
+    /// exact aggregate for the system's query at this instant.
+    fn observe(&mut self, ctx: &TickContext<'_>, outcome: &TickOutcome, exact: f64);
+}
+
+/// The do-nothing observer (plain, unaudited runs).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopObserver;
+
+impl TickObserver for NoopObserver {
+    fn observe(&mut self, _ctx: &TickContext<'_>, _outcome: &TickOutcome, _exact: f64) {}
 }
 
 #[cfg(test)]

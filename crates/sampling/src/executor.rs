@@ -354,6 +354,12 @@ fn flush_slot_telemetry(config: &SamplingConfig, outcome: &SlotOutcome) {
             ],
         );
     }
+    // Re-emit the worker-side walk span that was suppressed inside the
+    // batch. The deterministic clock cannot advance mid-batch (the tick
+    // is driver-stamped), so the re-emitted duration is always 0 ticks —
+    // what matters is that the span stream is identical for every worker
+    // count and stays monotone in tick order.
+    digest_telemetry::emit_span_event(Stage::SamplingWalk, 0);
 }
 
 /// Runs one occasion's walk batch over the (cache-refreshed) snapshot,
@@ -488,7 +494,6 @@ pub(crate) fn run_tuple_batch(
             "sampling.batch",
             &[
                 ("slots", Field::U64(request.n as u64)),
-                ("workers", Field::U64(config.workers.max(1) as u64)),
                 ("fresh", Field::U64(fresh)),
                 ("continued", Field::U64(continued)),
                 ("messages", Field::U64(messages)),

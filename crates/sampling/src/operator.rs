@@ -443,6 +443,20 @@ impl SamplingOperator {
             SnapshotRefresh::Reused => self.stats.reused += 1,
             SnapshotRefresh::Patched => self.stats.patched += 1,
         }
+        if digest_telemetry::events_enabled() {
+            let refresh_name = match refresh {
+                SnapshotRefresh::Built => "built",
+                SnapshotRefresh::Reused => "reused",
+                SnapshotRefresh::Patched => "patched",
+            };
+            digest_telemetry::emit(
+                "sampling.snapshot",
+                &[
+                    ("refresh", Field::Str(refresh_name)),
+                    ("nodes", Field::U64(g.node_count() as u64)),
+                ],
+            );
+        }
         let request = executor::BatchRequest {
             config: &self.config,
             pool: &self.walkers,

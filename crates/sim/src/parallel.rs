@@ -207,6 +207,12 @@ where
             }
         }
     }
+    // Worker-side engines bump the global trace counter in a thread-
+    // dependent order; their events were suppressed, but the *current*
+    // trace register would leak a nondeterministic id into the post-join
+    // rollups below. Clear it: replication summaries belong to no single
+    // occasion.
+    digest_telemetry::set_trace(0);
     for (seed, report) in reports.iter().enumerate() {
         telemetry::SIM_REPLICATIONS.inc();
         if digest_telemetry::events_enabled() {

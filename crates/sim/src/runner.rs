@@ -1,7 +1,7 @@
 //! Driving one query system over one workload.
 
 use crate::trace::{RunReport, TraceRecord};
-use digest_core::{CoreError, QuerySystem, Result, TickContext};
+use digest_core::{CoreError, NoopObserver, QuerySystem, Result, TickContext, TickObserver};
 use digest_net::NodeId;
 use digest_telemetry::{registry as telemetry, Field, Stage};
 use digest_workload::Workload;
@@ -66,6 +66,35 @@ pub fn run<W: Workload, S: QuerySystem + ?Sized>(
     epsilon: f64,
     rng: &mut dyn RngCore,
 ) -> Result<RunReport> {
+    run_observed(
+        workload,
+        system,
+        config,
+        delta,
+        epsilon,
+        rng,
+        &mut NoopObserver,
+    )
+}
+
+/// [`run`] with a [`TickObserver`] attached: the observer sees every tick
+/// (after the system reacted, with the oracle truth) without perturbing
+/// the run — it consumes no randomness and the trace/report are
+/// byte-identical to an unobserved run.
+///
+/// # Errors
+///
+/// As for [`run`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_observed<W: Workload, S: QuerySystem + ?Sized>(
+    workload: &mut W,
+    system: &mut S,
+    config: RunConfig,
+    delta: f64,
+    epsilon: f64,
+    rng: &mut dyn RngCore,
+    observer: &mut dyn TickObserver,
+) -> Result<RunReport> {
     if let Some(workers) = config.sampling_workers {
         system.set_sampling_workers(workers);
     }
@@ -110,6 +139,11 @@ pub fn run<W: Workload, S: QuerySystem + ?Sized>(
             let exact = system
                 .oracle_truth(&ctx)
                 .unwrap_or_else(|| workload.exact_aggregate());
+            // Stamp this tick's remaining events (and the observer's
+            // audit events) with the occasion that produced the current
+            // estimate.
+            digest_telemetry::set_trace(system.trace_id());
+            observer.observe(&ctx, &outcome, exact);
             (outcome, exact)
         };
 

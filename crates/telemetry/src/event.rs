@@ -126,6 +126,35 @@ impl<W: Write + Send> EventSink for JsonlSink<W> {
     }
 }
 
+/// Forwards every event to two child sinks — e.g. a [`JsonlSink`]
+/// writing the `--telemetry` stream and a [`MemorySink`] collecting
+/// lines for `--trace-out` export. Adds no synchronisation of its own;
+/// each child serialises internally.
+#[derive(Debug)]
+pub struct TeeSink<A: EventSink, B: EventSink> {
+    first: A,
+    second: B,
+}
+
+impl<A: EventSink, B: EventSink> TeeSink<A, B> {
+    /// Pairs two sinks.
+    pub fn new(first: A, second: B) -> Self {
+        Self { first, second }
+    }
+}
+
+impl<A: EventSink, B: EventSink> EventSink for TeeSink<A, B> {
+    fn emit(&self, kind: &'static str, tick: u64, fields: &[(&'static str, Field<'_>)]) {
+        self.first.emit(kind, tick, fields);
+        self.second.emit(kind, tick, fields);
+    }
+
+    fn flush(&self) {
+        self.first.flush();
+        self.second.flush();
+    }
+}
+
 /// An in-memory sink for tests: collects rendered JSON lines.
 ///
 /// Clones share the same buffer, so a test can keep one handle and

@@ -41,7 +41,7 @@ pub mod registry;
 pub mod schema;
 pub mod span;
 
-pub use event::{EventSink, Field, JsonlSink, MemorySink};
+pub use event::{EventSink, Field, JsonlSink, MemorySink, TeeSink};
 pub use metric::{Counter, Gauge, Histogram, HISTOGRAM_BUCKETS};
 pub use registry::{descriptors, reset_metrics, Descriptor, MetricHandle};
 pub use span::{
@@ -71,6 +71,83 @@ pub fn set_tick(tick: u64) {
 pub fn tick() -> u64 {
     // relaxed-ok: monotone stamp read for labelling, not synchronisation.
     TICK.load(Ordering::Relaxed)
+}
+
+/// Monotone allocator for causal occasion trace ids. Bumped by
+/// [`begin_trace`] once per reporting occasion, in the deterministic
+/// order the driver executes engines, so same-seed runs assign the same
+/// ids. Id 0 is reserved for "no trace".
+static TRACE_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// The trace id events are currently attributed to (0 = none). Stamped
+/// into every emitted event as the optional `trace` envelope field.
+static CURRENT_TRACE: AtomicU64 = AtomicU64::new(0);
+
+/// Starts a new causal trace and makes it current, returning its id
+/// (ids start at 1; 0 means "no trace"). The engine calls this at the
+/// top of every snapshot occasion so the scheduler decision, snapshot
+/// resolution, walk batch, estimate, and report events all share one id.
+#[inline]
+pub fn begin_trace() -> u64 {
+    // relaxed-ok: ids are allocated in deterministic driver order; the
+    // counter is never used to synchronise data.
+    let id = TRACE_COUNTER.fetch_add(1, Ordering::Relaxed) + 1;
+    CURRENT_TRACE.store(id, Ordering::Relaxed); // relaxed-ok: labelling stamp
+    id
+}
+
+/// Re-attributes subsequent events to trace `id` (0 clears attribution).
+/// Drivers call this per engine segment so multi-query runs don't leak
+/// one engine's occasion id onto another engine's events.
+#[inline]
+pub fn set_trace(id: u64) {
+    // relaxed-ok: labelling stamp read by `emit` on the same thread.
+    CURRENT_TRACE.store(id, Ordering::Relaxed);
+}
+
+/// The trace id currently stamped onto events (0 = none).
+#[inline]
+#[must_use]
+pub fn current_trace() -> u64 {
+    // relaxed-ok: labelling stamp, not synchronisation.
+    CURRENT_TRACE.load(Ordering::Relaxed)
+}
+
+/// Whether `span` events are emitted when [`SpanGuard`]s close (off by
+/// default: span events are a trace-export feature and would otherwise
+/// bloat every `--telemetry` stream).
+static SPAN_EVENTS: AtomicBool = AtomicBool::new(false);
+
+/// Enables or disables `span` event emission (see [`emit_span_event`]).
+pub fn set_span_events(enabled: bool) {
+    // relaxed-ok: set once before the run, read as an advisory flag.
+    SPAN_EVENTS.store(enabled, Ordering::Relaxed);
+}
+
+/// True when span events are requested (e.g. `digest-cli --trace-out`).
+#[inline]
+#[must_use]
+pub fn span_events_enabled() -> bool {
+    // relaxed-ok: advisory fast-path flag.
+    SPAN_EVENTS.load(Ordering::Relaxed)
+}
+
+/// Emits one `span` event for a closed deterministic-clock span: the
+/// stage name plus its duration in simulation ticks. No-op unless span
+/// events are enabled *and* a sink is installed and unsuppressed — which
+/// is exactly why worker-side spans (closed under suppression) must be
+/// re-emitted post-join, in slot order, by the batch executor.
+pub fn emit_span_event(stage: Stage, duration_ticks: u64) {
+    if !span_events_enabled() || !events_enabled() {
+        return;
+    }
+    emit(
+        "span",
+        &[
+            ("stage", Field::Str(stage.name())),
+            ("dur", Field::U64(duration_ticks)),
+        ],
+    );
 }
 
 /// Fast-path gate: true only when a sink is installed AND emission is
@@ -127,9 +204,20 @@ pub fn emit(kind: &'static str, fields: &[(&'static str, Field<'_>)]) {
         return;
     }
     let tick = tick();
+    let trace = current_trace();
     let slot = SINK.lock().unwrap_or_else(PoisonError::into_inner);
     if let Some(sink) = slot.as_ref() {
-        sink.emit(kind, tick, fields);
+        if trace == 0 {
+            sink.emit(kind, tick, fields);
+        } else {
+            // Stamp the causal trace id into the envelope. The copy is
+            // cold-path only: we are already past the enabled check and
+            // about to render JSON.
+            let mut stamped = Vec::with_capacity(fields.len() + 1);
+            stamped.extend_from_slice(fields);
+            stamped.push(("trace", Field::U64(trace)));
+            sink.emit(kind, tick, &stamped);
+        }
     }
 }
 
@@ -178,6 +266,9 @@ pub fn reset_run_state() {
     reset_metrics();
     reset_stages();
     set_tick(0);
+    // relaxed-ok: reset happens between runs, never concurrently.
+    TRACE_COUNTER.store(0, Ordering::Relaxed);
+    CURRENT_TRACE.store(0, Ordering::Relaxed); // relaxed-ok: between runs
 }
 
 #[cfg(test)]
@@ -267,5 +358,79 @@ mod tests {
         assert_eq!(handle.len(), 1);
 
         assert!(take_sink().is_some());
+    }
+
+    #[test]
+    fn trace_ids_stamp_the_envelope() {
+        let _guard = sink_lock();
+        reset_run_state();
+        let sink = MemorySink::new();
+        let handle = sink.clone();
+        install_sink(Box::new(sink));
+
+        set_tick(5);
+        // No trace active: no `trace` key on the wire.
+        emit(
+            "net.churn",
+            &[("joins", Field::U64(1)), ("leaves", Field::U64(0))],
+        );
+        let first = begin_trace();
+        assert_eq!(first, 1);
+        emit(
+            "net.churn",
+            &[("joins", Field::U64(2)), ("leaves", Field::U64(0))],
+        );
+        let second = begin_trace();
+        assert_eq!(second, 2);
+        set_trace(first);
+        emit(
+            "net.churn",
+            &[("joins", Field::U64(3)), ("leaves", Field::U64(0))],
+        );
+
+        let lines = handle.lines();
+        assert!(!lines[0].contains("\"trace\""));
+        assert!(lines[1].contains("\"trace\":1"));
+        assert!(lines[2].contains("\"trace\":1"));
+        for line in &lines {
+            assert_eq!(crate::schema::validate_line(line), Ok(()));
+        }
+
+        take_sink();
+        reset_run_state();
+        assert_eq!(current_trace(), 0);
+        assert_eq!(begin_trace(), 1, "reset_run_state rewinds the allocator");
+        reset_run_state();
+    }
+
+    #[test]
+    fn span_events_emit_only_when_enabled_and_unsuppressed() {
+        let _guard = sink_lock();
+        reset_run_state();
+        let sink = MemorySink::new();
+        let handle = sink.clone();
+        install_sink(Box::new(sink));
+
+        set_tick(3);
+        // Disabled by default: a closed span emits nothing.
+        drop(span(Stage::Replication));
+        assert_eq!(handle.len(), 0);
+
+        set_span_events(true);
+        drop(span(Stage::Replication));
+        assert_eq!(handle.len(), 1);
+        assert!(handle.lines()[0].contains("\"kind\":\"span\""));
+        assert!(handle.lines()[0].contains("\"stage\":\"replication\""));
+        assert_eq!(crate::schema::validate_line(&handle.lines()[0]), Ok(()));
+
+        {
+            let _quiet = suppress_events();
+            drop(span(Stage::Replication));
+        }
+        assert_eq!(handle.len(), 1, "suppressed spans must not emit");
+
+        set_span_events(false);
+        take_sink();
+        reset_run_state();
     }
 }

@@ -216,6 +216,42 @@ impl Histogram {
         self.max()
     }
 
+    /// Interpolated `q`-quantile estimate (`0.0 ≤ q ≤ 1.0`); 0.0 when
+    /// empty. The target rank is positioned linearly *within* its log₂
+    /// bucket (between the bucket's lower bound and its upper bound
+    /// clamped to the observed max), which recovers exact answers for
+    /// single-bucket distributions and stays within the ≤ 2× bucket
+    /// resolution everywhere else — a strict refinement of
+    /// [`Histogram::quantile_upper_bound`] for summary tables.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        let max = self.max() as f64;
+        let target = (q.clamp(0.0, 1.0) * n as f64).clamp(1.0, n as f64);
+        let mut below = 0.0;
+        for (bucket, count) in self.bucket_counts().iter().enumerate() {
+            let in_bucket = *count as f64;
+            if in_bucket <= 0.0 {
+                continue;
+            }
+            if below + in_bucket >= target {
+                let lower = if bucket == 0 {
+                    0.0
+                } else {
+                    Self::bucket_upper(bucket - 1) as f64
+                };
+                let upper = (Self::bucket_upper(bucket) as f64).min(max);
+                let frac = ((target - below) / in_bucket).clamp(0.0, 1.0);
+                return (lower + frac * (upper - lower).max(0.0)).min(max);
+            }
+            below += in_bucket;
+        }
+        max
+    }
+
     /// Clears all observations.
     pub fn reset(&self) {
         self.count.store(0, Ordering::Relaxed); // relaxed-ok: between runs
@@ -295,5 +331,60 @@ mod tests {
         h.reset();
         assert_eq!(h.count(), 0);
         assert_eq!(h.quantile_upper_bound(0.5), 0);
+    }
+
+    #[test]
+    fn quantile_is_exact_for_constant_distributions() {
+        let h = Histogram::new();
+        for _ in 0..10 {
+            h.record(64);
+        }
+        // The single occupied bucket's upper bound clamps to the max, so
+        // interpolation collapses to the exact value.
+        assert_eq!(h.quantile(0.5), 64.0);
+        assert_eq!(h.quantile(0.99), 64.0);
+        let zeros = Histogram::new();
+        for _ in 0..5 {
+            zeros.record(0);
+        }
+        assert_eq!(zeros.quantile(0.5), 0.0);
+        assert_eq!(Histogram::new().quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn quantile_interpolates_uniform_distribution() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        // log₂ buckets give ≤ 2× resolution; linear interpolation within
+        // the bucket should land well inside that envelope for a uniform
+        // distribution.
+        for (q, truth) in [(0.5, 500.0), (0.95, 950.0), (0.99, 990.0)] {
+            let est = h.quantile(q);
+            let rel = (est - truth).abs() / truth;
+            assert!(
+                rel < 0.30,
+                "p{:.0} estimate {est} vs true {truth} (rel err {rel:.3})",
+                q * 100.0
+            );
+        }
+        // Monotone in q and clamped to the observed extremes.
+        assert!(h.quantile(0.5) <= h.quantile(0.95));
+        assert!(h.quantile(0.95) <= h.quantile(0.99));
+        assert!(h.quantile(1.0) <= 1000.0);
+    }
+
+    #[test]
+    fn quantile_handles_skewed_distributions() {
+        let h = Histogram::new();
+        // 99 small values and one huge outlier: p50 must stay small,
+        // p99+ must reach toward the outlier's bucket.
+        for _ in 0..99 {
+            h.record(3);
+        }
+        h.record(1_000_000);
+        assert!(h.quantile(0.5) <= 4.0, "p50 {}", h.quantile(0.5));
+        assert!(h.quantile(0.999) > 1000.0, "p99.9 {}", h.quantile(0.999));
     }
 }

@@ -94,12 +94,13 @@ pub const EVENT_SCHEMAS: &[EventSchema] = &[
     },
     // One occasion walk batch run through the deterministic parallel
     // executor (emitted after workers join, alongside the per-slot
-    // `sampling.walk` rollups).
+    // `sampling.walk` rollups). Deliberately carries no worker count:
+    // the stream must be byte-identical for every `workers` setting,
+    // and thread count is configuration, not behaviour.
     EventSchema {
         kind: "sampling.batch",
         fields: &[
             req("slots", U64),
-            req("workers", U64),
             req("fresh", U64),
             req("continued", U64),
             req("messages", U64),
@@ -171,6 +172,37 @@ pub const EVENT_SCHEMAS: &[EventSchema] = &[
             req("messages", U64),
         ],
     },
+    // One occasion-snapshot cache resolution (cold build, zero-write
+    // reuse, or incremental patch) at the start of a walk batch.
+    EventSchema {
+        kind: "sampling.snapshot",
+        fields: &[req("refresh", Str), req("nodes", U64)],
+    },
+    // One closed deterministic-clock pipeline span (`dur` in simulation
+    // ticks). Only emitted when span events are enabled (trace export);
+    // worker-side spans are suppressed and re-emitted post-join in slot
+    // order so the stream is identical for every worker count.
+    EventSchema {
+        kind: "span",
+        fields: &[req("stage", Str), req("dur", U64)],
+    },
+    // One audited reporting occasion: the ground-truth oracle's exact
+    // aggregate next to the reported estimate, with the ε-violation
+    // verdict, staleness since the previous occasion, panel size, and
+    // message spend. `query` disambiguates multi-query runs.
+    EventSchema {
+        kind: "audit.occasion",
+        fields: &[
+            req("estimate", F64),
+            req("exact", F64),
+            req("error", F64),
+            req("violation", Bool),
+            req("staleness", U64),
+            req("panel", U64),
+            req("messages", U64),
+            opt("query", U64),
+        ],
+    },
 ];
 
 /// Looks up the schema for a kind.
@@ -199,6 +231,13 @@ pub fn validate_line(line: &str) -> Result<(), String> {
     if object.get("tick").and_then(Value::as_u64).is_none() {
         return Err(format!("missing u64 `tick`: {line}"));
     }
+    // The optional `trace` envelope field (causal occasion id) may appear
+    // on any kind; 0 is never serialised (it means "no trace").
+    if let Some(trace) = object.get("trace") {
+        if trace.as_u64().is_none() {
+            return Err(format!("envelope field `trace` is not u64: {line}"));
+        }
+    }
 
     let schema = schema_for(kind).ok_or_else(|| format!("unknown event kind `{kind}`"))?;
 
@@ -220,7 +259,7 @@ pub fn validate_line(line: &str) -> Result<(), String> {
     }
 
     for (key, _) in object.iter() {
-        let envelope = key == "kind" || key == "tick";
+        let envelope = key == "kind" || key == "tick" || key == "trace";
         if !envelope && !schema.fields.iter().any(|spec| spec.name == key) {
             return Err(format!("`{kind}` has unknown field `{key}`"));
         }
@@ -282,6 +321,75 @@ mod tests {
             &[("scheduler", Field::Str("all")), ("delay", Field::U64(1))],
         );
         assert_eq!(validate_line(&line), Ok(()));
+    }
+
+    #[test]
+    fn audit_and_trace_kinds_validate() {
+        let line = render_json_line(
+            "audit.occasion",
+            12,
+            &[
+                ("estimate", Field::F64(50.2)),
+                ("exact", Field::F64(50.0)),
+                ("error", Field::F64(0.2)),
+                ("violation", Field::Bool(false)),
+                ("staleness", Field::U64(3)),
+                ("panel", Field::U64(128)),
+                ("messages", Field::U64(4096)),
+                ("query", Field::U64(0)),
+            ],
+        );
+        assert_eq!(validate_line(&line), Ok(()));
+
+        let line = render_json_line(
+            "span",
+            4,
+            &[
+                ("stage", Field::Str("sampling_walk")),
+                ("dur", Field::U64(0)),
+            ],
+        );
+        assert_eq!(validate_line(&line), Ok(()));
+
+        let line = render_json_line(
+            "sampling.snapshot",
+            9,
+            &[
+                ("refresh", Field::Str("patched")),
+                ("nodes", Field::U64(1500)),
+            ],
+        );
+        assert_eq!(validate_line(&line), Ok(()));
+    }
+
+    #[test]
+    fn trace_envelope_is_accepted_on_every_kind() {
+        let line = r#"{"dur":0,"kind":"span","stage":"engine_tick","tick":3,"trace":7}"#;
+        assert_eq!(validate_line(line), Ok(()));
+        let line = r#"{"joins":1,"kind":"net.churn","leaves":0,"tick":0,"trace":2}"#;
+        assert_eq!(validate_line(line), Ok(()));
+        // Mistyped trace envelope is rejected.
+        let line = r#"{"joins":1,"kind":"net.churn","leaves":0,"tick":0,"trace":"x"}"#;
+        assert!(validate_line(line).is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_audit_events() {
+        // Missing required field (`exact`).
+        assert!(validate_line(
+            r#"{"error":0.1,"estimate":1.0,"kind":"audit.occasion","messages":1,"panel":2,"staleness":0,"tick":0,"violation":false}"#
+        )
+        .is_err());
+        // Type mismatch (`violation` must be bool).
+        assert!(validate_line(
+            r#"{"error":0.1,"estimate":1.0,"exact":0.9,"kind":"audit.occasion","messages":1,"panel":2,"staleness":0,"tick":0,"violation":1}"#
+        )
+        .is_err());
+        // Unknown field.
+        assert!(validate_line(
+            r#"{"dur":0,"extra":1,"kind":"span","stage":"engine_tick","tick":0}"#
+        )
+        .is_err());
     }
 
     #[test]

@@ -229,6 +229,14 @@ impl Drop for SpanGuard {
         let stat = &STATS[self.stage.index()];
         stat.count.inc();
         stat.total.fetch_add(elapsed, Ordering::Relaxed); // relaxed-ok: monotone tally
+                                                          // Deterministic-clock spans additionally surface as `span` events
+                                                          // when trace export is on. Wall-mode durations never reach the
+                                                          // event stream (they would break byte-level replay), and spans
+                                                          // closed under suppression (worker threads) are skipped here and
+                                                          // re-emitted post-join in slot order by the batch executor.
+        if self.started_wall.is_none() {
+            crate::emit_span_event(self.stage, elapsed);
+        }
     }
 }
 

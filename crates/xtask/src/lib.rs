@@ -53,7 +53,16 @@ use std::path::{Path, PathBuf};
 pub mod scrub;
 
 /// Crates whose library sources must be panic-free (R1).
-pub const R1_CRATES: &[&str] = &["core", "stats", "sampling", "net", "db", "sim", "telemetry"];
+pub const R1_CRATES: &[&str] = &[
+    "core",
+    "stats",
+    "sampling",
+    "net",
+    "db",
+    "sim",
+    "telemetry",
+    "audit",
+];
 
 /// Crates whose library sources feed the simulator or estimators and must
 /// avoid nondeterministic hash collections (R2).
@@ -66,6 +75,7 @@ pub const R2_CRATES: &[&str] = &[
     "sim",
     "workload",
     "telemetry",
+    "audit",
 ];
 
 /// Crates holding numeric estimator code subject to float discipline (R3).

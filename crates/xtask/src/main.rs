@@ -18,6 +18,13 @@
 //! * `telemetry-schema` — run a fixed-seed scenario with `--telemetry`
 //!   and validate every emitted JSONL line against the event schema,
 //!   requiring coverage of the core event kinds.
+//! * `audit` — replay the fixed-seed temperature scenario under
+//!   `--audit --audit-json --trace-out`, require the audit report,
+//!   Chrome trace, and stdout to be byte-identical across replays and
+//!   worker counts, require the audited stdout to extend the plain
+//!   stdout, and gate on the report itself: the observed ε-violation
+//!   rate must stay within `(1 − p)` plus three-σ binomial slack and
+//!   the confidence-calibration drift within a pinned tolerance.
 //!
 //! All are wired into CI; `cargo xtask lint` is also the local
 //! pre-commit gate.
@@ -38,6 +45,9 @@ fn usage() -> ExitCode {
            determinism       run fixed-seed scenarios twice (with and without\n\
                              --telemetry) and byte-diff traces and event streams\n\
            telemetry-schema  validate a --telemetry JSONL stream against the schema\n\
+           audit             replay a fixed-seed run under --audit/--trace-out and\n\
+                             gate on the guarantee report (violation rate within\n\
+                             binomial slack, calibration drift within tolerance)\n\
            help              show this message"
     );
     ExitCode::from(2)
@@ -67,6 +77,7 @@ fn main() -> ExitCode {
         }
         "determinism" => run_determinism(&root),
         "telemetry-schema" => run_telemetry_schema(&root),
+        "audit" => run_audit(&root),
         "help" | "--help" | "-h" => {
             usage();
             ExitCode::SUCCESS
@@ -432,8 +443,18 @@ fn capture_with_telemetry(
 }
 
 /// The scenario used by `cargo xtask telemetry-schema` (the first
-/// determinism scenario: temperature world, PRED-3 + RPT).
-const SCHEMA_REQUIRED_KINDS: &[&str] = &["sampling.walk", "scheduler.decision", "tick"];
+/// determinism scenario: temperature world, PRED-3 + RPT, run with the
+/// auditor and span tracing switched on so the audit/trace kinds are
+/// exercised too).
+const SCHEMA_REQUIRED_KINDS: &[&str] = &[
+    "audit.occasion",
+    "sampling.batch",
+    "sampling.snapshot",
+    "sampling.walk",
+    "scheduler.decision",
+    "span",
+    "tick",
+];
 
 fn run_telemetry_schema(root: &Path) -> ExitCode {
     let cli = match build_cli(root, "telemetry-schema") {
@@ -441,8 +462,17 @@ fn run_telemetry_schema(root: &Path) -> ExitCode {
         Err(code) => return code,
     };
     let (label, args) = DETERMINISM_RUNS[0];
-    println!("xtask telemetry-schema: scenario {label}");
-    let (_, events) = match capture_with_telemetry(&cli, label, args, root) {
+    println!("xtask telemetry-schema: scenario {label} (+audit, +trace)");
+    // Route the audit report and Chrome trace to scratch files purely so
+    // their event kinds ("audit.occasion", "span") appear in the JSONL
+    // stream under validation.
+    let report_path = root.join("target/xtask-schema-report.json");
+    let trace_path = root.join("target/xtask-schema-trace.json");
+    let report_str = report_path.to_string_lossy().into_owned();
+    let trace_str = trace_path.to_string_lossy().into_owned();
+    let mut full_args: Vec<&str> = vec!["--audit-json", &report_str, "--trace-out", &trace_str];
+    full_args.extend_from_slice(args);
+    let (_, events) = match capture_with_telemetry(&cli, label, &full_args, root) {
         Ok(pair) => pair,
         Err(e) => {
             eprintln!("xtask telemetry-schema: {e}");
@@ -501,6 +531,248 @@ fn run_telemetry_schema(root: &Path) -> ExitCode {
              all required kinds present"
         );
         ExitCode::SUCCESS
+    }
+}
+
+/// Pinned tolerance for the worst absolute confidence-calibration miss,
+/// `max_q |coverage(q) − q|`, in `cargo xtask audit`. The fixed-seed
+/// temperature scenario lands around 0.10 with ~30 reporting occasions;
+/// 0.35 leaves room for finite-sample noise while still catching a
+/// mis-scaled CI half-width (which drifts toward 0.5 at the tails).
+const AUDIT_DRIFT_TOLERANCE: f64 = 0.35;
+
+/// Minimum reporting occasions for the audit gate to be meaningful.
+const AUDIT_MIN_OCCASIONS: u64 = 10;
+
+/// The three artefacts of one audited CLI run.
+struct AuditedRun {
+    stdout: Vec<u8>,
+    report: Vec<u8>,
+    trace: Vec<u8>,
+}
+
+/// One audited CLI run: captures stdout plus the audit-report and
+/// Chrome-trace JSON files. `run` selects the scratch paths so
+/// consecutive invocations never compare a file against itself.
+fn capture_audited(
+    cli: &Path,
+    run: usize,
+    args: &[&str],
+    root: &Path,
+) -> Result<AuditedRun, String> {
+    let report_path = root.join(format!("target/xtask-audit-report-{run}.json"));
+    let trace_path = root.join(format!("target/xtask-audit-trace-{run}.json"));
+    let report_str = report_path.to_string_lossy().into_owned();
+    let trace_str = trace_path.to_string_lossy().into_owned();
+    let mut full_args: Vec<&str> = vec![
+        "--audit",
+        "--audit-json",
+        &report_str,
+        "--trace-out",
+        &trace_str,
+    ];
+    full_args.extend_from_slice(args);
+    let stdout = capture(cli, &full_args, root)?;
+    let report =
+        std::fs::read(&report_path).map_err(|e| format!("read {}: {e}", report_path.display()))?;
+    let trace =
+        std::fs::read(&trace_path).map_err(|e| format!("read {}: {e}", trace_path.display()))?;
+    Ok(AuditedRun {
+        stdout,
+        report,
+        trace,
+    })
+}
+
+/// Pulls a required numeric field out of the audit-report JSON.
+fn report_number(report: &serde_json::Value, key: &str) -> Result<f64, String> {
+    report
+        .get(key)
+        .and_then(serde_json::Value::as_f64)
+        .ok_or_else(|| format!("audit report is missing numeric field `{key}`"))
+}
+
+fn run_audit(root: &Path) -> ExitCode {
+    let cli = match build_cli(root, "audit") {
+        Ok(cli) => cli,
+        Err(code) => return code,
+    };
+    let (label, args) = DETERMINISM_RUNS[0];
+    println!("xtask audit: scenario {label}");
+
+    // Reference runs: one plain (for the stdout-prefix check) and two
+    // audited replays that must agree byte-for-byte on stdout, report,
+    // and trace.
+    let plain = match capture(&cli, args, root) {
+        Ok(bytes) => bytes,
+        Err(e) => {
+            eprintln!("xtask audit: plain run: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let AuditedRun {
+        stdout: stdout_a,
+        report: report_a,
+        trace: trace_a,
+    } = match capture_audited(&cli, 0, args, root) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("xtask audit: audited run: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut ok = true;
+
+    print!("xtask audit: replay determinism ... ");
+    match capture_audited(&cli, 1, args, root) {
+        Ok(AuditedRun {
+            stdout: stdout_b,
+            report: report_b,
+            trace: trace_b,
+        }) => {
+            if stdout_a != stdout_b {
+                println!("DIVERGED (stdout)");
+                report_divergence(&stdout_a, &stdout_b);
+                ok = false;
+            } else if report_a != report_b {
+                println!("DIVERGED (audit report)");
+                report_divergence(&report_a, &report_b);
+                ok = false;
+            } else if trace_a != trace_b {
+                println!("DIVERGED (chrome trace)");
+                report_divergence(&trace_a, &trace_b);
+                ok = false;
+            } else {
+                println!(
+                    "identical ({} report bytes, {} trace bytes)",
+                    report_a.len(),
+                    trace_a.len()
+                );
+            }
+        }
+        Err(e) => {
+            println!("ERROR");
+            eprintln!("xtask audit: second audited run: {e}");
+            ok = false;
+        }
+    }
+
+    // Worker-count independence: the auditor observes the engine after
+    // the deterministic join, so report, trace, and stdout must not move
+    // a byte when the sampling executor runs on four workers.
+    print!("xtask audit: workers=4 independence ... ");
+    let mut workers_args: Vec<&str> = vec!["--sampling-workers", "4"];
+    workers_args.extend_from_slice(args);
+    match capture_audited(&cli, 2, &workers_args, root) {
+        Ok(AuditedRun {
+            stdout: stdout_w,
+            report: report_w,
+            trace: trace_w,
+        }) => {
+            if stdout_a != stdout_w {
+                println!("DIVERGED (stdout)");
+                report_divergence(&stdout_a, &stdout_w);
+                ok = false;
+            } else if report_w != report_a {
+                println!("DIVERGED (audit report)");
+                report_divergence(&report_a, &report_w);
+                ok = false;
+            } else if trace_w != trace_a {
+                println!("DIVERGED (chrome trace)");
+                report_divergence(&trace_a, &trace_w);
+                ok = false;
+            } else {
+                println!("identical");
+            }
+        }
+        Err(e) => {
+            println!("ERROR");
+            eprintln!("xtask audit: workers=4 run: {e}");
+            ok = false;
+        }
+    }
+
+    // Auditing must be an observer: the audited stdout extends the plain
+    // stdout (same per-tick trace, report appended at the end).
+    print!("xtask audit: stdout-prefix (auditing perturbs nothing) ... ");
+    if stdout_a.starts_with(&plain) {
+        println!("ok");
+    } else {
+        println!("PERTURBED");
+        eprintln!("  --audit changed the per-tick trace itself");
+        report_divergence(&plain, &stdout_a);
+        ok = false;
+    }
+
+    // Gate on the report contents.
+    let text = String::from_utf8_lossy(&report_a);
+    let parsed: serde_json::Value = match serde_json::from_str(&text) {
+        Ok(value) => value,
+        Err(e) => {
+            eprintln!("xtask audit: report is not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let reports = parsed.as_array().cloned().unwrap_or_default();
+    if reports.is_empty() {
+        eprintln!("xtask audit: FAILED — report contains no query audits");
+        return ExitCode::FAILURE;
+    }
+    for report in &reports {
+        let query = report
+            .get("query")
+            .and_then(serde_json::Value::as_str)
+            .unwrap_or("?");
+        let fields = (
+            report_number(report, "occasions"),
+            report_number(report, "violation_rate"),
+            report_number(report, "violation_bound"),
+            report_number(report, "calibration_drift"),
+        );
+        let (occasions, rate, bound, drift) = match fields {
+            (Ok(o), Ok(r), Ok(b), Ok(d)) => (o, r, b, d),
+            (o, r, b, d) => {
+                for err in [o.err(), r.err(), b.err(), d.err()].into_iter().flatten() {
+                    eprintln!("xtask audit: {query}: {err}");
+                }
+                ok = false;
+                continue;
+            }
+        };
+        println!(
+            "xtask audit: {query}: occasions {occasions}, violation rate {rate:.4} \
+             (gate ≤ {bound:.4}), calibration drift {drift:.4} (gate ≤ {AUDIT_DRIFT_TOLERANCE})"
+        );
+        #[allow(clippy::cast_precision_loss)]
+        if occasions < AUDIT_MIN_OCCASIONS as f64 {
+            eprintln!(
+                "xtask audit: {query}: only {occasions} reporting occasions \
+                 (need ≥ {AUDIT_MIN_OCCASIONS} for the gate to mean anything)"
+            );
+            ok = false;
+        }
+        if rate > bound {
+            eprintln!(
+                "xtask audit: {query}: ε-violation rate {rate:.4} exceeds the \
+                 promised rate plus binomial slack ({bound:.4})"
+            );
+            ok = false;
+        }
+        if drift > AUDIT_DRIFT_TOLERANCE {
+            eprintln!(
+                "xtask audit: {query}: calibration drift {drift:.4} exceeds the \
+                 pinned tolerance {AUDIT_DRIFT_TOLERANCE}"
+            );
+            ok = false;
+        }
+    }
+
+    if ok {
+        println!("xtask audit: OK — guarantee report within bounds, replays byte-identical");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("xtask audit: FAILED");
+        ExitCode::FAILURE
     }
 }
 

@@ -23,16 +23,26 @@
 //! (one JSON object per line, sorted keys — see README "Telemetry") to
 //! `path.jsonl` and appends a deterministic counter/stage summary table
 //! to stdout.
+//!
+//! `--audit` attaches the continuous-guarantee auditor: per query, an
+//! oracle computes the exact aggregate every tick, ε-violations and CI
+//! calibration are tallied at each reporting occasion, and a same-run
+//! message-cost ledger accounts what the `ALL` / `ALL+FILTER` push
+//! baselines would have spent. `--audit-json <file>` writes the reports
+//! as canonical JSON; `--trace-out <file>` exports the causal occasion
+//! trace (span + instant events, `trace`-id envelopes) as Chrome/Perfetto
+//! trace-event JSON.
 
+use digest::audit::QueryAudit;
 use digest::core::{
     ContinuousQuery, DigestEngine, EngineConfig, EstimatorKind, QuerySystem, SchedulerKind,
-    TickContext,
+    TickContext, TickObserver,
 };
 use digest::sampling::SamplingConfig;
 use digest::workload::{
     MemoryConfig, MemoryWorkload, TemperatureConfig, TemperatureWorkload, Workload,
 };
-use digest_telemetry::{Field, JsonlSink, MetricHandle};
+use digest_telemetry::{Field, JsonlSink, MemorySink, MetricHandle, TeeSink};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -44,6 +54,9 @@ struct Options {
     seed: u64,
     sampling_workers: Option<usize>,
     telemetry: Option<String>,
+    audit: bool,
+    audit_json: Option<String>,
+    trace_out: Option<String>,
     statements: Vec<String>,
 }
 
@@ -51,8 +64,9 @@ fn usage() -> ! {
     eprintln!(
         "usage: digest-cli [--world temperature|memory] [--ticks N] \
          [--scheduler all|pred<K>] [--estimator indep|rpt] [--seed S] \
-         [--sampling-workers N] [--telemetry out.jsonl] \"SELECT ...\" \
-         [\"SELECT ...\"]"
+         [--sampling-workers N] [--telemetry out.jsonl] [--audit] \
+         [--audit-json report.json] [--trace-out trace.json] \
+         \"SELECT ...\" [\"SELECT ...\"]"
     );
     std::process::exit(2);
 }
@@ -66,6 +80,9 @@ fn parse_args() -> Options {
         seed: 42,
         sampling_workers: None,
         telemetry: None,
+        audit: false,
+        audit_json: None,
+        trace_out: None,
         statements: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -73,6 +90,9 @@ fn parse_args() -> Options {
         match arg.as_str() {
             "--world" => opts.world = args.next().unwrap_or_else(|| usage()),
             "--telemetry" => opts.telemetry = Some(args.next().unwrap_or_else(|| usage())),
+            "--audit" => opts.audit = true,
+            "--audit-json" => opts.audit_json = Some(args.next().unwrap_or_else(|| usage())),
+            "--trace-out" => opts.trace_out = Some(args.next().unwrap_or_else(|| usage())),
             "--ticks" => {
                 opts.ticks = Some(
                     args.next()
@@ -146,10 +166,12 @@ fn print_telemetry_summary() {
                 let n = h.count();
                 if n != 0 {
                     println!(
-                        "  {:<32} {n:>12} obs  mean {:.2}  p99<= {}",
+                        "  {:<32} {n:>12} obs  mean {:.2}  p50 {:.1}  p95 {:.1}  p99 {:.1}",
                         d.name,
                         h.mean(),
-                        h.quantile_upper_bound(0.99),
+                        h.quantile(0.50),
+                        h.quantile(0.95),
+                        h.quantile(0.99),
                     );
                 }
             }
@@ -168,9 +190,35 @@ fn print_telemetry_summary() {
 }
 
 fn run<W: Workload>(mut world: W, opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
-    if let Some(path) = &opts.telemetry {
+    // Sink wiring: JSONL stream for --telemetry, an in-memory buffer for
+    // --trace-out (exported as a Chrome trace at end of run), a lock-free
+    // tee when both are requested. Span events only exist when a trace is
+    // being collected.
+    let mut trace_buffer: Option<MemorySink> = None;
+    let sink_installed = opts.telemetry.is_some() || opts.trace_out.is_some();
+    if sink_installed {
         digest_telemetry::reset_run_state();
-        digest_telemetry::install_sink(Box::new(JsonlSink::create(std::path::Path::new(path))?));
+        let jsonl = match &opts.telemetry {
+            Some(path) => Some(JsonlSink::create(std::path::Path::new(path))?),
+            None => None,
+        };
+        let memory = opts.trace_out.as_ref().map(|_| MemorySink::new());
+        if let Some(m) = &memory {
+            trace_buffer = Some(m.clone());
+        }
+        match (jsonl, memory) {
+            (Some(j), Some(m)) => {
+                digest_telemetry::install_sink(Box::new(TeeSink::new(j, m)));
+            }
+            (Some(j), None) => {
+                digest_telemetry::install_sink(Box::new(j));
+            }
+            (None, Some(m)) => {
+                digest_telemetry::install_sink(Box::new(m));
+            }
+            (None, None) => {}
+        }
+        digest_telemetry::set_span_events(opts.trace_out.is_some());
     }
     let schema = world.db().schema().clone();
     println!(
@@ -210,6 +258,17 @@ fn run<W: Workload>(mut world: W, opts: &Options) -> Result<(), Box<dyn std::err
     }
     println!();
 
+    let auditing = opts.audit || opts.audit_json.is_some();
+    let mut audits: Vec<QueryAudit> = if auditing {
+        queries
+            .iter()
+            .enumerate()
+            .map(|(i, q)| QueryAudit::new(q, i as u64))
+            .collect::<Result<_, _>>()?
+    } else {
+        Vec::new()
+    };
+
     let ticks = opts
         .ticks
         .unwrap_or_else(|| world.duration())
@@ -230,7 +289,18 @@ fn run<W: Workload>(mut world: W, opts: &Options) -> Result<(), Box<dyn std::err
                     db: world.db(),
                     origin,
                 };
-                engine.on_tick(&ctx, &mut rng)?
+                let outcome = engine.on_tick(&ctx, &mut rng)?;
+                // Restore this engine's occasion trace id: with several
+                // queries per run the global register still holds the
+                // *last* engine's id after `on_tick`.
+                digest_telemetry::set_trace(engine.trace_id());
+                if let Some(audit) = audits.get_mut(i) {
+                    let exact = engine
+                        .oracle_truth(&ctx)
+                        .unwrap_or_else(|| world.exact_aggregate());
+                    audit.observe(&ctx, &outcome, exact);
+                }
+                outcome
             };
             if digest_telemetry::events_enabled() {
                 digest_telemetry::emit(
@@ -268,9 +338,33 @@ fn run<W: Workload>(mut world: W, opts: &Options) -> Result<(), Box<dyn std::err
             engine.total_messages(),
         );
     }
-    if opts.telemetry.is_some() {
+    if !audits.is_empty() {
+        let reports: Vec<digest::audit::AuditReport> =
+            audits.iter().map(QueryAudit::report).collect();
+        if opts.audit {
+            println!();
+            println!("--- guarantee audit ---");
+            for report in &reports {
+                print!("{}", report.render_table());
+            }
+        }
+        if let Some(path) = &opts.audit_json {
+            let value =
+                serde_json::Value::Array(reports.iter().map(|r| r.to_json_value()).collect());
+            let mut text = serde_json::to_string_pretty(&value)?;
+            text.push('\n');
+            std::fs::write(path, text)?;
+        }
+    }
+    if sink_installed {
         digest_telemetry::flush();
         digest_telemetry::take_sink();
+        digest_telemetry::set_span_events(false);
+    }
+    if let (Some(path), Some(buffer)) = (&opts.trace_out, &trace_buffer) {
+        std::fs::write(path, digest::audit::chrome_trace_json(&buffer.lines()))?;
+    }
+    if opts.telemetry.is_some() {
         print_telemetry_summary();
     }
     Ok(())

@@ -19,12 +19,14 @@
 //! | [`stats`] | `digest-stats` | the numerical substrate (moments, quantiles, CLT sizing, Levenberg–Marquardt, Taylor extrapolation, repeated-sampling algebra) |
 //! | [`workload`] | `digest-workload` | the calibrated TEMPERATURE / MEMORY synthetic datasets |
 //! | [`sim`] | `digest-sim` | the discrete-time runner with oracle verification and parallel replication |
+//! | [`audit`] | `digest-audit` | the continuous-guarantee auditor: ε-violation tracking, CI calibration, message-cost ledger, Perfetto trace export |
 //!
 //! See the repository README for a quickstart and the `examples/`
 //! directory for end-to-end scenarios.
 
 #![forbid(unsafe_code)]
 
+pub use digest_audit as audit;
 pub use digest_core as core;
 pub use digest_db as db;
 pub use digest_net as net;
