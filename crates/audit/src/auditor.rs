@@ -118,6 +118,24 @@ impl Auditor {
         panel: u64,
         messages: u64,
     ) {
+        self.observe_occasion_in_round(tick, estimate, exact, panel, messages, None);
+    }
+
+    /// Like [`Auditor::observe_occasion`], for occasions served from a
+    /// coalesced multi-query sampling round: the round's trace id is
+    /// stamped on the `audit.occasion` event as a `round` field, so each
+    /// member query of the round gets its *own* occasion event (its own
+    /// ε-violation accounting against its own contract) while remaining
+    /// causally parented to the shared round that paid for the panel.
+    pub fn observe_occasion_in_round(
+        &mut self,
+        tick: u64,
+        estimate: f64,
+        exact: f64,
+        panel: u64,
+        messages: u64,
+        round: Option<u64>,
+    ) {
         let error = estimate - exact;
         let abs_error = error.abs();
         let violation = abs_error > self.config.epsilon;
@@ -139,19 +157,20 @@ impl Auditor {
         }
 
         if digest_telemetry::events_enabled() {
-            digest_telemetry::emit(
-                "audit.occasion",
-                &[
-                    ("estimate", Field::F64(estimate)),
-                    ("exact", Field::F64(exact)),
-                    ("error", Field::F64(error)),
-                    ("violation", Field::Bool(violation)),
-                    ("staleness", Field::U64(staleness)),
-                    ("panel", Field::U64(panel)),
-                    ("messages", Field::U64(messages)),
-                    ("query", Field::U64(self.config.query_index)),
-                ],
-            );
+            let mut fields = vec![
+                ("estimate", Field::F64(estimate)),
+                ("exact", Field::F64(exact)),
+                ("error", Field::F64(error)),
+                ("violation", Field::Bool(violation)),
+                ("staleness", Field::U64(staleness)),
+                ("panel", Field::U64(panel)),
+                ("messages", Field::U64(messages)),
+                ("query", Field::U64(self.config.query_index)),
+            ];
+            if let Some(round) = round {
+                fields.push(("round", Field::U64(round)));
+            }
+            digest_telemetry::emit("audit.occasion", &fields);
         }
     }
 

@@ -38,7 +38,7 @@ pub mod observer;
 pub use auditor::{AuditReport, Auditor, AuditorConfig, CalibrationRow, NOMINAL_LEVELS};
 pub use chrome::chrome_trace_json;
 pub use ledger::{LedgerTotals, MessageLedger};
-pub use observer::QueryAudit;
+pub use observer::{MuxAudit, QueryAudit};
 
 /// Errors the auditor can produce.
 #[derive(Debug)]

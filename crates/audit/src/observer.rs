@@ -9,7 +9,8 @@
 use crate::auditor::{AuditReport, Auditor, AuditorConfig};
 use crate::ledger::MessageLedger;
 use crate::Result;
-use digest_core::{ContinuousQuery, TickContext, TickObserver, TickOutcome};
+use digest_core::{ContinuousQuery, MuxObserver, TickContext, TickObserver, TickOutcome};
+use std::collections::BTreeMap;
 
 /// Full guarantee audit of one continuous query over one run.
 #[derive(Debug)]
@@ -70,21 +71,30 @@ impl QueryAudit {
             self.resolution_violations,
         )
     }
-}
 
-impl TickObserver for QueryAudit {
-    fn observe(&mut self, ctx: &TickContext<'_>, outcome: &TickOutcome, exact: f64) {
+    /// Observes one tick, optionally attributing the occasion to a
+    /// coalesced multi-query sampling round (the round's trace id lands
+    /// on the emitted `audit.occasion` event). [`TickObserver::observe`]
+    /// is this with `round = None`.
+    pub fn observe_with_round(
+        &mut self,
+        ctx: &TickContext<'_>,
+        outcome: &TickOutcome,
+        exact: f64,
+        round: Option<u64>,
+    ) {
         self.ticks += 1;
         self.digest_messages += outcome.messages_this_tick;
         self.ledger.observe(ctx.db);
         if outcome.snapshot_executed {
             self.started = true;
-            self.auditor.observe_occasion(
+            self.auditor.observe_occasion_in_round(
                 ctx.tick,
                 outcome.estimate,
                 exact,
                 outcome.samples_this_tick,
                 outcome.messages_this_tick,
+                round,
             );
         }
         // Pointwise resolution check (paper §II): between occasions the
@@ -92,6 +102,77 @@ impl TickObserver for QueryAudit {
         // meaningful once the system has produced its first report.
         if self.started && (outcome.estimate - exact).abs() > self.delta + self.epsilon {
             self.resolution_violations += 1;
+        }
+    }
+}
+
+impl TickObserver for QueryAudit {
+    fn observe(&mut self, ctx: &TickContext<'_>, outcome: &TickOutcome, exact: f64) {
+        self.observe_with_round(ctx, outcome, exact, None);
+    }
+}
+
+/// Guarantee audit of a whole multiplexed run: one [`QueryAudit`] per
+/// member query, driven through the [`MuxObserver`] seam so every member
+/// gets its own `audit.occasion` stream (own ε-violation and resolution
+/// accounting against its own `(δ, ε, p)` contract), with occasions served
+/// from coalesced rounds causally parented to the round's trace id.
+#[derive(Debug, Default)]
+pub struct MuxAudit {
+    audits: BTreeMap<u64, QueryAudit>,
+}
+
+impl MuxAudit {
+    /// An audit with no members yet.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attaches an audit for member `id` (the mux's query id, also used
+    /// as the `query` index stamped on events).
+    ///
+    /// # Errors
+    ///
+    /// As for [`QueryAudit::new`].
+    pub fn register(&mut self, id: u64, query: &ContinuousQuery) -> Result<()> {
+        self.audits.insert(id, QueryAudit::new(query, id)?);
+        Ok(())
+    }
+
+    /// The audit attached to member `id`.
+    #[must_use]
+    pub fn audit(&self, id: u64) -> Option<&QueryAudit> {
+        self.audits.get(&id)
+    }
+
+    /// Member ids in ascending order.
+    #[must_use]
+    pub fn ids(&self) -> Vec<u64> {
+        self.audits.keys().copied().collect()
+    }
+
+    /// End-of-run reports for every member, ascending by id.
+    #[must_use]
+    pub fn reports(&self) -> Vec<(u64, AuditReport)> {
+        self.audits
+            .iter()
+            .map(|(&id, audit)| (id, audit.report()))
+            .collect()
+    }
+}
+
+impl MuxObserver for MuxAudit {
+    fn observe_query(
+        &mut self,
+        query: u64,
+        ctx: &TickContext<'_>,
+        outcome: &TickOutcome,
+        exact: f64,
+        round: Option<u64>,
+    ) {
+        if let Some(audit) = self.audits.get_mut(&query) {
+            audit.observe_with_round(ctx, outcome, exact, round);
         }
     }
 }

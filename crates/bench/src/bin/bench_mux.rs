@@ -1,0 +1,378 @@
+//! Multi-query serving benchmark: what panel sharing and round
+//! coalescing save over N independent engines.
+//!
+//! Two sections:
+//!
+//! * **coincident** — N = 32 panel-compatible queries (AVG over the same
+//!   relation, mixed contracts) registered on one shared `QueryMux`,
+//!   against the same 32 queries served sharing-off (one full engine
+//!   each). Both legs run the canonical TEMPERATURE scenario under a
+//!   `MuxAudit`, so the message ratio is compared *at equal audited
+//!   violation rates* — a leg that broke its contracts would fail the
+//!   gate, not win the comparison. The run exits non-zero unless the
+//!   shared leg costs ≤ 0.5× the baseline messages with every query's
+//!   empirical violation rate inside its own binomial bound.
+//! * **heavy-traffic** — a Poisson arrival/departure stream
+//!   (`TrafficGenerator`: skewed δ/ε tiers, predicate overlap classes)
+//!   drives dynamic `register`/`deregister` on a shared mux, reporting
+//!   served queries, occasion counts, mean inter-occasion gap, and total
+//!   message cost.
+//!
+//! Timings are wall-clock and machine-dependent; the message counts and
+//! violation rates are deterministic for a given seed and scale.
+
+use digest_audit::MuxAudit;
+use digest_bench::{banner, temperature, Scale};
+use digest_core::{ContinuousQuery, MuxConfig, Precision, QueryMux, TickContext};
+use digest_db::{Expr, Predicate};
+use digest_sim::{run_mux, RunConfig, RunReport};
+use digest_workload::{PredicateClass, TrafficConfig, TrafficEvent, TrafficGenerator, Workload};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde_json::json;
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+const N_QUERIES: usize = 32;
+const SEED: u64 = 20080402;
+
+/// The coincident fleet: all AVG over the same attribute (one shared
+/// panel key), cycling through four contract tiers so round sizing is
+/// exercised by heterogeneous (ε, p) requirements.
+fn fleet(w: &impl Workload) -> Vec<ContinuousQuery> {
+    let tiers = [
+        (8.0, 4.0, 0.90),
+        (8.0, 2.0, 0.95),
+        (4.0, 4.0, 0.90),
+        (4.0, 2.0, 0.95),
+    ];
+    (0..N_QUERIES)
+        .map(|i| {
+            let (delta, eps, p) = tiers[i % tiers.len()];
+            ContinuousQuery::avg(
+                Expr::first_attr(w.db().schema()),
+                Precision::new(delta, eps, p).unwrap(),
+            )
+        })
+        .collect()
+}
+
+struct Leg {
+    reports: Vec<RunReport>,
+    audits: Vec<(u64, digest_audit::AuditReport)>,
+    wall_ns: f64,
+}
+
+fn run_leg(scale: Scale, ticks: u64, sharing: bool) -> Leg {
+    let mut workload = temperature(scale, 0);
+    let mut mux = QueryMux::new(MuxConfig {
+        sharing,
+        ..MuxConfig::default()
+    })
+    .expect("valid mux config");
+    let mut audit = MuxAudit::new();
+    for q in fleet(&workload) {
+        let id = mux.register(q).expect("register");
+        audit
+            .register(id, mux.query(id).expect("registered"))
+            .expect("valid audit config");
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(SEED);
+    let start = Instant::now();
+    let reports = run_mux(
+        &mut workload,
+        &mut mux,
+        RunConfig::for_ticks(ticks),
+        &mut rng,
+        &mut audit,
+    )
+    .expect("benchmark run");
+    let wall_ns = start.elapsed().as_secs_f64() * 1e9;
+    Leg {
+        reports,
+        audits: audit.reports(),
+        wall_ns,
+    }
+}
+
+fn total_messages(leg: &Leg) -> u64 {
+    leg.reports
+        .iter()
+        .map(|r| r.records.iter().map(|t| t.messages).sum::<u64>())
+        .sum()
+}
+
+/// Mean ticks between consecutive served occasions, averaged over
+/// queries (only queries with ≥ 2 occasions contribute).
+fn mean_occasion_gap(leg: &Leg) -> f64 {
+    let mut gaps = 0u64;
+    let mut count = 0u64;
+    for r in &leg.reports {
+        let occasions: Vec<u64> = r
+            .records
+            .iter()
+            .filter(|t| t.snapshot)
+            .map(|t| t.tick)
+            .collect();
+        for pair in occasions.windows(2) {
+            gaps += pair[1] - pair[0];
+            count += 1;
+        }
+    }
+    #[allow(clippy::cast_precision_loss)]
+    if count == 0 {
+        f64::NAN
+    } else {
+        gaps as f64 / count as f64
+    }
+}
+
+/// Every audited query inside its own binomial violation bound?
+fn contracts_hold(leg: &Leg) -> bool {
+    leg.audits
+        .iter()
+        .all(|(_, r)| r.occasions == 0 || r.violation_rate <= r.violation_bound())
+}
+
+fn materialize(spec: &digest_workload::QuerySpec, w: &impl Workload) -> ContinuousQuery {
+    let schema = w.db().schema();
+    let mut q = ContinuousQuery::avg(
+        Expr::first_attr(schema),
+        Precision::new(spec.delta, spec.epsilon, spec.confidence).unwrap(),
+    );
+    q = match spec.predicate {
+        PredicateClass::Unfiltered => q,
+        PredicateClass::AboveMean => {
+            q.with_predicate(Predicate::parse("temperature > 60", schema).unwrap())
+        }
+        PredicateClass::UpperTail => {
+            q.with_predicate(Predicate::parse("temperature > 70", schema).unwrap())
+        }
+    };
+    q
+}
+
+struct TrafficSummary {
+    served: usize,
+    peak_active: usize,
+    occasions: u64,
+    messages: u64,
+    mean_gap: f64,
+    wall_ns: f64,
+}
+
+/// Drives a shared mux under the Poisson arrival/departure stream: the
+/// fixed-membership `run_mux` cannot model churn, so the loop calls
+/// `register`/`deregister` between ticks the way a serving frontend
+/// would.
+fn run_traffic(scale: Scale, ticks: u64) -> TrafficSummary {
+    let mut workload = temperature(scale, 1);
+    let mut mux = QueryMux::new(MuxConfig::default()).expect("valid mux config");
+    let mut generator = TrafficGenerator::new(TrafficConfig {
+        arrival_rate: 0.4,
+        mean_lifetime: 80.0,
+        max_concurrent: 48,
+        base_delta: 4.0,
+        base_epsilon: 3.0,
+        predicate_fraction: 0.25,
+    });
+    let mut rng = ChaCha8Rng::seed_from_u64(SEED ^ 0x7EA);
+    let mut serial_to_id: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut last_occasion: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut served = 0usize;
+    let mut peak_active = 0usize;
+    let mut occasions = 0u64;
+    let mut messages = 0u64;
+    let mut gaps = 0u64;
+    let mut gap_count = 0u64;
+
+    let mut origin = workload.graph().nodes().next().expect("live node");
+    let start = Instant::now();
+    for tick in 0..ticks {
+        workload.advance(&mut rng);
+        if !workload.graph().contains(origin) {
+            origin = workload.graph().random_node(&mut rng).expect("live node");
+        }
+        for event in generator.advance(&mut rng) {
+            match event {
+                TrafficEvent::Arrive(spec) => {
+                    let q = materialize(&spec, &workload);
+                    let id = mux.register(q).expect("register");
+                    serial_to_id.insert(spec.serial, id);
+                    served += 1;
+                }
+                TrafficEvent::Depart(serial) => {
+                    if let Some(id) = serial_to_id.remove(&serial) {
+                        mux.deregister(id);
+                        last_occasion.remove(&id);
+                    }
+                }
+            }
+        }
+        peak_active = peak_active.max(mux.len());
+        if mux.is_empty() {
+            continue;
+        }
+        let ctx = TickContext {
+            tick,
+            graph: workload.graph(),
+            db: workload.db(),
+            origin,
+        };
+        let outcomes = mux.on_tick_mux(&ctx, &mut rng).expect("mux tick");
+        for o in &outcomes {
+            messages += o.outcome.messages_this_tick;
+            if o.outcome.snapshot_executed {
+                occasions += 1;
+                if let Some(prev) = last_occasion.insert(o.query, tick) {
+                    gaps += tick - prev;
+                    gap_count += 1;
+                }
+            }
+        }
+    }
+    let wall_ns = start.elapsed().as_secs_f64() * 1e9;
+    #[allow(clippy::cast_precision_loss)]
+    let mean_gap = if gap_count == 0 {
+        f64::NAN
+    } else {
+        gaps as f64 / gap_count as f64
+    };
+    TrafficSummary {
+        served,
+        peak_active,
+        occasions,
+        messages,
+        mean_gap,
+        wall_ns,
+    }
+}
+
+fn main() -> ExitCode {
+    let scale = Scale::from_args();
+    banner(
+        "BENCH_mux",
+        "multi-query serving: shared panels vs N engines",
+        scale,
+    );
+    let ticks = match scale {
+        Scale::Full => 240,
+        Scale::Quick => 120,
+    };
+
+    let shared = run_leg(scale, ticks, true);
+    let baseline = run_leg(scale, ticks, false);
+
+    let shared_messages = total_messages(&shared);
+    let baseline_messages = total_messages(&baseline);
+    #[allow(clippy::cast_precision_loss)]
+    let ratio = if baseline_messages == 0 {
+        f64::NAN
+    } else {
+        shared_messages as f64 / baseline_messages as f64
+    };
+    let shared_ok = contracts_hold(&shared);
+    let baseline_ok = contracts_hold(&baseline);
+
+    println!(
+        "{:<34} {:>12} {:>10} {:>12} {:>10}",
+        "leg", "messages", "gap", "wall_ms", "contracts"
+    );
+    for (label, leg, msgs) in [
+        ("shared (QueryMux, N=32)", &shared, shared_messages),
+        ("baseline (32 engines)", &baseline, baseline_messages),
+    ] {
+        println!(
+            "{label:<34} {msgs:>12} {:>10.2} {:>12.1} {:>10}",
+            mean_occasion_gap(leg),
+            leg.wall_ns / 1e6,
+            if contracts_hold(leg) {
+                "ok"
+            } else {
+                "VIOLATED"
+            },
+        );
+    }
+    println!("message ratio shared/baseline: {ratio:.3} (gate ≤ 0.5)");
+
+    let traffic = run_traffic(scale, ticks * 2);
+    println!(
+        "heavy-traffic: {} queries served (peak {} active), {} occasions, \
+         {} messages, mean occasion gap {:.2} ticks",
+        traffic.served, traffic.peak_active, traffic.occasions, traffic.messages, traffic.mean_gap,
+    );
+
+    let per_query: Vec<_> = shared
+        .audits
+        .iter()
+        .zip(&baseline.audits)
+        .map(|((id, s), (_, b))| {
+            json!({
+                "query": *id,
+                "confidence": s.confidence,
+                "shared_occasions": s.occasions,
+                "shared_violation_rate": s.violation_rate,
+                "baseline_occasions": b.occasions,
+                "baseline_violation_rate": b.violation_rate,
+                "violation_bound": s.violation_bound(),
+            })
+        })
+        .collect();
+
+    let out = json!({
+        "benchmark": "BENCH_mux",
+        "scale": scale.label(),
+        "ticks": ticks,
+        "queries": N_QUERIES,
+        "coincident": {
+            "shared_messages": shared_messages,
+            "baseline_messages": baseline_messages,
+            "message_ratio": ratio,
+            "gate": 0.5,
+            "shared_mean_occasion_gap": mean_occasion_gap(&shared),
+            "baseline_mean_occasion_gap": mean_occasion_gap(&baseline),
+            "shared_wall_ns": shared.wall_ns,
+            "baseline_wall_ns": baseline.wall_ns,
+            "shared_contracts_hold": shared_ok,
+            "baseline_contracts_hold": baseline_ok,
+            "per_query": per_query,
+        },
+        "heavy_traffic": {
+            "ticks": ticks * 2,
+            "served": traffic.served,
+            "peak_active": traffic.peak_active,
+            "occasions": traffic.occasions,
+            "messages": traffic.messages,
+            "mean_occasion_gap": traffic.mean_gap,
+            "wall_ns": traffic.wall_ns,
+        },
+    });
+    let path = std::path::Path::new("BENCH_mux.json");
+    match std::fs::File::create(path) {
+        Ok(mut f) => {
+            if let Err(e) = writeln!(
+                f,
+                "{}",
+                serde_json::to_string_pretty(&out).expect("valid json")
+            ) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+            } else {
+                println!();
+                println!("[profile written to {}]", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: cannot create {}: {e}", path.display()),
+    }
+
+    if ratio <= 0.5 && shared_ok && baseline_ok {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "FAILED: ratio {ratio:.3} (gate 0.5), shared contracts {shared_ok}, \
+             baseline contracts {baseline_ok}"
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -32,6 +32,7 @@ pub mod engine;
 pub mod error;
 pub mod grouped;
 pub mod indep;
+pub mod mux;
 pub mod panel;
 pub mod quantile_est;
 pub mod query;
@@ -45,12 +46,18 @@ pub use engine::{DigestEngine, EngineConfig, EstimatorKind, SchedulerKind};
 pub use error::CoreError;
 pub use grouped::{GroupEstimate, GroupedEstimator, GroupedQuery, GroupedSnapshot};
 pub use indep::IndependentEstimator;
+pub use mux::{
+    MuxConfig, MuxQueryOutcome, MuxQueryTotals, PanelKey, PanelWeight, QueryMux, RoundPlan,
+    RoundPlanner,
+};
 pub use panel::SamplePanel;
 pub use quantile_est::QuantileEstimator;
 pub use query::{AggregateOp, ContinuousQuery, Precision};
 pub use rpt::{ForwardCorrection, RepeatedEstimator, RptConfig};
 pub use scheduler::{AllScheduler, PredScheduler, SnapshotScheduler};
-pub use system::{NoopObserver, QuerySystem, TickContext, TickObserver, TickOutcome};
+pub use system::{
+    MuxObserver, NoopMuxObserver, NoopObserver, QuerySystem, TickContext, TickObserver, TickOutcome,
+};
 pub use tag::{TagConfig, TreeAggregationEngine};
 
 /// Result alias used throughout the crate.

@@ -1,0 +1,1449 @@
+//! `QueryMux` — serving many continuous queries from one overlay.
+//!
+//! The paper prices a *single* `(δ, ε, p)` contract in messages per
+//! guarantee (§VI); this module amortises that price across N concurrent
+//! contracts. Two observations make the amortisation sound:
+//!
+//! 1. **Panels are expression-agnostic.** The two-stage sampling operator
+//!    (§V) draws node `v` with probability proportional to its content
+//!    size `m_v` and then a uniform local tuple, which is uniform over
+//!    *tuples* regardless of the aggregated expression or predicate. One
+//!    drawn panel therefore serves every registered query whose target
+//!    distribution coincides — captured by [`PanelKey`].
+//! 2. **PRED-k deadlines coalesce.** Each query's extrapolating scheduler
+//!    (§IV-A) produces a next-occasion deadline; the [`RoundPlanner`]
+//!    fires a *round* at the earliest member deadline, pulls in queries
+//!    due within a small horizon, and — because reading an already-paid
+//!    panel costs zero extra messages — lets every other compatible query
+//!    piggyback on the round for free.
+//!
+//! Each round draws one CLT-sized batch (Eq. 6 per member, sized at the
+//! maximum member requirement) through the parallel executor — one
+//! occasion seed, one join — then every member consumes the shared panel,
+//! applies its own predicate, δ-semantics, and scheduling, and receives
+//! its own causal trace id parented to the round's.
+//!
+//! With sharing disabled the mux degrades to N independent
+//! [`DigestEngine`]s driven in registration order — byte-identical to
+//! running the engines standalone, which `tests/mux_equivalence.rs` pins.
+
+use crate::engine::{DigestEngine, EngineConfig, EstimatorKind, SchedulerKind};
+use crate::error::CoreError;
+use crate::query::{AggregateOp, ContinuousQuery};
+use crate::rpt::RptConfig;
+use crate::scheduler::{AllScheduler, PredScheduler, SnapshotScheduler};
+use crate::system::{QuerySystem, TickContext, TickOutcome};
+use crate::Result;
+use digest_sampling::{uniform_weight, SamplingConfig, SamplingOperator, SizeEstimator};
+use digest_stats::{required_sample_size, RunningMoments};
+use digest_telemetry::{Field, Stage};
+use rand::RngCore;
+use std::collections::BTreeMap;
+
+/// Smoothing factor for the per-query decayed selectivity tally (same
+/// role as the engine's; keeps COUNT/SUM scaling stable across the few
+/// fresh draws of one occasion — §IV-B).
+const SELECTIVITY_DECAY: f64 = 0.75;
+
+/// Floor on the smoothed selectivity used to convert a qualifying-sample
+/// deficit into a draw request (Eq. 6 sizing counts *qualifying*
+/// samples); bounds the rejection-sampling inflation at 8×.
+const SELECTIVITY_FLOOR: f64 = 0.125;
+
+/// The sampling weight a panel was drawn under — stage one of the
+/// two-stage operator (§V).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PanelWeight {
+    /// Node `v` with probability `∝ m_v`, then a uniform local tuple:
+    /// uniform over tuples (§V) — the distribution every tuple-expression
+    /// aggregate consumes.
+    ContentSize,
+    /// Uniform over *nodes* — the distribution capture–recapture size
+    /// estimation consumes (§V-B); never interchangeable with tuple
+    /// panels.
+    UniformNode,
+}
+
+/// Identifies the target distribution of a sample panel (§V): two queries
+/// may share a panel iff their keys are equal. Key equality is an
+/// equivalence relation (reflexive, symmetric, transitive) — pinned by
+/// property tests — because a panel drawn from one target distribution is
+/// a valid i.i.d. sample for exactly the queries that need that same
+/// distribution, irrespective of their expressions or predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct PanelKey {
+    /// The stage-one sampling weight of the panel's target distribution.
+    pub weight: PanelWeight,
+}
+
+impl PanelKey {
+    /// The key of the panel `query`'s estimator consumes. Every aggregate
+    /// over tuple expressions — `AVG`, `SUM`, `COUNT`, `MEDIAN`, with or
+    /// without predicates — consumes the uniform-over-tuples distribution
+    /// of the two-stage operator (§V), so all queries over one relation
+    /// map to the same key and may share panels.
+    #[must_use]
+    pub fn for_query(_query: &ContinuousQuery) -> Self {
+        Self {
+            weight: PanelWeight::ContentSize,
+        }
+    }
+
+    /// The key of relation-size estimation panels (§V-B): uniform node
+    /// samples, deliberately distinct from every tuple-panel key.
+    #[must_use]
+    pub fn size_estimation() -> Self {
+        Self {
+            weight: PanelWeight::UniformNode,
+        }
+    }
+
+    /// Whether two panels are interchangeable — identical target
+    /// distributions (§V). Equivalent to `self == other`.
+    #[must_use]
+    pub fn shares_panel(&self, other: &Self) -> bool {
+        self == other
+    }
+}
+
+/// The membership of one coalesced sampling round (§IV-A deadlines over
+/// N queries): queries at or past their deadline, plus queries pulled in
+/// early because their deadline falls within the coalescing horizon.
+#[derive(Debug, Clone, Default)]
+pub struct RoundPlan {
+    /// Queries whose deadline is `≤` the round tick (must fire now).
+    pub due: Vec<u64>,
+    /// Queries pulled forward: deadline within `(tick, tick + horizon]`.
+    pub pulled: Vec<u64>,
+}
+
+impl RoundPlan {
+    /// Whether no round fires this tick (no member is due). A plan never
+    /// pulls queries forward without at least one due member (§IV-A:
+    /// pulling alone would waste an occasion).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.due.is_empty()
+    }
+
+    /// Due and pulled members, ascending by query id.
+    #[must_use]
+    pub fn members(&self) -> Vec<u64> {
+        let mut all = self.due.clone();
+        all.extend_from_slice(&self.pulled);
+        all.sort_unstable();
+        all
+    }
+}
+
+/// The coalescing scheduler over per-query PRED-k deadlines (§IV-A): a
+/// round fires at tick `t` whenever some member's deadline is `≤ t`, and
+/// a member is never served *later* than its own deadline — coalescing
+/// only ever pulls occasions earlier (within the horizon), which keeps
+/// every member's `δ`-resolution contract intact.
+#[derive(Debug, Clone)]
+pub struct RoundPlanner {
+    /// `None` = never scheduled (due immediately).
+    deadlines: BTreeMap<u64, Option<u64>>,
+    horizon: u64,
+}
+
+impl RoundPlanner {
+    /// Creates a planner with the given pull-forward horizon (§IV-A;
+    /// horizon 0 disables pulling).
+    #[must_use]
+    pub fn new(horizon: u64) -> Self {
+        Self {
+            deadlines: BTreeMap::new(),
+            horizon,
+        }
+    }
+
+    /// Registers a query as immediately due (a fresh query must snapshot
+    /// at its arrival tick — §II: answers start at arrival time).
+    pub fn register(&mut self, id: u64) {
+        self.deadlines.insert(id, None);
+    }
+
+    /// Removes a departed query from the schedule (§II: the contract ends
+    /// with the query).
+    pub fn remove(&mut self, id: u64) {
+        self.deadlines.remove(&id);
+    }
+
+    /// Records `id`'s next PRED-k deadline (§IV-A `next_delay` output,
+    /// absolute tick).
+    pub fn set_deadline(&mut self, id: u64, tick: u64) {
+        if let Some(slot) = self.deadlines.get_mut(&id) {
+            *slot = Some(tick);
+        }
+    }
+
+    /// The currently recorded deadline (`None` = immediately due), or
+    /// `None` for unknown ids (§IV-A bookkeeping accessor).
+    #[must_use]
+    pub fn deadline(&self, id: u64) -> Option<Option<u64>> {
+        self.deadlines.get(&id).copied()
+    }
+
+    /// Plans the round for `tick`: all queries with deadline `≤ tick` are
+    /// due; if any are, queries with deadlines within `(tick, tick +
+    /// horizon]` are pulled forward (§IV-A coalescing — early occasions
+    /// are always contract-safe, late ones never happen).
+    #[must_use]
+    pub fn plan(&self, tick: u64) -> RoundPlan {
+        let mut plan = RoundPlan::default();
+        for (&id, &deadline) in &self.deadlines {
+            match deadline {
+                None => plan.due.push(id),
+                Some(d) if d <= tick => plan.due.push(id),
+                _ => {}
+            }
+        }
+        if plan.due.is_empty() {
+            return plan;
+        }
+        let limit = tick.saturating_add(self.horizon);
+        for (&id, &deadline) in &self.deadlines {
+            if let Some(d) = deadline {
+                if d > tick && d <= limit {
+                    plan.pulled.push(id);
+                }
+            }
+        }
+        plan
+    }
+}
+
+/// Multiplexer configuration: scheduler × estimator defaults for member
+/// queries plus the sharing/coalescing policy (§IV-A, §V).
+#[derive(Debug, Clone, Copy)]
+pub struct MuxConfig {
+    /// Share walk batches and panels across compatible queries. When
+    /// `false` the mux runs one full [`DigestEngine`] per query —
+    /// byte-identical to standalone engines (§IV baseline).
+    pub sharing: bool,
+    /// Pull-forward horizon of the coalescing scheduler (§IV-A), in
+    /// ticks.
+    pub coalesce_horizon: u64,
+    /// Let queries that are not yet due consume an already-paid round
+    /// panel for free (§V: reading a drawn panel costs no messages).
+    pub piggyback: bool,
+    /// Scheduler for member queries (§IV-A).
+    pub scheduler: SchedulerKind,
+    /// Estimator for member queries in unshared mode (§IV-B; shared
+    /// rounds always use independent CLT-sized panels, Eq. 6).
+    pub estimator: EstimatorKind,
+    /// Bottom-tier sampling operator tuning (§V).
+    pub sampling: SamplingConfig,
+    /// Estimator tuning: pilot size and sample caps (§IV-B).
+    pub rpt: RptConfig,
+    /// For `SUM`/`COUNT`: rounds between shared relation-size refreshes
+    /// (§V-B capture–recapture).
+    pub size_refresh_rounds: u64,
+    /// For `SUM`/`COUNT`: uniform node samples per size round (§V-B).
+    pub size_sample_target: usize,
+}
+
+impl Default for MuxConfig {
+    fn default() -> Self {
+        Self {
+            sharing: true,
+            coalesce_horizon: 2,
+            piggyback: true,
+            scheduler: SchedulerKind::Pred(3),
+            estimator: EstimatorKind::Repeated,
+            sampling: SamplingConfig::default(),
+            rpt: RptConfig::default(),
+            size_refresh_rounds: 10,
+            size_sample_target: 256,
+        }
+    }
+}
+
+/// One member query's view of a mux tick (§II: each query keeps its own
+/// `(δ, ε, p)` contract, estimate stream, and causal trace).
+#[derive(Debug, Clone, Copy)]
+pub struct MuxQueryOutcome {
+    /// The member query's id (registration order).
+    pub query: u64,
+    /// The member's own tick outcome (δ-semantics applied per query).
+    pub outcome: TickOutcome,
+    /// Causal trace id of the member's reporting occasion (0 before the
+    /// first occasion; see §IV-A tracing discipline).
+    pub trace: u64,
+    /// Trace id of the shared sampling round this occasion was served
+    /// from (`None` on idle ticks and in unshared mode).
+    pub round: Option<u64>,
+}
+
+/// Per-query lifetime cost counters (§VI message accounting, per member).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MuxQueryTotals {
+    /// Messages attributed to this query (round costs split evenly).
+    pub messages: u64,
+    /// Samples evaluated for this query.
+    pub samples: u64,
+    /// Reporting occasions served.
+    pub snapshots: u64,
+}
+
+/// Per-query state in shared mode.
+struct SharedQuery {
+    query: ContinuousQuery,
+    scheduler: Box<dyn SnapshotScheduler + Send>,
+    started: bool,
+    trace: u64,
+    current_estimate: f64,
+    last_reported: f64,
+    sigma_ema: Option<f64>,
+    selectivity_counts: (f64, f64),
+    totals: MuxQueryTotals,
+}
+
+impl SharedQuery {
+    fn smoothed_selectivity(&self) -> f64 {
+        let (q, d) = self.selectivity_counts;
+        if d > 0.0 {
+            q / d
+        } else {
+            1.0
+        }
+    }
+
+    fn update_selectivity(&mut self, qualifying: f64, drawn: f64) -> f64 {
+        let (q, d) = self.selectivity_counts;
+        self.selectivity_counts = (
+            q * SELECTIVITY_DECAY + qualifying,
+            d * SELECTIVITY_DECAY + drawn,
+        );
+        self.smoothed_selectivity()
+    }
+
+    fn scale(&self, avg: f64, selectivity: f64, size_estimate: Option<f64>) -> f64 {
+        match self.query.op {
+            AggregateOp::Avg | AggregateOp::Median => avg,
+            AggregateOp::Sum => avg * selectivity * size_estimate.unwrap_or(0.0),
+            AggregateOp::Count => selectivity * size_estimate.unwrap_or(0.0),
+        }
+    }
+}
+
+/// Per-query accumulation while a shared round's panel is drawn.
+#[derive(Debug, Default)]
+struct RoundTally {
+    moments: RunningMoments,
+    qualifying: u64,
+    drawn: u64,
+}
+
+/// Shared-mode state: one operator, one walk pool, one size estimate.
+struct SharedState {
+    operator: SamplingOperator,
+    size_operator: SamplingOperator,
+    planner: RoundPlanner,
+    queries: BTreeMap<u64, SharedQuery>,
+    size_estimate: Option<f64>,
+    rounds_since_size_refresh: u64,
+    rounds: u64,
+    last_round_trace: u64,
+}
+
+enum Mode {
+    Independent(BTreeMap<u64, DigestEngine>),
+    Shared(Box<SharedState>),
+}
+
+/// The query multiplexer: N concurrent continuous queries (heterogeneous
+/// `δ/ε/p`, expressions, predicates — §II) over a single overlay, with
+/// shared panels and coalesced PRED-k rounds (§IV-A, §V) when sharing is
+/// enabled, or N standalone [`DigestEngine`]s otherwise.
+pub struct QueryMux {
+    config: MuxConfig,
+    mode: Mode,
+    name: String,
+    next_id: u64,
+    current_estimate: f64,
+    total_messages: u64,
+    total_samples: u64,
+    total_snapshots: u64,
+}
+
+impl std::fmt::Debug for QueryMux {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryMux")
+            .field("name", &self.name)
+            .field("queries", &self.len())
+            .field("sharing", &self.config.sharing)
+            .finish_non_exhaustive()
+    }
+}
+
+impl QueryMux {
+    /// Builds an empty multiplexer (§II: queries arrive and depart over
+    /// the run; see [`QueryMux::register`]).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] for invalid scheduler/sampling
+    /// settings.
+    pub fn new(config: MuxConfig) -> Result<Self> {
+        let mode = if config.sharing {
+            let operator = SamplingOperator::new(config.sampling)?;
+            // Size estimation targets the uniform node distribution,
+            // which mixes slower than the content-biased one (§V-B):
+            // give those walks more budget, as the engine does.
+            let size_operator = SamplingOperator::new(SamplingConfig {
+                walk_length: config.sampling.walk_length.saturating_mul(4),
+                reset_length: config.sampling.reset_length.saturating_mul(2),
+                ..config.sampling
+            })?;
+            Mode::Shared(Box::new(SharedState {
+                operator,
+                size_operator,
+                planner: RoundPlanner::new(config.coalesce_horizon),
+                queries: BTreeMap::new(),
+                size_estimate: None,
+                rounds_since_size_refresh: 0,
+                rounds: 0,
+                last_round_trace: 0,
+            }))
+        } else {
+            Mode::Independent(BTreeMap::new())
+        };
+        let scheduler_name = match config.scheduler {
+            SchedulerKind::All => "ALL".to_owned(),
+            SchedulerKind::Pred(k) => format!("PRED{k}"),
+        };
+        let name = if config.sharing {
+            format!("MUX+{scheduler_name}")
+        } else {
+            let est = match config.estimator {
+                EstimatorKind::Independent => "INDEP",
+                EstimatorKind::Repeated => "RPT",
+            };
+            format!("MUX-UNSHARED+{scheduler_name}+{est}")
+        };
+        Ok(Self {
+            config,
+            mode,
+            name,
+            next_id: 0,
+            current_estimate: 0.0,
+            total_messages: 0,
+            total_samples: 0,
+            total_snapshots: 0,
+        })
+    }
+
+    /// Registers a continuous query; returns its member id (§II: the
+    /// query's contract runs from this call until
+    /// [`QueryMux::deregister`]).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] if a `MEDIAN` query is registered in
+    /// sharing mode (order statistics cannot reuse the shared CLT sizing,
+    /// Eq. 6; run it unshared) or the member scheduler is invalid.
+    pub fn register(&mut self, query: ContinuousQuery) -> Result<u64> {
+        let id = self.next_id;
+        match &mut self.mode {
+            Mode::Independent(engines) => {
+                let engine = DigestEngine::new(
+                    query,
+                    EngineConfig {
+                        scheduler: self.config.scheduler,
+                        estimator: self.config.estimator,
+                        sampling: self.config.sampling,
+                        rpt: self.config.rpt,
+                        size_refresh_interval: self.config.size_refresh_rounds,
+                        size_sample_target: self.config.size_sample_target,
+                    },
+                )?;
+                engines.insert(id, engine);
+            }
+            Mode::Shared(state) => {
+                if matches!(query.op, AggregateOp::Median) {
+                    return Err(CoreError::InvalidConfig {
+                        reason: "MEDIAN cannot join shared rounds (CLT sizing, Eq. 6, \
+                                 does not cover order statistics); disable sharing",
+                    });
+                }
+                let scheduler: Box<dyn SnapshotScheduler + Send> = match self.config.scheduler {
+                    SchedulerKind::All => Box::new(AllScheduler::new()),
+                    SchedulerKind::Pred(k) => Box::new(PredScheduler::new(k)?),
+                };
+                state.queries.insert(
+                    id,
+                    SharedQuery {
+                        query,
+                        scheduler,
+                        started: false,
+                        trace: 0,
+                        current_estimate: 0.0,
+                        last_reported: f64::NAN,
+                        sigma_ema: None,
+                        selectivity_counts: (0.0, 0.0),
+                        totals: MuxQueryTotals::default(),
+                    },
+                );
+                state.planner.register(id);
+            }
+        }
+        self.next_id += 1;
+        Ok(id)
+    }
+
+    /// Deregisters a member query (§II: departure ends its contract);
+    /// unknown ids are ignored.
+    pub fn deregister(&mut self, id: u64) {
+        match &mut self.mode {
+            Mode::Independent(engines) => {
+                engines.remove(&id);
+            }
+            Mode::Shared(state) => {
+                state.queries.remove(&id);
+                state.planner.remove(id);
+            }
+        }
+    }
+
+    /// Number of registered queries (§II).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match &self.mode {
+            Mode::Independent(engines) => engines.len(),
+            Mode::Shared(state) => state.queries.len(),
+        }
+    }
+
+    /// Whether no query is registered (§II).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The member query behind `id`, if registered (§II).
+    #[must_use]
+    pub fn query(&self, id: u64) -> Option<&ContinuousQuery> {
+        match &self.mode {
+            Mode::Independent(engines) => engines.get(&id).map(DigestEngine::query),
+            Mode::Shared(state) => state.queries.get(&id).map(|q| &q.query),
+        }
+    }
+
+    /// Registered member ids in ascending order (§II).
+    #[must_use]
+    pub fn query_ids(&self) -> Vec<u64> {
+        match &self.mode {
+            Mode::Independent(engines) => engines.keys().copied().collect(),
+            Mode::Shared(state) => state.queries.keys().copied().collect(),
+        }
+    }
+
+    /// Lifetime cost counters for one member (§VI accounting; round
+    /// costs are split evenly across round members in shared mode).
+    #[must_use]
+    pub fn query_totals(&self, id: u64) -> Option<MuxQueryTotals> {
+        match &self.mode {
+            Mode::Independent(engines) => engines.get(&id).map(|e| MuxQueryTotals {
+                messages: e.total_messages(),
+                samples: e.total_samples(),
+                snapshots: e.total_snapshots(),
+            }),
+            Mode::Shared(state) => state.queries.get(&id).map(|q| q.totals),
+        }
+    }
+
+    /// Coalesced sampling rounds executed so far (0 in unshared mode —
+    /// §IV-A).
+    #[must_use]
+    pub fn rounds(&self) -> u64 {
+        match &self.mode {
+            Mode::Independent(_) => 0,
+            Mode::Shared(state) => state.rounds,
+        }
+    }
+
+    /// Whether panel sharing is enabled (§V).
+    #[must_use]
+    pub fn sharing(&self) -> bool {
+        self.config.sharing
+    }
+
+    /// Advances every member query one tick; returns one outcome per
+    /// member in ascending id order (§II: each member keeps its own
+    /// estimate stream and δ-semantics).
+    ///
+    /// # Errors
+    ///
+    /// Any engine/sampling error; a transiently empty relation is held,
+    /// not raised (§V).
+    pub fn on_tick_mux(
+        &mut self,
+        ctx: &TickContext<'_>,
+        rng: &mut dyn RngCore,
+    ) -> Result<Vec<MuxQueryOutcome>> {
+        digest_telemetry::set_tick(ctx.tick);
+        let outcomes = match &mut self.mode {
+            Mode::Independent(engines) => {
+                let mut out = Vec::with_capacity(engines.len());
+                for (&id, engine) in engines.iter_mut() {
+                    let outcome = engine.on_tick(ctx, rng)?;
+                    out.push(MuxQueryOutcome {
+                        query: id,
+                        outcome,
+                        trace: engine.trace_id(),
+                        round: None,
+                    });
+                }
+                out
+            }
+            Mode::Shared(state) => shared_tick(state, &self.config, ctx, rng)?,
+        };
+        for o in &outcomes {
+            self.total_messages += o.outcome.messages_this_tick;
+            self.total_samples += o.outcome.samples_this_tick;
+            if o.outcome.snapshot_executed {
+                self.total_snapshots += 1;
+            }
+        }
+        if let Some(first) = outcomes.first() {
+            self.current_estimate = first.outcome.estimate;
+        }
+        Ok(outcomes)
+    }
+}
+
+/// Converts a qualifying-sample deficit into a draw request under a
+/// smoothed selectivity (bounded inflation; the cast is safe because the
+/// operand is clamped to the sample-cap range first).
+#[allow(
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::cast_precision_loss
+)]
+fn draws_for_deficit(deficit: u64, selectivity: f64, cap: usize) -> usize {
+    let sel = selectivity.max(SELECTIVITY_FLOOR);
+    let want = (deficit as f64 / sel).ceil();
+    if !want.is_finite() || want <= 0.0 {
+        return 0;
+    }
+    (want as usize).min(cap)
+}
+
+/// Eq. 6 per-member sizing: qualifying-sample target given the best
+/// current σ̂ (prior EMA vs in-round measurement, whichever is larger).
+fn member_target(config: &MuxConfig, q: &SharedQuery, tally: &RoundTally) -> Result<u64> {
+    let pilot = config.rpt.pilot_size.max(2);
+    let measured = if tally.moments.count() >= pilot as u64 {
+        Some(tally.moments.sample_std())
+    } else {
+        None
+    };
+    let sigma = match (q.sigma_ema, measured) {
+        (Some(a), Some(b)) => Some(a.max(b)),
+        (Some(a), None) => Some(a),
+        (None, m) => m,
+    };
+    let target = match sigma {
+        Some(s) => {
+            required_sample_size(s, q.query.precision.epsilon, q.query.precision.confidence)?
+                .clamp(pilot, config.rpt.max_samples)
+        }
+        None => pilot,
+    };
+    Ok(target as u64)
+}
+
+/// Runs one shared-mode size-estimation round (§V-B capture–recapture on
+/// uniform node samples); returns messages spent.
+fn refresh_size_estimate(
+    state: &mut SharedState,
+    config: &MuxConfig,
+    ctx: &TickContext<'_>,
+    rng: &mut dyn RngCore,
+) -> Result<u64> {
+    let _span = digest_telemetry::span(Stage::SizeEstimate);
+    digest_telemetry::registry::CORE_SIZE_REFRESHES.inc();
+    let mut est = SizeEstimator::new();
+    let mut messages = 0u64;
+    let w = uniform_weight();
+    state.size_operator.begin_occasion();
+    for _ in 0..config.size_sample_target {
+        let (node, cost) = state
+            .size_operator
+            .sample_node(ctx.graph, &w, ctx.origin, rng)?;
+        messages += cost.total();
+        est.add_sample(node, ctx.db.content_size(node));
+        if est.collisions() >= 32 {
+            break;
+        }
+    }
+    if let Ok(n_hat) = est.estimate_tuple_count() {
+        state.size_estimate = Some(match state.size_estimate {
+            Some(old) => old + 0.5 * (n_hat - old),
+            None => n_hat,
+        });
+    } else if state.size_estimate.is_none() {
+        let floor = if est.samples() > 0 {
+            est.distinct() as f64
+        } else {
+            0.0
+        };
+        state.size_estimate = Some(floor.max(1.0));
+    }
+    state.rounds_since_size_refresh = 0;
+    Ok(messages)
+}
+
+/// One shared-mode tick: plan the round, draw one shared panel through
+/// the parallel executor (one occasion seed per batch — §V), then let
+/// every participant consume it under its own contract (§II).
+#[allow(clippy::too_many_lines)]
+fn shared_tick(
+    state: &mut SharedState,
+    config: &MuxConfig,
+    ctx: &TickContext<'_>,
+    rng: &mut dyn RngCore,
+) -> Result<Vec<MuxQueryOutcome>> {
+    let idle = |state: &SharedState| {
+        state
+            .queries
+            .iter()
+            .map(|(&id, q)| MuxQueryOutcome {
+                query: id,
+                outcome: TickOutcome::idle(q.current_estimate),
+                trace: q.trace,
+                round: None,
+            })
+            .collect::<Vec<_>>()
+    };
+    if state.queries.is_empty() {
+        return Ok(Vec::new());
+    }
+    let plan = state.planner.plan(ctx.tick);
+    if plan.is_empty() {
+        return Ok(idle(state));
+    }
+
+    // A round fires. Allocate its causal trace first so the sampling
+    // events below parent to the round, then one id per member (ascending
+    // id order — deterministic regardless of telemetry enablement).
+    let round_trace = digest_telemetry::begin_trace();
+    digest_telemetry::set_trace(round_trace);
+    let _round_span = digest_telemetry::span(Stage::EngineTick);
+
+    let participants: Vec<u64> = if config.piggyback {
+        state.queries.keys().copied().collect()
+    } else {
+        plan.members()
+    };
+
+    let mut round_messages = 0u64;
+    let needs_size = participants.iter().any(|id| {
+        state
+            .queries
+            .get(id)
+            .is_some_and(|q| !matches!(q.query.op, AggregateOp::Avg))
+    });
+    if needs_size
+        && (state.size_estimate.is_none()
+            || state.rounds_since_size_refresh >= config.size_refresh_rounds)
+    {
+        round_messages += refresh_size_estimate(state, config, ctx, rng)?;
+    }
+
+    // --- Draw the shared panel: sequential CLT sizing at the maximum
+    // member requirement (Eq. 6), one `sample_tuples` batch per loop
+    // (one occasion seed, one join through the parallel executor). ---
+    let any_nontrivial = participants.iter().any(|id| {
+        state
+            .queries
+            .get(id)
+            .is_some_and(|q| !q.query.predicate.is_trivial())
+    });
+    let max_draws = if any_nontrivial {
+        config.rpt.max_samples.saturating_mul(4)
+    } else {
+        config.rpt.max_samples
+    };
+    let mut tallies: BTreeMap<u64, RoundTally> = participants
+        .iter()
+        .map(|&id| (id, RoundTally::default()))
+        .collect();
+    let mut drawn = 0u64;
+    let mut empty_database = false;
+    state.operator.begin_occasion();
+    let eval_span = digest_telemetry::span(Stage::EstimatorEval);
+    'rounds: loop {
+        let mut want = 0usize;
+        for &id in &participants {
+            let (Some(q), Some(tally)) = (state.queries.get(&id), tallies.get(&id)) else {
+                continue;
+            };
+            let target = member_target(config, q, tally)?;
+            let have = tally.moments.count();
+            if have >= target {
+                continue;
+            }
+            let sel = if q.query.predicate.is_trivial() {
+                1.0
+            } else {
+                q.smoothed_selectivity()
+            };
+            let headroom = max_draws.saturating_sub(usize::try_from(drawn).unwrap_or(usize::MAX));
+            want = want.max(draws_for_deficit(target - have, sel, headroom));
+        }
+        if want == 0 {
+            break;
+        }
+        let batch = match state
+            .operator
+            .sample_tuples(ctx.graph, ctx.db, ctx.origin, want, rng)
+        {
+            Ok(batch) => batch,
+            // A transiently empty relation is a live condition (§V):
+            // hold every due member and retry next tick.
+            Err(digest_sampling::SamplingError::EmptyDatabase) => {
+                empty_database = true;
+                break 'rounds;
+            }
+            Err(other) => return Err(other.into()),
+        };
+        for (_handle, tuple, cost) in &batch {
+            round_messages += cost.total();
+            drawn += 1;
+            for &id in &participants {
+                let (Some(q), Some(tally)) = (state.queries.get(&id), tallies.get_mut(&id)) else {
+                    continue;
+                };
+                tally.drawn += 1;
+                if !q.query.predicate.is_trivial()
+                    && !q.query.predicate.eval(tuple).unwrap_or(false)
+                {
+                    continue;
+                }
+                let value = q.query.expr.eval(tuple)?;
+                if value.is_finite() {
+                    tally.moments.push(value);
+                    tally.qualifying += 1;
+                }
+            }
+        }
+    }
+    drop(eval_span);
+
+    if empty_database {
+        // Hold: due members count an (empty) occasion and retry next
+        // tick; everyone else idles. Messages spent so far are split
+        // across due members.
+        let mut out = Vec::with_capacity(state.queries.len());
+        let due: Vec<u64> = plan.due.clone();
+        let m = due.len().max(1) as u64;
+        let share = round_messages / m;
+        let remainder = round_messages % m;
+        for (i, &id) in due.iter().enumerate() {
+            if let Some(q) = state.queries.get_mut(&id) {
+                let messages = share + u64::from((i as u64) < remainder);
+                q.totals.messages += messages;
+                q.totals.snapshots += 1;
+                state.planner.set_deadline(id, ctx.tick + 1);
+            }
+        }
+        state.rounds += 1;
+        state.last_round_trace = round_trace;
+        for (&id, q) in &state.queries {
+            let is_due = due.contains(&id);
+            out.push(MuxQueryOutcome {
+                query: id,
+                outcome: TickOutcome {
+                    estimate: q.current_estimate,
+                    updated: false,
+                    snapshot_executed: is_due,
+                    samples_this_tick: 0,
+                    fresh_samples_this_tick: 0,
+                    messages_this_tick: if is_due {
+                        let i = due.iter().position(|&d| d == id).unwrap_or(0);
+                        share + u64::from((i as u64) < remainder)
+                    } else {
+                        0
+                    },
+                },
+                trace: q.trace,
+                round: is_due.then_some(round_trace),
+            });
+        }
+        return Ok(out);
+    }
+
+    // --- Per-member finalisation in ascending id order: attribute the
+    // round cost, apply each member's δ-semantics, reschedule (§IV-A). ---
+    let m = participants.len().max(1) as u64;
+    let share = round_messages / m;
+    let remainder = round_messages % m;
+    let mut finalized: BTreeMap<u64, MuxQueryOutcome> = BTreeMap::new();
+    for (i, &id) in participants.iter().enumerate() {
+        let Some(q) = state.queries.get_mut(&id) else {
+            continue;
+        };
+        let tally = tallies
+            .get(&id)
+            .map_or(RoundTally::default(), |t| RoundTally {
+                moments: t.moments,
+                qualifying: t.qualifying,
+                drawn: t.drawn,
+            });
+        let messages = share + u64::from((i as u64) < remainder);
+        q.trace = digest_telemetry::begin_trace();
+        digest_telemetry::set_trace(q.trace);
+
+        // Transiently empty qualifying sub-population for a started AVG:
+        // hold the previous result, still reschedule (engine semantics).
+        let trivial = q.query.predicate.is_trivial();
+        if tally.moments.count() == 0
+            && !trivial
+            && matches!(q.query.op, AggregateOp::Avg)
+            && q.started
+        {
+            q.scheduler.observe(ctx.tick as f64, q.current_estimate);
+            let delay = q.scheduler.next_delay(q.query.precision.delta)?;
+            state.planner.set_deadline(id, ctx.tick + delay);
+            q.totals.messages += messages;
+            q.totals.samples += drawn;
+            q.totals.snapshots += 1;
+            finalized.insert(
+                id,
+                MuxQueryOutcome {
+                    query: id,
+                    outcome: TickOutcome {
+                        estimate: q.current_estimate,
+                        updated: false,
+                        snapshot_executed: true,
+                        samples_this_tick: drawn,
+                        fresh_samples_this_tick: drawn,
+                        messages_this_tick: messages,
+                    },
+                    trace: q.trace,
+                    round: Some(round_trace),
+                },
+            );
+            continue;
+        }
+
+        let selectivity = if trivial {
+            1.0
+        } else {
+            q.update_selectivity(tally.qualifying as f64, tally.drawn as f64)
+        };
+        let scaled = q.scale(tally.moments.mean(), selectivity, state.size_estimate);
+        q.current_estimate = scaled;
+        q.started = true;
+        if tally.moments.count() >= 2 {
+            let s = tally.moments.sample_std();
+            q.sigma_ema = Some(match q.sigma_ema {
+                Some(old) => old + 0.5 * (s - old),
+                None => s,
+            });
+        }
+        let updated =
+            q.last_reported.is_nan() || (scaled - q.last_reported).abs() >= q.query.precision.delta;
+        if updated {
+            q.last_reported = scaled;
+        }
+        q.scheduler.observe(ctx.tick as f64, scaled);
+        let delay = {
+            let _span = digest_telemetry::span(Stage::SchedulerDecide);
+            q.scheduler.next_delay(q.query.precision.delta)?
+        };
+        state.planner.set_deadline(id, ctx.tick + delay);
+        q.totals.messages += messages;
+        q.totals.samples += drawn;
+        q.totals.snapshots += 1;
+
+        if digest_telemetry::events_enabled() {
+            digest_telemetry::emit(
+                "engine.snapshot",
+                &[
+                    ("system", Field::Str("MUX")),
+                    ("estimate", Field::F64(scaled)),
+                    ("messages", Field::U64(messages)),
+                    ("samples", Field::U64(drawn)),
+                ],
+            );
+        }
+        finalized.insert(
+            id,
+            MuxQueryOutcome {
+                query: id,
+                outcome: TickOutcome {
+                    estimate: scaled,
+                    updated,
+                    snapshot_executed: true,
+                    samples_this_tick: drawn,
+                    fresh_samples_this_tick: drawn,
+                    messages_this_tick: messages,
+                },
+                trace: q.trace,
+                round: Some(round_trace),
+            },
+        );
+    }
+
+    // The round's own event, under the round's trace id.
+    digest_telemetry::set_trace(round_trace);
+    if digest_telemetry::events_enabled() {
+        digest_telemetry::emit(
+            "mux.round",
+            &[
+                ("members", Field::U64(participants.len() as u64)),
+                ("due", Field::U64(plan.due.len() as u64)),
+                ("pulled", Field::U64(plan.pulled.len() as u64)),
+                ("panel", Field::U64(drawn)),
+                ("messages", Field::U64(round_messages)),
+            ],
+        );
+    }
+    state.rounds += 1;
+    state.rounds_since_size_refresh += 1;
+    state.last_round_trace = round_trace;
+
+    let out = state
+        .queries
+        .iter()
+        .map(|(&id, q)| {
+            finalized.remove(&id).unwrap_or(MuxQueryOutcome {
+                query: id,
+                outcome: TickOutcome::idle(q.current_estimate),
+                trace: q.trace,
+                round: None,
+            })
+        })
+        .collect();
+    Ok(out)
+}
+
+impl QuerySystem for QueryMux {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn on_tick(&mut self, ctx: &TickContext<'_>, rng: &mut dyn RngCore) -> Result<TickOutcome> {
+        let outcomes = self.on_tick_mux(ctx, rng)?;
+        let mut folded = TickOutcome::idle(self.current_estimate);
+        for o in &outcomes {
+            folded.updated |= o.outcome.updated;
+            folded.snapshot_executed |= o.outcome.snapshot_executed;
+            folded.samples_this_tick += o.outcome.samples_this_tick;
+            folded.fresh_samples_this_tick += o.outcome.fresh_samples_this_tick;
+            folded.messages_this_tick += o.outcome.messages_this_tick;
+        }
+        if let Some(first) = outcomes.first() {
+            folded.estimate = first.outcome.estimate;
+        }
+        Ok(folded)
+    }
+
+    fn total_messages(&self) -> u64 {
+        self.total_messages
+    }
+
+    fn total_samples(&self) -> u64 {
+        self.total_samples
+    }
+
+    fn total_snapshots(&self) -> u64 {
+        self.total_snapshots
+    }
+
+    fn set_sampling_workers(&mut self, workers: usize) {
+        match &mut self.mode {
+            Mode::Independent(engines) => {
+                for engine in engines.values_mut() {
+                    engine.set_sampling_workers(workers);
+                }
+            }
+            Mode::Shared(state) => {
+                state.operator.set_workers(workers);
+                state.size_operator.set_workers(workers);
+            }
+        }
+    }
+
+    fn trace_id(&self) -> u64 {
+        match &self.mode {
+            Mode::Independent(engines) => engines
+                .values()
+                .next_back()
+                .map_or(0, DigestEngine::trace_id),
+            Mode::Shared(state) => state.last_round_trace,
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)]
+mod tests {
+    use super::*;
+    use crate::query::Precision;
+    use digest_db::{Expr, P2PDatabase, Predicate, Schema, Tuple};
+    use digest_net::{topology, Graph, NodeId};
+    use rand::Rng;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn world(seed: u64) -> (Graph, P2PDatabase) {
+        let graph = topology::complete(8).unwrap();
+        let mut db = P2PDatabase::new(Schema::single("a"));
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for v in 0..8 {
+            db.register_node(NodeId(v));
+            for _ in 0..25 {
+                let value = 50.0 + rng.gen_range(-8.0..8.0);
+                db.insert(NodeId(v), Tuple::single(value)).unwrap();
+            }
+        }
+        (graph, db)
+    }
+
+    fn avg_query(delta: f64, eps: f64, p: f64) -> ContinuousQuery {
+        ContinuousQuery::avg(
+            Expr::first_attr(&Schema::single("a")),
+            Precision::new(delta, eps, p).unwrap(),
+        )
+    }
+
+    #[test]
+    fn panel_keys_coincide_for_all_tuple_queries() {
+        let a = PanelKey::for_query(&avg_query(2.0, 1.0, 0.95));
+        let q = ContinuousQuery::new(
+            AggregateOp::Sum,
+            Expr::first_attr(&Schema::single("a")),
+            Precision::new(10.0, 5.0, 0.9).unwrap(),
+        );
+        let b = PanelKey::for_query(&q);
+        assert!(a.shares_panel(&b));
+        assert!(b.shares_panel(&a));
+        assert!(a.shares_panel(&a));
+        assert!(!a.shares_panel(&PanelKey::size_estimation()));
+    }
+
+    #[test]
+    fn planner_fires_due_members_and_pulls_within_horizon() {
+        let mut p = RoundPlanner::new(2);
+        p.register(0);
+        p.register(1);
+        p.register(2);
+        // Fresh queries are immediately due.
+        let plan = p.plan(5);
+        assert_eq!(plan.due, vec![0, 1, 2]);
+        p.set_deadline(0, 7);
+        p.set_deadline(1, 9);
+        p.set_deadline(2, 20);
+        let plan = p.plan(6);
+        assert!(plan.is_empty());
+        let plan = p.plan(7);
+        assert_eq!(plan.due, vec![0]);
+        assert_eq!(plan.pulled, vec![1], "deadline 9 within 7+2");
+        assert_eq!(plan.members(), vec![0, 1]);
+    }
+
+    #[test]
+    fn planner_never_pulls_without_a_due_member() {
+        let mut p = RoundPlanner::new(10);
+        p.register(0);
+        p.set_deadline(0, 8);
+        let plan = p.plan(5);
+        assert!(plan.is_empty());
+        assert!(plan.pulled.is_empty());
+    }
+
+    #[test]
+    fn median_rejected_in_shared_mode() {
+        let mut mux = QueryMux::new(MuxConfig::default()).unwrap();
+        let q = ContinuousQuery::new(
+            AggregateOp::Median,
+            Expr::first_attr(&Schema::single("a")),
+            Precision::new(2.0, 1.0, 0.95).unwrap(),
+        );
+        assert!(mux.register(q).is_err());
+    }
+
+    #[test]
+    fn shared_round_serves_every_member_one_panel() {
+        let (graph, db) = world(1);
+        let mut mux = QueryMux::new(MuxConfig::default()).unwrap();
+        let a = mux.register(avg_query(2.0, 2.0, 0.95)).unwrap();
+        let b = mux.register(avg_query(4.0, 3.0, 0.9)).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let ctx = TickContext {
+            tick: 0,
+            graph: &graph,
+            db: &db,
+            origin: NodeId(0),
+        };
+        let out = mux.on_tick_mux(&ctx, &mut rng).unwrap();
+        assert_eq!(out.len(), 2);
+        let truth = db.exact_avg(&Expr::first_attr(db.schema())).unwrap();
+        for o in &out {
+            assert!(o.outcome.snapshot_executed);
+            assert!(o.round.is_some());
+            assert!(o.trace > 0);
+            assert!(
+                (o.outcome.estimate - truth).abs() < 3.0,
+                "estimate {} vs truth {truth}",
+                o.outcome.estimate
+            );
+        }
+        // Same shared panel → same sample count; round trace shared.
+        assert_eq!(
+            out[0].outcome.samples_this_tick,
+            out[1].outcome.samples_this_tick
+        );
+        assert_eq!(out[0].round, out[1].round);
+        assert_ne!(out[0].trace, out[1].trace, "per-member occasion traces");
+        // Message split conserves the round total.
+        let total = mux.query_totals(a).unwrap().messages + mux.query_totals(b).unwrap().messages;
+        assert_eq!(total, mux.total_messages());
+        assert_eq!(mux.rounds(), 1);
+    }
+
+    #[test]
+    fn shared_mode_is_cheaper_than_unshared_for_many_queries() {
+        let n = 16;
+        let run = |sharing: bool| {
+            let (graph, db) = world(3);
+            let mut mux = QueryMux::new(MuxConfig {
+                sharing,
+                ..MuxConfig::default()
+            })
+            .unwrap();
+            for i in 0..n {
+                mux.register(avg_query(2.0 + i as f64, 2.0, 0.95)).unwrap();
+            }
+            let mut rng = ChaCha8Rng::seed_from_u64(4);
+            for tick in 0..20 {
+                let ctx = TickContext {
+                    tick,
+                    graph: &graph,
+                    db: &db,
+                    origin: NodeId(0),
+                };
+                mux.on_tick_mux(&ctx, &mut rng).unwrap();
+            }
+            mux.total_messages()
+        };
+        let shared = run(true);
+        let unshared = run(false);
+        assert!(
+            shared * 2 < unshared,
+            "sharing must at least halve the cost: {shared} vs {unshared}"
+        );
+    }
+
+    #[test]
+    fn unshared_mode_matches_standalone_engines() {
+        let n = 3;
+        let queries: Vec<ContinuousQuery> = (0..n)
+            .map(|i| avg_query(2.0 + i as f64, 2.0, 0.95))
+            .collect();
+        let config = MuxConfig {
+            sharing: false,
+            ..MuxConfig::default()
+        };
+
+        let (graph, db) = world(5);
+        let mut mux = QueryMux::new(config).unwrap();
+        for q in &queries {
+            mux.register(q.clone()).unwrap();
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let mut mux_stream = Vec::new();
+        for tick in 0..15 {
+            let ctx = TickContext {
+                tick,
+                graph: &graph,
+                db: &db,
+                origin: NodeId(0),
+            };
+            for o in mux.on_tick_mux(&ctx, &mut rng).unwrap() {
+                mux_stream.push((o.query, o.outcome.estimate.to_bits()));
+            }
+        }
+
+        let (graph, db) = world(5);
+        let mut engines: Vec<DigestEngine> = queries
+            .iter()
+            .map(|q| {
+                DigestEngine::new(
+                    q.clone(),
+                    EngineConfig {
+                        scheduler: config.scheduler,
+                        estimator: config.estimator,
+                        sampling: config.sampling,
+                        rpt: config.rpt,
+                        size_refresh_interval: config.size_refresh_rounds,
+                        size_sample_target: config.size_sample_target,
+                    },
+                )
+                .unwrap()
+            })
+            .collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let mut engine_stream = Vec::new();
+        for tick in 0..15 {
+            let ctx = TickContext {
+                tick,
+                graph: &graph,
+                db: &db,
+                origin: NodeId(0),
+            };
+            for (i, e) in engines.iter_mut().enumerate() {
+                let o = e.on_tick(&ctx, &mut rng).unwrap();
+                engine_stream.push((i as u64, o.estimate.to_bits()));
+            }
+        }
+        assert_eq!(mux_stream, engine_stream);
+    }
+
+    #[test]
+    fn predicate_queries_share_the_panel() {
+        let (graph, db) = world(7);
+        let mut mux = QueryMux::new(MuxConfig::default()).unwrap();
+        let plain = mux.register(avg_query(2.0, 2.0, 0.95)).unwrap();
+        let schema = Schema::single("a");
+        let filtered = mux
+            .register(
+                avg_query(2.0, 2.0, 0.9)
+                    .with_predicate(Predicate::parse("a > 50", &schema).unwrap()),
+            )
+            .unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let mut last = BTreeMap::new();
+        for tick in 0..10 {
+            let ctx = TickContext {
+                tick,
+                graph: &graph,
+                db: &db,
+                origin: NodeId(0),
+            };
+            for o in mux.on_tick_mux(&ctx, &mut rng).unwrap() {
+                last.insert(o.query, o.outcome.estimate);
+            }
+        }
+        assert!(mux.rounds() >= 1);
+        let expr = Expr::first_attr(db.schema());
+        let plain_truth = db.exact_avg(&expr).unwrap();
+        let filtered_truth = db
+            .exact_avg_where(&expr, &Predicate::parse("a > 50", &schema).unwrap())
+            .unwrap();
+        assert!((last[&plain] - plain_truth).abs() < 4.0);
+        assert!(
+            (last[&filtered] - filtered_truth).abs() < 4.0,
+            "filtered {} vs {filtered_truth}",
+            last[&filtered]
+        );
+    }
+
+    #[test]
+    fn deregister_removes_member_from_rounds() {
+        let (graph, db) = world(9);
+        let mut mux = QueryMux::new(MuxConfig::default()).unwrap();
+        let a = mux.register(avg_query(2.0, 2.0, 0.95)).unwrap();
+        let b = mux.register(avg_query(3.0, 2.0, 0.95)).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let ctx = TickContext {
+            tick: 0,
+            graph: &graph,
+            db: &db,
+            origin: NodeId(0),
+        };
+        assert_eq!(mux.on_tick_mux(&ctx, &mut rng).unwrap().len(), 2);
+        mux.deregister(a);
+        let ctx = TickContext {
+            tick: 1,
+            graph: &graph,
+            db: &db,
+            origin: NodeId(0),
+        };
+        let out = mux.on_tick_mux(&ctx, &mut rng).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].query, b);
+        assert_eq!(mux.len(), 1);
+    }
+
+    #[test]
+    fn sum_and_count_share_one_size_estimate() {
+        let (graph, db) = world(11);
+        let schema = Schema::single("a");
+        let mut mux = QueryMux::new(MuxConfig {
+            size_sample_target: 2000,
+            ..MuxConfig::default()
+        })
+        .unwrap();
+        mux.register(ContinuousQuery::new(
+            AggregateOp::Sum,
+            Expr::first_attr(&schema),
+            Precision::new(800.0, 400.0, 0.9).unwrap(),
+        ))
+        .unwrap();
+        mux.register(ContinuousQuery::new(
+            AggregateOp::Count,
+            Expr::first_attr(&schema),
+            Precision::new(60.0, 40.0, 0.9).unwrap(),
+        ))
+        .unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        let ctx = TickContext {
+            tick: 0,
+            graph: &graph,
+            db: &db,
+            origin: NodeId(0),
+        };
+        let out = mux.on_tick_mux(&ctx, &mut rng).unwrap();
+        let sum_truth = db.exact_sum(&Expr::first_attr(db.schema())).unwrap();
+        let count_truth = db.exact_count() as f64;
+        assert!(
+            (out[0].outcome.estimate - sum_truth).abs() / sum_truth < 0.5,
+            "SUM {} vs {sum_truth}",
+            out[0].outcome.estimate
+        );
+        assert!(
+            (out[1].outcome.estimate - count_truth).abs() / count_truth < 0.5,
+            "COUNT {} vs {count_truth}",
+            out[1].outcome.estimate
+        );
+    }
+
+    #[test]
+    fn idle_ticks_cost_nothing_in_shared_mode() {
+        let (graph, db) = world(13);
+        let mut mux = QueryMux::new(MuxConfig {
+            coalesce_horizon: 0,
+            ..MuxConfig::default()
+        })
+        .unwrap();
+        mux.register(avg_query(16.0, 4.0, 0.9)).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(14);
+        let mut idle_seen = false;
+        for tick in 0..25 {
+            let ctx = TickContext {
+                tick,
+                graph: &graph,
+                db: &db,
+                origin: NodeId(0),
+            };
+            let out = mux.on_tick_mux(&ctx, &mut rng).unwrap();
+            if !out[0].outcome.snapshot_executed {
+                idle_seen = true;
+                assert_eq!(out[0].outcome.messages_this_tick, 0);
+            }
+        }
+        assert!(idle_seen, "a steady signal must produce idle ticks");
+    }
+}

@@ -131,6 +131,42 @@ impl TickObserver for NoopObserver {
     fn observe(&mut self, _ctx: &TickContext<'_>, _outcome: &TickOutcome, _exact: f64) {}
 }
 
+/// Per-query tick observation for multiplexed runs: like
+/// [`TickObserver`], but called once per *member query* with the member's
+/// own outcome, exact value, and — when the occasion was served from a
+/// coalesced sampling round — the round's trace id, so auditors can
+/// account each `(δ, ε, p)` contract separately while still attributing
+/// shared costs to the round that paid them. The same passivity contract
+/// applies: no shared-state mutation, no randomness.
+pub trait MuxObserver {
+    /// Called once per member query per tick, after the mux's tick, with
+    /// the exact aggregate for *that member's* query.
+    fn observe_query(
+        &mut self,
+        query: u64,
+        ctx: &TickContext<'_>,
+        outcome: &TickOutcome,
+        exact: f64,
+        round: Option<u64>,
+    );
+}
+
+/// The do-nothing multiplexed observer (plain, unaudited mux runs).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopMuxObserver;
+
+impl MuxObserver for NoopMuxObserver {
+    fn observe_query(
+        &mut self,
+        _query: u64,
+        _ctx: &TickContext<'_>,
+        _outcome: &TickOutcome,
+        _exact: f64,
+        _round: Option<u64>,
+    ) {
+    }
+}
+
 #[cfg(test)]
 #[allow(
     clippy::unwrap_used,

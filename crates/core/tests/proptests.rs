@@ -8,7 +8,7 @@
     clippy::cast_possible_truncation
 )]
 
-use digest_core::{AggregateOp, ContinuousQuery, Precision};
+use digest_core::{AggregateOp, ContinuousQuery, PanelKey, Precision, RoundPlanner};
 use digest_core::{AllScheduler, PredScheduler, SnapshotScheduler};
 use digest_db::{Expr, Predicate, Schema};
 use proptest::prelude::*;
@@ -85,5 +85,98 @@ proptest! {
             let t = digest_db::Tuple::new(vec![a, 0.0]);
             prop_assert_eq!(reparsed.eval(&t).unwrap(), q.predicate.eval(&t).unwrap());
         }
+    }
+
+    /// A coalesced round never serves a member *later* than its own
+    /// PRED-k deadline: for every tick and every registered query, if the
+    /// deadline is `≤ tick` the query appears in `due`; and nothing is
+    /// pulled past the horizon.
+    #[test]
+    fn planner_never_serves_a_member_late(
+        horizon in 0u64..6,
+        // 0..40 = a concrete deadline; ≥ 40 = never scheduled (the
+        // vendored proptest has no Option strategy).
+        deadlines in proptest::collection::vec(
+            (0u64..48).prop_map(|v| if v >= 40 { None } else { Some(v) }),
+            1..12,
+        ),
+        tick in 0u64..45,
+    ) {
+        let mut planner = RoundPlanner::new(horizon);
+        for (id, deadline) in deadlines.iter().enumerate() {
+            let id = id as u64;
+            planner.register(id);
+            if let Some(d) = deadline {
+                planner.set_deadline(id, *d);
+            }
+        }
+        let plan = planner.plan(tick);
+        for (id, deadline) in deadlines.iter().enumerate() {
+            let id = id as u64;
+            let overdue = deadline.is_none_or(|d| d <= tick);
+            prop_assert_eq!(
+                plan.due.contains(&id),
+                overdue,
+                "query {} with deadline {:?} at tick {}: due must equal overdue",
+                id, deadline, tick
+            );
+        }
+        for &id in &plan.pulled {
+            let d = deadlines[id as usize].unwrap();
+            prop_assert!(
+                d > tick && d <= tick + horizon,
+                "pulled query {id} has deadline {d} outside ({tick}, {}]",
+                tick + horizon
+            );
+        }
+        // Pulling without a due member would waste an occasion.
+        if plan.due.is_empty() {
+            prop_assert!(plan.pulled.is_empty());
+        }
+        // Members are each listed exactly once, ascending.
+        let members = plan.members();
+        let mut deduped = members.clone();
+        deduped.dedup();
+        prop_assert_eq!(&members, &deduped);
+    }
+
+    /// Panel-sharing keys form an equivalence relation over queries:
+    /// reflexive and symmetric for arbitrary (op, predicate, precision)
+    /// combinations, and never compatible with size-estimation panels.
+    #[test]
+    fn panel_keys_are_reflexive_and_symmetric(
+        op_a in 0usize..3,
+        op_b in 0usize..3,
+        // Thresholds above 50 mean "no predicate".
+        pred_a in (-50.0f64..70.0).prop_map(|v| (v <= 50.0).then_some(v)),
+        pred_b in (-50.0f64..70.0).prop_map(|v| (v <= 50.0).then_some(v)),
+        delta in 0.1f64..10.0,
+    ) {
+        let schema = Schema::new(["a", "b"]);
+        let ops = [AggregateOp::Avg, AggregateOp::Sum, AggregateOp::Count];
+        let build = |op: usize, pred: Option<f64>| {
+            let mut q = ContinuousQuery::new(
+                ops[op],
+                Expr::parse("a + b", &schema).unwrap(),
+                Precision::new(delta, 1.0, 0.9).unwrap(),
+            );
+            if let Some(threshold) = pred {
+                q = q.with_predicate(
+                    Predicate::parse(&format!("a > {threshold}"), &schema).unwrap(),
+                );
+            }
+            q
+        };
+        let qa = build(op_a, pred_a);
+        let qb = build(op_b, pred_b);
+        let ka = PanelKey::for_query(&qa);
+        let kb = PanelKey::for_query(&qb);
+        prop_assert!(ka.shares_panel(&ka), "reflexive");
+        prop_assert_eq!(ka.shares_panel(&kb), kb.shares_panel(&ka), "symmetric");
+        // All tuple-expression aggregates share the uniform-over-tuples
+        // panel (§V), while size-estimation panels never mix in.
+        prop_assert!(ka.shares_panel(&kb));
+        prop_assert!(!ka.shares_panel(&PanelKey::size_estimation()));
+        prop_assert!(!PanelKey::size_estimation().shares_panel(&kb));
     }
 }

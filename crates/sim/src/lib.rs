@@ -24,5 +24,5 @@ mod sync;
 pub mod trace;
 
 pub use parallel::{run_replications, summarize, MetricSummary};
-pub use runner::{run, run_observed, RunConfig};
+pub use runner::{run, run_mux, run_observed, RunConfig};
 pub use trace::{RunReport, TraceRecord};

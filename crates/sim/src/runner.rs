@@ -1,11 +1,14 @@
 //! Driving one query system over one workload.
 
 use crate::trace::{RunReport, TraceRecord};
-use digest_core::{CoreError, NoopObserver, QuerySystem, Result, TickContext, TickObserver};
+use digest_core::{
+    CoreError, MuxObserver, NoopObserver, QueryMux, QuerySystem, Result, TickContext, TickObserver,
+};
 use digest_net::NodeId;
 use digest_telemetry::{registry as telemetry, Field, Stage};
 use digest_workload::Workload;
 use rand::RngCore;
+use std::collections::BTreeMap;
 
 /// Run parameters.
 #[derive(Debug, Clone, Copy)]
@@ -181,6 +184,132 @@ pub fn run_observed<W: Workload, S: QuerySystem + ?Sized>(
         delta,
         epsilon,
     })
+}
+
+/// Runs a [`QueryMux`] against `workload`, recording one per-tick trace
+/// *per member query* (ascending query id). Mirrors [`run_observed`], but
+/// each member gets its own oracle truth (its query's exact aggregate),
+/// its own `tick` event (disambiguated by a `query` field), and its own
+/// observer callback — with the coalesced round's trace id attached when
+/// the member's occasion was served from a shared sampling round.
+///
+/// The member set must stay fixed for the duration of the run (register
+/// before calling; dynamic arrival/departure workloads drive the mux
+/// directly).
+///
+/// # Errors
+///
+/// As for [`run`]; additionally [`CoreError::EmptyWorkload`] if the mux
+/// has no registered queries.
+pub fn run_mux<W: Workload>(
+    workload: &mut W,
+    mux: &mut QueryMux,
+    config: RunConfig,
+    rng: &mut dyn RngCore,
+    observer: &mut dyn MuxObserver,
+) -> Result<Vec<RunReport>> {
+    if mux.is_empty() {
+        return Err(CoreError::EmptyWorkload);
+    }
+    if let Some(workers) = config.sampling_workers {
+        mux.set_sampling_workers(workers);
+    }
+
+    let mut origin = workload
+        .graph()
+        .nodes()
+        .next()
+        .ok_or(CoreError::EmptyWorkload)?;
+
+    let horizon = if config.respect_duration {
+        config.ticks.min(workload.duration())
+    } else {
+        config.ticks
+    };
+
+    let ids = mux.query_ids();
+    let mut records: BTreeMap<u64, Vec<TraceRecord>> = ids
+        .iter()
+        .map(|&id| {
+            (
+                id,
+                Vec::with_capacity(usize::try_from(horizon).unwrap_or(0)),
+            )
+        })
+        .collect();
+
+    for tick in 0..horizon {
+        digest_telemetry::set_tick(tick);
+        telemetry::SIM_TICKS.inc();
+        {
+            let _span = digest_telemetry::span(Stage::WorkloadAdvance);
+            workload.advance(rng);
+        }
+        if !workload.graph().contains(origin) {
+            origin = elect_origin(workload, rng)?;
+        }
+
+        let ctx = TickContext {
+            tick,
+            graph: workload.graph(),
+            db: workload.db(),
+            origin,
+        };
+        let outcomes = mux.on_tick_mux(&ctx, rng)?;
+        for o in &outcomes {
+            // Each member's ground truth is its own query's oracle.
+            let exact = mux
+                .query(o.query)
+                .and_then(|q| q.oracle(ctx.db))
+                .unwrap_or_else(|| workload.exact_aggregate());
+            // Attribute the member's tick/audit events to the occasion
+            // that produced its current estimate.
+            digest_telemetry::set_trace(o.trace);
+            observer.observe_query(o.query, &ctx, &o.outcome, exact, o.round);
+            if digest_telemetry::events_enabled() {
+                digest_telemetry::emit(
+                    "tick",
+                    &[
+                        ("estimate", Field::F64(o.outcome.estimate)),
+                        ("exact", Field::F64(exact)),
+                        ("snapshot", Field::Bool(o.outcome.snapshot_executed)),
+                        ("samples", Field::U64(o.outcome.samples_this_tick)),
+                        ("fresh", Field::U64(o.outcome.fresh_samples_this_tick)),
+                        ("messages", Field::U64(o.outcome.messages_this_tick)),
+                        ("updated", Field::U64(u64::from(o.outcome.updated))),
+                        ("query", Field::U64(o.query)),
+                    ],
+                );
+            }
+            if let Some(trace) = records.get_mut(&o.query) {
+                trace.push(TraceRecord {
+                    tick,
+                    exact,
+                    estimate: o.outcome.estimate,
+                    updated: o.outcome.updated,
+                    snapshot: o.outcome.snapshot_executed,
+                    samples: o.outcome.samples_this_tick,
+                    fresh_samples: o.outcome.fresh_samples_this_tick,
+                    messages: o.outcome.messages_this_tick,
+                });
+            }
+        }
+    }
+
+    let workload_name = workload.name().to_owned();
+    Ok(ids
+        .iter()
+        .filter_map(|&id| {
+            let query = mux.query(id)?;
+            Some(RunReport {
+                system: format!("{}[q{id}]", mux.name()),
+                workload: workload_name.clone(),
+                records: records.remove(&id).unwrap_or_default(),
+                delta: query.precision.delta,
+                epsilon: query.precision.epsilon,
+            })
+        })
+        .collect())
 }
 
 fn elect_origin<W: Workload>(workload: &W, rng: &mut dyn RngCore) -> Result<NodeId> {

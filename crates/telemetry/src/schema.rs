@@ -189,7 +189,9 @@ pub const EVENT_SCHEMAS: &[EventSchema] = &[
     // One audited reporting occasion: the ground-truth oracle's exact
     // aggregate next to the reported estimate, with the ε-violation
     // verdict, staleness since the previous occasion, panel size, and
-    // message spend. `query` disambiguates multi-query runs.
+    // message spend. `query` disambiguates multi-query runs; `round` is
+    // the trace id of the coalesced multi-query sampling round that
+    // served this occasion (mux runs only).
     EventSchema {
         kind: "audit.occasion",
         fields: &[
@@ -201,6 +203,23 @@ pub const EVENT_SCHEMAS: &[EventSchema] = &[
             req("panel", U64),
             req("messages", U64),
             opt("query", U64),
+            opt("round", U64),
+        ],
+    },
+    // One coalesced multi-query sampling round executed by the query
+    // multiplexer: how many member queries consumed the shared panel, how
+    // many were at their deadline vs pulled forward within the coalescing
+    // horizon, the panel size drawn, and the round's total message spend.
+    // The event's `trace` envelope is the round id that member
+    // `audit.occasion` events reference via their `round` field.
+    EventSchema {
+        kind: "mux.round",
+        fields: &[
+            req("members", U64),
+            req("due", U64),
+            req("pulled", U64),
+            req("panel", U64),
+            req("messages", U64),
         ],
     },
 ];
@@ -360,6 +379,58 @@ mod tests {
             ],
         );
         assert_eq!(validate_line(&line), Ok(()));
+    }
+
+    #[test]
+    fn mux_round_kind_validates() {
+        let line = render_json_line(
+            "mux.round",
+            17,
+            &[
+                ("members", Field::U64(5)),
+                ("due", Field::U64(2)),
+                ("pulled", Field::U64(1)),
+                ("panel", Field::U64(256)),
+                ("messages", Field::U64(9000)),
+            ],
+        );
+        assert_eq!(validate_line(&line), Ok(()));
+        // A member occasion referencing its round validates too.
+        let line = render_json_line(
+            "audit.occasion",
+            17,
+            &[
+                ("estimate", Field::F64(50.2)),
+                ("exact", Field::F64(50.0)),
+                ("error", Field::F64(0.2)),
+                ("violation", Field::Bool(false)),
+                ("staleness", Field::U64(3)),
+                ("panel", Field::U64(256)),
+                ("messages", Field::U64(1800)),
+                ("query", Field::U64(3)),
+                ("round", Field::U64(41)),
+            ],
+        );
+        assert_eq!(validate_line(&line), Ok(()));
+    }
+
+    #[test]
+    fn rejects_malformed_mux_round_events() {
+        // Missing required field (`panel`).
+        assert!(validate_line(
+            r#"{"due":1,"kind":"mux.round","members":3,"messages":10,"pulled":0,"tick":0}"#
+        )
+        .is_err());
+        // Type mismatch (`members` must be u64).
+        assert!(validate_line(
+            r#"{"due":1,"kind":"mux.round","members":"x","messages":10,"panel":8,"pulled":0,"tick":0}"#
+        )
+        .is_err());
+        // `round` on audit.occasion must be u64.
+        assert!(validate_line(
+            r#"{"error":0.1,"estimate":1.0,"exact":0.9,"kind":"audit.occasion","messages":1,"panel":2,"round":-3,"staleness":0,"tick":0,"violation":false}"#
+        )
+        .is_err());
     }
 
     #[test]

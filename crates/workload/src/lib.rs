@@ -27,8 +27,12 @@ pub mod calibrate;
 pub mod memory;
 pub mod scenario;
 pub mod temperature;
+pub mod traffic;
 
 pub use calibrate::{measure_table2, Table2Stats};
 pub use memory::{MemoryConfig, MemoryWorkload};
 pub use scenario::Workload;
 pub use temperature::{TemperatureConfig, TemperatureWorkload};
+pub use traffic::{
+    PrecisionTier, PredicateClass, QuerySpec, TrafficConfig, TrafficEvent, TrafficGenerator,
+};

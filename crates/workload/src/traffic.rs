@@ -1,0 +1,390 @@
+//! Heavy-traffic multi-query arrival process.
+//!
+//! The paper evaluates one continuous query at a time; the serving-engine
+//! experiments need the regime its cost metric actually targets — many
+//! concurrent `(δ, ε, p)` contracts arriving and departing over a shared
+//! overlay. This module generates that traffic as *query specs*, not
+//! engine objects: Poisson arrivals (Knuth's product-of-uniforms method
+//! driven by the caller's RNG), geometric lifetimes, a skewed precision
+//! mix (most queries loose, a demanding few tight — the mix that makes
+//! round coalescing interesting, since the tightest member sizes the
+//! shared panel), and predicate overlap classes. Consumers (bench, CLI,
+//! tests) materialise concrete `ContinuousQuery` objects from the specs,
+//! keeping this crate free of a dependency on the engine layer.
+
+use rand::RngCore;
+use std::collections::BTreeMap;
+
+/// 2⁻⁵³ — turns a 53-bit integer into a uniform f64 in `[0, 1)`.
+const UNIT: f64 = 1.0 / (1u64 << 53) as f64;
+
+fn uniform(rng: &mut dyn RngCore) -> f64 {
+    (rng.next_u64() >> 11) as f64 * UNIT
+}
+
+/// Draws a Poisson variate with mean `lambda` (Knuth's method; fine for
+/// the small per-tick arrival rates traffic generation uses).
+fn poisson(lambda: f64, rng: &mut dyn RngCore) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    let threshold = (-lambda).exp();
+    let mut count = 0u64;
+    let mut product = 1.0;
+    loop {
+        product *= uniform(rng);
+        if product <= threshold || count >= 1_000 {
+            return count;
+        }
+        count += 1;
+    }
+}
+
+/// Precision tier of an arriving query: the skewed δ/ε mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PrecisionTier {
+    /// Loose contract: 2× the base δ/ε at p = 0.90 (the bulk of traffic).
+    Loose,
+    /// The base contract at p = 0.95.
+    Medium,
+    /// Tight contract: half the base δ/ε at p = 0.99 (the demanding few
+    /// that end up sizing shared panels).
+    Tight,
+}
+
+/// Predicate overlap class of an arriving query. Classes describe *which*
+/// selection the consumer should attach, so queries in the same class
+/// overlap (can reuse each other's qualifying samples) while classes
+/// differ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PredicateClass {
+    /// No `WHERE` clause (selectivity 1).
+    Unfiltered,
+    /// A wide selection: values above the population mean (~half qualify).
+    AboveMean,
+    /// A narrow selection: values in the upper tail (~1/6 qualify).
+    UpperTail,
+}
+
+/// One arriving query's contract, in units of the base precision.
+#[derive(Debug, Clone, Copy)]
+pub struct QuerySpec {
+    /// Stable serial of this query within the run (departures refer to
+    /// it).
+    pub serial: u64,
+    /// Resolution threshold δ.
+    pub delta: f64,
+    /// CI half-width ε.
+    pub epsilon: f64,
+    /// Confidence level p.
+    pub confidence: f64,
+    /// Which precision tier produced the contract.
+    pub tier: PrecisionTier,
+    /// Which predicate the consumer should attach.
+    pub predicate: PredicateClass,
+}
+
+/// One traffic event at a tick boundary.
+#[derive(Debug, Clone, Copy)]
+pub enum TrafficEvent {
+    /// A new query arrives with the given contract.
+    Arrive(QuerySpec),
+    /// The query with this serial departs.
+    Depart(u64),
+}
+
+/// Configuration of the heavy-traffic generator.
+#[derive(Debug, Clone, Copy)]
+pub struct TrafficConfig {
+    /// Mean query arrivals per tick (Poisson).
+    pub arrival_rate: f64,
+    /// Mean query lifetime in ticks (geometric departures; each active
+    /// query departs with probability `1 / mean_lifetime` per tick).
+    pub mean_lifetime: f64,
+    /// Hard cap on concurrently active queries (arrivals beyond it are
+    /// dropped, which models an admission-controlled serving engine).
+    pub max_concurrent: usize,
+    /// Base resolution δ the tiers scale.
+    pub base_delta: f64,
+    /// Base half-width ε the tiers scale.
+    pub base_epsilon: f64,
+    /// Fraction of arrivals carrying a predicate (split evenly between
+    /// the two filtered classes).
+    pub predicate_fraction: f64,
+}
+
+impl Default for TrafficConfig {
+    fn default() -> Self {
+        Self {
+            arrival_rate: 0.5,
+            mean_lifetime: 200.0,
+            max_concurrent: 64,
+            base_delta: 2.0,
+            base_epsilon: 2.0,
+            predicate_fraction: 0.25,
+        }
+    }
+}
+
+/// The heavy-traffic query arrival/departure process. Deterministic given
+/// the caller's RNG stream: active queries are tracked in serial order,
+/// so the same seed always yields the same event sequence.
+#[derive(Debug)]
+pub struct TrafficGenerator {
+    config: TrafficConfig,
+    next_serial: u64,
+    /// Active serials → remaining-lifetime state (unit: the spec itself,
+    /// kept so consumers can re-query what is live).
+    active: BTreeMap<u64, QuerySpec>,
+}
+
+impl TrafficGenerator {
+    /// Builds a generator; queries start arriving on the first
+    /// [`TrafficGenerator::advance`] call.
+    #[must_use]
+    pub fn new(config: TrafficConfig) -> Self {
+        Self {
+            config,
+            next_serial: 0,
+            active: BTreeMap::new(),
+        }
+    }
+
+    /// Number of currently active queries.
+    #[must_use]
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// The specs of all active queries, ascending by serial.
+    #[must_use]
+    pub fn active(&self) -> Vec<QuerySpec> {
+        self.active.values().copied().collect()
+    }
+
+    /// Draws the tier for one arrival: 60 % loose, 30 % medium, 10 %
+    /// tight — the skew that makes the tight tail dominate shared panel
+    /// sizing.
+    fn draw_tier(rng: &mut dyn RngCore) -> PrecisionTier {
+        let u = uniform(rng);
+        if u < 0.6 {
+            PrecisionTier::Loose
+        } else if u < 0.9 {
+            PrecisionTier::Medium
+        } else {
+            PrecisionTier::Tight
+        }
+    }
+
+    fn draw_predicate(&self, rng: &mut dyn RngCore) -> PredicateClass {
+        let u = uniform(rng);
+        if u >= self.config.predicate_fraction {
+            PredicateClass::Unfiltered
+        } else if u < self.config.predicate_fraction / 2.0 {
+            PredicateClass::AboveMean
+        } else {
+            PredicateClass::UpperTail
+        }
+    }
+
+    fn spec_for_tier(
+        &self,
+        serial: u64,
+        tier: PrecisionTier,
+        predicate: PredicateClass,
+    ) -> QuerySpec {
+        let (scale, confidence) = match tier {
+            PrecisionTier::Loose => (2.0, 0.90),
+            PrecisionTier::Medium => (1.0, 0.95),
+            PrecisionTier::Tight => (0.5, 0.99),
+        };
+        QuerySpec {
+            serial,
+            delta: self.config.base_delta * scale,
+            epsilon: self.config.base_epsilon * scale,
+            confidence,
+            tier,
+            predicate,
+        }
+    }
+
+    /// Advances the process one tick: departures first (each active query
+    /// departs with probability `1/mean_lifetime`, drawn in serial order),
+    /// then Poisson-many arrivals, capped at `max_concurrent`. Events are
+    /// returned in the order they were drawn, so replaying the same RNG
+    /// stream replays the same traffic.
+    pub fn advance(&mut self, rng: &mut dyn RngCore) -> Vec<TrafficEvent> {
+        let mut events = Vec::new();
+        let depart_prob = if self.config.mean_lifetime > 0.0 {
+            (1.0 / self.config.mean_lifetime).min(1.0)
+        } else {
+            1.0
+        };
+        let departing: Vec<u64> = self
+            .active
+            .keys()
+            .copied()
+            .filter(|_| uniform(rng) < depart_prob)
+            .collect();
+        for serial in departing {
+            self.active.remove(&serial);
+            events.push(TrafficEvent::Depart(serial));
+        }
+        let arrivals = poisson(self.config.arrival_rate, rng);
+        for _ in 0..arrivals {
+            // Draw the spec's randomness even when over the cap so the
+            // RNG stream (and thus every later event) is independent of
+            // admission decisions.
+            let tier = Self::draw_tier(rng);
+            let predicate = self.draw_predicate(rng);
+            if self.active.len() >= self.config.max_concurrent {
+                continue;
+            }
+            let serial = self.next_serial;
+            self.next_serial += 1;
+            let spec = self.spec_for_tier(serial, tier, predicate);
+            self.active.insert(serial, spec);
+            events.push(TrafficEvent::Arrive(spec));
+        }
+        events
+    }
+}
+
+#[cfg(test)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn run(seed: u64, ticks: u64, config: TrafficConfig) -> (Vec<String>, TrafficGenerator) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut gen = TrafficGenerator::new(config);
+        let mut log = Vec::new();
+        for _ in 0..ticks {
+            for e in gen.advance(&mut rng) {
+                log.push(format!("{e:?}"));
+            }
+        }
+        (log, gen)
+    }
+
+    #[test]
+    fn arrival_rate_is_respected_on_average() {
+        let config = TrafficConfig {
+            arrival_rate: 0.5,
+            mean_lifetime: f64::INFINITY,
+            max_concurrent: usize::MAX,
+            ..TrafficConfig::default()
+        };
+        let (log, gen) = run(1, 2_000, config);
+        let arrivals = log.iter().filter(|l| l.starts_with("Arrive")).count();
+        assert_eq!(arrivals, gen.active_count(), "nobody departs");
+        // Poisson(0.5) over 2000 ticks: mean 1000, σ ≈ 32.
+        assert!((800..1200).contains(&arrivals), "arrivals {arrivals}");
+    }
+
+    #[test]
+    fn departures_thin_the_active_set() {
+        let config = TrafficConfig {
+            arrival_rate: 1.0,
+            mean_lifetime: 10.0,
+            max_concurrent: usize::MAX,
+            ..TrafficConfig::default()
+        };
+        let (log, gen) = run(2, 2_000, config);
+        let departures = log.iter().filter(|l| l.starts_with("Depart")).count();
+        assert!(departures > 0);
+        // Steady state of an M/M/∞-like queue: ≈ rate × lifetime = 10.
+        assert!(
+            gen.active_count() < 40,
+            "active {} should hover near 10",
+            gen.active_count()
+        );
+    }
+
+    #[test]
+    fn max_concurrent_caps_admission() {
+        let config = TrafficConfig {
+            arrival_rate: 2.0,
+            mean_lifetime: f64::INFINITY,
+            max_concurrent: 5,
+            ..TrafficConfig::default()
+        };
+        let (_, gen) = run(3, 500, config);
+        assert_eq!(gen.active_count(), 5);
+    }
+
+    #[test]
+    fn same_seed_replays_the_same_traffic() {
+        let config = TrafficConfig::default();
+        let (a, _) = run(7, 500, config);
+        let (b, _) = run(7, 500, config);
+        assert_eq!(a, b);
+        let (c, _) = run(8, 500, config);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn tier_mix_is_skewed_loose_heavy() {
+        let config = TrafficConfig {
+            arrival_rate: 1.0,
+            mean_lifetime: f64::INFINITY,
+            max_concurrent: usize::MAX,
+            ..TrafficConfig::default()
+        };
+        let (_, gen) = run(4, 3_000, config);
+        let specs = gen.active();
+        let loose = specs
+            .iter()
+            .filter(|s| s.tier == PrecisionTier::Loose)
+            .count();
+        let tight = specs
+            .iter()
+            .filter(|s| s.tier == PrecisionTier::Tight)
+            .count();
+        assert!(loose > specs.len() / 2, "loose {loose}/{}", specs.len());
+        assert!(tight < specs.len() / 5, "tight {tight}/{}", specs.len());
+        // Tight contracts really are tighter.
+        let t = specs.iter().find(|s| s.tier == PrecisionTier::Tight);
+        if let Some(t) = t {
+            assert_eq!(t.epsilon, 1.0);
+            assert_eq!(t.confidence, 0.99);
+        }
+    }
+
+    #[test]
+    fn admission_drops_do_not_shift_the_stream() {
+        // Same seed, different caps: the serial assigned to any admitted
+        // arrival may differ, but departures and arrival *timing* derive
+        // from the same RNG stream — so the uncapped run's event count is
+        // always ≥ the capped run's, and both replay deterministically.
+        let base = TrafficConfig {
+            arrival_rate: 1.0,
+            mean_lifetime: 20.0,
+            ..TrafficConfig::default()
+        };
+        let (capped, _) = run(
+            9,
+            300,
+            TrafficConfig {
+                max_concurrent: 3,
+                ..base
+            },
+        );
+        let (uncapped, _) = run(
+            9,
+            300,
+            TrafficConfig {
+                max_concurrent: usize::MAX,
+                ..base
+            },
+        );
+        assert!(uncapped.len() >= capped.len());
+    }
+}

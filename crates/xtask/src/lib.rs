@@ -90,6 +90,7 @@ pub const R4_FILES: &[&str] = &[
     "crates/core/src/baselines.rs",
     "crates/core/src/quantile_est.rs",
     "crates/core/src/grouped.rs",
+    "crates/core/src/mux.rs",
     "crates/sampling/src/metropolis.rs",
     "crates/sampling/src/operator.rs",
     "crates/sampling/src/baselines.rs",

@@ -456,30 +456,15 @@ const SCHEMA_REQUIRED_KINDS: &[&str] = &[
     "tick",
 ];
 
-fn run_telemetry_schema(root: &Path) -> ExitCode {
-    let cli = match build_cli(root, "telemetry-schema") {
-        Ok(cli) => cli,
-        Err(code) => return code,
-    };
-    let (label, args) = DETERMINISM_RUNS[0];
-    println!("xtask telemetry-schema: scenario {label} (+audit, +trace)");
-    // Route the audit report and Chrome trace to scratch files purely so
-    // their event kinds ("audit.occasion", "span") appear in the JSONL
-    // stream under validation.
-    let report_path = root.join("target/xtask-schema-report.json");
-    let trace_path = root.join("target/xtask-schema-trace.json");
-    let report_str = report_path.to_string_lossy().into_owned();
-    let trace_str = trace_path.to_string_lossy().into_owned();
-    let mut full_args: Vec<&str> = vec!["--audit-json", &report_str, "--trace-out", &trace_str];
-    full_args.extend_from_slice(args);
-    let (_, events) = match capture_with_telemetry(&cli, label, &full_args, root) {
-        Ok(pair) => pair,
-        Err(e) => {
-            eprintln!("xtask telemetry-schema: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let text = String::from_utf8_lossy(&events);
+/// Event kinds the mux telemetry-schema leg must additionally cover: the
+/// shared-round envelope plus the member occasions parented to it.
+const MUX_SCHEMA_REQUIRED_KINDS: &[&str] = &["audit.occasion", "mux.round", "tick"];
+
+/// Validates one captured JSONL stream line-by-line against the event
+/// schema and checks the required kinds appear. Returns false (after
+/// printing diagnostics) on any invalid line or missing kind.
+fn validate_event_stream(events: &[u8], required: &[&str]) -> bool {
+    let text = String::from_utf8_lossy(events);
     let mut kind_counts: Vec<(String, usize)> = Vec::new();
     let mut violations = 0usize;
     let mut lines = 0usize;
@@ -511,26 +496,74 @@ fn run_telemetry_schema(root: &Path) -> ExitCode {
         println!("  {kind:<24} {count:>8} event(s)");
     }
     let mut missing = Vec::new();
-    for required in SCHEMA_REQUIRED_KINDS {
+    for required in required {
         if !kind_counts.iter().any(|(k, _)| k == required) {
             missing.push(*required);
         }
     }
     if violations > 0 {
         eprintln!("xtask telemetry-schema: FAILED — {violations} invalid line(s) out of {lines}");
-        ExitCode::FAILURE
+        false
     } else if !missing.is_empty() {
         eprintln!(
             "xtask telemetry-schema: FAILED — required event kind(s) missing: {}",
             missing.join(", ")
         );
-        ExitCode::FAILURE
+        false
     } else {
-        println!(
-            "xtask telemetry-schema: OK — {lines} line(s) schema-valid, \
-             all required kinds present"
-        );
+        println!("  {lines} line(s) schema-valid, all required kinds present");
+        true
+    }
+}
+
+fn run_telemetry_schema(root: &Path) -> ExitCode {
+    let cli = match build_cli(root, "telemetry-schema") {
+        Ok(cli) => cli,
+        Err(code) => return code,
+    };
+    let (label, args) = DETERMINISM_RUNS[0];
+    println!("xtask telemetry-schema: scenario {label} (+audit, +trace)");
+    // Route the audit report and Chrome trace to scratch files purely so
+    // their event kinds ("audit.occasion", "span") appear in the JSONL
+    // stream under validation.
+    let report_path = root.join("target/xtask-schema-report.json");
+    let trace_path = root.join("target/xtask-schema-trace.json");
+    let report_str = report_path.to_string_lossy().into_owned();
+    let trace_str = trace_path.to_string_lossy().into_owned();
+    let mut full_args: Vec<&str> = vec!["--audit-json", &report_str, "--trace-out", &trace_str];
+    full_args.extend_from_slice(args);
+    let (_, events) = match capture_with_telemetry(&cli, label, &full_args, root) {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("xtask telemetry-schema: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut ok = validate_event_stream(&events, SCHEMA_REQUIRED_KINDS);
+
+    // Mux leg: the shared-round scenario must emit schema-valid
+    // `mux.round` envelopes with member `audit.occasion` events.
+    println!("xtask telemetry-schema: scenario temperature/mux (+audit)");
+    let mux_report_path = root.join("target/xtask-schema-mux-report.json");
+    let mux_report_str = mux_report_path.to_string_lossy().into_owned();
+    let mut mux_args: Vec<&str> = vec!["--audit-json", &mux_report_str];
+    mux_args.extend_from_slice(MUX_AUDIT_ARGS);
+    match capture_with_telemetry(&cli, "mux", &mux_args, root) {
+        Ok((_, mux_events)) => {
+            ok &= validate_event_stream(&mux_events, MUX_SCHEMA_REQUIRED_KINDS);
+        }
+        Err(e) => {
+            eprintln!("xtask telemetry-schema: mux leg: {e}");
+            ok = false;
+        }
+    }
+
+    if ok {
+        println!("xtask telemetry-schema: OK — both scenarios schema-valid");
         ExitCode::SUCCESS
+    } else {
+        eprintln!("xtask telemetry-schema: FAILED");
+        ExitCode::FAILURE
     }
 }
 
@@ -590,6 +623,125 @@ fn report_number(report: &serde_json::Value, key: &str) -> Result<f64, String> {
         .get(key)
         .and_then(serde_json::Value::as_f64)
         .ok_or_else(|| format!("audit report is missing numeric field `{key}`"))
+}
+
+/// The 5-query mux scenario for `cargo xtask audit`: four generated AVG
+/// contracts (the `--queries` tier mix) plus one predicate query, all
+/// served through one shared `QueryMux` — so the gate checks every
+/// member's empirical ε-violation rate against its *own* `1 − p`
+/// binomial bound even when its occasions came from coalesced rounds.
+const MUX_AUDIT_ARGS: &[&str] = &[
+    "--world",
+    "temperature",
+    "--ticks",
+    "120",
+    "--seed",
+    "20080402",
+    "--scheduler",
+    "pred3",
+    "--estimator",
+    "rpt",
+    "--queries",
+    "4",
+    "SELECT AVG(temperature) FROM R WHERE temperature > 60 WITH delta=4, epsilon=3, p=0.9",
+];
+
+/// How a scenario's calibration drift is gated.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum DriftGate {
+    /// `max_q |coverage(q) − q|` — the standalone-engine gate, where the
+    /// CI half-width is sized exactly to the query's own contract.
+    Absolute,
+    /// `max_q max(q − coverage(q), 0)` — the shared-round gate. Members
+    /// piggybacking on rounds sized by a *tighter* member receive more
+    /// samples than their own CLT requirement, so their coverage
+    /// overshoots nominal (over-delivery, contract-safe by construction);
+    /// only *under*-coverage would signal a mis-scaled half-width.
+    UnderCoverageOnly,
+}
+
+/// The worst under-coverage across the report's calibration table:
+/// `max_q max(nominal(q) − coverage(q), 0)`.
+fn under_coverage_drift(report: &serde_json::Value) -> Option<f64> {
+    let rows = report.get("calibration")?.as_array()?;
+    let mut worst = 0.0f64;
+    for row in rows {
+        let nominal = row.get("nominal").and_then(serde_json::Value::as_f64)?;
+        let coverage = row.get("coverage").and_then(serde_json::Value::as_f64)?;
+        worst = worst.max(nominal - coverage);
+    }
+    Some(worst)
+}
+
+/// Gates one audit-report array: per query, enough occasions, ε-violation
+/// rate within the promised rate plus binomial slack, calibration drift
+/// within the pinned tolerance. Flips `ok` on any miss.
+fn gate_reports(reports: &[serde_json::Value], scenario: &str, gate: DriftGate, ok: &mut bool) {
+    for report in reports {
+        let query = report
+            .get("query")
+            .and_then(serde_json::Value::as_str)
+            .unwrap_or("?");
+        let fields = (
+            report_number(report, "occasions"),
+            report_number(report, "violation_rate"),
+            report_number(report, "violation_bound"),
+            report_number(report, "calibration_drift"),
+        );
+        let (occasions, rate, bound, mut drift) = match fields {
+            (Ok(o), Ok(r), Ok(b), Ok(d)) => (o, r, b, d),
+            (o, r, b, d) => {
+                for err in [o.err(), r.err(), b.err(), d.err()].into_iter().flatten() {
+                    eprintln!("xtask audit [{scenario}]: {query}: {err}");
+                }
+                *ok = false;
+                continue;
+            }
+        };
+        let drift_label = match gate {
+            DriftGate::Absolute => "calibration drift",
+            DriftGate::UnderCoverageOnly => {
+                match under_coverage_drift(report) {
+                    Some(d) => drift = d,
+                    None => {
+                        eprintln!(
+                            "xtask audit [{scenario}]: {query}: report has no \
+                             usable calibration table"
+                        );
+                        *ok = false;
+                        continue;
+                    }
+                }
+                "under-coverage drift"
+            }
+        };
+        println!(
+            "xtask audit [{scenario}]: {query}: occasions {occasions}, violation rate {rate:.4} \
+             (gate ≤ {bound:.4}), {drift_label} {drift:.4} (gate ≤ {AUDIT_DRIFT_TOLERANCE})"
+        );
+        #[allow(clippy::cast_precision_loss)]
+        if occasions < AUDIT_MIN_OCCASIONS as f64 {
+            eprintln!(
+                "xtask audit [{scenario}]: {query}: only {occasions} reporting occasions \
+                 (need ≥ {AUDIT_MIN_OCCASIONS} for the gate to mean anything)"
+            );
+            *ok = false;
+        }
+        if rate > bound {
+            eprintln!(
+                "xtask audit [{scenario}]: {query}: ε-violation rate {rate:.4} exceeds the \
+                 promised rate plus binomial slack ({bound:.4})"
+            );
+            *ok = false;
+        }
+        if drift > AUDIT_DRIFT_TOLERANCE {
+            eprintln!(
+                "xtask audit [{scenario}]: {query}: {drift_label} {drift:.4} exceeds the \
+                 pinned tolerance {AUDIT_DRIFT_TOLERANCE}"
+            );
+            *ok = false;
+        }
+    }
 }
 
 fn run_audit(root: &Path) -> ExitCode {
@@ -718,54 +870,115 @@ fn run_audit(root: &Path) -> ExitCode {
         eprintln!("xtask audit: FAILED — report contains no query audits");
         return ExitCode::FAILURE;
     }
-    for report in &reports {
-        let query = report
-            .get("query")
-            .and_then(serde_json::Value::as_str)
-            .unwrap_or("?");
-        let fields = (
-            report_number(report, "occasions"),
-            report_number(report, "violation_rate"),
-            report_number(report, "violation_bound"),
-            report_number(report, "calibration_drift"),
-        );
-        let (occasions, rate, bound, drift) = match fields {
-            (Ok(o), Ok(r), Ok(b), Ok(d)) => (o, r, b, d),
-            (o, r, b, d) => {
-                for err in [o.err(), r.err(), b.err(), d.err()].into_iter().flatten() {
-                    eprintln!("xtask audit: {query}: {err}");
-                }
+    gate_reports(&reports, label, DriftGate::Absolute, &mut ok);
+
+    // 5-query mux scenario: heterogeneous contracts served through one
+    // shared QueryMux (coalesced rounds, shared panels). The audited
+    // replay must stay byte-identical across replays and worker counts,
+    // and *each* member must hold its own contract. The run-3 artefacts
+    // (target/xtask-audit-report-3.json / -trace-3.json) are uploaded by
+    // CI as the mux audit report.
+    println!("xtask audit: scenario temperature/mux (5 queries, shared rounds)");
+    let AuditedRun {
+        stdout: mux_stdout_a,
+        report: mux_report_a,
+        trace: mux_trace_a,
+    } = match capture_audited(&cli, 3, MUX_AUDIT_ARGS, root) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("xtask audit: mux audited run: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    print!("xtask audit: mux replay determinism ... ");
+    match capture_audited(&cli, 4, MUX_AUDIT_ARGS, root) {
+        Ok(AuditedRun {
+            stdout: stdout_b,
+            report: report_b,
+            trace: trace_b,
+        }) => {
+            if mux_stdout_a != stdout_b {
+                println!("DIVERGED (stdout)");
+                report_divergence(&mux_stdout_a, &stdout_b);
                 ok = false;
-                continue;
+            } else if mux_report_a != report_b {
+                println!("DIVERGED (audit report)");
+                report_divergence(&mux_report_a, &report_b);
+                ok = false;
+            } else if mux_trace_a != trace_b {
+                println!("DIVERGED (chrome trace)");
+                report_divergence(&mux_trace_a, &trace_b);
+                ok = false;
+            } else {
+                println!(
+                    "identical ({} report bytes, {} trace bytes)",
+                    mux_report_a.len(),
+                    mux_trace_a.len()
+                );
             }
-        };
-        println!(
-            "xtask audit: {query}: occasions {occasions}, violation rate {rate:.4} \
-             (gate ≤ {bound:.4}), calibration drift {drift:.4} (gate ≤ {AUDIT_DRIFT_TOLERANCE})"
-        );
-        #[allow(clippy::cast_precision_loss)]
-        if occasions < AUDIT_MIN_OCCASIONS as f64 {
-            eprintln!(
-                "xtask audit: {query}: only {occasions} reporting occasions \
-                 (need ≥ {AUDIT_MIN_OCCASIONS} for the gate to mean anything)"
-            );
-            ok = false;
         }
-        if rate > bound {
-            eprintln!(
-                "xtask audit: {query}: ε-violation rate {rate:.4} exceeds the \
-                 promised rate plus binomial slack ({bound:.4})"
-            );
-            ok = false;
-        }
-        if drift > AUDIT_DRIFT_TOLERANCE {
-            eprintln!(
-                "xtask audit: {query}: calibration drift {drift:.4} exceeds the \
-                 pinned tolerance {AUDIT_DRIFT_TOLERANCE}"
-            );
+        Err(e) => {
+            println!("ERROR");
+            eprintln!("xtask audit: second mux run: {e}");
             ok = false;
         }
     }
+
+    print!("xtask audit: mux workers=4 independence ... ");
+    let mut mux_workers_args: Vec<&str> = vec!["--sampling-workers", "4"];
+    mux_workers_args.extend_from_slice(MUX_AUDIT_ARGS);
+    match capture_audited(&cli, 5, &mux_workers_args, root) {
+        Ok(AuditedRun {
+            stdout: stdout_w,
+            report: report_w,
+            trace: trace_w,
+        }) => {
+            if mux_stdout_a != stdout_w {
+                println!("DIVERGED (stdout)");
+                report_divergence(&mux_stdout_a, &stdout_w);
+                ok = false;
+            } else if mux_report_a != report_w {
+                println!("DIVERGED (audit report)");
+                report_divergence(&mux_report_a, &report_w);
+                ok = false;
+            } else if mux_trace_a != trace_w {
+                println!("DIVERGED (chrome trace)");
+                report_divergence(&mux_trace_a, &trace_w);
+                ok = false;
+            } else {
+                println!("identical");
+            }
+        }
+        Err(e) => {
+            println!("ERROR");
+            eprintln!("xtask audit: mux workers=4 run: {e}");
+            ok = false;
+        }
+    }
+
+    let mux_text = String::from_utf8_lossy(&mux_report_a);
+    let mux_parsed: serde_json::Value = match serde_json::from_str(&mux_text) {
+        Ok(value) => value,
+        Err(e) => {
+            eprintln!("xtask audit: mux report is not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mux_reports = mux_parsed.as_array().cloned().unwrap_or_default();
+    if mux_reports.len() != 5 {
+        eprintln!(
+            "xtask audit: FAILED — mux scenario must audit 5 queries, got {}",
+            mux_reports.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    gate_reports(
+        &mux_reports,
+        "temperature/mux",
+        DriftGate::UnderCoverageOnly,
+        &mut ok,
+    );
 
     if ok {
         println!("xtask audit: OK — guarantee report within bounds, replays byte-identical");

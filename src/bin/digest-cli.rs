@@ -33,12 +33,14 @@
 //! trace (span + instant events, `trace`-id envelopes) as Chrome/Perfetto
 //! trace-event JSON.
 
-use digest::audit::QueryAudit;
+use digest::audit::{MuxAudit, QueryAudit};
 use digest::core::{
-    ContinuousQuery, DigestEngine, EngineConfig, EstimatorKind, QuerySystem, SchedulerKind,
-    TickContext, TickObserver,
+    ContinuousQuery, DigestEngine, EngineConfig, EstimatorKind, MuxConfig, Precision, QueryMux,
+    QuerySystem, SchedulerKind, TickContext, TickObserver,
 };
+use digest::db::{Expr, Schema};
 use digest::sampling::SamplingConfig;
+use digest::sim::RunConfig;
 use digest::workload::{
     MemoryConfig, MemoryWorkload, TemperatureConfig, TemperatureWorkload, Workload,
 };
@@ -57,6 +59,8 @@ struct Options {
     audit: bool,
     audit_json: Option<String>,
     trace_out: Option<String>,
+    mux: bool,
+    queries_spec: Option<String>,
     statements: Vec<String>,
 }
 
@@ -66,9 +70,59 @@ fn usage() -> ! {
          [--scheduler all|pred<K>] [--estimator indep|rpt] [--seed S] \
          [--sampling-workers N] [--telemetry out.jsonl] [--audit] \
          [--audit-json report.json] [--trace-out trace.json] \
-         \"SELECT ...\" [\"SELECT ...\"]"
+         [--mux] [--queries N[@delta,epsilon,p]] \
+         \"SELECT ...\" [\"SELECT ...\"]\n\
+         \n\
+         --mux serves all statements through one shared QueryMux (shared \
+         sample panels, coalesced PRED-k rounds) instead of independent \
+         engines; --queries additionally registers N generated AVG \
+         queries — cycling a contract-tier mix, or all at the given \
+         delta,epsilon,p — and implies --mux."
     );
     std::process::exit(2);
+}
+
+/// Parses `--queries N[@delta,epsilon,p]` into a generated fleet: `N`
+/// AVG queries over the first schema attribute, either all at the given
+/// contract or cycling a four-tier δ/ε/p mix.
+fn parse_fleet_spec(spec: &str, schema: &Schema) -> Result<Vec<ContinuousQuery>, String> {
+    let (count_text, contract) = match spec.split_once('@') {
+        Some((n, c)) => (n, Some(c)),
+        None => (spec, None),
+    };
+    let count: usize = count_text
+        .parse()
+        .map_err(|_| format!("bad --queries count `{count_text}`"))?;
+    let tiers: Vec<(f64, f64, f64)> = match contract {
+        Some(c) => {
+            let parts: Vec<&str> = c.split(',').collect();
+            if parts.len() != 3 {
+                return Err(format!(
+                    "bad --queries contract `{c}` (want delta,epsilon,p)"
+                ));
+            }
+            let parse = |s: &str| {
+                s.trim()
+                    .parse::<f64>()
+                    .map_err(|_| format!("bad number `{s}` in --queries contract"))
+            };
+            vec![(parse(parts[0])?, parse(parts[1])?, parse(parts[2])?)]
+        }
+        None => vec![
+            (8.0, 4.0, 0.90),
+            (8.0, 2.0, 0.95),
+            (4.0, 4.0, 0.90),
+            (4.0, 2.0, 0.95),
+        ],
+    };
+    (0..count)
+        .map(|i| {
+            let (delta, eps, p) = tiers[i % tiers.len()];
+            let precision = Precision::new(delta, eps, p)
+                .map_err(|e| format!("bad --queries contract: {e}"))?;
+            Ok(ContinuousQuery::avg(Expr::first_attr(schema), precision))
+        })
+        .collect()
 }
 
 fn parse_args() -> Options {
@@ -83,6 +137,8 @@ fn parse_args() -> Options {
         audit: false,
         audit_json: None,
         trace_out: None,
+        mux: false,
+        queries_spec: None,
         statements: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -91,6 +147,11 @@ fn parse_args() -> Options {
             "--world" => opts.world = args.next().unwrap_or_else(|| usage()),
             "--telemetry" => opts.telemetry = Some(args.next().unwrap_or_else(|| usage())),
             "--audit" => opts.audit = true,
+            "--mux" => opts.mux = true,
+            "--queries" => {
+                opts.queries_spec = Some(args.next().unwrap_or_else(|| usage()));
+                opts.mux = true;
+            }
             "--audit-json" => opts.audit_json = Some(args.next().unwrap_or_else(|| usage())),
             "--trace-out" => opts.trace_out = Some(args.next().unwrap_or_else(|| usage())),
             "--ticks" => {
@@ -137,7 +198,7 @@ fn parse_args() -> Options {
             statement => opts.statements.push(statement.to_owned()),
         }
     }
-    if opts.statements.is_empty() {
+    if opts.statements.is_empty() && opts.queries_spec.is_none() {
         usage();
     }
     opts
@@ -189,6 +250,106 @@ fn print_telemetry_summary() {
     }
 }
 
+/// Serves every query through one shared [`QueryMux`] (shared sample
+/// panels, coalesced PRED-k rounds) and prints per-query updates, the
+/// cost summary, and — under `--audit` — each member's guarantee audit.
+fn serve_mux<W: Workload>(
+    world: &mut W,
+    opts: &Options,
+    queries: Vec<ContinuousQuery>,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let mut mux = QueryMux::new(MuxConfig {
+        scheduler: opts.scheduler,
+        estimator: opts.estimator,
+        sampling: SamplingConfig {
+            workers: opts
+                .sampling_workers
+                .unwrap_or_else(digest::sampling::default_workers),
+            ..SamplingConfig::recommended(world.graph().node_count())
+        },
+        ..MuxConfig::default()
+    })?;
+    let auditing = opts.audit || opts.audit_json.is_some();
+    let mut audit = MuxAudit::new();
+    for q in queries {
+        let id = mux.register(q)?;
+        if auditing {
+            audit.register(id, mux.query(id).ok_or("registered query")?)?;
+        }
+    }
+    let ids = mux.query_ids();
+    for &id in &ids {
+        let q = mux.query(id).ok_or("registered query")?;
+        println!("  [{id}] {q}");
+    }
+    println!("serving {} queries through one shared mux", ids.len());
+    println!();
+
+    let ticks = opts
+        .ticks
+        .unwrap_or_else(|| world.duration())
+        .min(world.duration());
+    let mut rng = ChaCha8Rng::seed_from_u64(opts.seed);
+    let reports = digest::sim::run_mux(
+        world,
+        &mut mux,
+        RunConfig::for_ticks(ticks),
+        &mut rng,
+        &mut audit,
+    )?;
+
+    // δ-updates in tick order, interleaved across queries.
+    let mut updates: Vec<(u64, u64, f64, f64)> = Vec::new();
+    for (report, &id) in reports.iter().zip(&ids) {
+        for record in report.records.iter().filter(|r| r.updated) {
+            updates.push((record.tick, id, record.estimate, record.exact));
+        }
+    }
+    updates.sort_by_key(|u| (u.0, u.1));
+    for (tick, id, estimate, exact) in &updates {
+        println!("t={tick:>5}  [{id}] UPDATE  X̂ = {estimate:>12.3}   (oracle = {exact:>10.3})");
+    }
+
+    println!();
+    println!("--- cost summary over {ticks} ticks ({}) ---", mux.name());
+    for &id in &ids {
+        if let Some(totals) = mux.query_totals(id) {
+            println!(
+                "  [{id}] {:>6} snapshots  {:>9} samples  {:>10} messages",
+                totals.snapshots, totals.samples, totals.messages,
+            );
+        }
+    }
+    println!(
+        "  total: {} samples, {} messages",
+        mux.total_samples(),
+        mux.total_messages()
+    );
+
+    if auditing {
+        let audit_reports = audit.reports();
+        if opts.audit {
+            println!();
+            println!("--- guarantee audit ---");
+            for (_, report) in &audit_reports {
+                print!("{}", report.render_table());
+            }
+        }
+        if let Some(path) = &opts.audit_json {
+            let value = serde_json::Value::Array(
+                audit_reports
+                    .iter()
+                    .map(|(_, r)| r.to_json_value())
+                    .collect(),
+            );
+            let mut text = serde_json::to_string_pretty(&value)?;
+            text.push('\n');
+            std::fs::write(path, text)?;
+        }
+    }
+    Ok(())
+}
+
 fn run<W: Workload>(mut world: W, opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
     // Sink wiring: JSONL stream for --telemetry, an in-memory buffer for
     // --trace-out (exported as a Chrome trace at end of run), a lock-free
@@ -229,11 +390,31 @@ fn run<W: Workload>(mut world: W, opts: &Options) -> Result<(), Box<dyn std::err
         world.sigma_ref()
     );
 
-    let queries: Vec<ContinuousQuery> = opts
+    let mut queries: Vec<ContinuousQuery> = opts
         .statements
         .iter()
         .map(|text| ContinuousQuery::parse(text, &schema))
         .collect::<Result<_, _>>()?;
+    if let Some(spec) = &opts.queries_spec {
+        queries.extend(parse_fleet_spec(spec, &schema)?);
+    }
+
+    if opts.mux {
+        serve_mux(&mut world, opts, queries)?;
+        if sink_installed {
+            digest_telemetry::flush();
+            digest_telemetry::take_sink();
+            digest_telemetry::set_span_events(false);
+        }
+        if let (Some(path), Some(buffer)) = (&opts.trace_out, &trace_buffer) {
+            std::fs::write(path, digest::audit::chrome_trace_json(&buffer.lines()))?;
+        }
+        if opts.telemetry.is_some() {
+            print_telemetry_summary();
+        }
+        return Ok(());
+    }
+
     let mut engines: Vec<DigestEngine> = queries
         .iter()
         .map(|q| {
