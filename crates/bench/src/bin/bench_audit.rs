@@ -12,6 +12,7 @@
 //! profiling artefact, not a determinism surface.
 
 use digest_audit::QueryAudit;
+use digest_bench::metrics::{memory_json, AllocSnapshot, CountingAlloc};
 use digest_bench::{banner, temperature, Scale};
 use digest_core::{EstimatorKind, NoopObserver, SchedulerKind};
 use digest_sim::{run_observed, RunConfig, RunReport};
@@ -21,6 +22,9 @@ use serde_json::json;
 use std::io::Write as _;
 use std::process::ExitCode;
 use std::time::Instant;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 const TICKS: u64 = 120;
 const SEED: u64 = 20080402;
@@ -60,7 +64,10 @@ fn main() -> ExitCode {
     let scale = Scale::from_args();
     banner("BENCH_audit", "guarantee-auditor overhead", scale);
 
+    let alloc_start = AllocSnapshot::now();
     let (plain_report, plain_ns) = run_leg(scale, None);
+    let alloc_after_plain = AllocSnapshot::now();
+    let plain_alloc = alloc_after_plain.delta_since(&alloc_start);
     let mut audit = {
         let workload = temperature(scale, 0);
         let engine = digest_bench::engine_for(
@@ -74,7 +81,9 @@ fn main() -> ExitCode {
         .expect("valid engine config");
         QueryAudit::new(engine.query(), 0).expect("valid audit config")
     };
+    let alloc_before_audited = AllocSnapshot::now();
     let (audited_report, audited_ns) = run_leg(scale, Some(&mut audit));
+    let audited_alloc = AllocSnapshot::now().delta_since(&alloc_before_audited);
 
     // Observer passivity: both legs must replay the same trace bit for
     // bit (same estimates, same message counts, same occasions).
@@ -138,7 +147,10 @@ fn main() -> ExitCode {
         "overhead_ns_per_tick": overhead_ns_per_tick,
         "overhead_pct": overhead_pct,
         "traces_identical": identical,
+        "plain_alloc": plain_alloc.to_json(),
+        "audited_alloc": audited_alloc.to_json(),
         "report": report.to_json_value(),
+        "memory": memory_json(),
     });
     let path = std::path::Path::new("BENCH_audit.json");
     match std::fs::File::create(path) {

@@ -22,6 +22,7 @@
 //! violation rates are deterministic for a given seed and scale.
 
 use digest_audit::MuxAudit;
+use digest_bench::metrics::{memory_json, AllocSnapshot, CountingAlloc};
 use digest_bench::{banner, temperature, Scale};
 use digest_core::{ContinuousQuery, MuxConfig, Precision, QueryMux, TickContext};
 use digest_db::{Expr, Predicate};
@@ -34,6 +35,9 @@ use std::collections::BTreeMap;
 use std::io::Write as _;
 use std::process::ExitCode;
 use std::time::Instant;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 const N_QUERIES: usize = 32;
 const SEED: u64 = 20080402;
@@ -262,8 +266,13 @@ fn main() -> ExitCode {
         Scale::Quick => 120,
     };
 
+    let alloc_start = AllocSnapshot::now();
     let shared = run_leg(scale, ticks, true);
+    let alloc_after_shared = AllocSnapshot::now();
     let baseline = run_leg(scale, ticks, false);
+    let alloc_after_baseline = AllocSnapshot::now();
+    let shared_alloc = alloc_after_shared.delta_since(&alloc_start);
+    let baseline_alloc = alloc_after_baseline.delta_since(&alloc_after_shared);
 
     let shared_messages = total_messages(&shared);
     let baseline_messages = total_messages(&baseline);
@@ -297,7 +306,9 @@ fn main() -> ExitCode {
     }
     println!("message ratio shared/baseline: {ratio:.3} (gate ≤ 0.5)");
 
+    let alloc_before_traffic = AllocSnapshot::now();
     let traffic = run_traffic(scale, ticks * 2);
+    let traffic_alloc = AllocSnapshot::now().delta_since(&alloc_before_traffic);
     println!(
         "heavy-traffic: {} queries served (peak {} active), {} occasions, \
          {} messages, mean occasion gap {:.2} ticks",
@@ -337,6 +348,8 @@ fn main() -> ExitCode {
             "baseline_wall_ns": baseline.wall_ns,
             "shared_contracts_hold": shared_ok,
             "baseline_contracts_hold": baseline_ok,
+            "shared_alloc": shared_alloc.to_json(),
+            "baseline_alloc": baseline_alloc.to_json(),
             "per_query": per_query,
         },
         "heavy_traffic": {
@@ -347,7 +360,9 @@ fn main() -> ExitCode {
             "messages": traffic.messages,
             "mean_occasion_gap": traffic.mean_gap,
             "wall_ns": traffic.wall_ns,
+            "alloc": traffic_alloc.to_json(),
         },
+        "memory": memory_json(),
     });
     let path = std::path::Path::new("BENCH_mux.json");
     match std::fs::File::create(path) {

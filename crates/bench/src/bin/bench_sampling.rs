@@ -31,6 +31,7 @@
 //! wall-clock and machine-dependent; only the equality and reuse checks
 //! are a correctness surface.
 
+use digest_bench::metrics::{memory_json, AllocSnapshot, CountingAlloc};
 use digest_bench::{banner, Scale};
 use digest_db::{P2PDatabase, Schema, Tuple};
 use digest_net::{topology, NodeId};
@@ -41,6 +42,9 @@ use rand_chacha::ChaCha8Rng;
 use serde_json::json;
 use std::io::Write as _;
 use std::time::Instant;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
@@ -364,8 +368,12 @@ fn main() {
     }
     println!();
 
+    let alloc_start = AllocSnapshot::now();
     let steady = measure_mode(&g, &db, origin, &params, Mode::Steady);
+    let alloc_after_steady = AllocSnapshot::now();
     let cold = measure_mode(&g, &db, origin, &params, Mode::Cold);
+    let steady_alloc = alloc_after_steady.delta_since(&alloc_start);
+    let cold_alloc = AllocSnapshot::now().delta_since(&alloc_after_steady);
     let (steady_runs, steady_identical) = report_mode(&params, Mode::Steady, &steady);
     let (cold_runs, cold_identical) = report_mode(&params, Mode::Cold, &cold);
     let identical = steady_identical && cold_identical;
@@ -425,6 +433,7 @@ fn main() {
                 "panels_identical": steady_identical,
                 "occasion_ns": steady_occasion_ns,
                 "improvement_vs_pr3": null_or(improvement),
+                "alloc": steady_alloc.to_json(),
             },
             "cold": {
                 "description": "fresh mixing-length walks every occasion (PR 3 measurement regime)",
@@ -432,8 +441,10 @@ fn main() {
                 "panels_identical": cold_identical,
                 "occasion_ns": cold_occasion_ns,
                 "improvement_vs_pr3": null_or(cold_improvement),
+                "alloc": cold_alloc.to_json(),
             },
         },
+        "memory": memory_json(),
         "phases": phases,
         "snapshot": {
             "built": snapshot.built,

@@ -1,0 +1,152 @@
+//! Process-level memory metrics for the benchmark binaries: a counting
+//! global allocator (allocation count + cumulative bytes, so each bench
+//! phase can report its allocation pressure) and peak resident set size
+//! read from the kernel (`VmHWM` in `/proc/self/status`).
+//!
+//! Every `BENCH_*.json` writer embeds a [`memory_json`] block so the
+//! artefacts double as a regression record for allocator behaviour: a
+//! change that starts allocating per walk step shows up as an
+//! order-of-magnitude jump in the phase's `allocations` delta even when
+//! wall-clock noise hides it.
+//!
+//! The counters are monotone and relaxed — they order nothing, so the
+//! counting allocator adds two uncontended atomic increments per
+//! allocation and is cheap enough to leave installed for every run.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Total allocations served since process start.
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+/// Total bytes requested since process start (cumulative, not live).
+static ALLOCATED_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// A [`System`]-backed allocator that counts calls and bytes.
+///
+/// Install it in a benchmark binary with:
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: digest_bench::metrics::CountingAlloc = digest_bench::metrics::CountingAlloc;
+/// ```
+pub struct CountingAlloc;
+
+#[allow(unsafe_code)]
+// SAFETY: defers entirely to `System` for memory management; the wrapper
+// only bumps monotone counters and never touches the returned pointers.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // relaxed-ok: monotone telemetry counters; no ordering needed.
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // relaxed-ok: monotone telemetry counters; no ordering needed.
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+/// A point-in-time reading of the allocation counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocSnapshot {
+    /// Allocations served so far.
+    pub allocations: u64,
+    /// Cumulative bytes requested so far.
+    pub bytes: u64,
+}
+
+impl AllocSnapshot {
+    /// Reads the current counter values.
+    #[must_use]
+    pub fn now() -> Self {
+        Self {
+            // relaxed-ok: monotone telemetry counters; no ordering needed.
+            allocations: ALLOCATIONS.load(Ordering::Relaxed),
+            // relaxed-ok: monotone telemetry counters; no ordering needed.
+            bytes: ALLOCATED_BYTES.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Counter deltas since an earlier snapshot (one bench phase).
+    #[must_use]
+    pub fn delta_since(&self, earlier: &AllocSnapshot) -> AllocSnapshot {
+        AllocSnapshot {
+            allocations: self.allocations.saturating_sub(earlier.allocations),
+            bytes: self.bytes.saturating_sub(earlier.bytes),
+        }
+    }
+
+    /// The delta as a JSON object for a per-phase `BENCH_*.json` entry.
+    #[must_use]
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "allocations": self.allocations,
+            "allocated_bytes": self.bytes,
+        })
+    }
+}
+
+/// Peak resident set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`), or `None` off Linux or when the file is absent.
+#[must_use]
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kib: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kib * 1024);
+        }
+    }
+    None
+}
+
+/// The process-wide memory block every `BENCH_*.json` writer embeds:
+/// peak RSS plus the total allocation counters at call time.
+#[must_use]
+pub fn memory_json() -> serde_json::Value {
+    let totals = AllocSnapshot::now();
+    let rss = peak_rss_bytes().map_or(serde_json::Value::Null, |b| serde_json::json!(b));
+    serde_json::json!({
+        "peak_rss_bytes": rss,
+        "total_allocations": totals.allocations,
+        "total_allocated_bytes": totals.bytes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshots_are_monotone_and_deltas_subtract() {
+        let before = AllocSnapshot::now();
+        let after = AllocSnapshot::now();
+        assert!(after.allocations >= before.allocations);
+        let d = after.delta_since(&before);
+        assert_eq!(d.allocations, after.allocations - before.allocations);
+    }
+
+    #[test]
+    fn peak_rss_parses_on_linux() {
+        if cfg!(target_os = "linux") {
+            let rss = peak_rss_bytes().expect("VmHWM present on Linux");
+            assert!(rss > 0);
+        }
+    }
+
+    #[test]
+    fn memory_json_has_expected_keys() {
+        let v = memory_json();
+        assert!(v.get("peak_rss_bytes").is_some());
+        assert!(v.get("total_allocations").is_some());
+        assert!(v.get("total_allocated_bytes").is_some());
+    }
+}

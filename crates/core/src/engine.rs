@@ -294,6 +294,18 @@ impl QuerySystem for DigestEngine {
         &self.name
     }
 
+    fn next_due(&mut self, now: u64) -> Option<u64> {
+        // Before the first snapshot the engine fires on its next tick
+        // (dense); afterwards every tick below `next_snapshot_tick` is
+        // the idle early-return in `on_tick` — no samples, no RNG — so
+        // the event-driven runner may jump straight to the deadline.
+        if self.started && self.next_snapshot_tick > now {
+            Some(self.next_snapshot_tick)
+        } else {
+            None
+        }
+    }
+
     fn on_tick(&mut self, ctx: &TickContext<'_>, rng: &mut dyn RngCore) -> Result<TickOutcome> {
         // Keep the telemetry clock in sync even when the engine is driven
         // directly (unit tests, library embedding) rather than by a

@@ -38,7 +38,8 @@ use digest_sampling::{uniform_weight, SamplingConfig, SamplingOperator, SizeEsti
 use digest_stats::{required_sample_size, RunningMoments};
 use digest_telemetry::{Field, Stage};
 use rand::RngCore;
-use std::collections::BTreeMap;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
 /// Smoothing factor for the per-query decayed selectivity tally (same
 /// role as the engine's; keeps COUNT/SUM scaling stable across the few
@@ -141,10 +142,24 @@ impl RoundPlan {
 /// a member is never served *later* than its own deadline — coalescing
 /// only ever pulls occasions earlier (within the horizon), which keeps
 /// every member's `δ`-resolution contract intact.
+///
+/// Planning is heap-driven: scheduled deadlines live in a min-heap keyed
+/// by `(tick, id)` with lazy deletion (entries are validated against the
+/// authoritative deadline map on pop), and never-scheduled members live
+/// in an ordered set. [`RoundPlanner::plan`] therefore costs
+/// `O(due · log Q)` per tick instead of a full `O(Q)` member scan — the
+/// difference between a mux of a thousand idle queries costing a
+/// thousand comparisons per tick and costing one heap peek.
 #[derive(Debug, Clone)]
 pub struct RoundPlanner {
-    /// `None` = never scheduled (due immediately).
+    /// Authoritative schedule: `None` = never scheduled (due
+    /// immediately). Heap entries are valid only while they match this.
     deadlines: BTreeMap<u64, Option<u64>>,
+    /// Members with no deadline yet (due immediately), ascending id.
+    unscheduled: BTreeSet<u64>,
+    /// Min-heap of `(deadline, id)`; may hold stale entries for
+    /// deadlines that were since overwritten or removed (lazy deletion).
+    heap: BinaryHeap<Reverse<(u64, u64)>>,
     horizon: u64,
 }
 
@@ -155,6 +170,8 @@ impl RoundPlanner {
     pub fn new(horizon: u64) -> Self {
         Self {
             deadlines: BTreeMap::new(),
+            unscheduled: BTreeSet::new(),
+            heap: BinaryHeap::new(),
             horizon,
         }
     }
@@ -163,19 +180,24 @@ impl RoundPlanner {
     /// at its arrival tick — §II: answers start at arrival time).
     pub fn register(&mut self, id: u64) {
         self.deadlines.insert(id, None);
+        self.unscheduled.insert(id);
     }
 
     /// Removes a departed query from the schedule (§II: the contract ends
-    /// with the query).
+    /// with the query). Any heap entry it left behind goes stale and is
+    /// dropped on its next pop.
     pub fn remove(&mut self, id: u64) {
         self.deadlines.remove(&id);
+        self.unscheduled.remove(&id);
     }
 
     /// Records `id`'s next PRED-k deadline (§IV-A `next_delay` output,
-    /// absolute tick).
+    /// absolute tick). The previous heap entry, if any, goes stale.
     pub fn set_deadline(&mut self, id: u64, tick: u64) {
         if let Some(slot) = self.deadlines.get_mut(&id) {
             *slot = Some(tick);
+            self.unscheduled.remove(&id);
+            self.heap.push(Reverse((tick, id)));
         }
     }
 
@@ -186,32 +208,68 @@ impl RoundPlanner {
         self.deadlines.get(&id).copied()
     }
 
+    /// The earliest live deadline: `Some(None)` when some member is due
+    /// immediately (never scheduled), `Some(Some(t))` for the smallest
+    /// scheduled deadline, `None` when nothing is queued. Takes `&mut
+    /// self` to discard stale heap heads as a side effect.
+    pub fn next_deadline(&mut self) -> Option<Option<u64>> {
+        if !self.unscheduled.is_empty() {
+            return Some(None);
+        }
+        while let Some(&Reverse((d, id))) = self.heap.peek() {
+            if self.deadlines.get(&id).copied() == Some(Some(d)) {
+                return Some(Some(d));
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
     /// Plans the round for `tick`: all queries with deadline `≤ tick` are
     /// due; if any are, queries with deadlines within `(tick, tick +
     /// horizon]` are pulled forward (§IV-A coalescing — early occasions
     /// are always contract-safe, late ones never happen).
+    ///
+    /// Heap pops validate against the deadline map (lazy deletion), and
+    /// live entries up to the horizon are re-pushed — a planned member
+    /// stays due until [`RoundPlanner::set_deadline`] reschedules it, so
+    /// repeated calls at the same tick return the same plan.
     #[must_use]
-    pub fn plan(&self, tick: u64) -> RoundPlan {
-        let mut plan = RoundPlan::default();
-        for (&id, &deadline) in &self.deadlines {
-            match deadline {
-                None => plan.due.push(id),
-                Some(d) if d <= tick => plan.due.push(id),
-                _ => {}
-            }
-        }
-        if plan.due.is_empty() {
-            return plan;
-        }
+    pub fn plan(&mut self, tick: u64) -> RoundPlan {
         let limit = tick.saturating_add(self.horizon);
-        for (&id, &deadline) in &self.deadlines {
-            if let Some(d) = deadline {
-                if d > tick && d <= limit {
-                    plan.pulled.push(id);
+        let mut due: BTreeSet<u64> = self.unscheduled.clone();
+        let mut pulled: BTreeSet<u64> = BTreeSet::new();
+        let mut keep: Vec<(u64, u64)> = Vec::new();
+        while let Some(&Reverse((d, id))) = self.heap.peek() {
+            if d > limit {
+                break;
+            }
+            self.heap.pop();
+            // Lazy deletion: only entries matching the authoritative map
+            // are live; stale ones (rescheduled or deregistered ids) are
+            // dropped for good. The set-inserts double as dedup, so a
+            // re-pushed duplicate never survives a second pop.
+            if self.deadlines.get(&id).copied() == Some(Some(d)) {
+                let fresh = if d <= tick {
+                    due.insert(id)
+                } else {
+                    pulled.insert(id)
+                };
+                if fresh {
+                    keep.push((d, id));
                 }
             }
         }
-        plan
+        for (d, id) in keep {
+            self.heap.push(Reverse((d, id)));
+        }
+        if due.is_empty() {
+            return RoundPlan::default();
+        }
+        RoundPlan {
+            due: due.into_iter().collect(),
+            pulled: pulled.into_iter().collect(),
+        }
     }
 }
 
@@ -1028,6 +1086,33 @@ impl QuerySystem for QueryMux {
         &self.name
     }
 
+    fn next_due(&mut self, now: u64) -> Option<u64> {
+        match &mut self.mode {
+            Mode::Independent(engines) => {
+                // Earliest member deadline; any member without a
+                // schedule keeps the whole mux dense.
+                let mut earliest: Option<u64> = None;
+                for engine in engines.values_mut() {
+                    match engine.next_due(now) {
+                        None => return None,
+                        Some(t) => earliest = Some(earliest.map_or(t, |e| e.min(t))),
+                    }
+                }
+                earliest
+            }
+            Mode::Shared(state) => match state.planner.next_deadline() {
+                // Ticks before the earliest deadline plan an empty
+                // round and idle without consuming randomness.
+                Some(Some(d)) if d > now => Some(d),
+                // Someone is due now (or was never scheduled): dense.
+                Some(_) => None,
+                // No member queued: nothing will ever fire, but `None`
+                // (dense) is the safe answer for an empty mux.
+                None => None,
+            },
+        }
+    }
+
     fn on_tick(&mut self, ctx: &TickContext<'_>, rng: &mut dyn RngCore) -> Result<TickOutcome> {
         let outcomes = self.on_tick_mux(ctx, rng)?;
         let mut folded = TickOutcome::idle(self.current_estimate);
@@ -1151,6 +1236,105 @@ mod tests {
         assert_eq!(plan.due, vec![0]);
         assert_eq!(plan.pulled, vec![1], "deadline 9 within 7+2");
         assert_eq!(plan.members(), vec![0, 1]);
+    }
+
+    /// The pre-heap planner, kept verbatim as the reference model: a
+    /// full scan of the member map per plan call.
+    fn plan_by_full_scan(
+        deadlines: &BTreeMap<u64, Option<u64>>,
+        tick: u64,
+        horizon: u64,
+    ) -> RoundPlan {
+        let mut plan = RoundPlan::default();
+        for (&id, &deadline) in deadlines {
+            match deadline {
+                None => plan.due.push(id),
+                Some(d) if d <= tick => plan.due.push(id),
+                _ => {}
+            }
+        }
+        if plan.due.is_empty() {
+            return plan;
+        }
+        let limit = tick.saturating_add(horizon);
+        for (&id, &deadline) in deadlines {
+            if let Some(d) = deadline {
+                if d > tick && d <= limit {
+                    plan.pulled.push(id);
+                }
+            }
+        }
+        plan
+    }
+
+    /// Golden-trace pin for the heap refactor: the lazy-deletion heap
+    /// planner must produce exactly the plans the full member scan
+    /// produced, under arbitrary interleavings of register / remove /
+    /// reschedule / plan — including re-planning the same tick twice
+    /// and rescheduling to the same deadline (duplicate heap entries).
+    #[test]
+    fn planner_heap_matches_full_scan_reference() {
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        for horizon in [0u64, 2, 5] {
+            let mut planner = RoundPlanner::new(horizon);
+            let mut reference: BTreeMap<u64, Option<u64>> = BTreeMap::new();
+            let mut next_id = 0u64;
+            let mut tick = 0u64;
+            for _ in 0..2_000 {
+                match rng.gen_range(0..10) {
+                    0 | 1 => {
+                        planner.register(next_id);
+                        reference.insert(next_id, None);
+                        next_id += 1;
+                    }
+                    2 => {
+                        if let Some(&id) = reference.keys().next() {
+                            planner.remove(id);
+                            reference.remove(&id);
+                        }
+                    }
+                    3..=6 => {
+                        let ids: Vec<u64> = reference.keys().copied().collect();
+                        if !ids.is_empty() {
+                            let id = ids[rng.gen_range(0..ids.len())];
+                            let deadline = tick + rng.gen_range(0..12);
+                            planner.set_deadline(id, deadline);
+                            reference.insert(id, Some(deadline));
+                        }
+                    }
+                    _ => {
+                        tick += rng.gen_range(0..4);
+                        let heap_plan = planner.plan(tick);
+                        let scan_plan = plan_by_full_scan(&reference, tick, horizon);
+                        assert_eq!(heap_plan.due, scan_plan.due, "due at tick {tick}");
+                        assert_eq!(heap_plan.pulled, scan_plan.pulled, "pulled at tick {tick}");
+                        // Re-planning without rescheduling is idempotent.
+                        let again = planner.plan(tick);
+                        assert_eq!(again.due, scan_plan.due);
+                        assert_eq!(again.pulled, scan_plan.pulled);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn planner_next_deadline_tracks_earliest_live_entry() {
+        let mut p = RoundPlanner::new(2);
+        assert_eq!(p.next_deadline(), None);
+        p.register(0);
+        assert_eq!(p.next_deadline(), Some(None), "fresh member is due now");
+        p.set_deadline(0, 9);
+        p.register(1);
+        p.set_deadline(1, 4);
+        assert_eq!(p.next_deadline(), Some(Some(4)));
+        // Rescheduling strands a stale heap entry; the answer must skip it.
+        p.set_deadline(1, 15);
+        assert_eq!(p.next_deadline(), Some(Some(9)));
+        p.remove(0);
+        assert_eq!(p.next_deadline(), Some(Some(15)));
+        p.remove(1);
+        assert_eq!(p.next_deadline(), None);
     }
 
     #[test]

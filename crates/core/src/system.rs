@@ -91,6 +91,22 @@ pub trait QuerySystem {
         None
     }
 
+    /// The next tick (strictly after `now`) at which this system needs
+    /// to run, or `None` when it cannot predict one and must be ticked
+    /// every tick (the safe default).
+    ///
+    /// Contract with the event-driven runner: a system reporting
+    /// `Some(t)` promises that `on_tick` for every tick in `(now, t)`
+    /// would have been a pure idle hold — no snapshot, no samples, no
+    /// messages, no randomness — so the runner may skip straight to
+    /// `t` without perturbing the replayed byte stream.
+    /// Takes `&mut self` so schedule caches (e.g. the mux's lazy-deleted
+    /// deadline heap) may discard stale entries while answering; the
+    /// *observable* state must not change.
+    fn next_due(&mut self, _now: u64) -> Option<u64> {
+        None
+    }
+
     /// Sets the worker count used to execute sampling-walk batches.
     ///
     /// Results are byte-identical for every worker count (the sampling

@@ -6,10 +6,23 @@
 //! (a dangling handle means "node left → replace the sample", exactly the
 //! rule of paper §IV-B2a).
 //!
-//! The adjacency representation is a slot vector of neighbor lists:
-//! O(1) id lookup, O(deg) neighbor iteration (cache-friendly for random
-//! walks), O(deg) edge removal. The graph is simple (no self-loops, no
-//! parallel edges) and undirected.
+//! The adjacency representation is a flat structure-of-arrays arena: one
+//! shared neighbor pool plus per-node `(offset, len, cap)` rows — the
+//! same CSR-style layout the sampling operator's `SnapshotCache` builds
+//! per occasion, now native to the graph itself. Compared with the old
+//! slot-vector-of-`Vec` layout this removes one heap allocation and one
+//! pointer indirection per node, which is what lets 10⁶-node overlays
+//! fit in cache-friendly memory. Rows grow by relocation to the arena
+//! tail with doubled capacity (amortized O(1) push); departed and
+//! relocated spans become garbage that a periodic compaction pass
+//! reclaims once it dominates the pool. Neighbor order is exactly the
+//! order the old representation produced (append on edge-add,
+//! swap-remove on edge-delete), so random-walk trajectories — and hence
+//! the deterministic replay gate — are unchanged by the refactor.
+//!
+//! The graph is simple (no self-loops, no parallel edges) and
+//! undirected: O(1) id lookup, O(deg) neighbor iteration, O(deg) edge
+//! removal.
 
 use crate::error::NetError;
 use crate::Result;
@@ -32,6 +45,10 @@ impl fmt::Display for NodeId {
 /// keeping every realistic per-tick churn delta patchable.
 const JOURNAL_CAP: usize = 1024;
 
+/// Pool size below which compaction is never attempted (compacting tiny
+/// pools churns allocations for no measurable win).
+const COMPACT_MIN_POOL: usize = 1024;
+
 /// An undirected simple graph over [`NodeId`]s.
 ///
 /// Every structural mutation (node join/leave, edge add/remove) bumps a
@@ -42,8 +59,20 @@ const JOURNAL_CAP: usize = 1024;
 /// patch incrementally via [`Graph::changes_since`].
 #[derive(Debug, Clone, Default)]
 pub struct Graph {
-    /// Slot per ever-allocated id; `None` = departed.
-    slots: Vec<Option<Vec<NodeId>>>,
+    /// Start of each ever-allocated id's neighbor row inside `pool`.
+    row_off: Vec<usize>,
+    /// Live neighbor count of each row.
+    row_len: Vec<usize>,
+    /// Allocated span of each row (`len ≤ cap`); slots past `len` are
+    /// headroom left by swap-removals or doubling growth.
+    row_cap: Vec<usize>,
+    /// Liveness flag per ever-allocated id (`false` = departed).
+    alive: Vec<bool>,
+    /// Shared neighbor arena; live rows occupy disjoint spans.
+    pool: Vec<NodeId>,
+    /// Arena slots unreachable from any live row (relocated or departed
+    /// spans); compaction reclaims them once they dominate the pool.
+    pool_garbage: usize,
     /// Ids of live nodes, kept dense for O(1) uniform choice.
     live: Vec<NodeId>,
     /// Position of each live id inside `live` (usize::MAX = not live).
@@ -69,7 +98,12 @@ impl Graph {
     #[must_use]
     pub fn with_capacity(n: usize) -> Self {
         Self {
-            slots: Vec::with_capacity(n),
+            row_off: Vec::with_capacity(n),
+            row_len: Vec::with_capacity(n),
+            row_cap: Vec::with_capacity(n),
+            alive: Vec::with_capacity(n),
+            pool: Vec::with_capacity(n.saturating_mul(4)),
+            pool_garbage: 0,
             live: Vec::with_capacity(n),
             live_pos: Vec::with_capacity(n),
             edge_count: 0,
@@ -91,14 +125,22 @@ impl Graph {
 
     /// The node ids whose adjacency or liveness changed since `since`
     /// (an epoch previously read from [`Graph::epoch`]), sorted and
-    /// deduplicated — or `None` if the bounded journal no longer reaches
-    /// back that far and the caller must rebuild its view from scratch.
+    /// deduplicated — or `None` if the delta cannot be produced and the
+    /// caller must rebuild its view from scratch. That happens when
+    ///
+    /// * the bounded journal overflowed and no longer reaches back to
+    ///   `since`, or
+    /// * `since` lies **beyond** the current epoch — a mark taken from a
+    ///   different (or since-replaced) graph. Only `since == epoch`
+    ///   means "no change"; a future mark can never certify anything
+    ///   about *this* topology, so it demands a rebuild rather than
+    ///   silently reporting an empty delta.
     #[must_use]
     pub fn changes_since(&self, since: u64) -> Option<Vec<NodeId>> {
-        if since >= self.epoch {
+        if since == self.epoch {
             return Some(Vec::new());
         }
-        if since < self.journal_floor {
+        if since > self.epoch || since < self.journal_floor {
             return None;
         }
         let mut out: Vec<NodeId> = self
@@ -120,7 +162,8 @@ impl Graph {
     /// Records `id` as touched by the current epoch's change. On
     /// overflow the journal restarts from the current epoch: dropped
     /// entries all carry epochs ≤ the new floor, so completeness for
-    /// `since ≥ floor` is preserved.
+    /// `since ≥ floor` is preserved and [`Graph::changes_since`] answers
+    /// `None` (forcing a rebuild) for every mark older than the floor.
     fn record_change(&mut self, id: NodeId) {
         if self.journal.len() >= JOURNAL_CAP {
             self.journal.clear();
@@ -129,10 +172,85 @@ impl Graph {
         self.journal.push((self.epoch, id));
     }
 
+    /// The neighbor row of `i` as an arena span (valid for live rows).
+    #[inline]
+    fn row(&self, i: usize) -> &[NodeId] {
+        &self.pool[self.row_off[i]..self.row_off[i] + self.row_len[i]]
+    }
+
+    /// Appends `nb` to `id`'s row, relocating the row to the arena tail
+    /// with doubled capacity when full. Amortized O(1).
+    fn push_neighbor(&mut self, id: NodeId, nb: NodeId) {
+        let i = id.0 as usize;
+        let len = self.row_len[i];
+        if len == self.row_cap[i] {
+            let new_cap = (self.row_cap[i] * 2).max(4);
+            let old_off = self.row_off[i];
+            let new_off = self.pool.len();
+            self.pool.resize(new_off + new_cap, NodeId(u32::MAX));
+            self.pool.copy_within(old_off..old_off + len, new_off);
+            self.pool_garbage += self.row_cap[i];
+            self.row_off[i] = new_off;
+            self.row_cap[i] = new_cap;
+        }
+        let off = self.row_off[i];
+        self.pool[off + len] = nb;
+        self.row_len[i] = len + 1;
+        self.maybe_compact();
+    }
+
+    /// Swap-removes `nb` from `id`'s row; returns whether it was present.
+    fn remove_neighbor(&mut self, id: NodeId, nb: NodeId) -> bool {
+        let i = id.0 as usize;
+        let off = self.row_off[i];
+        let len = self.row_len[i];
+        let row = &mut self.pool[off..off + len];
+        match row.iter().position(|&x| x == nb) {
+            Some(pos) => {
+                row.swap(pos, len - 1);
+                self.row_len[i] = len - 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Compacts the arena when garbage spans dominate it.
+    fn maybe_compact(&mut self) {
+        if self.pool.len() > COMPACT_MIN_POOL && self.pool_garbage > self.pool.len() / 2 {
+            self.compact_pool();
+        }
+    }
+
+    /// Rewrites the arena with live rows only (in id order, `cap = len`),
+    /// reclaiming every garbage span. O(pool). Neighbor order within
+    /// each row is preserved, so derived views and walks are unaffected.
+    fn compact_pool(&mut self) {
+        let mut new_pool = Vec::with_capacity(self.pool.len() - self.pool_garbage);
+        for i in 0..self.row_off.len() {
+            if !self.alive[i] {
+                self.row_off[i] = 0;
+                self.row_len[i] = 0;
+                self.row_cap[i] = 0;
+                continue;
+            }
+            let off = self.row_off[i];
+            let len = self.row_len[i];
+            self.row_off[i] = new_pool.len();
+            self.row_cap[i] = len;
+            new_pool.extend_from_slice(&self.pool[off..off + len]);
+        }
+        self.pool = new_pool;
+        self.pool_garbage = 0;
+    }
+
     /// Adds a new node and returns its id. Ids are never reused.
     pub fn add_node(&mut self) -> NodeId {
-        let id = NodeId(u32::try_from(self.slots.len()).unwrap_or(u32::MAX));
-        self.slots.push(Some(Vec::new()));
+        let id = NodeId(u32::try_from(self.row_off.len()).unwrap_or(u32::MAX));
+        self.row_off.push(0);
+        self.row_len.push(0);
+        self.row_cap.push(0);
+        self.alive.push(true);
         self.live_pos.push(self.live.len());
         self.live.push(id);
         self.bump_epoch();
@@ -146,39 +264,42 @@ impl Graph {
     ///
     /// [`NetError::UnknownNode`] if the node does not exist or already left.
     pub fn remove_node(&mut self, id: NodeId) -> Result<()> {
-        let neighbors = self
-            .slots
-            .get_mut(id.0 as usize)
-            .and_then(Option::take)
-            .ok_or(NetError::UnknownNode(id))?;
+        if !self.contains(id) {
+            return Err(NetError::UnknownNode(id));
+        }
+        let i = id.0 as usize;
+        let neighbors: Vec<NodeId> = self.row(i).to_vec();
+        self.alive[i] = false;
+        self.pool_garbage += self.row_cap[i];
+        self.row_off[i] = 0;
+        self.row_len[i] = 0;
+        self.row_cap[i] = 0;
         self.edge_count -= neighbors.len();
         self.bump_epoch();
         self.record_change(id);
         for nb in neighbors {
-            if let Some(Some(list)) = self.slots.get_mut(nb.0 as usize) {
-                if let Some(pos) = list.iter().position(|&x| x == id) {
-                    list.swap_remove(pos);
-                    self.record_change(nb);
-                }
+            if self.contains(nb) && self.remove_neighbor(nb, id) {
+                self.record_change(nb);
             }
         }
         // Remove from the dense live list by swap-remove. The list is
-        // non-empty here (the node we just took was in it).
-        let pos = self.live_pos[id.0 as usize];
-        self.live_pos[id.0 as usize] = usize::MAX;
+        // non-empty here (the node we just marked dead was in it).
+        let pos = self.live_pos[i];
+        self.live_pos[i] = usize::MAX;
         if let Some(last) = self.live.pop() {
             if last != id {
                 self.live[pos] = last;
                 self.live_pos[last.0 as usize] = pos;
             }
         }
+        self.maybe_compact();
         Ok(())
     }
 
     /// Whether `id` refers to a live node.
     #[must_use]
     pub fn contains(&self, id: NodeId) -> bool {
-        matches!(self.slots.get(id.0 as usize), Some(Some(_)))
+        self.alive.get(id.0 as usize).copied().unwrap_or(false)
     }
 
     /// Adds the undirected edge `{a, b}`. Adding an existing edge is a
@@ -201,14 +322,8 @@ impl Graph {
         if self.neighbors(a).contains(&b) {
             return Ok(false);
         }
-        let Some(Some(la)) = self.slots.get_mut(a.0 as usize) else {
-            return Err(NetError::UnknownNode(a));
-        };
-        la.push(b);
-        let Some(Some(lb)) = self.slots.get_mut(b.0 as usize) else {
-            return Err(NetError::UnknownNode(b));
-        };
-        lb.push(a);
+        self.push_neighbor(a, b);
+        self.push_neighbor(b, a);
         self.edge_count += 1;
         self.bump_epoch();
         self.record_change(a);
@@ -229,19 +344,10 @@ impl Graph {
         if !self.contains(b) {
             return Err(NetError::UnknownNode(b));
         }
-        let Some(Some(la)) = self.slots.get_mut(a.0 as usize) else {
-            return Err(NetError::UnknownNode(a));
-        };
-        let Some(pos) = la.iter().position(|&x| x == b) else {
+        if !self.remove_neighbor(a, b) {
             return Ok(false);
-        };
-        la.swap_remove(pos);
-        let Some(Some(lb)) = self.slots.get_mut(b.0 as usize) else {
-            return Err(NetError::UnknownNode(b));
-        };
-        if let Some(pos) = lb.iter().position(|&x| x == a) {
-            lb.swap_remove(pos);
         }
+        self.remove_neighbor(b, a);
         self.edge_count -= 1;
         self.bump_epoch();
         self.record_change(a);
@@ -258,16 +364,21 @@ impl Graph {
     /// The neighbor list of `id` (empty slice for unknown nodes).
     #[must_use]
     pub fn neighbors(&self, id: NodeId) -> &[NodeId] {
-        self.slots
-            .get(id.0 as usize)
-            .and_then(|s| s.as_deref())
-            .unwrap_or(&[])
+        if self.contains(id) {
+            self.row(id.0 as usize)
+        } else {
+            &[]
+        }
     }
 
     /// Degree of `id` (0 for unknown nodes).
     #[must_use]
     pub fn degree(&self, id: NodeId) -> usize {
-        self.neighbors(id).len()
+        if self.contains(id) {
+            self.row_len[id.0 as usize]
+        } else {
+            0
+        }
     }
 
     /// Number of live nodes.
@@ -315,7 +426,7 @@ impl Graph {
         if !self.contains(source) {
             return Err(NetError::UnknownNode(source));
         }
-        let mut dist: Vec<Option<u32>> = vec![None; self.slots.len()];
+        let mut dist: Vec<Option<u32>> = vec![None; self.row_off.len()];
         dist[source.0 as usize] = Some(0);
         let mut queue = std::collections::VecDeque::from([source]);
         let mut out = Vec::with_capacity(self.live.len());
@@ -352,7 +463,7 @@ impl Graph {
     /// The node set of the largest connected component.
     #[must_use]
     pub fn largest_component(&self) -> Vec<NodeId> {
-        let mut seen = vec![false; self.slots.len()];
+        let mut seen = vec![false; self.row_off.len()];
         let mut best: Vec<NodeId> = Vec::new();
         for &start in &self.live {
             if seen[start.0 as usize] {
@@ -382,7 +493,7 @@ impl Graph {
     /// Metropolis walk carries the laziness factor ½ (paper Theorem 2).
     #[must_use]
     pub fn is_bipartite(&self) -> bool {
-        let mut color: Vec<Option<bool>> = vec![None; self.slots.len()];
+        let mut color: Vec<Option<bool>> = vec![None; self.row_off.len()];
         for &start in &self.live {
             if color[start.0 as usize].is_some() {
                 continue;
@@ -413,7 +524,19 @@ impl Graph {
     /// id-indexed side tables).
     #[must_use]
     pub fn id_upper_bound(&self) -> usize {
-        self.slots.len()
+        self.row_off.len()
+    }
+
+    /// Heap bytes held by the adjacency arena and its per-row tables
+    /// (excluding the journal and live-list bookkeeping). Exposed so
+    /// benchmarks can track resident bytes/node across representations.
+    #[must_use]
+    pub fn adjacency_bytes(&self) -> usize {
+        self.pool.capacity() * std::mem::size_of::<NodeId>()
+            + self.row_off.capacity() * std::mem::size_of::<usize>()
+            + self.row_len.capacity() * std::mem::size_of::<usize>()
+            + self.row_cap.capacity() * std::mem::size_of::<usize>()
+            + self.alive.capacity() * std::mem::size_of::<bool>()
     }
 }
 
@@ -668,6 +791,52 @@ mod tests {
         let new_mark = g.epoch();
         g.add_edge(ids[2], ids[3]).unwrap();
         assert_eq!(g.changes_since(new_mark).unwrap(), vec![ids[2], ids[3]]);
+    }
+
+    #[test]
+    fn changes_since_future_mark_demands_rebuild() {
+        // A mark beyond the current epoch (taken from a different graph,
+        // or from one that has since been swapped out underneath the
+        // cache) must force a rebuild, never report "no changes".
+        let (mut g, a, b, _) = triangle();
+        assert!(g.changes_since(g.epoch() + 1).is_none());
+        assert!(g.changes_since(u64::MAX).is_none());
+        // Equality still means "unchanged"…
+        assert_eq!(g.changes_since(g.epoch()).unwrap(), Vec::<NodeId>::new());
+        // …and ordinary past marks still patch.
+        let mark = g.epoch();
+        g.remove_edge(a, b).unwrap();
+        assert_eq!(g.changes_since(mark).unwrap(), vec![a, b]);
+    }
+
+    #[test]
+    fn arena_relocation_and_compaction_preserve_adjacency() {
+        // Grow a hub far past the initial row capacity (forcing repeated
+        // relocations), delete enough rows to trigger compaction, and
+        // check the surviving adjacency is exactly right throughout.
+        let mut g = Graph::new();
+        let hub = g.add_node();
+        let mut spokes = Vec::new();
+        for _ in 0..600 {
+            let s = g.add_node();
+            g.add_edge(hub, s).unwrap();
+            spokes.push(s);
+        }
+        assert_eq!(g.degree(hub), 600);
+        // Appends preserve insertion order.
+        assert_eq!(g.neighbors(hub).to_vec(), spokes);
+        // Remove most spokes: garbage accumulates, compaction fires.
+        for s in spokes.iter().skip(100) {
+            g.remove_node(*s).unwrap();
+        }
+        assert_eq!(g.degree(hub), 100);
+        for s in &spokes[..100] {
+            assert!(g.has_edge(hub, *s));
+            assert_eq!(g.neighbors(*s), &[hub]);
+        }
+        // Handshake lemma still holds.
+        let degree_sum: usize = g.nodes().map(|v| g.degree(v)).sum();
+        assert_eq!(degree_sum, 2 * g.edge_count());
     }
 
     #[test]

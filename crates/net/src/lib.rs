@@ -12,6 +12,10 @@
 //!   Barabási–Albert for the SETI@home-like computing network) plus
 //!   Erdős–Rényi, ring, Watts–Strogatz, complete, and star graphs for
 //!   tests and ablations.
+//! * [`store`] — the flat structure-of-arrays node store for
+//!   million-node overlays: u32 ids with free-list recycling behind
+//!   generation-tagged handles, CSR adjacency in one shared arena, SoA
+//!   value/weight/liveness columns, and a dirty-row change journal.
 //! * [`churn`] — the node join/leave process that drives the dynamic
 //!   membership of `V` (and hence of the stored relation).
 //! * [`metrics`] — degree distributions, power-law exponent estimation,
@@ -26,12 +30,14 @@ pub mod churn;
 pub mod error;
 pub mod graph;
 pub mod metrics;
+pub mod store;
 pub mod topology;
 
 pub use churn::{ChurnConfig, ChurnEvent, ChurnProcess};
 pub use error::NetError;
 pub use graph::{Graph, NodeId};
 pub use metrics::{degree_distribution, estimate_power_law_alpha, DegreeStats};
+pub use store::{NodeRef, NodeStore};
 
 /// Result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, NetError>;

@@ -727,6 +727,68 @@ mod tests {
         assert_snapshots_equal(&cache.snapshot, &cold);
     }
 
+    /// Pins the journal-bound decision from the cache's point of view:
+    /// a small inter-occasion delta patches, while a delta past the
+    /// journal bound must produce `Built` — and the rebuilt snapshot
+    /// matches a cold build (never a silently-reused stale CSR).
+    #[test]
+    fn journal_bound_decides_patch_vs_build() {
+        let mut g = topology::ring(16).unwrap();
+        let w = |_: NodeId| 1.0;
+        let mut cache = SnapshotCache::new();
+        cache.refresh(&g, &w, true).unwrap();
+
+        // Under the bound: a handful of mutations → Patched.
+        let v = g.add_node();
+        g.add_edge(v, NodeId(0)).unwrap();
+        let (_, kind) = cache.refresh(&g, &w, true).unwrap();
+        assert_eq!(kind, SnapshotRefresh::Patched);
+
+        // Past the bound (JOURNAL_CAP entries): same edge toggled far
+        // more times than the journal retains → Built.
+        for _ in 0..1200 {
+            g.add_edge(v, NodeId(1)).unwrap();
+            g.remove_edge(v, NodeId(1)).unwrap();
+        }
+        let (_, kind) = cache.refresh(&g, &w, true).unwrap();
+        assert_eq!(kind, SnapshotRefresh::Built);
+        assert_snapshots_equal(&cache.snapshot, &OccasionSnapshot::build(&g, &w).unwrap());
+    }
+
+    /// Re-pointing an un-invalidated cache at a *different* graph whose
+    /// epoch is lower than the cached mark must force `Built`. Before
+    /// `Graph::changes_since` rejected future marks this path silently
+    /// "patched" with an empty dirty set and served the previous
+    /// graph's adjacency.
+    #[test]
+    fn repointed_graph_with_lower_epoch_forces_build() {
+        // Drive the first graph's epoch high.
+        let mut old = topology::ring(24).unwrap();
+        for _ in 0..50 {
+            let a = NodeId(0);
+            let b = NodeId(5);
+            old.remove_edge(a, b).ok();
+            old.add_edge(a, b).ok();
+        }
+        let w = |_: NodeId| 1.0;
+        let mut cache = SnapshotCache::new();
+        cache.refresh(&old, &w, true).unwrap();
+
+        // A fresh graph starts from epoch ~n: far below the cached mark.
+        let fresh = topology::ring(8).unwrap();
+        assert!(fresh.epoch() < old.epoch());
+        let (_, kind) = cache.refresh(&fresh, &w, true).unwrap();
+        assert_eq!(
+            kind,
+            SnapshotRefresh::Built,
+            "stale cache must rebuild for a graph it has never seen"
+        );
+        assert_snapshots_equal(
+            &cache.snapshot,
+            &OccasionSnapshot::build(&fresh, &w).unwrap(),
+        );
+    }
+
     #[test]
     fn invalid_weight_invalidates_cache() {
         let g = topology::ring(8).unwrap();

@@ -13,16 +13,27 @@
 //! versus the system's running estimate, plus totals of snapshots, samples
 //! and messages, and the realised precision-violation rates that verify
 //! the `(δ, ε, p)` guarantee.
+//!
+//! For million-node overlays, [`runner::run_events`] swaps the dense tick
+//! loop for a calendar [`events::EventQueue`] (cost ∝ due ticks, not the
+//! horizon), and [`flat::run_flat`] runs a sharded deterministic
+//! simulation directly over the flat [`digest_net::NodeStore`] —
+//! per-shard counter-split RNG streams, lock-free claim/publish, ordered
+//! merge — so worker counts {1, k} produce byte-identical reports.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod events;
+pub mod flat;
 pub mod parallel;
 pub mod runner;
 mod sync;
 pub mod trace;
 
+pub use events::EventQueue;
+pub use flat::{run_flat, FlatReport, FlatSimConfig};
 pub use parallel::{run_replications, summarize, MetricSummary};
-pub use runner::{run, run_mux, run_observed, RunConfig};
+pub use runner::{run, run_events, run_mux, run_observed, RunConfig};
 pub use trace::{RunReport, TraceRecord};

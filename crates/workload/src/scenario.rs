@@ -30,6 +30,31 @@ pub trait Workload {
     /// any churn for the new tick.
     fn advance(&mut self, rng: &mut dyn RngCore);
 
+    /// The next tick (strictly after [`Workload::current_tick`]) at
+    /// which this workload has autonomous activity — value updates or
+    /// churn — or `None` when it is active every tick.
+    ///
+    /// This is a *contract* with the event-driven runner: a workload
+    /// returning sparse activity promises that advancing through the
+    /// quiet ticks in between neither changes observable state nor
+    /// consumes randomness. The default (`None`, dense) is always safe:
+    /// it makes the event-driven runner execute every tick, which is
+    /// byte-identical to the classic tick loop.
+    fn next_activity(&self) -> Option<u64> {
+        None
+    }
+
+    /// Advances until [`Workload::current_tick`] reaches `tick + 1`
+    /// (the state the classic tick loop has after its iteration
+    /// `tick`). The default replays [`Workload::advance`] once per
+    /// elapsed tick; sparse workloads may override it to jump the
+    /// quiet span in O(activity) instead of O(ticks).
+    fn advance_to(&mut self, tick: u64, rng: &mut dyn RngCore) {
+        while self.current_tick() <= tick {
+            self.advance(rng);
+        }
+    }
+
     /// Oracle: the exact current aggregate `X[t]` (AVG of
     /// [`Workload::expr`]); ground truth for precision verification.
     fn exact_aggregate(&self) -> f64;

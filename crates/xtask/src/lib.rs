@@ -111,6 +111,7 @@ pub const SIM_VISIBLE_CRATES: &[&str] = R2_CRATES;
 pub const R5_SEEDING_MODULES: &[&str] = &[
     "crates/sampling/src/executor.rs",
     "crates/sim/src/parallel.rs",
+    "crates/sim/src/flat.rs",
 ];
 
 /// Path of the lint allowlist, relative to the workspace root.

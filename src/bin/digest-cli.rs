@@ -59,6 +59,7 @@ struct Options {
     audit: bool,
     audit_json: Option<String>,
     trace_out: Option<String>,
+    event_loop: bool,
     mux: bool,
     queries_spec: Option<String>,
     statements: Vec<String>,
@@ -70,9 +71,14 @@ fn usage() -> ! {
          [--scheduler all|pred<K>] [--estimator indep|rpt] [--seed S] \
          [--sampling-workers N] [--telemetry out.jsonl] [--audit] \
          [--audit-json report.json] [--trace-out trace.json] \
-         [--mux] [--queries N[@delta,epsilon,p]] \
+         [--event-loop] [--mux] [--queries N[@delta,epsilon,p]] \
          \"SELECT ...\" [\"SELECT ...\"]\n\
          \n\
+         --event-loop drives independent engines from scheduler due-time \
+         hints instead of a dense tick sweep: ticks where every engine \
+         reports a pure idle hold and the workload is quiet are skipped \
+         outright. The trace is byte-identical to the dense loop by \
+         contract (hints only ever name provably idle spans).\n\
          --mux serves all statements through one shared QueryMux (shared \
          sample panels, coalesced PRED-k rounds) instead of independent \
          engines; --queries additionally registers N generated AVG \
@@ -137,6 +143,7 @@ fn parse_args() -> Options {
         audit: false,
         audit_json: None,
         trace_out: None,
+        event_loop: false,
         mux: false,
         queries_spec: None,
         statements: Vec::new(),
@@ -147,6 +154,7 @@ fn parse_args() -> Options {
             "--world" => opts.world = args.next().unwrap_or_else(|| usage()),
             "--telemetry" => opts.telemetry = Some(args.next().unwrap_or_else(|| usage())),
             "--audit" => opts.audit = true,
+            "--event-loop" => opts.event_loop = true,
             "--mux" => opts.mux = true,
             "--queries" => {
                 opts.queries_spec = Some(args.next().unwrap_or_else(|| usage()));
@@ -456,9 +464,13 @@ fn run<W: Workload>(mut world: W, opts: &Options) -> Result<(), Box<dyn std::err
         .min(world.duration());
     let mut rng = ChaCha8Rng::seed_from_u64(opts.seed);
     let mut origin = world.graph().nodes().next().ok_or("world has no nodes")?;
-    for tick in 0..ticks {
+    let mut tick = 0u64;
+    while tick < ticks {
         digest_telemetry::set_tick(tick);
-        world.advance(&mut rng);
+        // `advance_to` replays one `advance` per consecutive tick, so the
+        // dense path is unchanged; under --event-loop it carries sparse
+        // workloads across skipped quiet spans without touching the RNG.
+        world.advance_to(tick, &mut rng);
         if !world.graph().contains(origin) {
             origin = world.graph().random_node(&mut rng)?;
         }
@@ -506,6 +518,29 @@ fn run<W: Workload>(mut world: W, opts: &Options) -> Result<(), Box<dyn std::err
                 );
             }
         }
+        // Dense sweep unless --event-loop: then skip straight to the
+        // earliest tick any engine or the workload needs. A `None` hint
+        // from either side means "cannot predict" and forces tick + 1,
+        // so the skip only ever covers provably idle spans and the trace
+        // stays byte-identical to the dense loop.
+        tick = if opts.event_loop {
+            let mut due = Some(u64::MAX);
+            for engine in &mut engines {
+                match engine.next_due(tick) {
+                    Some(t) => due = due.map(|d: u64| d.min(t)),
+                    None => {
+                        due = None;
+                        break;
+                    }
+                }
+            }
+            match (world.next_activity(), due) {
+                (Some(w), Some(s)) => w.min(s).max(tick + 1),
+                _ => tick + 1,
+            }
+        } else {
+            tick + 1
+        };
     }
 
     println!();
