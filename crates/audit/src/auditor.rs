@@ -39,6 +39,11 @@ pub struct AuditorConfig {
     pub confidence: f64,
     /// Index of the query within the run (stamped on events).
     pub query_index: u64,
+    /// Whether `ε` is *relative* to the exact value (the `COUNT
+    /// DISTINCT` contract of DESIGN.md §17: an occasion violates when
+    /// `|err| > ε · max(|exact|, 1)`), rather than the paper's absolute
+    /// §II half-width.
+    pub relative_epsilon: bool,
 }
 
 /// One row of the confidence-calibration table.
@@ -138,7 +143,15 @@ impl Auditor {
     ) {
         let error = estimate - exact;
         let abs_error = error.abs();
-        let violation = abs_error > self.config.epsilon;
+        // Kind-specific ε-semantics (DESIGN.md §17): a relative contract
+        // scales the probed half-widths by the occasion's exact value
+        // (floored at 1 so an empty relation cannot zero the band).
+        let scale = if self.config.relative_epsilon {
+            exact.abs().max(1.0)
+        } else {
+            1.0
+        };
+        let violation = abs_error > self.config.epsilon * scale;
         let staleness = tick - self.last_occasion_tick.unwrap_or(tick);
         self.last_occasion_tick = Some(tick);
 
@@ -151,7 +164,7 @@ impl Auditor {
         self.staleness_sum += staleness;
         self.max_staleness = self.max_staleness.max(staleness);
         for (covered, hw) in self.covered.iter_mut().zip(self.half_widths) {
-            if abs_error <= hw {
+            if abs_error <= hw * scale {
                 *covered += 1;
             }
         }
@@ -221,6 +234,7 @@ impl Auditor {
             query,
             delta: self.config.delta,
             epsilon: self.config.epsilon,
+            relative_epsilon: self.config.relative_epsilon,
             confidence: self.config.confidence,
             occasions: self.occasions,
             violations: self.violations,
@@ -260,6 +274,9 @@ pub struct AuditReport {
     pub delta: f64,
     /// Promised CI half-width `ε`.
     pub epsilon: f64,
+    /// Whether `ε` was audited relative to the exact value (DESIGN.md
+    /// §17 `COUNT DISTINCT` semantics) or as an absolute §II half-width.
+    pub relative_epsilon: bool,
     /// Promised confidence `p`.
     pub confidence: f64,
     /// Reporting occasions audited.
@@ -358,6 +375,9 @@ impl AuditReport {
             "  occasions {:>6}   ticks {:>6}   mean staleness {:.2}   max {}\n",
             self.occasions, self.ticks, self.mean_staleness, self.max_staleness
         ));
+        if self.relative_epsilon {
+            out.push_str("  ε-semantics: relative (±ε · max(|exact|, 1))\n");
+        }
         out.push_str(&format!(
             "  ε-violations {:>3}   rate {:.4}   promised ≤ {:.4}   gate ≤ {:.4}\n",
             self.violations,
@@ -407,6 +427,7 @@ impl AuditReport {
             "query": self.query.clone(),
             "delta": self.delta,
             "epsilon": self.epsilon,
+            "relative_epsilon": self.relative_epsilon,
             "confidence": self.confidence,
             "occasions": self.occasions,
             "violations": self.violations,
@@ -447,8 +468,27 @@ mod tests {
             epsilon,
             confidence: p,
             query_index: 0,
+            relative_epsilon: false,
         })
         .unwrap()
+    }
+
+    #[test]
+    fn relative_epsilon_scales_the_violation_band() {
+        let mut a = Auditor::new(AuditorConfig {
+            delta: 1.0,
+            epsilon: 0.1,
+            confidence: 0.95,
+            query_index: 0,
+            relative_epsilon: true,
+        })
+        .unwrap();
+        a.observe_occasion(0, 105.0, 100.0, 8, 10); // |err| 5 ≤ 0.1·100
+        a.observe_occasion(1, 120.0, 100.0, 8, 10); // |err| 20 > 0.1·100
+        a.observe_occasion(2, 0.05, 0.0, 8, 10); // band floored at ε·1
+        assert_eq!(a.violations(), 1);
+        let r = a.report("q".to_string(), 3, 30, 0, 0, 0);
+        assert!(r.relative_epsilon);
     }
 
     #[test]
@@ -458,6 +498,7 @@ mod tests {
             epsilon: 0.0,
             confidence: 0.95,
             query_index: 0,
+            relative_epsilon: false,
         })
         .is_err());
         assert!(Auditor::new(AuditorConfig {
@@ -465,6 +506,7 @@ mod tests {
             epsilon: 1.0,
             confidence: 1.0,
             query_index: 0,
+            relative_epsilon: false,
         })
         .is_err());
     }

@@ -20,6 +20,7 @@ pub struct QueryAudit {
     query: String,
     delta: f64,
     epsilon: f64,
+    relative_epsilon: bool,
     digest_messages: u64,
     ticks: u64,
     resolution_violations: u64,
@@ -34,11 +35,16 @@ impl QueryAudit {
     ///
     /// As for [`Auditor::new`].
     pub fn new(query: &ContinuousQuery, query_index: u64) -> Result<Self> {
+        // Kind-specific ε-semantics (DESIGN.md §17): `COUNT DISTINCT`
+        // promises a relative half-width; everything else keeps the
+        // paper's absolute §II contract.
+        let relative_epsilon = query.op.uses_relative_epsilon();
         let auditor = Auditor::new(AuditorConfig {
             delta: query.precision.delta,
             epsilon: query.precision.epsilon,
             confidence: query.precision.confidence,
             query_index,
+            relative_epsilon,
         })?;
         let ledger = MessageLedger::new(
             query.expr.clone(),
@@ -51,6 +57,7 @@ impl QueryAudit {
             query: query.to_string(),
             delta: query.precision.delta,
             epsilon: query.precision.epsilon,
+            relative_epsilon,
             digest_messages: 0,
             ticks: 0,
             resolution_violations: 0,
@@ -98,9 +105,15 @@ impl QueryAudit {
             );
         }
         // Pointwise resolution check (paper §II): between occasions the
-        // *reported* result may lag the truth by at most δ + ε. Only
+        // *reported* result may lag the truth by at most δ + ε (with ε
+        // scaled per the kind's semantics — DESIGN.md §17). Only
         // meaningful once the system has produced its first report.
-        if self.started && (outcome.estimate - exact).abs() > self.delta + self.epsilon {
+        let eps_band = if self.relative_epsilon {
+            self.epsilon * exact.abs().max(1.0)
+        } else {
+            self.epsilon
+        };
+        if self.started && (outcome.estimate - exact).abs() > self.delta + eps_band {
             self.resolution_violations += 1;
         }
     }

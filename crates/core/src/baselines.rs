@@ -98,7 +98,7 @@ impl QuerySystem for PushAllEngine {
         let mut sum = 0.0;
         let mut count = 0u64;
         let mut values = Vec::new();
-        let want_median = matches!(self.query.op, AggregateOp::Median);
+        let want_median = matches!(self.query.op, AggregateOp::Median) || self.query.op.is_sketch();
         for (handle, tuple) in ctx.db.iter() {
             // Every tuple is pushed (cost) — the querier filters locally.
             messages += self.distances.get(ctx.graph, ctx.origin, handle.node);
@@ -122,14 +122,40 @@ impl QuerySystem for PushAllEngine {
             }
             AggregateOp::Sum => sum,
             AggregateOp::Count => count as f64,
-            AggregateOp::Median => {
+            AggregateOp::Median | AggregateOp::Percentile { .. } => {
                 if values.is_empty() {
                     self.current_estimate
                 } else {
                     values.sort_by(f64::total_cmp);
-                    digest_stats::sample_quantile(&values, 0.5)
+                    // quantile_rank is Some for both arms by construction.
+                    let q = self.query.op.quantile_rank().unwrap_or(0.5);
+                    digest_stats::sample_quantile(&values, q)
                         .map_err(digest_sampling::SamplingError::from)
                         .map_err(CoreError::from)?
+                }
+            }
+            // Flooding pushes every tuple to the querier, which can then
+            // count cells exactly (DESIGN.md §17 cell domain).
+            AggregateOp::Distinct => {
+                let cells: std::collections::BTreeSet<i64> = values
+                    .iter()
+                    .map(|v| digest_sketch::value_cell(*v))
+                    .collect();
+                cells.len() as f64
+            }
+            AggregateOp::TopK { k } => {
+                if values.is_empty() {
+                    self.current_estimate
+                } else {
+                    let mut counts: std::collections::BTreeMap<i64, u64> =
+                        std::collections::BTreeMap::new();
+                    for v in &values {
+                        *counts.entry(digest_sketch::value_cell(*v)).or_insert(0) += 1;
+                    }
+                    let mut entries: Vec<(i64, u64)> = counts.into_iter().collect();
+                    entries.sort_by(|(ka, ca), (kb, cb)| cb.cmp(ca).then(ka.cmp(kb)));
+                    let top: u64 = entries.iter().take(usize::from(k)).map(|(_, c)| *c).sum();
+                    (top as f64 / values.len() as f64).clamp(0.0, 1.0)
                 }
             }
         };

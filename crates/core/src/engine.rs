@@ -77,6 +77,9 @@ enum EstimatorImpl {
     /// `MEDIAN` queries ignore the configured estimator kind: regression
     /// estimation corrects means, not order statistics.
     Quantile(crate::quantile_est::QuantileEstimator),
+    /// Sketch-served kinds (`PERCENTILE`/`COUNT DISTINCT`/`TOPK`) sweep
+    /// per-node mergeable sketches instead of sampling (DESIGN.md §17).
+    Sketch(crate::sketch_est::SketchSweepEstimator),
 }
 
 /// The Digest query engine for one continuous query (paper §III,
@@ -136,7 +139,9 @@ impl DigestEngine {
             SchedulerKind::All => Box::new(AllScheduler::new()),
             SchedulerKind::Pred(k) => Box::new(PredScheduler::new(k)?),
         };
-        let estimator = if matches!(query.op, AggregateOp::Median) {
+        let estimator = if query.op.is_sketch() {
+            EstimatorImpl::Sketch(crate::sketch_est::SketchSweepEstimator::for_query(&query)?)
+        } else if matches!(query.op, AggregateOp::Median) {
             EstimatorImpl::Quantile(crate::quantile_est::QuantileEstimator::new(
                 0.5,
                 config.rpt.pilot_size.max(2),
@@ -163,13 +168,11 @@ impl DigestEngine {
             reset_length: config.sampling.reset_length.saturating_mul(2),
             ..config.sampling
         })?;
-        let est_name = if matches!(query.op, AggregateOp::Median) {
-            "QUANTILE"
-        } else {
-            match config.estimator {
-                EstimatorKind::Independent => "INDEP",
-                EstimatorKind::Repeated => "RPT",
-            }
+        let est_name = match &estimator {
+            EstimatorImpl::Sketch(s) => s.name(),
+            EstimatorImpl::Quantile(_) => "QUANTILE",
+            EstimatorImpl::Indep(_) => "INDEP",
+            EstimatorImpl::Rpt(_) => "RPT",
         };
         let name = format!("{}+{}", scheduler.name(), est_name);
         Ok(Self {
@@ -282,7 +285,13 @@ impl DigestEngine {
     /// measured selectivity: the qualifying population is `N̂ · sel`.
     fn scale(&self, avg: f64, selectivity: f64) -> f64 {
         match self.query.op {
-            AggregateOp::Avg | AggregateOp::Median => avg,
+            // Sketch kinds finalize to their scalar directly — no
+            // scaling by N̂ (DESIGN.md §17).
+            AggregateOp::Avg
+            | AggregateOp::Median
+            | AggregateOp::Percentile { .. }
+            | AggregateOp::Distinct
+            | AggregateOp::TopK { .. } => avg,
             AggregateOp::Sum => avg * selectivity * self.size_estimate.unwrap_or(0.0),
             AggregateOp::Count => selectivity * self.size_estimate.unwrap_or(0.0),
         }
@@ -326,12 +335,79 @@ impl QuerySystem for DigestEngine {
         let _tick_span = digest_telemetry::span(Stage::EngineTick);
         let mut messages = 0u64;
 
-        // Relation size, if the aggregate needs it.
+        // Relation size, if the aggregate needs it. Sketch sweeps never
+        // do: their scalar needs no N̂ scaling (DESIGN.md §17), and a
+        // capture–recapture round would cost messages and RNG draws for
+        // nothing.
         if !matches!(self.query.op, AggregateOp::Avg)
+            && !self.query.op.is_sketch()
             && (self.size_estimate.is_none()
                 || self.snapshots_since_size_refresh >= self.config.size_refresh_interval)
         {
             messages += self.refresh_size_estimate(ctx, rng)?;
+        }
+
+        // Sketch-served kinds bypass the sampling estimators entirely:
+        // one deterministic sweep over the overlay (DESIGN.md §17).
+        if let EstimatorImpl::Sketch(est) = &mut self.estimator {
+            let eval_span = digest_telemetry::span(Stage::EstimatorEval);
+            let sweep = est.sweep(ctx.db, &self.query.expr, &self.query.predicate)?;
+            drop(eval_span);
+            messages += sweep.messages;
+            let Some(scaled) = sweep.estimate else {
+                // Nothing qualified (e.g. quantile over an empty set):
+                // hold the current result and retry next tick.
+                self.next_snapshot_tick = ctx.tick + 1;
+                self.total_messages += messages;
+                self.total_snapshots += 1;
+                return Ok(TickOutcome {
+                    estimate: self.current_estimate,
+                    updated: false,
+                    snapshot_executed: true,
+                    samples_this_tick: 0,
+                    fresh_samples_this_tick: 0,
+                    messages_this_tick: messages,
+                });
+            };
+            self.current_estimate = scaled;
+            self.started = true;
+            let updated = self.last_reported.is_nan()
+                || (scaled - self.last_reported).abs() >= self.query.precision.delta;
+            if updated {
+                self.last_reported = scaled;
+            }
+            self.scheduler.observe(ctx.tick as f64, scaled);
+            let delay = {
+                let _span = digest_telemetry::span(Stage::SchedulerDecide);
+                self.scheduler.next_delay(self.query.precision.delta)?
+            };
+            self.next_snapshot_tick = ctx.tick + delay;
+            self.total_messages += messages;
+            self.total_samples += sweep.qualifying;
+            self.total_fresh_samples += sweep.fresh_nodes;
+            self.total_snapshots += 1;
+            telemetry::CORE_ENGINE_SNAPSHOTS.inc();
+            telemetry::CORE_ENGINE_MESSAGES.add(messages);
+            telemetry::CORE_ENGINE_SAMPLES.add(sweep.qualifying);
+            if digest_telemetry::events_enabled() {
+                digest_telemetry::emit(
+                    "engine.snapshot",
+                    &[
+                        ("system", Field::Str(&self.name)),
+                        ("estimate", Field::F64(scaled)),
+                        ("messages", Field::U64(messages)),
+                        ("samples", Field::U64(sweep.qualifying)),
+                    ],
+                );
+            }
+            return Ok(TickOutcome {
+                estimate: scaled,
+                updated,
+                snapshot_executed: true,
+                samples_this_tick: sweep.qualifying,
+                fresh_samples_this_tick: sweep.fresh_nodes,
+                messages_this_tick: messages,
+            });
         }
 
         let eval_span = digest_telemetry::span(Stage::EstimatorEval);
@@ -360,6 +436,10 @@ impl QuerySystem for DigestEngine {
                 &mut self.operator,
                 rng,
             ),
+            // Handled by the early-return sweep path above.
+            EstimatorImpl::Sketch(_) => Err(crate::error::CoreError::InvalidConfig {
+                reason: "sketch estimators take the sweep path",
+            }),
         };
         drop(eval_span);
         let snapshot = match evaluated {

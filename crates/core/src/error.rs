@@ -29,6 +29,8 @@ pub enum CoreError {
     Sampling(digest_sampling::SamplingError),
     /// An error from the statistics layer.
     Stats(digest_stats::StatsError),
+    /// An error from the mergeable-sketch layer.
+    Sketch(digest_sketch::SketchError),
 }
 
 impl fmt::Display for CoreError {
@@ -45,6 +47,7 @@ impl fmt::Display for CoreError {
             CoreError::Db(e) => write!(f, "database error: {e}"),
             CoreError::Sampling(e) => write!(f, "sampling error: {e}"),
             CoreError::Stats(e) => write!(f, "statistics error: {e}"),
+            CoreError::Sketch(e) => write!(f, "sketch error: {e}"),
         }
     }
 }
@@ -55,6 +58,7 @@ impl std::error::Error for CoreError {
             CoreError::Db(e) => Some(e),
             CoreError::Sampling(e) => Some(e),
             CoreError::Stats(e) => Some(e),
+            CoreError::Sketch(e) => Some(e),
             _ => None,
         }
     }
@@ -75,6 +79,12 @@ impl From<digest_sampling::SamplingError> for CoreError {
 impl From<digest_stats::StatsError> for CoreError {
     fn from(e: digest_stats::StatsError) -> Self {
         CoreError::Stats(e)
+    }
+}
+
+impl From<digest_sketch::SketchError> for CoreError {
+    fn from(e: digest_sketch::SketchError) -> Self {
+        CoreError::Sketch(e)
     }
 }
 

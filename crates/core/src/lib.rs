@@ -38,6 +38,7 @@ pub mod quantile_est;
 pub mod query;
 pub mod rpt;
 pub mod scheduler;
+pub mod sketch_est;
 pub mod statement;
 pub mod system;
 pub mod tag;
@@ -55,6 +56,7 @@ pub use quantile_est::QuantileEstimator;
 pub use query::{AggregateOp, ContinuousQuery, Precision};
 pub use rpt::{ForwardCorrection, RepeatedEstimator, RptConfig};
 pub use scheduler::{AllScheduler, PredScheduler, SnapshotScheduler};
+pub use sketch_est::{SketchSweepEstimator, SweepSnapshot};
 pub use system::{
     MuxObserver, NoopMuxObserver, NoopObserver, QuerySystem, TickContext, TickObserver, TickOutcome,
 };

@@ -28,10 +28,10 @@
 //! running the engines standalone, which `tests/mux_equivalence.rs` pins.
 
 use crate::engine::{DigestEngine, EngineConfig, EstimatorKind, SchedulerKind};
-use crate::error::CoreError;
 use crate::query::{AggregateOp, ContinuousQuery};
 use crate::rpt::RptConfig;
 use crate::scheduler::{AllScheduler, PredScheduler, SnapshotScheduler};
+use crate::sketch_est::SketchSweepEstimator;
 use crate::system::{QuerySystem, TickContext, TickOutcome};
 use crate::Result;
 use digest_sampling::{uniform_weight, SamplingConfig, SamplingOperator, SizeEstimator};
@@ -51,6 +51,16 @@ const SELECTIVITY_DECAY: f64 = 0.75;
 /// samples); bounds the rejection-sampling inflation at 8×.
 const SELECTIVITY_FLOOR: f64 = 0.125;
 
+/// Whether a shared-mode member is served by the per-member node sweep
+/// (DESIGN.md §17) instead of the shared CLT-sized tuple panel (Eq. 6).
+/// `MEDIAN` joins the sweep family here: order statistics cannot reuse
+/// the shared CLT sizing, but the mergeable UDDSketch sweep answers them
+/// at rank 0.5 (in unshared mode `MEDIAN` keeps its standalone
+/// [`crate::QuantileEstimator`] engine, byte-identical to before).
+fn sweep_served(op: &AggregateOp) -> bool {
+    op.is_sketch() || matches!(op, AggregateOp::Median)
+}
+
 /// The sampling weight a panel was drawn under — stage one of the
 /// two-stage operator (§V).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -63,6 +73,11 @@ pub enum PanelWeight {
     /// estimation consumes (§V-B); never interchangeable with tuple
     /// panels.
     UniformNode,
+    /// An ascending sweep of every live node with fingerprint-validated
+    /// retained members (DESIGN.md §17): the deterministic "panel" the
+    /// sketch kinds consume. It is not a sample from any distribution,
+    /// so it is never interchangeable with sampled panels.
+    NodeSweep,
 }
 
 /// Identifies the target distribution of a sample panel (§V): two queries
@@ -78,15 +93,24 @@ pub struct PanelKey {
 }
 
 impl PanelKey {
-    /// The key of the panel `query`'s estimator consumes. Every aggregate
-    /// over tuple expressions — `AVG`, `SUM`, `COUNT`, `MEDIAN`, with or
-    /// without predicates — consumes the uniform-over-tuples distribution
-    /// of the two-stage operator (§V), so all queries over one relation
-    /// map to the same key and may share panels.
+    /// The key of the panel `query`'s estimator consumes. Every
+    /// *mean-like* aggregate over tuple expressions — `AVG`, `SUM`,
+    /// `COUNT`, `MEDIAN`, with or without predicates — consumes the
+    /// uniform-over-tuples distribution of the two-stage operator (§V),
+    /// so those queries map to the same key and may share panels. The
+    /// sketch kinds (`PERCENTILE`/`COUNT DISTINCT`/`TOPK` — DESIGN.md
+    /// §17) consume deterministic node sweeps instead and never share
+    /// with sampled panels.
     #[must_use]
-    pub fn for_query(_query: &ContinuousQuery) -> Self {
-        Self {
-            weight: PanelWeight::ContentSize,
+    pub fn for_query(query: &ContinuousQuery) -> Self {
+        if query.op.is_sketch() {
+            Self {
+                weight: PanelWeight::NodeSweep,
+            }
+        } else {
+            Self {
+                weight: PanelWeight::ContentSize,
+            }
         }
     }
 
@@ -350,6 +374,9 @@ pub struct MuxQueryTotals {
 struct SharedQuery {
     query: ContinuousQuery,
     scheduler: Box<dyn SnapshotScheduler + Send>,
+    /// Per-member sweep estimator for the sketch-served kinds (DESIGN.md
+    /// §17); `None` for the panel-served mean-like kinds.
+    sketch: Option<SketchSweepEstimator>,
     started: bool,
     trace: u64,
     current_estimate: f64,
@@ -380,7 +407,14 @@ impl SharedQuery {
 
     fn scale(&self, avg: f64, selectivity: f64, size_estimate: Option<f64>) -> f64 {
         match self.query.op {
-            AggregateOp::Avg | AggregateOp::Median => avg,
+            // The sweep-served kinds (DESIGN.md §17) never take this
+            // path — their sweeps finalize to the scalar directly — but
+            // the passthrough keeps the match total.
+            AggregateOp::Avg
+            | AggregateOp::Median
+            | AggregateOp::Percentile { .. }
+            | AggregateOp::Distinct
+            | AggregateOp::TopK { .. } => avg,
             AggregateOp::Sum => avg * selectivity * size_estimate.unwrap_or(0.0),
             AggregateOp::Count => selectivity * size_estimate.unwrap_or(0.0),
         }
@@ -443,7 +477,7 @@ impl QueryMux {
     ///
     /// # Errors
     ///
-    /// [`CoreError::InvalidConfig`] for invalid scheduler/sampling
+    /// [`crate::CoreError::InvalidConfig`] for invalid scheduler/sampling
     /// settings.
     pub fn new(config: MuxConfig) -> Result<Self> {
         let mode = if config.sharing {
@@ -500,9 +534,9 @@ impl QueryMux {
     ///
     /// # Errors
     ///
-    /// [`CoreError::InvalidConfig`] if a `MEDIAN` query is registered in
-    /// sharing mode (order statistics cannot reuse the shared CLT sizing,
-    /// Eq. 6; run it unshared) or the member scheduler is invalid.
+    /// [`crate::CoreError::InvalidConfig`] if the member scheduler is invalid or
+    /// a sketch-served member's `(ε, p)` contract is degenerate
+    /// (DESIGN.md §17 sizing).
     pub fn register(&mut self, query: ContinuousQuery) -> Result<u64> {
         let id = self.next_id;
         match &mut self.mode {
@@ -521,12 +555,15 @@ impl QueryMux {
                 engines.insert(id, engine);
             }
             Mode::Shared(state) => {
-                if matches!(query.op, AggregateOp::Median) {
-                    return Err(CoreError::InvalidConfig {
-                        reason: "MEDIAN cannot join shared rounds (CLT sizing, Eq. 6, \
-                                 does not cover order statistics); disable sharing",
-                    });
-                }
+                // Sweep-served members (quantiles, distinct count, top-k
+                // mass — DESIGN.md §17; shared-mode MEDIAN rides the
+                // same UDDSketch sweep at rank 0.5) carry a per-member
+                // sweep estimator; mean-like members share the panel.
+                let sketch = if sweep_served(&query.op) {
+                    Some(SketchSweepEstimator::for_query(&query)?)
+                } else {
+                    None
+                };
                 let scheduler: Box<dyn SnapshotScheduler + Send> = match self.config.scheduler {
                     SchedulerKind::All => Box::new(AllScheduler::new()),
                     SchedulerKind::Pred(k) => Box::new(PredScheduler::new(k)?),
@@ -536,6 +573,7 @@ impl QueryMux {
                     SharedQuery {
                         query,
                         scheduler,
+                        sketch,
                         started: false,
                         trace: 0,
                         current_estimate: 0.0,
@@ -797,9 +835,22 @@ fn shared_tick(
     } else {
         plan.members()
     };
+    // Sweep-served members (DESIGN.md §17) are answered by per-member
+    // node sweeps, not the shared tuple panel; CLT sizing, the size
+    // refresh, and the round-cost split cover panel members only.
+    let panel_members: Vec<u64> = participants
+        .iter()
+        .copied()
+        .filter(|id| {
+            state
+                .queries
+                .get(id)
+                .is_some_and(|q| !sweep_served(&q.query.op))
+        })
+        .collect();
 
     let mut round_messages = 0u64;
-    let needs_size = participants.iter().any(|id| {
+    let needs_size = panel_members.iter().any(|id| {
         state
             .queries
             .get(id)
@@ -815,7 +866,7 @@ fn shared_tick(
     // --- Draw the shared panel: sequential CLT sizing at the maximum
     // member requirement (Eq. 6), one `sample_tuples` batch per loop
     // (one occasion seed, one join through the parallel executor). ---
-    let any_nontrivial = participants.iter().any(|id| {
+    let any_nontrivial = panel_members.iter().any(|id| {
         state
             .queries
             .get(id)
@@ -826,7 +877,7 @@ fn shared_tick(
     } else {
         config.rpt.max_samples
     };
-    let mut tallies: BTreeMap<u64, RoundTally> = participants
+    let mut tallies: BTreeMap<u64, RoundTally> = panel_members
         .iter()
         .map(|&id| (id, RoundTally::default()))
         .collect();
@@ -836,7 +887,7 @@ fn shared_tick(
     let eval_span = digest_telemetry::span(Stage::EstimatorEval);
     'rounds: loop {
         let mut want = 0usize;
-        for &id in &participants {
+        for &id in &panel_members {
             let (Some(q), Some(tally)) = (state.queries.get(&id), tallies.get(&id)) else {
                 continue;
             };
@@ -872,7 +923,7 @@ fn shared_tick(
         for (_handle, tuple, cost) in &batch {
             round_messages += cost.total();
             drawn += 1;
-            for &id in &participants {
+            for &id in &panel_members {
                 let (Some(q), Some(tally)) = (state.queries.get(&id), tallies.get_mut(&id)) else {
                     continue;
                 };
@@ -936,15 +987,86 @@ fn shared_tick(
     }
 
     // --- Per-member finalisation in ascending id order: attribute the
-    // round cost, apply each member's δ-semantics, reschedule (§IV-A). ---
-    let m = participants.len().max(1) as u64;
+    // round cost, apply each member's δ-semantics, reschedule (§IV-A).
+    // Panel members split the shared round cost evenly; sweep-served
+    // members pay exactly their own fresh-node pulls (DESIGN.md §17). ---
+    let m = panel_members.len().max(1) as u64;
     let share = round_messages / m;
     let remainder = round_messages % m;
+    let mut panel_index = 0u64;
     let mut finalized: BTreeMap<u64, MuxQueryOutcome> = BTreeMap::new();
-    for (i, &id) in participants.iter().enumerate() {
+    for &id in &participants {
         let Some(q) = state.queries.get_mut(&id) else {
             continue;
         };
+        q.trace = digest_telemetry::begin_trace();
+        digest_telemetry::set_trace(q.trace);
+
+        // Sweep path (DESIGN.md §17): one deterministic node sweep per
+        // occasion, retained members free, δ-semantics as usual.
+        if let Some(sketch) = q.sketch.as_mut() {
+            let snap = sketch.sweep(ctx.db, &q.query.expr, &q.query.predicate)?;
+            q.totals.messages += snap.messages;
+            q.totals.samples += snap.qualifying;
+            q.totals.snapshots += 1;
+            let outcome = if let Some(value) = snap.estimate {
+                q.current_estimate = value;
+                q.started = true;
+                let updated = q.last_reported.is_nan()
+                    || (value - q.last_reported).abs() >= q.query.precision.delta;
+                if updated {
+                    q.last_reported = value;
+                }
+                q.scheduler.observe(ctx.tick as f64, value);
+                let delay = {
+                    let _span = digest_telemetry::span(Stage::SchedulerDecide);
+                    q.scheduler.next_delay(q.query.precision.delta)?
+                };
+                state.planner.set_deadline(id, ctx.tick + delay);
+                TickOutcome {
+                    estimate: value,
+                    updated,
+                    snapshot_executed: true,
+                    samples_this_tick: snap.qualifying,
+                    fresh_samples_this_tick: snap.fresh_nodes,
+                    messages_this_tick: snap.messages,
+                }
+            } else {
+                // No tuple qualified for an order statistic: hold the
+                // previous result and retry next tick (§IV hold rule).
+                state.planner.set_deadline(id, ctx.tick + 1);
+                TickOutcome {
+                    estimate: q.current_estimate,
+                    updated: false,
+                    snapshot_executed: true,
+                    samples_this_tick: 0,
+                    fresh_samples_this_tick: 0,
+                    messages_this_tick: snap.messages,
+                }
+            };
+            if digest_telemetry::events_enabled() {
+                digest_telemetry::emit(
+                    "engine.snapshot",
+                    &[
+                        ("system", Field::Str("MUX")),
+                        ("estimate", Field::F64(outcome.estimate)),
+                        ("messages", Field::U64(outcome.messages_this_tick)),
+                        ("samples", Field::U64(outcome.samples_this_tick)),
+                    ],
+                );
+            }
+            finalized.insert(
+                id,
+                MuxQueryOutcome {
+                    query: id,
+                    outcome,
+                    trace: q.trace,
+                    round: Some(round_trace),
+                },
+            );
+            continue;
+        }
+
         let tally = tallies
             .get(&id)
             .map_or(RoundTally::default(), |t| RoundTally {
@@ -952,9 +1074,8 @@ fn shared_tick(
                 qualifying: t.qualifying,
                 drawn: t.drawn,
             });
-        let messages = share + u64::from((i as u64) < remainder);
-        q.trace = digest_telemetry::begin_trace();
-        digest_telemetry::set_trace(q.trace);
+        let messages = share + u64::from(panel_index < remainder);
+        panel_index += 1;
 
         // Transiently empty qualifying sub-population for a started AVG:
         // hold the previous result, still reschedule (engine semantics).
@@ -1347,15 +1468,121 @@ mod tests {
         assert!(plan.pulled.is_empty());
     }
 
+    /// Regression for the lifted shared-mode `MEDIAN` rejection: a
+    /// `MEDIAN` member now registers, is served by the UDDSketch sweep
+    /// at rank 0.5 (DESIGN.md §17), shares a round with an `AVG`
+    /// member, and lands within the sketch's relative accuracy of the
+    /// exact median.
     #[test]
-    fn median_rejected_in_shared_mode() {
+    fn median_joins_shared_rounds_via_sketch_sweep() {
+        let (graph, db) = world(11);
         let mut mux = QueryMux::new(MuxConfig::default()).unwrap();
-        let q = ContinuousQuery::new(
+        let median = mux
+            .register(ContinuousQuery::new(
+                AggregateOp::Median,
+                Expr::first_attr(&Schema::single("a")),
+                Precision::new(2.0, 1.0, 0.95).unwrap(),
+            ))
+            .unwrap();
+        let avg = mux.register(avg_query(2.0, 2.0, 0.95)).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        let ctx = TickContext {
+            tick: 0,
+            graph: &graph,
+            db: &db,
+            origin: NodeId(0),
+        };
+        let out = mux.on_tick_mux(&ctx, &mut rng).unwrap();
+        assert_eq!(out.len(), 2);
+        // Both members are served from the same round.
+        assert!(out.iter().all(|o| o.outcome.snapshot_executed));
+        assert_eq!(out[0].round, out[1].round);
+        assert!(out[0].round.is_some());
+        let exact = ContinuousQuery::new(
             AggregateOp::Median,
-            Expr::first_attr(&Schema::single("a")),
+            Expr::first_attr(db.schema()),
             Precision::new(2.0, 1.0, 0.95).unwrap(),
+        )
+        .oracle(&db)
+        .unwrap();
+        let got = out
+            .iter()
+            .find(|o| o.query == median)
+            .unwrap()
+            .outcome
+            .estimate;
+        assert!(
+            (got - exact).abs() <= 0.5,
+            "median sweep {got} vs exact {exact}"
         );
-        assert!(mux.register(q).is_err());
+        // The sweep pays one message per node, split from no one.
+        let sweep_cost = mux.query_totals(median).unwrap().messages;
+        assert_eq!(sweep_cost, 8, "one fresh pull per live node");
+        let total = mux.query_totals(avg).unwrap().messages + sweep_cost;
+        assert_eq!(total, mux.total_messages());
+    }
+
+    /// All three sketch kinds (DESIGN.md §17) register in shared mode,
+    /// share rounds, and report within their contracts; retained sweep
+    /// members cost nothing on a static relation.
+    #[test]
+    fn sketch_kinds_share_rounds_and_retain_members() {
+        let (graph, db) = world(13);
+        let mut mux = QueryMux::new(MuxConfig::default()).unwrap();
+        let schema = Schema::single("a");
+        let mk = |op| {
+            ContinuousQuery::new(
+                op,
+                Expr::first_attr(&schema),
+                Precision::new(1.0, 0.5, 0.95).unwrap(),
+            )
+        };
+        let p90 = mux
+            .register(mk(AggregateOp::Percentile { q_permille: 900 }))
+            .unwrap();
+        let distinct = mux.register(mk(AggregateOp::Distinct)).unwrap();
+        let topk = mux.register(mk(AggregateOp::TopK { k: 3 })).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(14);
+        let mut messages_after_first = 0;
+        for tick in 0..6 {
+            let ctx = TickContext {
+                tick,
+                graph: &graph,
+                db: &db,
+                origin: NodeId(0),
+            };
+            let out = mux.on_tick_mux(&ctx, &mut rng).unwrap();
+            for o in &out {
+                if !o.outcome.snapshot_executed {
+                    continue;
+                }
+                let q = mux.query(o.query).unwrap().clone();
+                let exact = q.oracle(&db).unwrap();
+                let tol = if matches!(q.op, AggregateOp::Distinct) {
+                    // Relative ε-semantics (§II adapted per DESIGN.md §17).
+                    q.precision.epsilon * exact.max(1.0)
+                } else {
+                    q.precision.epsilon
+                };
+                assert!(
+                    (o.outcome.estimate - exact).abs() <= tol,
+                    "{q}: estimate {} vs exact {exact}",
+                    o.outcome.estimate
+                );
+            }
+            if tick == 0 {
+                messages_after_first = mux.total_messages();
+                assert!(messages_after_first > 0);
+            }
+        }
+        // Static relation: every later sweep retains all members at zero
+        // message cost (§IV-B2 retain economics).
+        assert_eq!(mux.total_messages(), messages_after_first);
+        for id in [p90, distinct, topk] {
+            let totals = mux.query_totals(id).unwrap();
+            assert_eq!(totals.messages, 8, "first sweep pulls all 8 nodes");
+            assert!(totals.snapshots >= 1);
+        }
     }
 
     #[test]

@@ -33,6 +33,59 @@ pub enum AggregateOp {
     /// distribution-free confidence interval (an extension beyond the
     /// paper's operations; see `quantile_est`).
     Median,
+    /// `PERCENTILE(expression, q)` — continuous approximate quantile at
+    /// rank `q = q_permille / 1000`, served by the UDDSketch sweep
+    /// (DESIGN.md §17); `ε` is an absolute half-width on the reported
+    /// quantile value under the §II contract.
+    Percentile {
+        /// Quantile rank in permille, restricted to `1..=999`.
+        q_permille: u16,
+    },
+    /// `COUNT(DISTINCT expression)` — number of distinct unit-width
+    /// value cells, served by HyperLogLog++ (DESIGN.md §17); `ε` is a
+    /// *relative* cardinality half-width under the §II contract.
+    Distinct,
+    /// `TOPK(expression, k)` — mass fraction of the `k` heaviest value
+    /// cells, served by a space-saving summary (DESIGN.md §17); `ε` is
+    /// an absolute half-width on the fraction under the §II contract.
+    TopK {
+        /// Number of heavy hitters reported, restricted to `1..=64`.
+        k: u16,
+    },
+}
+
+impl AggregateOp {
+    /// True for the sketch-served aggregate kinds of DESIGN.md §17
+    /// (`PERCENTILE`, `COUNT DISTINCT`, `TOPK`) whose snapshots are
+    /// mergeable-sketch sweeps rather than §IV CLT-sized sample panels.
+    #[must_use]
+    pub fn is_sketch(&self) -> bool {
+        matches!(
+            self,
+            AggregateOp::Percentile { .. } | AggregateOp::Distinct | AggregateOp::TopK { .. }
+        )
+    }
+
+    /// True when the `ε` of the §II contract is interpreted as a
+    /// *relative* half-width (`|X̂ − X| ≤ ε · max(X, 1)`) rather than an
+    /// absolute one — the cardinality semantics of `COUNT DISTINCT`
+    /// (DESIGN.md §17).
+    #[must_use]
+    pub fn uses_relative_epsilon(&self) -> bool {
+        matches!(self, AggregateOp::Distinct)
+    }
+
+    /// The quantile rank in `[0, 1]` this operation reports, if it is an
+    /// order statistic (`MEDIAN` → 0.5, `PERCENTILE` → q; §IV order-
+    /// statistic extension).
+    #[must_use]
+    pub fn quantile_rank(&self) -> Option<f64> {
+        match self {
+            AggregateOp::Median => Some(0.5),
+            AggregateOp::Percentile { q_permille } => Some(f64::from(*q_permille) / 1000.0),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for AggregateOp {
@@ -42,6 +95,9 @@ impl fmt::Display for AggregateOp {
             AggregateOp::Sum => write!(f, "SUM"),
             AggregateOp::Count => write!(f, "COUNT"),
             AggregateOp::Median => write!(f, "MEDIAN"),
+            AggregateOp::Percentile { .. } => write!(f, "PERCENTILE"),
+            AggregateOp::Distinct => write!(f, "COUNT DISTINCT"),
+            AggregateOp::TopK { .. } => write!(f, "TOPK"),
         }
     }
 }
@@ -151,7 +207,9 @@ impl ContinuousQuery {
             AggregateOp::Avg => db.exact_avg_where(&self.expr, &self.predicate).ok(),
             AggregateOp::Sum => db.exact_sum_where(&self.expr, &self.predicate).ok(),
             AggregateOp::Count => db.exact_count_where(&self.predicate).ok().map(|c| c as f64),
-            AggregateOp::Median => {
+            AggregateOp::Median | AggregateOp::Percentile { .. } => {
+                // quantile_rank is Some for both arms by construction.
+                let q = self.op.quantile_rank()?;
                 let mut values = Vec::new();
                 for (_, tuple) in db.iter() {
                     if self.predicate.eval(tuple).ok()? {
@@ -162,7 +220,37 @@ impl ContinuousQuery {
                     return None;
                 }
                 values.sort_by(f64::total_cmp);
-                digest_stats::sample_quantile(&values, 0.5).ok()
+                digest_stats::sample_quantile(&values, q).ok()
+            }
+            AggregateOp::Distinct => {
+                let mut cells = std::collections::BTreeSet::new();
+                for (_, tuple) in db.iter() {
+                    if self.predicate.eval(tuple).ok()? {
+                        cells.insert(digest_sketch::value_cell(self.expr.eval(tuple).ok()?));
+                    }
+                }
+                #[allow(clippy::cast_precision_loss)]
+                Some(cells.len() as f64)
+            }
+            AggregateOp::TopK { k } => {
+                let mut counts: std::collections::BTreeMap<i64, u64> =
+                    std::collections::BTreeMap::new();
+                let mut total: u64 = 0;
+                for (_, tuple) in db.iter() {
+                    if self.predicate.eval(tuple).ok()? {
+                        let cell = digest_sketch::value_cell(self.expr.eval(tuple).ok()?);
+                        *counts.entry(cell).or_insert(0) += 1;
+                        total += 1;
+                    }
+                }
+                if total == 0 {
+                    return None;
+                }
+                let mut entries: Vec<(i64, u64)> = counts.into_iter().collect();
+                entries.sort_by(|(ka, ca), (kb, cb)| cb.cmp(ca).then(ka.cmp(kb)));
+                let top: u64 = entries.iter().take(usize::from(k)).map(|(_, c)| *c).sum();
+                #[allow(clippy::cast_precision_loss)]
+                Some((top as f64 / total as f64).clamp(0.0, 1.0))
             }
         }
     }
@@ -170,11 +258,18 @@ impl ContinuousQuery {
 
 impl fmt::Display for ContinuousQuery {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        // COUNT ignores its expression; render the conventional `*`.
-        if matches!(self.op, AggregateOp::Count) {
-            write!(f, "SELECT COUNT(*) FROM R")?;
-        } else {
-            write!(f, "SELECT {}({}) FROM R", self.op, self.expr)?;
+        match self.op {
+            // COUNT ignores its expression; render the conventional `*`.
+            AggregateOp::Count => write!(f, "SELECT COUNT(*) FROM R")?,
+            AggregateOp::Percentile { q_permille } => write!(
+                f,
+                "SELECT PERCENTILE({}, {}) FROM R",
+                self.expr,
+                f64::from(q_permille) / 1000.0
+            )?,
+            AggregateOp::Distinct => write!(f, "SELECT COUNT(DISTINCT {}) FROM R", self.expr)?,
+            AggregateOp::TopK { k } => write!(f, "SELECT TOPK({}, {k}) FROM R", self.expr)?,
+            _ => write!(f, "SELECT {}({}) FROM R", self.op, self.expr)?,
         }
         if !self.predicate.is_trivial() {
             write!(f, " WHERE {}", self.predicate)?;

@@ -131,6 +131,37 @@ fn split_assignments(s: &str) -> Vec<&str> {
     out
 }
 
+/// Strips a leading case-insensitive `DISTINCT` keyword (followed by
+/// whitespace) from a `COUNT(...)` body, returning the inner expression
+/// text of the DESIGN.md §17 cardinality kind.
+fn strip_distinct(body: &str) -> Option<&str> {
+    let head = body.get(..8)?;
+    if !head.eq_ignore_ascii_case("distinct") {
+        return None;
+    }
+    let rest = &body[8..];
+    let trimmed = rest.trim_start();
+    // Require a separator so attributes like `distinctness` still parse
+    // as plain COUNT expressions.
+    (trimmed.len() < rest.len() && !trimmed.is_empty()).then_some(trimmed)
+}
+
+/// Splits `"expr, arg"` at the last depth-zero comma (the two-argument
+/// aggregate forms `PERCENTILE(expr, q)` / `TOPK(expr, k)`).
+fn split_last_comma(body: &str) -> Option<(&str, &str)> {
+    let mut depth = 0usize;
+    let mut split = None;
+    for (i, c) in body.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => split = Some(i),
+            _ => {}
+        }
+    }
+    split.map(|i| (&body[..i], &body[i + 1..]))
+}
+
 impl ContinuousQuery {
     /// Parses a full continuous-query statement against a schema.
     ///
@@ -151,13 +182,13 @@ impl ContinuousQuery {
         let open = rest
             .find('(')
             .ok_or_else(|| err("expected `(` after the aggregate operation"))?;
-        let op = match rest[..open].trim().to_ascii_uppercase().as_str() {
-            "AVG" => AggregateOp::Avg,
-            "SUM" => AggregateOp::Sum,
-            "COUNT" => AggregateOp::Count,
-            "MEDIAN" => AggregateOp::Median,
-            other => return Err(err(format!("unknown aggregate operation `{other}`"))),
-        };
+        let op_name = rest[..open].trim().to_ascii_uppercase();
+        if !matches!(
+            op_name.as_str(),
+            "AVG" | "SUM" | "COUNT" | "MEDIAN" | "PERCENTILE" | "TOPK"
+        ) {
+            return Err(err(format!("unknown aggregate operation `{op_name}`")));
+        }
 
         // Balanced expression inside the parens.
         let body = &rest[open + 1..];
@@ -178,11 +209,58 @@ impl ContinuousQuery {
         }
         let close = close.ok_or_else(|| err("unbalanced parentheses in aggregate expression"))?;
         let expr_text = body[..close].trim();
-        let expr = if expr_text == "*" && matches!(op, AggregateOp::Count) {
-            // COUNT(*) — the expression is irrelevant to a pure count.
-            Expr::first_attr(schema)
-        } else {
-            Expr::parse(expr_text, schema)?
+        let (op, expr) = match op_name.as_str() {
+            "AVG" => (AggregateOp::Avg, Expr::parse(expr_text, schema)?),
+            "SUM" => (AggregateOp::Sum, Expr::parse(expr_text, schema)?),
+            "MEDIAN" => (AggregateOp::Median, Expr::parse(expr_text, schema)?),
+            "COUNT" => {
+                // COUNT(*) — the expression is irrelevant to a pure
+                // count; COUNT(DISTINCT expression) — the sketch-served
+                // cardinality kind of DESIGN.md §17.
+                if expr_text == "*" {
+                    (AggregateOp::Count, Expr::first_attr(schema))
+                } else if let Some(inner) = strip_distinct(expr_text) {
+                    (AggregateOp::Distinct, Expr::parse(inner, schema)?)
+                } else {
+                    (AggregateOp::Count, Expr::parse(expr_text, schema)?)
+                }
+            }
+            "PERCENTILE" => {
+                let (inner, arg) = split_last_comma(expr_text)
+                    .ok_or_else(|| err("PERCENTILE requires `(expression, rank)`"))?;
+                let q: f64 = arg
+                    .trim()
+                    .parse()
+                    .map_err(|_| err(format!("invalid PERCENTILE rank `{}`", arg.trim())))?;
+                let permille = (q * 1000.0).round();
+                if !q.is_finite() || !(1.0..=999.0).contains(&permille) {
+                    return Err(err("PERCENTILE rank must be in [0.001, 0.999]"));
+                }
+                // In [1, 999] by the guard above; the checked narrowing
+                // keeps the float-discipline rule satisfied.
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                let permille_wide = permille as u64;
+                let q_permille = u16::try_from(permille_wide)
+                    .map_err(|_| err("PERCENTILE rank must be in [0.001, 0.999]"))?;
+                (
+                    AggregateOp::Percentile { q_permille },
+                    Expr::parse(inner.trim(), schema)?,
+                )
+            }
+            "TOPK" => {
+                let (inner, arg) = split_last_comma(expr_text)
+                    .ok_or_else(|| err("TOPK requires `(expression, k)`"))?;
+                let k: u16 = arg
+                    .trim()
+                    .parse()
+                    .map_err(|_| err(format!("invalid TOPK count `{}`", arg.trim())))?;
+                if !(1..=64).contains(&k) {
+                    return Err(err("TOPK count must be in [1, 64]"));
+                }
+                (AggregateOp::TopK { k }, Expr::parse(inner.trim(), schema)?)
+            }
+            // Unreachable: op_name was validated above.
+            other => return Err(err(format!("unknown aggregate operation `{other}`"))),
         };
 
         let after_expr = body[close + 1..].trim_start();
@@ -293,6 +371,81 @@ mod tests {
         .unwrap();
         assert_eq!(q.op, AggregateOp::Median);
         assert!(q.to_string().contains("MEDIAN"));
+    }
+
+    #[test]
+    fn parses_percentile_with_rank() {
+        let q = ContinuousQuery::parse(
+            "SELECT PERCENTILE(temperature, 0.9) FROM R WITH delta=2, epsilon=1, p=0.95",
+            &schema(),
+        )
+        .unwrap();
+        assert_eq!(q.op, AggregateOp::Percentile { q_permille: 900 });
+        assert_eq!(q.op.quantile_rank(), Some(0.9));
+        assert!(q.to_string().contains("PERCENTILE"));
+    }
+
+    #[test]
+    fn parses_count_distinct() {
+        let q = ContinuousQuery::parse(
+            "SELECT COUNT(DISTINCT temperature) FROM R WITH delta=2, epsilon=0.1, p=0.95",
+            &schema(),
+        )
+        .unwrap();
+        assert_eq!(q.op, AggregateOp::Distinct);
+        assert!(q.op.uses_relative_epsilon());
+        assert!(q.to_string().contains("COUNT(DISTINCT"));
+    }
+
+    #[test]
+    fn parses_topk() {
+        let q = ContinuousQuery::parse(
+            "select topk(memory + storage, 4) from R with delta=0.05 epsilon=0.05 p=0.9",
+            &schema(),
+        )
+        .unwrap();
+        assert_eq!(q.op, AggregateOp::TopK { k: 4 });
+        assert!(q.to_string().contains("TOPK"));
+    }
+
+    #[test]
+    fn sketch_forms_round_trip_through_display() {
+        for statement in [
+            "SELECT PERCENTILE(temperature, 0.25) FROM R WITH delta=1, epsilon=1, p=0.9",
+            "SELECT COUNT(DISTINCT memory) FROM R WITH delta=1, epsilon=0.2, p=0.9",
+            "SELECT TOPK(temperature, 3) FROM R WHERE memory > 1 WITH delta=1, epsilon=0.1, p=0.9",
+        ] {
+            let q = ContinuousQuery::parse(statement, &schema()).unwrap();
+            let shown = q.to_string();
+            let back = shown
+                .replace("[δ=", "WITH delta=")
+                .replace(", ε=", ", epsilon=")
+                .replace(", p=", ", confidence=")
+                .replace(']', "");
+            let q2 = ContinuousQuery::parse(&back, &schema()).unwrap();
+            assert_eq!(q2.op, q.op, "{statement}");
+            assert_eq!(q2.predicate, q.predicate, "{statement}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_sketch_arguments() {
+        let s = schema();
+        for bad in [
+            "SELECT PERCENTILE(temperature) FROM R WITH delta=1, epsilon=1, p=0.9",
+            "SELECT PERCENTILE(temperature, 1.5) FROM R WITH delta=1, epsilon=1, p=0.9",
+            "SELECT PERCENTILE(temperature, 0) FROM R WITH delta=1, epsilon=1, p=0.9",
+            "SELECT TOPK(temperature) FROM R WITH delta=1, epsilon=1, p=0.9",
+            "SELECT TOPK(temperature, 0) FROM R WITH delta=1, epsilon=1, p=0.9",
+            "SELECT TOPK(temperature, 65) FROM R WITH delta=1, epsilon=1, p=0.9",
+            "SELECT TOPK(temperature, 2.5) FROM R WITH delta=1, epsilon=1, p=0.9",
+            "SELECT COUNT(DISTINCT) FROM R WITH delta=1, epsilon=1, p=0.9",
+        ] {
+            assert!(
+                ContinuousQuery::parse(bad, &s).is_err(),
+                "should reject: {bad}"
+            );
+        }
     }
 
     #[test]

@@ -151,6 +151,11 @@ impl QuerySystem for TreeAggregationEngine {
         let mut sum = 0.0;
         let mut count = 0u64;
         let mut members = 0u64;
+        // Sketch kinds (DESIGN.md §17): in-network partials push every
+        // qualifying value to the querier, which finalizes exactly over
+        // whatever fragments stayed connected.
+        let want_values = self.query.op.is_sketch();
+        let mut values: Vec<f64> = Vec::new();
         for node in ctx.graph.nodes() {
             if self
                 .parent
@@ -174,8 +179,12 @@ impl QuerySystem for TreeAggregationEngine {
                     if !self.query.predicate.eval(tuple).unwrap_or(false) {
                         continue;
                     }
-                    sum += self.query.expr.eval(tuple)?;
+                    let value = self.query.expr.eval(tuple)?;
+                    sum += value;
                     count += 1;
+                    if want_values {
+                        values.push(value);
+                    }
                 }
             }
         }
@@ -191,6 +200,40 @@ impl QuerySystem for TreeAggregationEngine {
             }
             AggregateOp::Sum => sum,
             AggregateOp::Count => count as f64,
+            AggregateOp::Percentile { .. } => {
+                if values.is_empty() {
+                    self.current_estimate
+                } else {
+                    values.sort_by(f64::total_cmp);
+                    // quantile_rank is Some for Percentile by construction.
+                    let q = self.query.op.quantile_rank().unwrap_or(0.5);
+                    digest_stats::sample_quantile(&values, q)
+                        .map_err(digest_sampling::SamplingError::from)
+                        .map_err(crate::CoreError::from)?
+                }
+            }
+            AggregateOp::Distinct => {
+                let cells: std::collections::BTreeSet<i64> = values
+                    .iter()
+                    .map(|v| digest_sketch::value_cell(*v))
+                    .collect();
+                cells.len() as f64
+            }
+            AggregateOp::TopK { k } => {
+                if values.is_empty() {
+                    self.current_estimate
+                } else {
+                    let mut counts: std::collections::BTreeMap<i64, u64> =
+                        std::collections::BTreeMap::new();
+                    for v in &values {
+                        *counts.entry(digest_sketch::value_cell(*v)).or_insert(0) += 1;
+                    }
+                    let mut entries: Vec<(i64, u64)> = counts.into_iter().collect();
+                    entries.sort_by(|(ka, ca), (kb, cb)| cb.cmp(ca).then(ka.cmp(kb)));
+                    let top: u64 = entries.iter().take(usize::from(k)).map(|(_, c)| *c).sum();
+                    (top as f64 / values.len() as f64).clamp(0.0, 1.0)
+                }
+            }
         };
         self.current_estimate = estimate;
         let updated = self.last_reported.is_nan()

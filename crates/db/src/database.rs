@@ -208,6 +208,18 @@ impl P2PDatabase {
         })
     }
 
+    /// Iterates over `node`'s own fragment in live-slot order (empty for
+    /// unknown nodes). Unlike [`P2PDatabase::iter`] this is a legitimate
+    /// peer operation — a node enumerating its local fragment — and is
+    /// what the sketch sweep estimator folds per-node sketch mass from.
+    pub fn iter_node(&self, node: NodeId) -> impl Iterator<Item = &Tuple> + '_ {
+        self.fragments
+            .get(node.0 as usize)
+            .and_then(Option::as_ref)
+            .into_iter()
+            .flat_map(|store| store.iter().map(|(_, _, tuple)| tuple))
+    }
+
     /// Nodes currently holding fragments.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
         self.fragments

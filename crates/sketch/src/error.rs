@@ -1,0 +1,63 @@
+//! Typed errors for the sketch crate.
+//!
+//! The R1 lint (panic-free library crates) forbids `unwrap`/`expect`
+//! here; every fallible sketch operation threads one of these variants
+//! instead so the (ε, p) guarantee of the paper (§II) is never voided by
+//! a panicking estimator path.
+
+use std::fmt;
+
+/// Error raised by sketch construction, merging, or (de)serialization.
+///
+/// Carries only static context so the error path never allocates on a
+/// per-tuple basis (R7 discipline; see DESIGN.md §17 and the paper's §II
+/// precision contract these sketches serve).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SketchError {
+    /// A sketch parameter was outside its documented domain.
+    InvalidConfig {
+        /// What was wrong with the configuration.
+        reason: &'static str,
+    },
+    /// Two sketches with incompatible shapes were merged.
+    MergeMismatch {
+        /// Which invariant the pair violated.
+        reason: &'static str,
+    },
+    /// A serialized buffer failed validation during deserialization.
+    InvalidBytes {
+        /// Which part of the buffer was malformed.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for SketchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SketchError::InvalidConfig { reason } => {
+                write!(f, "invalid sketch configuration: {reason}")
+            }
+            SketchError::MergeMismatch { reason } => {
+                write!(f, "sketch merge mismatch: {reason}")
+            }
+            SketchError::InvalidBytes { reason } => {
+                write!(f, "invalid sketch bytes: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SketchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_reason() {
+        let err = SketchError::InvalidBytes {
+            reason: "truncated header",
+        };
+        assert!(err.to_string().contains("truncated header"));
+    }
+}

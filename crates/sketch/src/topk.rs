@@ -1,0 +1,441 @@
+//! Space-saving heavy-hitter sketch for continuous top-k queries
+//! (Metwally et al., "Efficient computation of frequent and top-k
+//! elements in data streams"; the P2P motivation is Akbarinia et al.'s
+//! top-k work, PAPERS.md).
+//!
+//! The summary keeps at most `m` counters in a `BTreeMap` (R2: no hash
+//! collections), each carrying a count and an overestimation bound.
+//! When a new key arrives at capacity, the minimum counter — ties broken
+//! by smallest key, so eviction is deterministic — is recycled. The
+//! frequency error is bounded by `n/m` (Metwally et al. Thm. 2-style
+//! bound), which DESIGN.md §17 maps onto the paper's `(ε, p)` contract
+//! (§II, Eq. 1) as an absolute half-width on the reported top-k mass
+//! fraction.
+
+use std::collections::BTreeMap;
+
+use crate::error::SketchError;
+use crate::Result;
+
+/// Magic prefix of the canonical serialization (version 1).
+const MAGIC: &[u8; 4] = b"SSK1";
+
+/// One monitored counter: observed count plus the worst-case
+/// overestimation inherited from the evicted predecessor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Counter {
+    count: u64,
+    overestimate: u64,
+}
+
+/// Deterministic space-saving summary over quantized value cells.
+///
+/// Follows the trans/merge/final/serialize shape (SNIPPETS.md 1–2):
+/// [`SpaceSavingSketch::accumulate_cell`] is the transition step,
+/// [`SpaceSavingSketch::merge`] sums counters pointwise and re-truncates
+/// to capacity (commutative byte-for-byte; associative whenever the
+/// union fits in capacity — the proptests of DESIGN.md §17 pin both),
+/// and [`SpaceSavingSketch::top_k_mass`] finalizes into the scalar the
+/// §II `(ε, p)` audit scores.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpaceSavingSketch {
+    /// Maximum number of monitored counters (the m of the `n/m` bound).
+    capacity: usize,
+    /// Monitored cells, keyed by quantized value cell.
+    counters: BTreeMap<i64, Counter>,
+    /// Total stream length folded in (the n of the `n/m` bound).
+    total: u64,
+}
+
+impl SpaceSavingSketch {
+    /// Creates an empty summary monitoring at most `capacity` cells
+    /// (frequency error ≤ n/capacity per Metwally et al.; sized from
+    /// the §II `(ε, p)` contract by [`SpaceSavingSketch::for_mass_error`]).
+    pub fn new(capacity: usize) -> Result<Self> {
+        if capacity == 0 {
+            return Err(SketchError::InvalidConfig {
+                reason: "capacity must be positive",
+            });
+        }
+        Ok(Self {
+            capacity,
+            counters: BTreeMap::new(),
+            total: 0,
+        })
+    }
+
+    /// Sizes the summary so the aggregate frequency error over `k`
+    /// reported cells, `k·(n/m)/n = k/m`, stays within the mass-fraction
+    /// half-width `epsilon` — the DESIGN.md §17 mapping of the paper's
+    /// `(ε, p)` contract (§II, Eq. 1) onto heavy-hitter error, with a 2×
+    /// headroom factor for merge-truncation slack.
+    pub fn for_mass_error(k: usize, epsilon: f64) -> Result<Self> {
+        if k == 0 {
+            return Err(SketchError::InvalidConfig {
+                reason: "k must be positive",
+            });
+        }
+        if !epsilon.is_finite() || epsilon <= 0.0 {
+            return Err(SketchError::InvalidConfig {
+                reason: "epsilon must be positive finite",
+            });
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let needed = (2.0 * k as f64 / epsilon).ceil();
+        let capacity = if needed.is_finite() && needed >= 1.0 {
+            crate::f64_to_i64_saturating(needed).unsigned_abs()
+        } else {
+            1
+        };
+        let capacity = usize::try_from(capacity.min(1 << 20)).unwrap_or(1 << 20);
+        Self::new(capacity.max(k))
+    }
+
+    /// Number of monitored counters (≤ capacity; the live m of the
+    /// `n/m` error equation).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Configured counter capacity (the m of the Metwally et al. `n/m`
+    /// error equation); merge partners must match it exactly.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// True when nothing has been folded in (§IV empty-snapshot hold
+    /// paths check this before finalizing).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Total stream length folded in (the n of the `n/m` bound).
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Folds one quantized value cell in (the *trans* step of the
+    /// aggregate shape; the sweep estimator of DESIGN.md §17 feeds
+    /// [`crate::value_cell`] keys through here, and the §VI oracle
+    /// counts the same cells).
+    pub fn accumulate_cell(&mut self, cell: i64) {
+        self.total = self.total.saturating_add(1);
+        if let Some(counter) = self.counters.get_mut(&cell) {
+            counter.count = counter.count.saturating_add(1);
+            return;
+        }
+        if self.counters.len() < self.capacity {
+            self.counters.insert(
+                cell,
+                Counter {
+                    count: 1,
+                    overestimate: 0,
+                },
+            );
+            return;
+        }
+        // Evict the minimum counter; ties broken by smallest key so the
+        // recycle step is deterministic (Metwally et al. §3 with the
+        // DESIGN.md §17 determinism refinement).
+        let victim = self
+            .counters
+            .iter()
+            .min_by(|(ka, ca), (kb, cb)| ca.count.cmp(&cb.count).then(ka.cmp(kb)))
+            .map(|(k, c)| (*k, *c));
+        if let Some((victim_key, victim_counter)) = victim {
+            self.counters.remove(&victim_key);
+            self.counters.insert(
+                cell,
+                Counter {
+                    count: victim_counter.count.saturating_add(1),
+                    overestimate: victim_counter.count,
+                },
+            );
+        }
+    }
+
+    /// Merges by pointwise counter sum followed by re-truncation to the
+    /// top-`capacity` cells ordered by (count desc, key asc) — the
+    /// deterministic merge of DESIGN.md §17. Commutative byte-for-byte;
+    /// associativity holds exactly when no truncation fires (pinned by
+    /// proptest), and is otherwise within the Metwally et al. `n/m`
+    /// error equation.
+    pub fn merge(&mut self, other: &SpaceSavingSketch) -> Result<()> {
+        if self.capacity != other.capacity {
+            return Err(SketchError::MergeMismatch {
+                reason: "space-saving merge requires identical capacity",
+            });
+        }
+        for (cell, theirs) in &other.counters {
+            let entry = self.counters.entry(*cell).or_insert(Counter {
+                count: 0,
+                overestimate: 0,
+            });
+            entry.count = entry.count.saturating_add(theirs.count);
+            entry.overestimate = entry.overestimate.saturating_add(theirs.overestimate);
+        }
+        self.total = self.total.saturating_add(other.total);
+        if self.counters.len() > self.capacity {
+            let mut entries: Vec<(i64, Counter)> =
+                self.counters.iter().map(|(k, c)| (*k, *c)).collect();
+            entries.sort_by(|(ka, ca), (kb, cb)| cb.count.cmp(&ca.count).then(ka.cmp(kb)));
+            entries.truncate(self.capacity);
+            self.counters = entries.into_iter().collect();
+        }
+        Ok(())
+    }
+
+    /// The top `k` cells by (count desc, key asc) with their observed
+    /// counts — the heavy-hitter report of Metwally et al. §3, keyed on
+    /// the §17 cell domain.
+    #[must_use]
+    pub fn top_k(&self, k: usize) -> Vec<(i64, u64)> {
+        let mut entries: Vec<(i64, u64)> = self
+            .counters
+            .iter()
+            .map(|(cell, c)| (*cell, c.count))
+            .collect();
+        entries.sort_by(|(ka, ca), (kb, cb)| cb.cmp(ca).then(ka.cmp(kb)));
+        entries.truncate(k);
+        entries
+    }
+
+    /// Finalizes into the top-`k` mass fraction `Σ top-k counts / n`
+    /// in `[0, 1]` — the scalar DESIGN.md §17 audits against the exact
+    /// fraction under the §II `(ε, p)` contract. `None` when empty so
+    /// callers apply the §IV hold rule.
+    #[must_use]
+    pub fn top_k_mass(&self, k: usize) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let top: u64 = self.top_k(k).iter().map(|(_, c)| *c).sum();
+        #[allow(clippy::cast_precision_loss)]
+        let mass = top as f64 / self.total as f64;
+        Some(mass.clamp(0.0, 1.0))
+    }
+
+    /// Canonical serialization: magic, capacity, total, then the
+    /// counters in ascending cell order (big-endian fixed width), so
+    /// equal summaries are equal byte strings — the replay/audit
+    /// invariant of DESIGN.md §17 (paper §VI).
+    #[must_use]
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(28 + 24 * self.counters.len());
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(
+            &u64::try_from(self.capacity)
+                .unwrap_or(u64::MAX)
+                .to_be_bytes(),
+        );
+        out.extend_from_slice(&self.total.to_be_bytes());
+        out.extend_from_slice(
+            &u64::try_from(self.counters.len())
+                .unwrap_or(u64::MAX)
+                .to_be_bytes(),
+        );
+        for (cell, counter) in &self.counters {
+            out.extend_from_slice(&cell.to_be_bytes());
+            out.extend_from_slice(&counter.count.to_be_bytes());
+            out.extend_from_slice(&counter.overestimate.to_be_bytes());
+        }
+        out
+    }
+
+    /// Inverse of [`SpaceSavingSketch::serialize`]; validates the
+    /// header, capacity bound, strict key order, and the count/
+    /// overestimate invariants of Metwally et al.'s error equation, so
+    /// round trips are byte-identical (§VI replay gate).
+    pub fn deserialize(bytes: &[u8]) -> Result<Self> {
+        if bytes.len() < 28 || &bytes[..4] != MAGIC {
+            return Err(SketchError::InvalidBytes {
+                reason: "bad space-saving header",
+            });
+        }
+        let read_u64 = |at: usize| -> Result<u64> {
+            let end = at.checked_add(8).filter(|end| *end <= bytes.len());
+            let Some(end) = end else {
+                return Err(SketchError::InvalidBytes {
+                    reason: "truncated buffer",
+                });
+            };
+            let mut raw = [0u8; 8];
+            raw.copy_from_slice(&bytes[at..end]);
+            Ok(u64::from_be_bytes(raw))
+        };
+        let capacity = usize::try_from(read_u64(4)?).map_err(|_| SketchError::InvalidBytes {
+            reason: "capacity overflows usize",
+        })?;
+        if capacity == 0 {
+            return Err(SketchError::InvalidBytes {
+                reason: "capacity must be positive",
+            });
+        }
+        let total = read_u64(12)?;
+        let len = usize::try_from(read_u64(20)?).map_err(|_| SketchError::InvalidBytes {
+            reason: "length overflows usize",
+        })?;
+        if len > capacity {
+            return Err(SketchError::InvalidBytes {
+                reason: "counter count exceeds capacity",
+            });
+        }
+        let expected = 28usize.saturating_add(len.saturating_mul(24));
+        if bytes.len() != expected {
+            return Err(SketchError::InvalidBytes {
+                reason: "counter section length mismatch",
+            });
+        }
+        let mut counters = BTreeMap::new();
+        let mut prev: Option<i64> = None;
+        let mut count_sum: u64 = 0;
+        for i in 0..len {
+            let at = 28 + i * 24;
+            #[allow(clippy::cast_possible_wrap)]
+            let cell = read_u64(at)? as i64;
+            let count = read_u64(at + 8)?;
+            let overestimate = read_u64(at + 16)?;
+            if prev.is_some_and(|p| p >= cell) {
+                return Err(SketchError::InvalidBytes {
+                    reason: "cells not strictly ascending",
+                });
+            }
+            if count == 0 || overestimate >= count {
+                return Err(SketchError::InvalidBytes {
+                    reason: "counter invariant violated",
+                });
+            }
+            prev = Some(cell);
+            count_sum = count_sum.saturating_add(count);
+            counters.insert(
+                cell,
+                Counter {
+                    count,
+                    overestimate,
+                },
+            );
+        }
+        if count_sum > total {
+            return Err(SketchError::InvalidBytes {
+                reason: "counts exceed stream total",
+            });
+        }
+        Ok(Self {
+            capacity,
+            counters,
+            total,
+        })
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)]
+mod tests {
+    use super::*;
+
+    fn sketch_of(cells: &[i64], capacity: usize) -> SpaceSavingSketch {
+        let mut s = SpaceSavingSketch::new(capacity).unwrap();
+        for c in cells {
+            s.accumulate_cell(*c);
+        }
+        s
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        assert!(SpaceSavingSketch::new(0).is_err());
+        assert!(SpaceSavingSketch::for_mass_error(0, 0.1).is_err());
+        assert!(SpaceSavingSketch::for_mass_error(4, 0.0).is_err());
+    }
+
+    #[test]
+    fn sizing_scales_with_k_over_epsilon() {
+        let s = SpaceSavingSketch::for_mass_error(4, 0.1).unwrap();
+        assert_eq!(s.capacity, 80);
+    }
+
+    #[test]
+    fn exact_when_under_capacity() {
+        let s = sketch_of(&[1, 1, 1, 2, 2, 3], 16);
+        assert_eq!(s.top_k(2), vec![(1, 3), (2, 2)]);
+        assert_eq!(s.top_k_mass(2).unwrap(), 5.0 / 6.0);
+    }
+
+    #[test]
+    fn eviction_keeps_heavy_hitters() {
+        let mut cells = vec![7; 100];
+        cells.extend(std::iter::repeat_n(13, 60));
+        for i in 0..40 {
+            cells.push(1000 + i);
+        }
+        let s = sketch_of(&cells, 8);
+        let top = s.top_k(2);
+        assert_eq!(top[0].0, 7);
+        assert_eq!(top[1].0, 13);
+        assert_eq!(s.total(), 200);
+    }
+
+    #[test]
+    fn ties_evict_smallest_key() {
+        let mut s = sketch_of(&[1, 2], 2);
+        s.accumulate_cell(5);
+        assert!(s.top_k(2).iter().any(|(c, _)| *c == 5));
+        assert!(!s.top_k(2).iter().any(|(c, _)| *c == 1));
+    }
+
+    #[test]
+    fn merge_sums_and_truncates() {
+        let a = sketch_of(&[1, 1, 2], 4);
+        let b = sketch_of(&[1, 3, 3], 4);
+        let mut m = a.clone();
+        m.merge(&b).unwrap();
+        assert_eq!(m.total(), 6);
+        assert_eq!(m.top_k(1), vec![(1, 3)]);
+        let mut ba = b.clone();
+        ba.merge(&a).unwrap();
+        assert_eq!(m.serialize(), ba.serialize());
+    }
+
+    #[test]
+    fn merge_rejects_capacity_mismatch() {
+        let mut a = SpaceSavingSketch::new(4).unwrap();
+        let b = SpaceSavingSketch::new(8).unwrap();
+        assert!(a.merge(&b).is_err());
+    }
+
+    #[test]
+    fn serialize_round_trips() {
+        let s = sketch_of(&[-5, -5, 0, 3, 3, 3, 9], 4);
+        let bytes = s.serialize();
+        let back = SpaceSavingSketch::deserialize(&bytes).unwrap();
+        assert_eq!(back.serialize(), bytes);
+        assert_eq!(back.top_k(3), s.top_k(3));
+    }
+
+    #[test]
+    fn deserialize_rejects_corruption() {
+        let s = sketch_of(&[1, 2, 3], 8);
+        let bytes = s.serialize();
+        assert!(SpaceSavingSketch::deserialize(&bytes[..bytes.len() - 1]).is_err());
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] = b'X';
+        assert!(SpaceSavingSketch::deserialize(&bad_magic).is_err());
+        let mut zero_count = bytes;
+        // Zero out the first counter's count field (offset 28 + 8).
+        for b in &mut zero_count[36..44] {
+            *b = 0;
+        }
+        assert!(SpaceSavingSketch::deserialize(&zero_count).is_err());
+    }
+
+    #[test]
+    fn empty_sketch_has_no_mass() {
+        let s = SpaceSavingSketch::new(4).unwrap();
+        assert!(s.top_k_mass(2).is_none());
+        assert!(s.is_empty());
+    }
+}

@@ -62,6 +62,7 @@ pub const R1_CRATES: &[&str] = &[
     "sim",
     "telemetry",
     "audit",
+    "sketch",
 ];
 
 /// Crates whose library sources feed the simulator or estimators and must
@@ -76,6 +77,7 @@ pub const R2_CRATES: &[&str] = &[
     "workload",
     "telemetry",
     "audit",
+    "sketch",
 ];
 
 /// Crates holding numeric estimator code subject to float discipline (R3).
@@ -98,6 +100,11 @@ pub const R4_FILES: &[&str] = &[
     "crates/sampling/src/mixing.rs",
     "crates/stats/src/repeated.rs",
     "crates/stats/src/clt.rs",
+    "crates/core/src/sketch_est.rs",
+    "crates/sketch/src/quantile.rs",
+    "crates/sketch/src/distinct.rs",
+    "crates/sketch/src/topk.rs",
+    "crates/sketch/src/lib.rs",
 ];
 
 /// Simulator- or estimator-visible crates, subject to the RNG (R5) and

@@ -15,8 +15,11 @@
 //!   `DIGEST_SNAPSHOT_CACHE=0` to prove the occasion-snapshot cache
 //!   never moves a byte of output even under churn, and with
 //!   `--event-loop` to prove the hint-driven event scheduler replays
-//!   the dense tick sweep exactly. Exits non-zero on any divergence
-//!   (including telemetry perturbing the plain trace).
+//!   the dense tick sweep exactly. A sketch-aggregate leg replays the
+//!   `p90+distinct+top4` mux mix the same way (replay + workers=4
+//!   byte-identity) since sweep estimators must be RNG-free. Exits
+//!   non-zero on any divergence (including telemetry perturbing the
+//!   plain trace).
 //! * `telemetry-schema` — run a fixed-seed scenario with `--telemetry`
 //!   and validate every emitted JSONL line against the event schema,
 //!   requiring coverage of the core event kinds.
@@ -260,6 +263,24 @@ const DETERMINISM_RUNS: &[(&str, &[&str])] = &[
     ),
 ];
 
+/// The sketch-aggregate mux scenario (DESIGN.md §17): a percentile, a
+/// `COUNT DISTINCT`, and a top-k heavy-hitter query served through one
+/// shared `QueryMux` with per-kind default contracts. The sweep
+/// estimators behind these kinds draw no randomness at all, so the
+/// determinism leg demands byte-identical replays and worker-count
+/// independence, and the audit leg gates each member's ε-violation rate
+/// against its own `1 − p` binomial bound.
+const SKETCH_ARGS: &[&str] = &[
+    "--world",
+    "temperature",
+    "--ticks",
+    "120",
+    "--seed",
+    "20080402",
+    "--queries",
+    "p90+distinct+top4",
+];
+
 fn build_cli(root: &Path, gate: &str) -> Result<PathBuf, ExitCode> {
     println!("xtask {gate}: building digest-cli (release)");
     let build = Command::new("cargo")
@@ -439,6 +460,55 @@ fn run_determinism(root: &Path) -> ExitCode {
             }
         }
     }
+    // Sketch-aggregate mux leg: percentile + distinct + top-k share
+    // rounds through the mux's deterministic node sweep. Sweep
+    // estimators use no RNG (DESIGN.md §17), so the trace must replay
+    // byte-identically and stay invariant under the parallel sampling
+    // executor even though the AVG-serving machinery runs alongside.
+    print!("xtask determinism: scenario temperature/sketch ... ");
+    let sketch_plain = match (
+        capture(&cli, SKETCH_ARGS, root),
+        capture(&cli, SKETCH_ARGS, root),
+    ) {
+        (Ok(a), Ok(b)) if a == b => {
+            println!("identical ({} trace bytes)", a.len());
+            Some(a)
+        }
+        (Ok(a), Ok(b)) => {
+            println!("DIVERGED");
+            report_divergence(&a, &b);
+            all_identical = false;
+            None
+        }
+        (Err(e), _) | (_, Err(e)) => {
+            println!("ERROR");
+            eprintln!("xtask determinism: scenario temperature/sketch: {e}");
+            all_identical = false;
+            None
+        }
+    };
+    print!("xtask determinism: scenario temperature/sketch (workers=4) ... ");
+    let mut sketch_workers_args: Vec<&str> = vec!["--sampling-workers", "4"];
+    sketch_workers_args.extend_from_slice(SKETCH_ARGS);
+    match capture(&cli, &sketch_workers_args, root) {
+        Ok(parallel) => match &sketch_plain {
+            Some(plain) if *plain == parallel => {
+                println!("identical ({} trace bytes)", parallel.len());
+            }
+            Some(plain) => {
+                println!("DIVERGED (worker count leaked into the trace)");
+                report_divergence(plain, &parallel);
+                all_identical = false;
+            }
+            None => println!("skipped (no plain trace to compare against)"),
+        },
+        Err(e) => {
+            println!("ERROR");
+            eprintln!("xtask determinism: scenario temperature/sketch (workers=4): {e}");
+            all_identical = false;
+        }
+    }
+
     if all_identical {
         println!(
             "xtask determinism: OK — all same-seed traces and telemetry streams byte-identical"
@@ -1004,6 +1074,115 @@ fn run_audit(root: &Path) -> ExitCode {
     gate_reports(
         &mux_reports,
         "temperature/mux",
+        DriftGate::UnderCoverageOnly,
+        &mut ok,
+    );
+
+    // Sketch-aggregate scenario: percentile + COUNT DISTINCT + top-k
+    // through one shared mux (DESIGN.md §17). Sweep estimators land far
+    // inside their ε budgets, so nominal coverage saturates at 1.0 and
+    // only *under*-coverage would flag a mis-scaled band — hence the
+    // shared-round drift gate. The run-6 artefacts
+    // (target/xtask-audit-report-6.json / -trace-6.json) are uploaded by
+    // CI as the sketch audit report.
+    println!("xtask audit: scenario temperature/sketch (p90+distinct+top4, shared rounds)");
+    let AuditedRun {
+        stdout: sketch_stdout_a,
+        report: sketch_report_a,
+        trace: sketch_trace_a,
+    } = match capture_audited(&cli, 6, SKETCH_ARGS, root) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("xtask audit: sketch audited run: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    print!("xtask audit: sketch replay determinism ... ");
+    match capture_audited(&cli, 7, SKETCH_ARGS, root) {
+        Ok(AuditedRun {
+            stdout: stdout_b,
+            report: report_b,
+            trace: trace_b,
+        }) => {
+            if sketch_stdout_a != stdout_b {
+                println!("DIVERGED (stdout)");
+                report_divergence(&sketch_stdout_a, &stdout_b);
+                ok = false;
+            } else if sketch_report_a != report_b {
+                println!("DIVERGED (audit report)");
+                report_divergence(&sketch_report_a, &report_b);
+                ok = false;
+            } else if sketch_trace_a != trace_b {
+                println!("DIVERGED (chrome trace)");
+                report_divergence(&sketch_trace_a, &trace_b);
+                ok = false;
+            } else {
+                println!(
+                    "identical ({} report bytes, {} trace bytes)",
+                    sketch_report_a.len(),
+                    sketch_trace_a.len()
+                );
+            }
+        }
+        Err(e) => {
+            println!("ERROR");
+            eprintln!("xtask audit: second sketch run: {e}");
+            ok = false;
+        }
+    }
+
+    print!("xtask audit: sketch workers=4 independence ... ");
+    let mut sketch_workers_args: Vec<&str> = vec!["--sampling-workers", "4"];
+    sketch_workers_args.extend_from_slice(SKETCH_ARGS);
+    match capture_audited(&cli, 8, &sketch_workers_args, root) {
+        Ok(AuditedRun {
+            stdout: stdout_w,
+            report: report_w,
+            trace: trace_w,
+        }) => {
+            if sketch_stdout_a != stdout_w {
+                println!("DIVERGED (stdout)");
+                report_divergence(&sketch_stdout_a, &stdout_w);
+                ok = false;
+            } else if sketch_report_a != report_w {
+                println!("DIVERGED (audit report)");
+                report_divergence(&sketch_report_a, &report_w);
+                ok = false;
+            } else if sketch_trace_a != trace_w {
+                println!("DIVERGED (chrome trace)");
+                report_divergence(&sketch_trace_a, &trace_w);
+                ok = false;
+            } else {
+                println!("identical");
+            }
+        }
+        Err(e) => {
+            println!("ERROR");
+            eprintln!("xtask audit: sketch workers=4 run: {e}");
+            ok = false;
+        }
+    }
+
+    let sketch_text = String::from_utf8_lossy(&sketch_report_a);
+    let sketch_parsed: serde_json::Value = match serde_json::from_str(&sketch_text) {
+        Ok(value) => value,
+        Err(e) => {
+            eprintln!("xtask audit: sketch report is not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let sketch_reports = sketch_parsed.as_array().cloned().unwrap_or_default();
+    if sketch_reports.len() != 3 {
+        eprintln!(
+            "xtask audit: FAILED — sketch scenario must audit 3 queries, got {}",
+            sketch_reports.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    gate_reports(
+        &sketch_reports,
+        "temperature/sketch",
         DriftGate::UnderCoverageOnly,
         &mut ok,
     );

@@ -35,8 +35,8 @@
 
 use digest::audit::{MuxAudit, QueryAudit};
 use digest::core::{
-    ContinuousQuery, DigestEngine, EngineConfig, EstimatorKind, MuxConfig, Precision, QueryMux,
-    QuerySystem, SchedulerKind, TickContext, TickObserver,
+    AggregateOp, ContinuousQuery, DigestEngine, EngineConfig, EstimatorKind, MuxConfig, Precision,
+    QueryMux, QuerySystem, SchedulerKind, TickContext, TickObserver,
 };
 use digest::db::{Expr, Schema};
 use digest::sampling::SamplingConfig;
@@ -72,6 +72,7 @@ fn usage() -> ! {
          [--sampling-workers N] [--telemetry out.jsonl] [--audit] \
          [--audit-json report.json] [--trace-out trace.json] \
          [--event-loop] [--mux] [--queries N[@delta,epsilon,p]] \
+         [--queries kind+kind+...[@delta,epsilon,p]] \
          \"SELECT ...\" [\"SELECT ...\"]\n\
          \n\
          --event-loop drives independent engines from scheduler due-time \
@@ -83,23 +84,76 @@ fn usage() -> ! {
          sample panels, coalesced PRED-k rounds) instead of independent \
          engines; --queries additionally registers N generated AVG \
          queries — cycling a contract-tier mix, or all at the given \
-         delta,epsilon,p — and implies --mux."
+         delta,epsilon,p — and implies --mux. A \"+\"-separated kind \
+         list (avg|median|distinct|p<N>|top<K>, e.g. p90+distinct+top4) \
+         registers one query per kind instead, served by the sketch \
+         sweep estimators where applicable."
     );
     std::process::exit(2);
 }
 
-/// Parses `--queries N[@delta,epsilon,p]` into a generated fleet: `N`
-/// AVG queries over the first schema attribute, either all at the given
-/// contract or cycling a four-tier δ/ε/p mix.
+/// Parses one aggregate-kind token of the "+"-separated `--queries`
+/// grammar: `avg`, `median`, `distinct`, `p<N>` (the N-th percentile,
+/// 1–99), or `top<K>` (top-K heavy-hitter mass, 1–64).
+fn parse_kind_token(token: &str) -> Result<AggregateOp, String> {
+    let t = token.trim().to_ascii_lowercase();
+    match t.as_str() {
+        "avg" => return Ok(AggregateOp::Avg),
+        "median" => return Ok(AggregateOp::Median),
+        "distinct" => return Ok(AggregateOp::Distinct),
+        _ => {}
+    }
+    if let Some(p) = t.strip_prefix('p') {
+        if let Ok(pct) = p.parse::<u16>() {
+            if (1..=99).contains(&pct) {
+                return Ok(AggregateOp::Percentile {
+                    q_permille: pct * 10,
+                });
+            }
+        }
+        return Err(format!("bad --queries percentile `{token}` (want p1..p99)"));
+    }
+    if let Some(k) = t.strip_prefix("top") {
+        if let Ok(k) = k.parse::<u16>() {
+            if (1..=64).contains(&k) {
+                return Ok(AggregateOp::TopK { k });
+            }
+        }
+        return Err(format!("bad --queries top-k `{token}` (want top1..top64)"));
+    }
+    Err(format!(
+        "bad --queries kind `{token}` (want avg|median|distinct|p<N>|top<K>)"
+    ))
+}
+
+/// Default `(δ, ε, p)` per aggregate kind when a "+"-fleet gives no
+/// explicit contract, scaled to each kind's ε-semantics: absolute value
+/// units for `AVG`/`MEDIAN`/`PERCENTILE`, *relative* ε for `COUNT
+/// DISTINCT`, and mass-fraction units for `TOPK` (DESIGN.md §17).
+fn default_contract(op: &AggregateOp) -> (f64, f64, f64) {
+    match op {
+        AggregateOp::Distinct => (8.0, 0.15, 0.95),
+        AggregateOp::TopK { .. } => (0.05, 0.1, 0.95),
+        _ => (4.0, 2.0, 0.95),
+    }
+}
+
+/// Parses `--queries` fleet specs. Two grammars:
+///
+/// * `N[@delta,epsilon,p]` — `N` AVG queries over the first schema
+///   attribute, either all at the given contract or cycling a four-tier
+///   δ/ε/p mix;
+/// * a "+"-separated kind list such as `p90+distinct+top4` or
+///   `avg+median+p95@4,0.2,0.95` — one query per token (see
+///   [`parse_kind_token`]), at the shared contract if given or at
+///   per-kind defaults matched to each kind's ε-semantics (DESIGN.md
+///   §17) otherwise.
 fn parse_fleet_spec(spec: &str, schema: &Schema) -> Result<Vec<ContinuousQuery>, String> {
     let (count_text, contract) = match spec.split_once('@') {
         Some((n, c)) => (n, Some(c)),
         None => (spec, None),
     };
-    let count: usize = count_text
-        .parse()
-        .map_err(|_| format!("bad --queries count `{count_text}`"))?;
-    let tiers: Vec<(f64, f64, f64)> = match contract {
+    let shared: Option<(f64, f64, f64)> = match contract {
         Some(c) => {
             let parts: Vec<&str> = c.split(',').collect();
             if parts.len() != 3 {
@@ -112,8 +166,34 @@ fn parse_fleet_spec(spec: &str, schema: &Schema) -> Result<Vec<ContinuousQuery>,
                     .parse::<f64>()
                     .map_err(|_| format!("bad number `{s}` in --queries contract"))
             };
-            vec![(parse(parts[0])?, parse(parts[1])?, parse(parts[2])?)]
+            Some((parse(parts[0])?, parse(parts[1])?, parse(parts[2])?))
         }
+        None => None,
+    };
+
+    // Kind-list grammar: any spec that is not a bare integer count.
+    if count_text.parse::<usize>().is_err() {
+        return count_text
+            .split('+')
+            .map(|token| {
+                let op = parse_kind_token(token)?;
+                let (delta, eps, p) = shared.unwrap_or_else(|| default_contract(&op));
+                let precision = Precision::new(delta, eps, p)
+                    .map_err(|e| format!("bad --queries contract: {e}"))?;
+                Ok(ContinuousQuery::new(
+                    op,
+                    Expr::first_attr(schema),
+                    precision,
+                ))
+            })
+            .collect();
+    }
+
+    let count: usize = count_text
+        .parse()
+        .map_err(|_| format!("bad --queries count `{count_text}`"))?;
+    let tiers: Vec<(f64, f64, f64)> = match shared {
+        Some(c) => vec![c],
         None => vec![
             (8.0, 4.0, 0.90),
             (8.0, 2.0, 0.95),
@@ -475,7 +555,7 @@ fn run<W: Workload>(mut world: W, opts: &Options) -> Result<(), Box<dyn std::err
             origin = world.graph().random_node(&mut rng)?;
         }
         for (i, engine) in engines.iter_mut().enumerate() {
-            let outcome = {
+            let (outcome, exact) = {
                 let ctx = TickContext {
                     tick,
                     graph: world.graph(),
@@ -487,13 +567,13 @@ fn run<W: Workload>(mut world: W, opts: &Options) -> Result<(), Box<dyn std::err
                 // queries per run the global register still holds the
                 // *last* engine's id after `on_tick`.
                 digest_telemetry::set_trace(engine.trace_id());
+                let exact = engine
+                    .oracle_truth(&ctx)
+                    .unwrap_or_else(|| world.exact_aggregate());
                 if let Some(audit) = audits.get_mut(i) {
-                    let exact = engine
-                        .oracle_truth(&ctx)
-                        .unwrap_or_else(|| world.exact_aggregate());
                     audit.observe(&ctx, &outcome, exact);
                 }
-                outcome
+                (outcome, exact)
             };
             if digest_telemetry::events_enabled() {
                 digest_telemetry::emit(
@@ -512,9 +592,8 @@ fn run<W: Workload>(mut world: W, opts: &Options) -> Result<(), Box<dyn std::err
             }
             if outcome.updated {
                 println!(
-                    "t={tick:>5}  [{i}] UPDATE  X̂ = {:>12.3}   (oracle AVG = {:>10.3})",
+                    "t={tick:>5}  [{i}] UPDATE  X̂ = {:>12.3}   (oracle = {exact:>10.3})",
                     outcome.estimate,
-                    world.exact_aggregate(),
                 );
             }
         }

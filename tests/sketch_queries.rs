@@ -1,0 +1,176 @@
+//! Integration: the sketch-backed aggregate family end to end —
+//! `PERCENTILE`, `COUNT(DISTINCT …)`, and `TOPK` continuous queries
+//! parsed from statements, served through the shared `QueryMux` node
+//! sweep, and audited against exact oracles (DESIGN.md §17).
+
+use digest::audit::MuxAudit;
+use digest::core::{ContinuousQuery, MuxConfig, QueryMux, TickContext};
+use digest::db::{P2PDatabase, Schema, Tuple};
+use digest::net::{topology, Graph, NodeId};
+use digest::sim::{run_mux, RunConfig};
+use digest::workload::{TemperatureConfig, TemperatureWorkload, Workload};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A static world with a known value multiset: node `v` holds tuples
+/// `v, v+1, v+2` over a complete 12-node overlay, so every oracle is a
+/// closed-form function of the layout.
+struct World {
+    graph: Graph,
+    db: P2PDatabase,
+}
+
+fn world() -> World {
+    let graph = topology::complete(12).unwrap();
+    let mut db = P2PDatabase::new(Schema::single("latency"));
+    for v in graph.nodes() {
+        db.register_node(v);
+        for i in 0..3u32 {
+            db.insert(v, Tuple::single(f64::from(v.0 + i))).unwrap();
+        }
+    }
+    World { graph, db }
+}
+
+fn parse(w: &World, statement: &str) -> ContinuousQuery {
+    ContinuousQuery::parse(statement, w.db.schema()).unwrap()
+}
+
+/// Statements for the three sketch kinds plus a panel-served AVG, all
+/// in one shared mux — the serving mix the CLI's `--queries
+/// p90+distinct+top4` grammar produces.
+fn statements() -> [&'static str; 4] {
+    [
+        "SELECT PERCENTILE(latency, 0.9) FROM R WITH delta=1, epsilon=1, p=0.95",
+        "SELECT COUNT(DISTINCT latency) FROM R WITH delta=8, epsilon=0.15, p=0.95",
+        "SELECT TOPK(latency, 3) FROM R WITH delta=0.05, epsilon=0.1, p=0.95",
+        "SELECT AVG(latency) FROM R WITH delta=2, epsilon=1, p=0.95",
+    ]
+}
+
+#[test]
+fn sketch_kinds_parse_register_and_track_oracles_through_shared_rounds() {
+    let w = world();
+    let mut mux = QueryMux::new(MuxConfig::default()).unwrap();
+    let mut ids = Vec::new();
+    for statement in statements() {
+        ids.push(mux.register(parse(&w, statement)).unwrap());
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let mut latest = std::collections::BTreeMap::new();
+    for tick in 0..8 {
+        let ctx = TickContext {
+            tick,
+            graph: &w.graph,
+            db: &w.db,
+            origin: NodeId(0),
+        };
+        for o in mux.on_tick_mux(&ctx, &mut rng).unwrap() {
+            latest.insert(o.query, o.outcome.estimate);
+        }
+    }
+    // The three sketch members finalize over a sweep of every live
+    // node, so each lands within its own ε of the exact oracle
+    // (relative ε for COUNT DISTINCT, DESIGN.md §17).
+    for &id in &ids[..3] {
+        let q = mux.query(id).unwrap();
+        let exact = q.oracle(&w.db).unwrap();
+        let est = *latest.get(&id).expect("sketch member reported");
+        let tol = if q.op.uses_relative_epsilon() {
+            q.precision.epsilon * exact.abs().max(1.0)
+        } else {
+            q.precision.epsilon
+        };
+        assert!(
+            (est - exact).abs() <= tol,
+            "{q}: estimate {est} vs oracle {exact} (tol {tol})"
+        );
+    }
+}
+
+#[test]
+fn median_registers_in_shared_mode_and_tracks_the_exact_median() {
+    // Regression: shared-mode registration used to reject MEDIAN; it is
+    // now served by the same deterministic sweep as the sketch kinds.
+    let w = world();
+    let mut mux = QueryMux::new(MuxConfig::default()).unwrap();
+    let median = mux
+        .register(parse(
+            &w,
+            "SELECT MEDIAN(latency) FROM R WITH delta=1, epsilon=1, p=0.95",
+        ))
+        .unwrap();
+    let avg = mux
+        .register(parse(
+            &w,
+            "SELECT AVG(latency) FROM R WITH delta=2, epsilon=1, p=0.95",
+        ))
+        .unwrap();
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let mut median_estimate = f64::NAN;
+    for tick in 0..6 {
+        let ctx = TickContext {
+            tick,
+            graph: &w.graph,
+            db: &w.db,
+            origin: NodeId(0),
+        };
+        for o in mux.on_tick_mux(&ctx, &mut rng).unwrap() {
+            if o.query == median {
+                median_estimate = o.outcome.estimate;
+            }
+        }
+    }
+    let exact = mux.query(median).unwrap().oracle(&w.db).unwrap();
+    assert!(
+        (median_estimate - exact).abs() <= 1.0,
+        "median estimate {median_estimate} vs oracle {exact}"
+    );
+    assert!(mux.query_totals(avg).unwrap().snapshots > 0);
+}
+
+#[test]
+fn audited_sketch_mix_holds_contracts_over_a_live_run() {
+    // Full-stack leg: the churning TEMPERATURE workload drives the
+    // sketch mix through run_mux under a MuxAudit, and every member
+    // must come out with enough occasions and zero ε-violations (the
+    // same invariant `cargo xtask audit` gates on the CLI path).
+    let mut workload = TemperatureWorkload::new(TemperatureConfig {
+        seed: 3,
+        ..TemperatureConfig::reduced(500, 6, 8, 60)
+    });
+    let schema = workload.db().schema().clone();
+    let mut mux = QueryMux::new(MuxConfig::default()).unwrap();
+    let mut audit = MuxAudit::new();
+    for statement in [
+        "SELECT PERCENTILE(temperature, 0.9) FROM R WITH delta=4, epsilon=2, p=0.95",
+        "SELECT COUNT(DISTINCT temperature) FROM R WITH delta=8, epsilon=0.15, p=0.95",
+        "SELECT TOPK(temperature, 4) FROM R WITH delta=0.05, epsilon=0.1, p=0.95",
+    ] {
+        let query = ContinuousQuery::parse(statement, &schema).unwrap();
+        let id = mux.register(query).unwrap();
+        audit.register(id, mux.query(id).unwrap()).unwrap();
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(20_080_402);
+    run_mux(
+        &mut workload,
+        &mut mux,
+        RunConfig::for_ticks(40),
+        &mut rng,
+        &mut audit,
+    )
+    .unwrap();
+    for (id, report) in audit.reports() {
+        assert!(
+            report.occasions >= 10,
+            "query {id}: only {} occasions",
+            report.occasions
+        );
+        assert_eq!(
+            report.violations, 0,
+            "query {id}: {} ε-violations over {} occasions",
+            report.violations, report.occasions
+        );
+        assert!(report.violation_rate <= report.violation_bound());
+    }
+}
